@@ -1,0 +1,1 @@
+bench/ablation.ml: Buffer Graphene Graphene_guest Graphene_host Graphene_ipc Graphene_liblinux Graphene_sim Harness List Printf String

@@ -1,0 +1,1 @@
+bench/figure4.ml: Graphene Graphene_apps Graphene_guest Graphene_host Graphene_liblinux Graphene_sim Harness List Printf Util_contains

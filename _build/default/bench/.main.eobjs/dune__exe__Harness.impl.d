@@ -1,0 +1,1 @@
+bench/harness.ml: Buffer Graphene Graphene_apps Graphene_host Graphene_liblinux Graphene_sim List Printf Util_contains

@@ -1,0 +1,1 @@
+bench/table1.ml: Graphene_pal Graphene_sim Harness List String

@@ -1,0 +1,1 @@
+bench/table5.ml: Graphene Graphene_apps Graphene_host Graphene_sim Harness List Printf

@@ -1,0 +1,1 @@
+bench/table6.ml: Graphene Graphene_sim Harness List Printf

@@ -1,0 +1,1 @@
+bench/table7.ml: Graphene Graphene_sim Harness List Printf

@@ -1,0 +1,1 @@
+bench/table8.ml: Graphene_bpf Graphene_sim Graphene_vuln List Printf

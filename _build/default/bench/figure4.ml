@@ -1,0 +1,103 @@
+(** Figure 4 — memory footprints of make -j4, lighttpd (4 threads),
+    apache (4 processes) and bash-unixbench, on Linux, Graphene and
+    KVM; plus the §6.2 hello-world and incremental-child numbers. *)
+
+module W = Graphene.World
+module K = Graphene_host.Kernel
+module T = Graphene_sim.Time
+module Stats = Graphene_sim.Stats
+module Table = Graphene_sim.Table
+module Apps = Graphene_apps
+
+(* Peak footprint of a batch run. *)
+let batch ~exe ~argv ?(setup = fun _ -> ()) w =
+  setup w;
+  Harness.peak_memory_during w ~period:(T.ms 1.0) ~exe ~argv
+
+(* Footprint of a server once it reaches steady state under load. *)
+let server ~exe ~argv ~ready w =
+  let client = W.client_pico w in
+  let peak = ref 0 in
+  let started = ref false in
+  let hook s =
+    if (not !started) && Util_contains.contains s ready then begin
+      started := true;
+      ignore
+        (Apps.Loadgen.run (W.kernel w) ~client ~port:8080 ~path:"/index.html" ~requests:400
+           ~concurrency:8 (fun _ -> peak := max !peak (W.memory_footprint w)))
+    end
+  in
+  ignore (W.start w ~console_hook:hook ~exe ~argv ());
+  W.run w;
+  float_of_int (max !peak (W.memory_footprint w))
+
+let workloads =
+  [ ( "make -j4 libLinux",
+      fun w ->
+        let m = Apps.Compile.install_tree (W.kernel w).K.fs Apps.Compile.liblinux in
+        batch ~exe:"/bin/make" ~argv:[ m; "4" ] w );
+    ( "lighttpd 4-thread",
+      fun w -> server ~exe:"/bin/lighttpd" ~argv:[ "8080"; "4" ] ~ready:"lighttpd ready" w );
+    ( "apache 4-proc",
+      fun w -> server ~exe:"/bin/apache" ~argv:[ "8080"; "4"; "plain" ] ~ready:"apache ready" w );
+    ( "bash unixbench",
+      fun w ->
+        Apps.Install.script (W.kernel w).K.fs ~path:"/tmp/ub.sh"
+          ~contents:(Apps.Shell.unixbench_script ~tasks:24);
+        batch ~exe:"/bin/sh" ~argv:[ "/tmp/ub.sh" ] w ) ]
+
+let hello_numbers () =
+  (* one hello world, held at its pause, per stack *)
+  let rss stack =
+    let w = W.create stack in
+    let p = W.start w ~exe:"/bin/memhog" ~argv:[ "0" ] () in
+    W.run w;
+    ignore p;
+    W.memory_footprint w
+  in
+  let linux = rss W.Linux and graphene = rss W.Graphene in
+  (* incremental child: hello forks a copy of itself *)
+  let w = W.create W.Graphene in
+  let one = W.start w ~exe:"/bin/memhog" ~argv:[ "0" ] () in
+  W.run w;
+  let base = W.memory_footprint w in
+  ignore one;
+  (* fork a second memhog by running a forking wrapper *)
+  let w2 = W.create W.Graphene in
+  Graphene_liblinux.Loader.install (W.kernel w2).K.fs ~path:"/bin/forkhog"
+    Graphene_guest.Builder.(
+      prog ~name:"/bin/forkhog"
+        (let_ "pid" (sys "fork" [])
+           (seq [ sys "pause" []; sys "exit" [ int 0 ] ])));
+  let p2 = W.start w2 ~exe:"/bin/forkhog" ~argv:[] () in
+  W.run w2;
+  ignore p2;
+  let parentchild = W.memory_footprint w2 in
+  let w3 = W.create W.Graphene in
+  let p3 = W.start w3 ~exe:"/bin/memhog" ~argv:[ "0" ] () in
+  W.run w3;
+  ignore p3;
+  let single = W.memory_footprint w3 in
+  (linux, graphene, base, parentchild - single)
+
+let run ?(full = true) () =
+  let t =
+    Table.create ~title:"Figure 4: memory footprint (MB)"
+      ~headers:[ "Workload"; "Linux"; "Graphene"; "KVM" ]
+  in
+  let mb x = Printf.sprintf "%.1f" (Stats.mean x /. 1024. /. 1024.) in
+  let selected = if full then workloads else [ List.nth workloads 1 ] in
+  List.iter
+    (fun (name, f) ->
+      let linux = Harness.trials ~n:3 ~stack:W.Linux f in
+      let graphene = Harness.trials ~n:3 ~stack:W.Graphene_rm f in
+      let kvm = Harness.trials ~n:3 ~stack:W.Kvm f in
+      Table.add_row t [ name; mb linux; mb graphene; mb kvm ])
+    selected;
+  Table.print t;
+  Harness.paper_note "make 27/31/156, lighttpd 6/11/156, apache 11/14/156, bash 6/14/153 (MB)";
+  let linux_hello, graphene_hello, _, incremental = hello_numbers () in
+  Printf.printf "  hello world RSS: Linux %s, Graphene %s (paper: 352 KB vs 1.4 MB)\n"
+    (Table.cell_bytes linux_hello) (Table.cell_bytes graphene_hello);
+  Printf.printf "  incremental forked child: %s (paper: ~790 KB)\n\n"
+    (Table.cell_bytes incremental)

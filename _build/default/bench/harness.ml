@@ -1,0 +1,115 @@
+(** Shared benchmark machinery.
+
+    The paper reports each number as a mean with a 95% confidence
+    interval over at least six runs; [trials] reproduces that: each
+    trial runs in a fresh world with a different seed and a little
+    timing noise. All measured quantities are virtual time. *)
+
+module W = Graphene.World
+module K = Graphene_host.Kernel
+module T = Graphene_sim.Time
+module Stats = Graphene_sim.Stats
+module Table = Graphene_sim.Table
+module Loader = Graphene_liblinux.Loader
+module Apps = Graphene_apps
+module Marks = Graphene_apps.Lmbench.Marks
+
+let default_trials = 6
+let noise = 0.006
+
+(* Run [f] against [n] fresh worlds of [stack]; collect its float
+   result into stats. *)
+let trials ?(n = default_trials) ~stack f =
+  let s = Stats.create () in
+  for seed = 1 to n do
+    let w = W.create ~seed:(seed * 7919) ~noise stack in
+    Stats.add s (f w)
+  done;
+  s
+
+(* The run of one guest program to completion; returns (world, proc,
+   aggregated console, elapsed virtual seconds). *)
+let run_app w ~exe ~argv =
+  let agg = Buffer.create 256 in
+  let t0 = W.now w in
+  let p = W.start w ~console_hook:(Buffer.add_string agg) ~exe ~argv () in
+  W.run w;
+  let dt = T.to_s (T.diff (W.now w) t0) in
+  (p, Buffer.contents agg, dt)
+
+(* Elapsed virtual seconds of a program run. *)
+let time_app ~exe ~argv w =
+  let _, _, dt = run_app w ~exe ~argv in
+  dt
+
+(* Per-operation latency (us) of an lmbench-style program. *)
+let lmbench_us ~exe ~iters w =
+  let _, console, _ = run_app w ~exe ~argv:[ string_of_int iters ] in
+  match Marks.per_op console ~iters with
+  | Some ns -> ns /. 1000.
+  | None -> failwith (exe ^ ": no marks in console output")
+
+(* A MARK-phase latency (us). *)
+let phase_us ~exe ~iters ~phase w =
+  let _, console, _ = run_app w ~exe ~argv:[ string_of_int iters ] in
+  match Marks.interval console ~start:(phase ^ "0") ~stop:(phase ^ "1") ~iters with
+  | Some ns -> ns /. 1000.
+  | None -> failwith (exe ^ ": missing phase " ^ phase)
+
+(* Throughput (MB/s) of a web server under ApacheBench-style load. *)
+let web_throughput ~exe ~argv ~ready ~requests ~concurrency w =
+  let client = W.client_pico w in
+  let result = ref None in
+  let started = ref false in
+  let hook s =
+    if (not !started) && Util_contains.contains s ready then begin
+      started := true;
+      ignore
+        (Apps.Loadgen.run (W.kernel w) ~client ~port:8080 ~path:"/index.html" ~requests
+           ~concurrency (fun st -> result := Some st))
+    end
+  in
+  ignore (W.start w ~console_hook:hook ~exe ~argv ());
+  W.run w;
+  match !result with
+  | Some st -> Apps.Loadgen.throughput_mb_s st
+  | None -> failwith (exe ^ ": server never became ready")
+
+(* Peak system memory during a run, sampled every [period] of virtual
+   time (Figure 4's maximum-resident-set methodology). *)
+let peak_memory_during w ~period ~exe ~argv =
+  let peak = ref 0 in
+  let finished = ref false in
+  let kernel = W.kernel w in
+  let rec sample () =
+    peak := max !peak (W.memory_footprint w);
+    if not !finished then K.after kernel period sample
+  in
+  sample ();
+  let agg = Buffer.create 64 in
+  let p = W.start w ~console_hook:(Buffer.add_string agg) ~exe ~argv () in
+  (* stop sampling when the initial process exits *)
+  K.on_pico_exit kernel (W.pico p) (fun _ -> finished := true);
+  W.run w;
+  peak := max !peak (W.memory_footprint w);
+  float_of_int !peak
+
+(* Mean/CI cells. *)
+let cell_s s = Printf.sprintf "%.2f" (Stats.mean s)
+let cell_ci s = Printf.sprintf ".%02.0f" (Stats.ci95 s *. 100.)
+
+let cell_overhead ~base s =
+  let b = Stats.mean base and x = Stats.mean s in
+  if b <= 0. then "n/a" else Table.cell_pct ((x -. b) /. b *. 100.)
+
+let row_time table name cols =
+  let base = List.hd cols in
+  Table.add_row table
+    (name
+    :: List.concat_map
+         (fun s ->
+           if s == base then [ cell_s s; cell_ci s ]
+           else [ cell_s s; cell_ci s; cell_overhead ~base s ])
+         cols)
+
+let paper_note fmt = Printf.printf ("    paper: " ^^ fmt ^^ "\n")

@@ -1,0 +1,33 @@
+(** Table 1 — the host ABI inventory. Structural: printed from the
+    implemented {!Graphene_pal.Abi} table; a unit test asserts the
+    counts, this prints the classes the paper lists. *)
+
+module Abi = Graphene_pal.Abi
+module Table = Graphene_sim.Table
+
+let run () =
+  let t =
+    Table.create ~title:"Table 1: host ABI functions"
+      ~headers:[ "Class"; "ABIs"; "Functions" ]
+  in
+  Table.set_align t [ Table.Left; Table.Right; Table.Left ];
+  let section origin label =
+    Table.add_row t [ label ];
+    List.iter
+      (fun (cls, n) ->
+        let names =
+          Abi.of_class cls
+          |> List.filter (fun (_, _, o) -> o = origin)
+          |> List.map (fun (name, _, _) -> name)
+          |> String.concat " "
+        in
+        Table.add_row t [ "  " ^ Abi.cls_to_string cls; string_of_int n; names ])
+      (Abi.class_counts origin);
+    Table.add_separator t
+  in
+  section Abi.Drawbridge "Adopted from Drawbridge";
+  section Abi.Graphene "Added by Graphene";
+  Table.add_row t [ "Total"; string_of_int Abi.count ];
+  Table.print t;
+  Harness.paper_note "33 Drawbridge + 10 Graphene = 43 functions";
+  print_newline ()

@@ -1,0 +1,92 @@
+(** Table 4 — startup, checkpoint, and resume times for a native
+    process, a KVM virtual machine, and a Graphene picoprocess. *)
+
+module W = Graphene.World
+module K = Graphene_host.Kernel
+module T = Graphene_sim.Time
+module Stats = Graphene_sim.Stats
+module Table = Graphene_sim.Table
+module Migrate = Graphene_checkpoint.Migrate
+module Native = Graphene_baseline.Native
+module Lx = Graphene_liblinux.Lx
+module Ckpt = Graphene_liblinux.Ckpt
+
+(* Start-up latency: from the launch request to the app's first
+   instruction. For KVM this includes booting the guest. *)
+let startup_time stack w =
+  let t0 = W.now w in
+  let p = W.start w ~exe:"/bin/hello" ~argv:[] () in
+  W.run w;
+  ignore stack;
+  match W.started_at p with
+  | Some t -> T.to_us (T.diff t t0)
+  | None -> failwith "app never started"
+
+(* Run memhog (the checkpointable application) to its pause. *)
+let memhog_at_pause w ~kb =
+  let p = W.start w ~exe:"/bin/memhog" ~argv:[ string_of_int kb ] () in
+  W.run w;
+  match p with
+  | W.Pl lx when not (Lx.exited lx) -> lx
+  | _ -> failwith "memhog did not pause"
+
+let graphene_ckpt w =
+  let lx = memhog_at_pause w ~kb:4096 in
+  let kernel = W.kernel w in
+  let t0 = K.now kernel in
+  let done_at = ref None in
+  let size = ref 0 in
+  Migrate.checkpoint_to_file lx ~path:"/tmp/bench.ckpt" (fun (_r, s) ->
+      size := s;
+      done_at := Some (K.now kernel));
+  W.run w;
+  match !done_at with
+  | Some t -> (T.to_us (T.diff t t0), !size)
+  | None -> failwith "checkpoint never completed"
+
+(* Resume latency: from the resume request to the guest's first
+   instruction after its pause. *)
+let graphene_resume w =
+  let lx = memhog_at_pause w ~kb:4096 in
+  let kernel = W.kernel w in
+  let record = Migrate.checkpoint lx in
+  Lx.do_exit lx 0;
+  W.run w;
+  let t0 = K.now kernel in
+  let lx2 = Migrate.resume kernel ~record ~sandbox:(K.fresh_sandbox kernel) () in
+  W.run w;
+  match Lx.started_at lx2 with
+  | Some t -> T.to_us (T.diff t t0)
+  | None -> failwith "resume never started"
+
+let run () =
+  let t =
+    Table.create ~title:"Table 4: startup / checkpoint / resume"
+      ~headers:[ "Test"; "Linux"; "KVM"; "Graphene" ]
+  in
+  let fmt_us (s : Stats.t) = Format.asprintf "%a" T.pp (T.us (Stats.mean s)) in
+  let start_linux = Harness.trials ~stack:W.Linux (startup_time W.Linux) in
+  let start_kvm = Harness.trials ~stack:W.Kvm (startup_time W.Kvm) in
+  let start_g = Harness.trials ~stack:W.Graphene_rm (startup_time W.Graphene_rm) in
+  Table.add_row t [ "Start-up"; fmt_us start_linux; fmt_us start_kvm; fmt_us start_g ];
+  let ckpt_g = Harness.trials ~stack:W.Graphene (fun w -> fst (graphene_ckpt w)) in
+  let kvm = Native.kvm_profile in
+  Table.add_row t
+    [ "Checkpoint"; "N/A";
+      Format.asprintf "%a" T.pp (Migrate.Vm.checkpoint_time kvm);
+      fmt_us ckpt_g ];
+  let resume_g = Harness.trials ~stack:W.Graphene graphene_resume in
+  Table.add_row t
+    [ "Resume"; "N/A";
+      Format.asprintf "%a" T.pp (Migrate.Vm.resume_time kvm);
+      fmt_us resume_g ];
+  let size_g = Harness.trials ~stack:W.Graphene (fun w -> float_of_int (snd (graphene_ckpt w))) in
+  Table.add_row t
+    [ "Checkpoint size"; "N/A";
+      Table.cell_bytes (Migrate.Vm.checkpoint_size kvm);
+      Table.cell_bytes (int_of_float (Stats.mean size_g)) ];
+  Table.print t;
+  Harness.paper_note "start-up: 208 us / 3.3 s / 641 us";
+  Harness.paper_note "checkpoint: N/A / 0.987 s / 416 us; resume: N/A / 1.146 s / 1387 us";
+  Harness.paper_note "checkpoint size: N/A / 105 MB / 376 KB";
+  print_newline ()

@@ -1,0 +1,56 @@
+(** Table 6 — LMbench microbenchmarks on native Linux vs Graphene,
+    without and with the reference monitor. *)
+
+module W = Graphene.World
+module Stats = Graphene_sim.Stats
+module Table = Graphene_sim.Table
+
+let rows ~full =
+  let n = if full then 2000 else 300 in
+  let forks = if full then 100 else 25 in
+  [ ("syscall", "/bin/lat_syscall", n);
+    ("read", "/bin/lat_read", n);
+    ("write", "/bin/lat_write", n);
+    ("open/close", "/bin/lat_openclose", n);
+    ("select tcp", "/bin/lat_select", n);
+    ("sig install", "/bin/lat_sig_install", n);
+    ("sigusr1", "/bin/lat_sig_self", n);
+    ("AF_UNIX", "/bin/lat_af_unix", n);
+    ("fork+exit", "/bin/lat_fork_exit", forks);
+    ("fork+exec", "/bin/lat_fork_exec", forks);
+    ("fork+sh", "/bin/lat_fork_sh", if full then 50 else 10) ]
+
+let paper =
+  [ ("syscall", (0.04, 0.01, 0.01)); ("read", (0.09, 0.12, 0.12));
+    ("write", (0.11, 0.11, 0.11)); ("open/close", (0.85, 3.53, 5.09));
+    ("select tcp", (10.87, 17.02, 17.44)); ("sig install", (0.11, 0.20, 0.20));
+    ("sigusr1", (0.79, 0.33, 0.33)); ("AF_UNIX", (4.71, 5.71, 6.37));
+    ("fork+exit", (67., 463., 490.)); ("fork+exec", (231., 764., 800.));
+    ("fork+sh", (576., 1720., 1775.)) ]
+
+let run ?(full = true) () =
+  let t =
+    Table.create ~title:"Table 6: LMbench latencies (us)"
+      ~headers:
+        [ "Test"; "Linux"; "Graphene"; "ovh"; "Graphene+RM"; "ovh"; "paper L/G/G+RM" ]
+  in
+  let trials = if full then 6 else 2 in
+  List.iter
+    (fun (name, exe, iters) ->
+      let m stack = Harness.trials ~n:trials ~stack (Harness.lmbench_us ~exe ~iters) in
+      let linux = m W.Linux and g = m W.Graphene and grm = m W.Graphene_rm in
+      let pct s =
+        Table.cell_pct ((Stats.mean s -. Stats.mean linux) /. Stats.mean linux *. 100.)
+      in
+      let lp, gp, rp = List.assoc name paper in
+      Table.add_row t
+        [ name;
+          Printf.sprintf "%.2f" (Stats.mean linux);
+          Printf.sprintf "%.2f" (Stats.mean g);
+          pct g;
+          Printf.sprintf "%.2f" (Stats.mean grm);
+          pct grm;
+          Printf.sprintf "%.2f/%.2f/%.2f" lp gp rp ])
+    (rows ~full);
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,62 @@
+(** Table 7 — System V message queue microbenchmarks: each operation in
+    one picoprocess, across two concurrent picoprocesses, and across
+    non-concurrent picoprocesses (persistent queues). Linux has no
+    persistent column (queues survive in kernel memory). *)
+
+module W = Graphene.World
+module Stats = Graphene_sim.Stats
+module Table = Graphene_sim.Table
+
+let phases_inproc = [ ("msgget (create)", "create"); ("msgget (lookup)", "lookup");
+                      ("msgsnd", "snd"); ("msgrcv", "rcv") ]
+
+let phases_inter = [ ("msgget (create)", "create"); ("msgget (lookup)", "lookup");
+                     ("msgsnd", "snd"); ("msgrcv", "rcv") ]
+
+let phases_persist = [ ("msgget", "pget"); ("msgsnd", "psnd"); ("msgrcv", "prcv") ]
+
+let paper =
+  [ ("msgget (create)", (33.20, 28.23, 28.79, Some 100.15));
+    ("msgget (lookup)", (32.45, 1.37, 83.62, Some 93.86));
+    ("msgsnd", (1.49, 4.43, 7.61, Some 4.71));
+    ("msgrcv", (1.49, 2.37, 7.79, Some 9.79)) ]
+
+let run ?(full = true) () =
+  let iters = if full then 50 else 10 in
+  let trials = if full then 6 else 2 in
+  let t =
+    Table.create ~title:"Table 7: System V message queues (us)"
+      ~headers:
+        [ "Operation"; "Linux(inproc)"; "G inproc"; "G interproc"; "G persistent";
+          "paper L/in/inter/persist" ]
+  in
+  let measure ~stack ~exe ~phase =
+    Harness.trials ~n:trials ~stack (Harness.phase_us ~exe ~iters ~phase)
+  in
+  List.iter
+    (fun ((label, phase), (_, inter_phase)) ->
+      let linux = measure ~stack:W.Linux ~exe:"/bin/sysv_inproc" ~phase in
+      let inproc = measure ~stack:W.Graphene ~exe:"/bin/sysv_inproc" ~phase in
+      let inter = measure ~stack:W.Graphene ~exe:"/bin/sysv_interproc" ~phase:inter_phase in
+      let persist =
+        match List.assoc_opt phase [ ("lookup", "pget"); ("snd", "psnd"); ("rcv", "prcv") ] with
+        | Some p ->
+          Printf.sprintf "%.2f"
+            (Stats.mean (measure ~stack:W.Graphene ~exe:"/bin/sysv_persistent" ~phase:p))
+        | None -> "N/A"
+      in
+      let lp, ip, xp, pp = List.assoc label paper in
+      Table.add_row t
+        [ label;
+          Printf.sprintf "%.2f" (Stats.mean linux);
+          Printf.sprintf "%.2f" (Stats.mean inproc);
+          Printf.sprintf "%.2f" (Stats.mean inter);
+          persist;
+          Printf.sprintf "%.1f/%.1f/%.1f/%s" lp ip xp
+            (match pp with Some x -> Printf.sprintf "%.1f" x | None -> "N/A") ])
+    (List.combine phases_inproc phases_inter);
+  ignore phases_persist;
+  Table.print t;
+  Harness.paper_note
+    "inter-process receive was ~10x worse before async send + ownership migration (see 'ablation')";
+  print_newline ()

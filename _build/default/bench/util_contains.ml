@@ -1,0 +1,6 @@
+(** Substring search, shared by the bench modules. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  nl = 0 || loop 0

@@ -1,0 +1,167 @@
+(** The graphene command-line tool.
+
+    {v
+    graphene run [-s STACK] [--rm] [-a ARG]... BINARY   run a guest binary
+    graphene script [-s STACK] FILE                     run a shell script file
+    graphene abi                                        print the host ABI (Table 1)
+    graphene filter NAME [NAME...]                      what the seccomp filter does to syscalls
+    graphene cves [-y YEAR]                             the Table 8 vulnerability analysis
+    v}
+
+    The run/script commands build a fresh simulated world, install the
+    standard binaries, execute, and report console output, exit code,
+    virtual time, and host-syscall telemetry. *)
+
+open Cmdliner
+module W = Graphene.World
+module K = Graphene_host.Kernel
+
+let stack_conv =
+  let parse = function
+    | "linux" -> Ok W.Linux
+    | "kvm" -> Ok W.Kvm
+    | "graphene" -> Ok W.Graphene
+    | "graphene-rm" | "rm" -> Ok W.Graphene_rm
+    | s -> Error (`Msg ("unknown stack " ^ s ^ " (linux|kvm|graphene|graphene-rm)"))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (W.stack_name s))
+
+let stack_arg =
+  Arg.(
+    value
+    & opt stack_conv W.Graphene
+    & info [ "s"; "stack" ] ~docv:"STACK" ~doc:"Stack to run on: linux, kvm, graphene, graphene-rm.")
+
+let telemetry_arg =
+  Arg.(value & flag & info [ "t"; "telemetry" ] ~doc:"Print host-syscall telemetry after the run.")
+
+let report ?(telemetry = false) w p =
+  Printf.printf "\n-- exit code: %d\n" (W.exit_code p);
+  Printf.printf "-- virtual time: %s\n"
+    (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
+  Printf.printf "-- peak memory: %s\n"
+    (Graphene_sim.Table.cell_bytes (W.memory_footprint w));
+  if telemetry then begin
+    Printf.printf "-- host syscalls:\n";
+    List.iter
+      (fun (name, n) -> Printf.printf "   %-16s %6d\n" name n)
+      (K.syscall_counts (W.kernel w))
+  end;
+  if W.exit_code p = 0 then 0 else 1
+
+let run_cmd =
+  let exe_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BINARY" ~doc:"Guest binary path, e.g. /bin/hello.")
+  in
+  let argv_arg =
+    Arg.(value & opt_all string [] & info [ "a"; "arg" ] ~docv:"ARG" ~doc:"Argument passed to the guest (repeatable).")
+  in
+  let run stack exe argv telemetry =
+    let w = W.create stack in
+    let p = W.start w ~console_hook:print_string ~exe ~argv () in
+    W.run w;
+    report ~telemetry w p
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a guest binary on a simulated stack")
+    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ telemetry_arg)
+
+let script_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Shell script (host file) to run under /bin/sh.")
+  in
+  let run stack file telemetry =
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let w = W.create stack in
+    Graphene_apps.Install.script (W.kernel w).K.fs ~path:"/tmp/cli.sh" ~contents;
+    let p = W.start w ~console_hook:print_string ~exe:"/bin/sh" ~argv:[ "/tmp/cli.sh" ] () in
+    W.run w;
+    report ~telemetry w p
+  in
+  Cmd.v
+    (Cmd.info "script" ~doc:"Run a shell script under the guest /bin/sh")
+    Term.(const run $ stack_arg $ file_arg $ telemetry_arg)
+
+let abi_cmd =
+  let run () =
+    List.iter
+      (fun (name, cls, origin) ->
+        Printf.printf "%-28s %-16s %s\n" name
+          (Graphene_pal.Abi.cls_to_string cls)
+          (match origin with
+          | Graphene_pal.Abi.Drawbridge -> "drawbridge"
+          | Graphene_pal.Abi.Graphene -> "graphene"))
+      Graphene_pal.Abi.table;
+    Printf.printf "total: %d functions\n" Graphene_pal.Abi.count;
+    0
+  in
+  Cmd.v (Cmd.info "abi" ~doc:"Print the 43-function host ABI (Table 1)") Term.(const run $ const ())
+
+let filter_cmd =
+  let names_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"SYSCALL" ~doc:"Host syscall names.")
+  in
+  let run names =
+    let filter =
+      Graphene_bpf.Seccomp.graphene_filter ~pal_lo:K.pal_base ~pal_hi:K.pal_limit
+    in
+    List.iter
+      (fun name ->
+        match Graphene_bpf.Sysno.number_opt name with
+        | None -> Printf.printf "%-20s unknown syscall\n" name
+        | Some nr ->
+          let verdict pc =
+            fst
+              (Graphene_bpf.Prog.eval filter
+                 { Graphene_bpf.Prog.nr;
+                   arch = Graphene_bpf.Prog.audit_arch_x86_64;
+                   pc;
+                   args = [||] })
+          in
+          Printf.printf "%-20s from PAL: %-10s from app code: %s\n" name
+            (Format.asprintf "%a" Graphene_bpf.Prog.pp_action (verdict (K.pal_base + 8)))
+            (Format.asprintf "%a" Graphene_bpf.Prog.pp_action (verdict 0x4000_0000)))
+      names;
+    0
+  in
+  Cmd.v
+    (Cmd.info "filter" ~doc:"Show the seccomp filter's verdicts for syscalls")
+    Term.(const run $ names_arg)
+
+let cves_cmd =
+  let year_arg =
+    Arg.(value & opt (some int) None & info [ "y"; "year" ] ~docv:"YEAR" ~doc:"Restrict to one year (2011-2013).")
+  in
+  let run year =
+    let cves =
+      match year with
+      | None -> Graphene_vuln.Dataset.all
+      | Some y -> List.filter (fun c -> c.Graphene_vuln.Cve.year = y) Graphene_vuln.Dataset.all
+    in
+    let rows, total, prevented = Graphene_vuln.Cve.analyze cves in
+    List.iter
+      (fun r ->
+        Printf.printf "%-28s %3d total, %3d prevented\n"
+          (Graphene_vuln.Cve.category_name r.Graphene_vuln.Cve.cat)
+          r.Graphene_vuln.Cve.total r.Graphene_vuln.Cve.prevented_count)
+      rows;
+    Printf.printf "overall: %d/%d (%d%%)\n" prevented total
+      (if total = 0 then 0 else 100 * prevented / total);
+    0
+  in
+  Cmd.v
+    (Cmd.info "cves" ~doc:"Replay the Table 8 vulnerability analysis")
+    Term.(const run $ year_arg)
+
+let () =
+  let info =
+    Cmd.info "graphene" ~version:Graphene.Graphene_version.version
+      ~doc:"The Graphene (EuroSys 2014) reproduction toolbox"
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; script_cmd; abi_cmd; filter_cmd; cves_cmd ]))

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Graphene Graphene_guest Graphene_host Graphene_liblinux Graphene_sim List Printf

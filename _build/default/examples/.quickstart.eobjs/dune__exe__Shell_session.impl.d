@@ -1,0 +1,1 @@
+examples/shell_session.ml: Buffer Format Graphene Graphene_apps Graphene_host Graphene_sim List Printf String

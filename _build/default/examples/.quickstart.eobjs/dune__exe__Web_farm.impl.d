@@ -1,0 +1,1 @@
+examples/web_farm.ml: Format Graphene Graphene_apps Graphene_host Graphene_refmon Graphene_sim List Printf String

@@ -1,0 +1,1 @@
+lib/apps/binaries.ml: Graphene_guest Memmodel

@@ -1,0 +1,1 @@
+lib/apps/compile.ml: Buffer Graphene_guest Graphene_host Memmodel Printf String

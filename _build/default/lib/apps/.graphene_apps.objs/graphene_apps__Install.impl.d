@@ -1,0 +1,1 @@
+lib/apps/install.ml: Binaries Compile Graphene_host Graphene_liblinux List Lmbench Printf Shell String Sysv Web

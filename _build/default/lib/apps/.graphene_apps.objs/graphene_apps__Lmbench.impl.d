@@ -1,0 +1,1 @@
+lib/apps/lmbench.ml: Graphene_guest List String

@@ -1,0 +1,1 @@
+lib/apps/loadgen.ml: Graphene_host Graphene_sim Printf String Time

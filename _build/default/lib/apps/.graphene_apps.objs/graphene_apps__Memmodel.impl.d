@@ -1,0 +1,1 @@
+lib/apps/memmodel.ml: Graphene_guest

@@ -1,0 +1,1 @@
+lib/apps/shell.ml: Buffer Graphene_guest

@@ -1,0 +1,1 @@
+lib/apps/sysv.ml: Graphene_guest Lmbench

@@ -1,0 +1,1 @@
+lib/apps/web.ml: Graphene_guest Graphene_host List Memmodel Printf String

@@ -1,0 +1,229 @@
+(** Small guest binaries: hello world, a memory toucher, and the six
+    Unix utilities the Bash benchmark runs (cp, rm, ls, cat, date,
+    echo). All are ordinary guest programs installed as files; the
+    shell fork+execs them. *)
+
+open Graphene_guest.Builder
+
+let hello =
+  prog ~name:"/bin/hello" (seq [ sys "print" [ str "hello world\n" ]; sys "exit" [ int 0 ] ])
+
+(* Touch [argv0] KB of heap, then pause so the host can checkpoint it —
+   the "4 MB application" of Table 4. *)
+let memhog =
+  prog ~name:"/bin/memhog"
+    (let_ "kb"
+       (if_ (is_empty (v "argv")) (int 256) (int_of_str (head (v "argv"))))
+       (seq
+          [ let_ "bytes" (v "kb" *% int 1024)
+              (let_ "base"
+                 (sys "mmap" [ v "bytes" ])
+                 (* dirty one page in sixteen: most of a real app's
+                    image is clean file-backed text, so the private
+                    (checkpointable) set is a fraction of its size *)
+                 (let_ "off" (int 0)
+                    (while_
+                       (v "off" <% v "bytes")
+                       (seq
+                          [ sys "poke" [ v "base" +% v "off"; str "xxxxxxxxxxxxxxxx" ];
+                            set "off" (v "off" +% int 65536) ]))));
+            sys "print" [ str "memhog ready\n" ];
+            sys "pause" [];
+            sys "exit" [ int 0 ] ]))
+
+(* Utility startup cost: dynamic linking + libc init, ~100k units. *)
+let startup_work = 100_000
+
+let echo =
+  prog ~name:"/bin/echo"
+    (seq
+       [ spin (int startup_work);
+         (* writes to fd 1 so pipelines can redirect it *)
+         foreach "w" (v "argv") (sys "write" [ int 1; v "w" ^% str " " ]);
+         sys "write" [ int 1; str "\n" ];
+         sys "exit" [ int 0 ] ])
+
+let date =
+  prog ~name:"/bin/date"
+    (seq
+       [ spin (int startup_work);
+         let_ "t" (sys "gettimeofday" []) (sys "write" [ int 1; str_of_int (v "t") ^% str "\n" ]);
+         sys "exit" [ int 0 ] ])
+
+let cat =
+  prog ~name:"/bin/cat"
+    ~funcs:
+      [ func "pump" [ "infd" ]
+          (let_ "chunk" (sys "read" [ v "infd"; int 65536 ])
+             (while_
+                (len (v "chunk") >% int 0)
+                (seq
+                   [ sys "write" [ int 1; v "chunk" ];
+                     set "chunk" (sys "read" [ v "infd"; int 65536 ]) ]))) ]
+    (seq
+       [ spin (int startup_work);
+         when_ (is_empty (v "argv")) (call "pump" [ int 0 ]);
+         foreach "path" (v "argv")
+           (let_ "fd"
+              (sys "open" [ v "path"; str "r" ])
+              (if_ (v "fd" <% int 0)
+                 (sys "print" [ str "cat: cannot open " ^% v "path" ^% str "\n" ])
+                 (seq
+                    [ let_ "chunk" (sys "read" [ v "fd"; int 65536 ])
+                        (while_
+                           (len (v "chunk") >% int 0)
+                           (seq
+                              [ sys "write" [ int 1; v "chunk" ];
+                                set "chunk" (sys "read" [ v "fd"; int 65536 ]) ]));
+                      sys "close" [ v "fd" ] ])));
+         sys "exit" [ int 0 ] ])
+
+let ls =
+  prog ~name:"/bin/ls"
+    (seq
+       [ spin (int startup_work);
+         let_ "dir"
+           (if_ (is_empty (v "argv")) (str "/") (head (v "argv")))
+           (let_ "names"
+              (sys "readdir" [ v "dir" ])
+              (* fd 1, so pipelines can consume the listing *)
+              (foreach "n" (v "names") (sys "write" [ int 1; v "n" ^% str "\n" ])));
+         sys "exit" [ int 0 ] ])
+
+let cp =
+  prog ~name:"/bin/cp"
+    (seq
+       [ spin (int startup_work);
+         let_ "srcfd"
+           (sys "open" [ nth (v "argv") (int 0); str "r" ])
+           (let_ "dstfd"
+              (sys "open" [ nth (v "argv") (int 1); str "w" ])
+              (seq
+                 [ let_ "chunk" (sys "read" [ v "srcfd"; int 65536 ])
+                     (while_
+                        (len (v "chunk") >% int 0)
+                        (seq
+                           [ sys "write" [ v "dstfd"; v "chunk" ];
+                             set "chunk" (sys "read" [ v "srcfd"; int 65536 ]) ]));
+                   sys "close" [ v "srcfd" ];
+                   sys "close" [ v "dstfd" ] ]));
+         sys "exit" [ int 0 ] ])
+
+let rm =
+  prog ~name:"/bin/rm"
+    (seq
+       [ spin (int startup_work);
+         foreach "path" (v "argv") (sys "unlink" [ v "path" ]);
+         sys "exit" [ int 0 ] ])
+
+(* A background worker for the unixbench-style spawner: compute plus a
+   syscall-heavy loop (unixbench's tasks are dominated by syscall
+   throughput, which is where the libOS pays). *)
+let busywork =
+  prog ~name:"/bin/busywork"
+    (seq
+       [ Memmodel.dirty (256 * 1024);
+         spin (int 1_500_000);
+         let_ "i" (int 0)
+           (while_ (v "i" <% int 2000)
+              (seq
+                 [ sys "access" [ str "/tmp/f.txt" ];
+                   let_ "fd" (sys "open" [ str "/tmp/f.txt"; str "r" ]) (sys "close" [ v "fd" ]);
+                   set "i" (v "i" +% int 1) ]));
+         let_ "fd"
+           (sys "open" [ str "/tmp/busy.out"; str "w" ])
+           (seq [ sys "write" [ v "fd"; repeat (str "x") (int 512) ]; sys "close" [ v "fd" ] ]);
+         sys "exit" [ int 0 ] ])
+
+(* Print stdin lines with a field starting with the pattern — a
+   practical grep with the available string primitives. *)
+let grep =
+  prog ~name:"/bin/grep"
+    ~funcs:
+      [ (* a line matches if any " "-separated field starts with the
+           pattern — a practical approximation with the available
+           string primitives *)
+        func "field_match" [ "fields"; "pat" ]
+          (match_list (v "fields") ~nil:(bool false)
+             ~cons:
+               ( "h",
+                 "t",
+                 starts_with (v "h") (v "pat") ||% call "field_match" [ v "t"; v "pat" ] )) ]
+    (let_ "pat"
+       (head (v "argv"))
+       (let_ "acc" (str "")
+          (seq
+             [ let_ "chunk" (sys "read" [ int 0; int 65536 ])
+                 (while_
+                    (len (v "chunk") >% int 0)
+                    (seq
+                       [ set "acc" (v "acc" ^% v "chunk");
+                         set "chunk" (sys "read" [ int 0; int 65536 ]) ]));
+               foreach "line"
+                 (split (v "acc") (str "\n"))
+                 (when_
+                    (call "field_match" [ split (v "line") (str " "); v "pat" ])
+                    (sys "write" [ int 1; v "line" ^% str "\n" ]));
+               sys "exit" [ int 0 ] ])))
+
+(* Print the first N (argv0, default 5) lines of stdin. *)
+let head_bin =
+  prog ~name:"/bin/head"
+    (let_ "n"
+       (if_ (is_empty (v "argv")) (int 5) (int_of_str (head (v "argv"))))
+       (let_ "acc" (str "")
+          (seq
+             [ let_ "chunk" (sys "read" [ int 0; int 65536 ])
+                 (while_
+                    (len (v "chunk") >% int 0)
+                    (seq
+                       [ set "acc" (v "acc" ^% v "chunk");
+                         set "chunk" (sys "read" [ int 0; int 65536 ]) ]));
+               let_ "i" (int 0)
+                 (foreach "line"
+                    (split (v "acc") (str "\n"))
+                    (when_ (v "i" <% v "n")
+                       (seq
+                          [ sys "write" [ int 1; v "line" ^% str "\n" ];
+                            set "i" (v "i" +% int 1) ])));
+               sys "exit" [ int 0 ] ])))
+
+(* Count words and bytes on stdin — the classic pipeline sink. *)
+let wc =
+  prog ~name:"/bin/wc"
+    ~funcs:
+      [ func "nonempty" [ "l" ]
+          (match_list (v "l") ~nil:(list_ [])
+             ~cons:
+               ( "h",
+                 "t",
+                 if_ (v "h" =% str "")
+                   (call "nonempty" [ v "t" ])
+                   (cons (v "h") (call "nonempty" [ v "t" ])) )) ]
+    (seq
+       [ spin (int startup_work);
+         let_ "acc" (str "")
+           (seq
+              [ let_ "chunk" (sys "read" [ int 0; int 65536 ])
+                  (while_
+                     (len (v "chunk") >% int 0)
+                     (seq
+                        [ set "acc" (v "acc" ^% v "chunk");
+                          set "chunk" (sys "read" [ int 0; int 65536 ]) ]));
+                let_ "words"
+                  (let_ "count" (int 0)
+                     (seq
+                        [ foreach "line"
+                            (split (v "acc") (str "\n"))
+                            (set "count"
+                               (v "count" +% len (call "nonempty" [ split (v "line") (str " ") ])));
+                          v "count" ]))
+                  (sys "print"
+                     [ str_of_int (v "words"); str " "; str_of_int (len (v "acc")); str "\n" ]) ]);
+         sys "exit" [ int 0 ] ])
+
+let all =
+  [ ("/bin/hello", hello); ("/bin/memhog", memhog); ("/bin/echo", echo); ("/bin/wc", wc);
+    ("/bin/grep", grep); ("/bin/head", head_bin);
+    ("/bin/date", date); ("/bin/cat", cat); ("/bin/ls", ls); ("/bin/cp", cp);
+    ("/bin/rm", rm); ("/bin/busywork", busywork) ]

@@ -1,0 +1,152 @@
+(** /bin/cc and /bin/make — the gcc/make workloads of Table 5.
+
+    A "source file" begins with a [WORK <units> PROBES <n>] header: the
+    compiler spins [units] of CPU work (the parse/optimize/codegen
+    time) and performs [n] include-path probes (access on header
+    paths), which is where the reference monitor's path checks bite.
+    make reads a manifest of [src obj] lines and keeps up to [-j]
+    compilers running, exactly like the paper's make -j4 runs. *)
+
+open Graphene_guest.Builder
+module Vfs = Graphene_host.Vfs
+
+let read_all_func =
+  func "read_all" [ "fd" ]
+    (let_ "acc" (str "")
+       (seq
+          [ let_ "chunk" (sys "read" [ v "fd"; int 65536 ])
+              (while_
+                 (len (v "chunk") >% int 0)
+                 (seq
+                    [ set "acc" (v "acc" ^% v "chunk");
+                      set "chunk" (sys "read" [ v "fd"; int 65536 ]) ]));
+            v "acc" ]))
+
+let nonempty_func =
+  func "nonempty" [ "l" ]
+    (match_list (v "l") ~nil:(list_ [])
+       ~cons:
+         ( "h",
+           "t",
+           if_ (v "h" =% str "")
+             (call "nonempty" [ v "t" ])
+             (cons (v "h") (call "nonempty" [ v "t" ])) ))
+
+let cc =
+  (* include-path search: access() probes over the header directories *)
+  let probe_loop =
+    let_ "i" (int 0)
+      (while_
+         (v "i" <% v "probes")
+         (seq
+            [ sys "access" [ str "/usr/include/h" ^% str_of_int (v "i" %% int 64) ^% str ".h" ];
+              set "i" (v "i" +% int 1) ]))
+  in
+  let emit_object =
+    let_ "ofd"
+      (sys "open" [ v "out"; str "w" ])
+      (seq [ sys "write" [ v "ofd"; str "OBJ " ^% v "src" ]; sys "close" [ v "ofd" ] ])
+  in
+  let compile =
+    let_ "header"
+      (split (head (split (v "text") (str "\n"))) (str " "))
+      (let_ "units"
+         (int_of_str (nth (v "header") (int 1)))
+         (let_ "probes"
+            (int_of_str (nth (v "header") (int 3)))
+            (seq
+               [ probe_loop;
+                 (* the compiler's IR and symbol tables *)
+                 Memmodel.dirty (5_000 * 1024);
+                 spin (v "units");
+                 emit_object;
+                 sys "exit" [ int 0 ] ])))
+  in
+  let body =
+    let_ "src" (nth (v "argv") (int 0))
+      (let_ "out" (nth (v "argv") (int 1))
+         (let_ "fd"
+            (sys "open" [ v "src"; str "r" ])
+            (if_ (v "fd" <% int 0)
+               (seq [ sys "print" [ str "cc: no such file\n" ]; sys "exit" [ int 1 ] ])
+               (let_ "text" (call "read_all" [ v "fd" ]) (seq [ sys "close" [ v "fd" ]; compile ])))))
+  in
+  prog ~name:"/bin/cc" ~funcs:[ read_all_func ] body
+
+let make =
+  let spawn_one =
+    let_ "words"
+      (call "nonempty" [ split (head (v "remaining")) (str " ") ])
+      (seq
+         [ set "remaining" (tail (v "remaining"));
+           let_ "pid" (sys "fork" [])
+             (if_ (v "pid" =% int 0)
+                (seq [ sys "execve" [ str "/bin/cc"; v "words" ]; sys "exit" [ int 127 ] ])
+                (set "running" (v "running" +% int 1))) ])
+  in
+  let reap_one = seq [ sys "wait" []; set "running" (v "running" -% int 1) ] in
+  let job_loop =
+    let_ "running" (int 0)
+      (while_
+         (not_ (is_empty (v "remaining")) ||% (v "running" >% int 0))
+         (if_
+            (not_ (is_empty (v "remaining")) &&% (v "running" <% v "jobs_limit"))
+            spawn_one reap_one))
+  in
+  let body =
+    let_ "manifest" (nth (v "argv") (int 0))
+      (let_ "jobs_limit"
+         (int_of_str (nth (v "argv") (int 1)))
+         (let_ "fd"
+            (sys "open" [ v "manifest"; str "r" ])
+            (let_ "lines"
+               (call "nonempty" [ split (call "read_all" [ v "fd" ]) (str "\n") ])
+               (seq
+                  [ sys "close" [ v "fd" ];
+                    let_ "remaining" (v "lines") job_loop;
+                    (* link step *)
+                    spin (int 2_000_000);
+                    sys "exit" [ int 0 ] ]))))
+  in
+  prog ~name:"/bin/make" ~funcs:[ read_all_func; nonempty_func ] body
+
+(* {1 Workload definitions (Table 5 parameters)} *)
+
+type workload = {
+  w_name : string;
+  files : int;
+  units_per_file : int;  (** interpreter compute units; 1 unit = 2 ns *)
+  probes_per_file : int;  (** include-path probes, the RM-sensitive part *)
+}
+
+(* Calibrated against the Linux column: the total virtual time of the
+   sequential native build matches the paper's measurement. *)
+let bzip2 = { w_name = "bzip2"; files = 13; units_per_file = 96_000_000; probes_per_file = 2_400 }
+
+let liblinux =
+  { w_name = "libLinux"; files = 78; units_per_file = 44_500_000; probes_per_file = 3_400 }
+
+let gcc_single =
+  { w_name = "gcc"; files = 1; units_per_file = 12_200_000_000; probes_per_file = 330_000 }
+
+(* A tiny build for tests: finishes in microseconds of virtual time. *)
+let tiny = { w_name = "tiny"; files = 3; units_per_file = 10_000; probes_per_file = 8 }
+
+(* Install a synthetic source tree and its make manifest; returns the
+   manifest path. *)
+let install_tree fs w =
+  let dir = "/src/" ^ w.w_name in
+  Vfs.mkdir_p fs dir;
+  let manifest = Buffer.create 256 in
+  for i = 1 to w.files do
+    let src = Printf.sprintf "%s/f%d.c" dir i in
+    let body =
+      Printf.sprintf "WORK %d PROBES %d\n%s" w.units_per_file w.probes_per_file
+        (String.make 200 '/')
+    in
+    Vfs.write_string fs src body;
+    Buffer.add_string manifest (Printf.sprintf "%s %s/f%d.o\n" src dir i)
+  done;
+  let mpath = dir ^ "/make.manifest" in
+  Vfs.write_string fs mpath (Buffer.contents manifest);
+  mpath

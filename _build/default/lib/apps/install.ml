@@ -1,0 +1,29 @@
+(** Populate a host file system with every guest binary and the fixture
+    files the benchmarks expect — the moral equivalent of building the
+    chroot image the paper's manifests describe. *)
+
+module Vfs = Graphene_host.Vfs
+module Loader = Graphene_liblinux.Loader
+
+let binaries =
+  Binaries.all
+  @ [ ("/bin/sh", Shell.sh); ("/bin/cc", Compile.cc); ("/bin/make", Compile.make);
+      ("/bin/lighttpd", Web.lighttpd); ("/bin/apache", Web.apache) ]
+  @ Lmbench.all @ Sysv.all
+
+let fixtures fs =
+  Vfs.mkdir_p fs "/tmp";
+  Vfs.mkdir_p fs "/var/graphene/msgq";
+  Vfs.write_string fs "/tmp/f.txt" (String.make 1024 'f');
+  Vfs.write_string fs "/f.bench" "bench fixture";
+  Vfs.mkdir_p fs "/usr/include";
+  for i = 0 to 63 do
+    Vfs.write_string fs (Printf.sprintf "/usr/include/h%d.h" i) "#pragma once\n"
+  done;
+  Web.install_docroot fs
+
+let all fs =
+  List.iter (fun (path, prog) -> Loader.install fs ~path prog) binaries;
+  fixtures fs
+
+let script fs ~path ~contents = Vfs.write_string fs path contents

@@ -1,0 +1,187 @@
+(** The LMbench-style microbenchmark programs of Table 6.
+
+    Each program takes the iteration count in [argv], runs an empty
+    calibration loop and then the operation loop, and prints virtual
+    timestamps as [MARK <label> <ns>] console lines; the harness
+    subtracts the calibration loop and divides by the iterations
+    ({!Marks}). *)
+
+open Graphene_guest.Builder
+
+let mark label =
+  sys "print" [ str ("MARK " ^ label ^ " ") ^% str_of_int (sys "gettimeofday" []) ^% str "\n" ]
+
+let count_loop body =
+  let_ "i" (int 0) (while_ (v "i" <% v "iters") (seq [ body; set "i" (v "i" +% int 1) ]))
+
+(* A standard timed harness: MARK cal0/cal1 bracket the empty loop,
+   MARK op0/op1 the operation loop. [wrap] installs setup bindings
+   visible to [body]. *)
+let timed ~name ?(funcs = []) ?(wrap = fun e -> e) body =
+  prog ~name ~funcs
+    (let_ "iters"
+       (int_of_str (head (v "argv")))
+       (wrap
+          (seq
+             [ mark "cal0";
+               count_loop unit;
+               mark "cal1";
+               mark "op0";
+               count_loop body;
+               mark "op1";
+               sys "exit" [ int 0 ] ])))
+
+let true_bin = prog ~name:"/bin/true" (sys "exit" [ int 0 ])
+
+let lat_syscall = timed ~name:"/bin/lat_syscall" (sys "getppid" [])
+
+let lat_read =
+  timed ~name:"/bin/lat_read"
+    ~wrap:(fun e -> let_ "fd" (sys "open" [ str "/dev/zero"; str "r" ]) e)
+    (sys "read" [ v "fd"; int 1 ])
+
+let lat_write =
+  timed ~name:"/bin/lat_write"
+    ~wrap:(fun e -> let_ "fd" (sys "open" [ str "/dev/null"; str "w" ]) e)
+    (sys "write" [ v "fd"; str "x" ])
+
+let lat_openclose =
+  timed ~name:"/bin/lat_openclose"
+    (let_ "fd" (sys "open" [ str "/f.bench"; str "r" ]) (sys "close" [ v "fd" ]))
+
+(* select over 10 TCP fds, one of which (a pipe end) is always ready,
+   so the wait returns immediately like lmbench's lat_select. *)
+let lat_select =
+  let setup e =
+    let_ "lfd"
+      (sys "listen_tcp" [ int 7070 ])
+      (let_ "fds"
+         (let_ "acc" (list_ [])
+            (seq
+               [ let_ "j" (int 0)
+                   (while_
+                      (v "j" <% int 10)
+                      (seq
+                         [ set "acc" (cons (sys "connect_tcp" [ int 7070 ]) (v "acc"));
+                           set "j" (v "j" +% int 1) ]));
+                 v "acc" ]))
+         (let_ "p"
+            (sys "pipe" [])
+            (seq
+               [ sys "write" [ snd_ (v "p"); str "x" ];
+                 let_ "ready_fds" (cons (fst_ (v "p")) (v "fds")) e ])))
+  in
+  timed ~name:"/bin/lat_select" ~wrap:setup (sys "select" [ v "ready_fds" ])
+
+let lat_sig_install =
+  timed ~name:"/bin/lat_sig_install"
+    ~funcs:[ func "handler" [ "sig" ] unit ]
+    (sys "sigaction" [ int 12; str "handler" ])
+
+let lat_sig_self =
+  timed ~name:"/bin/lat_sig_self"
+    ~funcs:[ func "handler" [ "sig" ] unit ]
+    ~wrap:(fun e -> seq [ sys "sigaction" [ int 10; str "handler" ]; e ])
+    (let_ "me" (sys "getpid" []) (sys "kill" [ v "me"; int 10 ]))
+
+(* AF_UNIX-style ping-pong: the parent times round trips against a
+   forked child over a local socket. *)
+let lat_af_unix =
+  let child_loop =
+    let_ "cfd"
+      (sys "connect_tcp" [ int 7071 ])
+      (seq
+         [ let_ "j" (int 0)
+             (while_
+                (v "j" <% v "iters")
+                (seq
+                   [ sys "read" [ v "cfd"; int 1 ];
+                     sys "write" [ v "cfd"; str "y" ];
+                     set "j" (v "j" +% int 1) ]));
+           sys "exit" [ int 0 ] ])
+  in
+  let parent_loop =
+    let_ "afd"
+      (sys "accept" [ v "lfd" ])
+      (seq
+         [ mark "op0";
+           let_ "j" (int 0)
+             (while_
+                (v "j" <% v "iters")
+                (seq
+                   [ sys "write" [ v "afd"; str "x" ];
+                     sys "read" [ v "afd"; int 1 ];
+                     set "j" (v "j" +% int 1) ]));
+           mark "op1";
+           sys "wait" [];
+           sys "exit" [ int 0 ] ])
+  in
+  prog ~name:"/bin/lat_af_unix"
+    (let_ "iters"
+       (int_of_str (head (v "argv")))
+       (let_ "lfd"
+          (sys "listen_tcp" [ int 7071 ])
+          (seq
+             [ mark "cal0";
+               count_loop unit;
+               mark "cal1";
+               let_ "pid" (sys "fork" []) (if_ (v "pid" =% int 0) child_loop parent_loop) ])))
+
+let lat_fork_exit =
+  timed ~name:"/bin/lat_fork_exit"
+    (let_ "pid" (sys "fork" [])
+       (if_ (v "pid" =% int 0) (sys "exit" [ int 0 ]) (sys "waitpid" [ v "pid" ])))
+
+let lat_fork_exec =
+  timed ~name:"/bin/lat_fork_exec"
+    (let_ "pid" (sys "fork" [])
+       (if_ (v "pid" =% int 0)
+          (seq [ sys "execve" [ str "/bin/true"; list_ [] ]; sys "exit" [ int 127 ] ])
+          (sys "waitpid" [ v "pid" ])))
+
+let lat_fork_sh =
+  timed ~name:"/bin/lat_fork_sh"
+    (let_ "pid" (sys "fork" [])
+       (if_ (v "pid" =% int 0)
+          (seq
+             [ sys "execve" [ str "/bin/sh"; list_ [ str "-c"; str "true" ] ];
+               sys "exit" [ int 127 ] ])
+          (sys "waitpid" [ v "pid" ])))
+
+let all =
+  [ ("/bin/true", true_bin); ("/bin/lat_syscall", lat_syscall);
+    ("/bin/lat_read", lat_read); ("/bin/lat_write", lat_write);
+    ("/bin/lat_openclose", lat_openclose); ("/bin/lat_select", lat_select);
+    ("/bin/lat_sig_install", lat_sig_install); ("/bin/lat_sig_self", lat_sig_self);
+    ("/bin/lat_af_unix", lat_af_unix); ("/bin/lat_fork_exit", lat_fork_exit);
+    ("/bin/lat_fork_exec", lat_fork_exec); ("/bin/lat_fork_sh", lat_fork_sh) ]
+
+(* {1 Mark parsing (harness side)} *)
+
+module Marks = struct
+  (* Parse "MARK <label> <ns>" lines out of a console dump. *)
+  let parse console =
+    String.split_on_char '\n' console
+    |> List.filter_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ "MARK"; label; ns ] -> (
+             match int_of_string_opt ns with Some t -> Some (label, t) | None -> None)
+           | _ -> None)
+
+  let find marks label = List.assoc_opt label marks
+
+  (* Per-operation latency in ns: (op loop - calibration loop) / iters. *)
+  let per_op console ~iters =
+    let marks = parse console in
+    match (find marks "cal0", find marks "cal1", find marks "op0", find marks "op1") with
+    | Some c0, Some c1, Some o0, Some o1 ->
+      Some (float_of_int (o1 - o0 - (c1 - c0)) /. float_of_int iters)
+    | _ -> None
+
+  (* A bare interval measured by two labels. *)
+  let interval console ~start ~stop ~iters =
+    let marks = parse console in
+    match (find marks start, find marks stop) with
+    | Some t0, Some t1 -> Some (float_of_int (t1 - t0) /. float_of_int iters)
+    | _ -> None
+end

@@ -1,0 +1,204 @@
+(** /bin/sh — the shell.
+
+    Runs a script file (or [-c "command"]). Supported: one command per
+    line, resolved against /bin unless absolute; [&] suffix runs the
+    command in the background; [wait] reaps every outstanding
+    background job; [cd]; [#] comments; [left | right] pipelines; and
+    [> file], [>> file], [< file] redirections on simple commands
+    (space-separated tokens, applied in the child with dup2, exactly
+    like a real shell). Commands are fork+exec'd and reaped with
+    waitpid — the workload mix of the paper's Bash benchmarks (§6.3).
+
+    Also provides script generators for the two Bash rows of Table 5:
+    the six-utility loop and the spawn-everything unixbench-style
+    stress. *)
+
+open Graphene_guest.Builder
+
+let funcs =
+  [ (* drop empty fields produced by repeated spaces *)
+    func "nonempty" [ "l" ]
+      (match_list (v "l") ~nil:(list_ [])
+         ~cons:
+           ( "h",
+             "t",
+             if_ (v "h" =% str "")
+               (call "nonempty" [ v "t" ])
+               (cons (v "h") (call "nonempty" [ v "t" ])) ));
+    func "butlast" [ "l" ]
+      (match_list (v "l") ~nil:(list_ [])
+         ~cons:("h", "t", if_ (is_empty (v "t")) (list_ []) (cons (v "h") (call "butlast" [ v "t" ]))));
+    func "last_word" [ "l" ]
+      (match_list (v "l") ~nil:(str "")
+         ~cons:("h", "t", if_ (is_empty (v "t")) (v "h") (call "last_word" [ v "t" ])));
+    func "resolve" [ "cmd" ]
+      (if_ (starts_with (v "cmd") (str "/")) (v "cmd") (str "/bin/" ^% v "cmd"));
+    (* the filename following redirection token [tok], or "" *)
+    func "redir_file" [ "l"; "tok" ]
+      (match_list (v "l") ~nil:(str "")
+         ~cons:
+           ( "h",
+             "t",
+             if_ (v "h" =% v "tok")
+               (if_ (is_empty (v "t")) (str "") (head (v "t")))
+               (call "redir_file" [ v "t"; v "tok" ]) ));
+    (* argv with every redirection operator and its filename removed *)
+    func "strip_redirs" [ "l" ]
+      (match_list (v "l") ~nil:(list_ [])
+         ~cons:
+           ( "h",
+             "t",
+             if_ ((v "h" =% str ">") ||% (v "h" =% str ">>") ||% (v "h" =% str "<"))
+               (call "strip_redirs" [ if_ (is_empty (v "t")) (v "t") (tail (v "t")) ])
+               (cons (v "h") (call "strip_redirs" [ v "t" ])) ));
+    (* child-side: open each redirection target and dup2 it onto stdio *)
+    func "apply_redirs" [ "words" ]
+      (seq
+         [ let_ "f"
+             (call "redir_file" [ v "words"; str ">" ])
+             (when_
+                (not_ (v "f" =% str ""))
+                (let_ "fd"
+                   (sys "open" [ v "f"; str "w" ])
+                   (seq [ sys "dup2" [ v "fd"; int 1 ]; sys "close" [ v "fd" ] ])));
+           let_ "f"
+             (call "redir_file" [ v "words"; str ">>" ])
+             (when_
+                (not_ (v "f" =% str ""))
+                (let_ "fd"
+                   (sys "open" [ v "f"; str "a" ])
+                   (seq [ sys "dup2" [ v "fd"; int 1 ]; sys "close" [ v "fd" ] ])));
+           let_ "f"
+             (call "redir_file" [ v "words"; str "<" ])
+             (when_
+                (not_ (v "f" =% str ""))
+                (let_ "fd"
+                   (sys "open" [ v "f"; str "r" ])
+                   (seq [ sys "dup2" [ v "fd"; int 0 ]; sys "close" [ v "fd" ] ]))) ]);
+    (* run one command line; returns 1 if it became a background job *)
+    func "run_words" [ "words" ]
+      (let_ "cmd"
+         (call "resolve" [ head (v "words") ])
+         (let_ "bg"
+            (call "last_word" [ v "words" ] =% str "&")
+            (let_ "args"
+               (if_ (v "bg") (call "butlast" [ tail (v "words") ]) (tail (v "words")))
+               (let_ "pid" (sys "fork" [])
+                  (if_ (v "pid" =% int 0)
+                     (seq
+                        [ call "apply_redirs" [ v "args" ];
+                          sys "execve" [ v "cmd"; call "strip_redirs" [ v "args" ] ];
+                          sys "exit" [ int 127 ] ])
+                     (if_ (v "bg") (int 1) (seq [ sys "waitpid" [ v "pid" ]; int 0 ])))))));
+    func "before_pipe" [ "l" ]
+      (match_list (v "l") ~nil:(list_ [])
+         ~cons:
+           ("h", "t", if_ (v "h" =% str "|") (list_ []) (cons (v "h") (call "before_pipe" [ v "t" ]))));
+    func "after_pipe" [ "l" ]
+      (match_list (v "l") ~nil:(list_ [])
+         ~cons:("h", "t", if_ (v "h" =% str "|") (v "t") (call "after_pipe" [ v "t" ])));
+    func "has_pipe" [ "l" ]
+      (match_list (v "l") ~nil:(bool false)
+         ~cons:("h", "t", (v "h" =% str "|") ||% call "has_pipe" [ v "t" ]));
+    (* [left | right]: wire a pipe across two children's stdio with
+       dup2, exec both, reap both *)
+    func "run_pipeline" [ "left"; "right" ]
+      (let_ "pp" (sys "pipe" [])
+         (let_ "a" (sys "fork" [])
+            (if_ (v "a" =% int 0)
+               (seq
+                  [ sys "dup2" [ snd_ (v "pp"); int 1 ];
+                    sys "close" [ snd_ (v "pp") ];
+                    sys "close" [ fst_ (v "pp") ];
+                    sys "execve" [ call "resolve" [ head (v "left") ]; tail (v "left") ];
+                    sys "exit" [ int 127 ] ])
+               (let_ "b" (sys "fork" [])
+                  (if_ (v "b" =% int 0)
+                     (seq
+                        [ sys "dup2" [ fst_ (v "pp"); int 0 ];
+                          sys "close" [ fst_ (v "pp") ];
+                          sys "close" [ snd_ (v "pp") ];
+                          sys "execve" [ call "resolve" [ head (v "right") ]; tail (v "right") ];
+                          sys "exit" [ int 127 ] ])
+                     (seq
+                        [ sys "close" [ fst_ (v "pp") ];
+                          sys "close" [ snd_ (v "pp") ];
+                          sys "waitpid" [ v "a" ];
+                          sys "waitpid" [ v "b" ];
+                          int 0 ]))))));
+    func "run_line" [ "line" ]
+      (let_ "words"
+         (call "nonempty" [ split (v "line") (str " ") ])
+         (if_ (is_empty (v "words"))
+            (int 0)
+            (let_ "h" (head (v "words"))
+               (if_ (starts_with (v "h") (str "#"))
+                  (int 0)
+                  (if_ (v "h" =% str "cd")
+                     (seq [ sys "chdir" [ nth (v "words") (int 1) ]; int 0 ])
+                     (if_ (call "has_pipe" [ v "words" ])
+                        (call "run_pipeline"
+                           [ call "before_pipe" [ v "words" ]; call "after_pipe" [ v "words" ] ])
+                        (call "run_words" [ v "words" ]))))))) ]
+
+(* "-c" mode test; And short-circuits, so head is safe *)
+let is_dash_c = not_ (is_empty (v "argv")) &&% (head (v "argv") =% str "-c")
+
+let sh =
+  prog ~name:"/bin/sh" ~funcs
+    (let_ "lines"
+       (if_ is_dash_c
+          (list_ [ nth (v "argv") (int 1) ])
+          (let_ "fd"
+             (sys "open" [ head (v "argv"); str "r" ])
+             (let_ "text"
+                (let_ "acc" (str "")
+                   (seq
+                      [ let_ "chunk" (sys "read" [ v "fd"; int 65536 ])
+                          (while_
+                             (len (v "chunk") >% int 0)
+                             (seq
+                                [ set "acc" (v "acc" ^% v "chunk");
+                                  set "chunk" (sys "read" [ v "fd"; int 65536 ]) ]));
+                        v "acc" ]))
+                (seq [ sys "close" [ v "fd" ]; split (v "text") (str "\n") ]))))
+       (let_ "jobs" (int 0)
+          (seq
+             [ foreach "line" (v "lines")
+                 (let_ "got"
+                    (if_ (v "line" =% str "wait")
+                       (seq
+                          [ while_ (v "jobs" >% int 0)
+                              (seq [ sys "wait" []; set "jobs" (v "jobs" -% int 1) ]);
+                            int 0 ])
+                       (call "run_line" [ v "line" ]))
+                    (set "jobs" (v "jobs" +% v "got")));
+               while_ (v "jobs" >% int 0) (seq [ sys "wait" []; set "jobs" (v "jobs" -% int 1) ]);
+               sys "exit" [ int 0 ] ])))
+
+(* {1 Script generators} *)
+
+(* The "Unix utils" benchmark: N iterations of the six common commands
+   (cp, rm, ls, cat, date, and echo). *)
+let utils_script ~iterations =
+  let buf = Buffer.create (iterations * 96) in
+  for _ = 1 to iterations do
+    Buffer.add_string buf "cp /tmp/f.txt /tmp/g.txt\n";
+    Buffer.add_string buf "rm /tmp/g.txt\n";
+    Buffer.add_string buf "ls /tmp\n";
+    Buffer.add_string buf "cat /tmp/f.txt\n";
+    Buffer.add_string buf "date\n";
+    Buffer.add_string buf "echo hello world\n"
+  done;
+  Buffer.contents buf
+
+(* The unixbench-style stress: spawn all tasks in the background, then
+   wait for them all (paper §6.2: "Unixbench simply spawns all of the
+   tasks in the background rather than executing them sequentially"). *)
+let unixbench_script ~tasks =
+  let buf = Buffer.create (tasks * 16) in
+  for _ = 1 to tasks do
+    Buffer.add_string buf "busywork &\n"
+  done;
+  Buffer.add_string buf "wait\n";
+  Buffer.contents buf

@@ -1,0 +1,120 @@
+(** The System V message-queue microbenchmarks of Table 7.
+
+    Three programs cover the three columns:
+
+    - [inproc]: every operation inside one picoprocess (the leader).
+    - [interproc]: a forked child operates on a queue the parent owns —
+      lookups go to the leader by RPC, sends are asynchronous, and the
+      receive loop triggers the ownership-migration optimization.
+    - [persistent]: a first child creates queues, fills them and exits
+      (contents serialize to disk); a second, non-concurrent child then
+      looks them up and drains them.
+
+    All timing is reported through MARK console lines (see
+    {!Lmbench.Marks}). *)
+
+open Graphene_guest.Builder
+
+let mark = Lmbench.mark
+
+let count_loop body =
+  let_ "i" (int 0) (while_ (v "i" <% v "iters") (seq [ body; set "i" (v "i" +% int 1) ]))
+
+let phase label body = seq [ mark (label ^ "0"); count_loop body; mark (label ^ "1") ]
+
+let key_base = 700
+
+let inproc =
+  prog ~name:"/bin/sysv_inproc"
+    (let_ "iters"
+       (int_of_str (head (v "argv")))
+       (seq
+          [ mark "cal0";
+            count_loop unit;
+            mark "cal1";
+            (* each creation uses a fresh key *)
+            phase "create" (sys "msgget" [ int key_base +% v "i"; int 1 ]);
+            let_ "id"
+              (sys "msgget" [ int key_base; int 0 ])
+              (seq
+                 [ phase "lookup" (sys "msgget" [ int key_base; int 0 ]);
+                   phase "snd" (sys "msgsnd" [ v "id"; str "x" ]);
+                   phase "rcv" (sys "msgrcv" [ v "id" ]) ]);
+            sys "exit" [ int 0 ] ]))
+
+let interproc =
+  let child =
+    seq
+      [ phase "lookup" (sys "msgget" [ int 500; int 0 ]);
+        phase "snd" (sys "msgsnd" [ v "id"; str "x" ]);
+        (* drains the messages both sides enqueued; the first receive
+           is remote and migrates the queue here *)
+        phase "rcv" (sys "msgrcv" [ v "id" ]);
+        sys "exit" [ int 0 ] ]
+  in
+  let parent =
+    seq
+      [ (* the leader creating queues while another process exists *)
+        phase "create" (sys "msgget" [ int (key_base + 10000) +% v "i"; int 1 ]);
+        let_ "j" (int 0)
+          (while_
+             (v "j" <% v "iters")
+             (seq [ sys "msgsnd" [ v "id"; str "y" ]; set "j" (v "j" +% int 1) ]));
+        sys "wait" [];
+        sys "exit" [ int 0 ] ]
+  in
+  prog ~name:"/bin/sysv_interproc"
+    (let_ "iters"
+       (int_of_str (head (v "argv")))
+       (let_ "id"
+          (sys "msgget" [ int 500; int 1 ])
+          (seq
+             [ mark "cal0";
+               count_loop unit;
+               mark "cal1";
+               let_ "pid" (sys "fork" []) (if_ (v "pid" =% int 0) child parent) ])))
+
+let persistent =
+  (* writer: creates [iters] queues, leaves a message in each, exits —
+     the queues serialize to disk *)
+  let writer =
+    seq
+      [ let_ "j" (int 0)
+          (while_
+             (v "j" <% v "iters")
+             (seq
+                [ let_ "qid"
+                    (sys "msgget" [ int 800 +% v "j"; int 1 ])
+                    (sys "msgsnd" [ v "qid"; str "persisted" ]);
+                  set "j" (v "j" +% int 1) ]));
+        sys "exit" [ int 0 ] ]
+  in
+  (* reader: runs after the writer is gone; every msgget reloads a
+     queue from disk *)
+  let reader =
+    seq
+      [ phase "pget" (sys "msgget" [ int 800 +% v "i"; int 0 ]);
+        let_ "id"
+          (sys "msgget" [ int 800; int 0 ])
+          (seq
+             [ phase "psnd" (sys "msgsnd" [ v "id"; str "x" ]);
+               phase "prcv" (sys "msgrcv" [ v "id" ]) ]);
+        sys "exit" [ int 0 ] ]
+  in
+  prog ~name:"/bin/sysv_persistent"
+    (let_ "iters"
+       (int_of_str (head (v "argv")))
+       (seq
+          [ mark "cal0";
+            count_loop unit;
+            mark "cal1";
+            let_ "pid" (sys "fork" [])
+              (if_ (v "pid" =% int 0) writer
+                 (seq
+                    [ sys "wait" [];
+                      let_ "pid2" (sys "fork" [])
+                        (if_ (v "pid2" =% int 0) reader (seq [ sys "wait" []; sys "exit" [ int 0 ] ])) ])) ]))
+
+let all =
+  [ ("/bin/sysv_inproc", inproc); ("/bin/sysv_interproc", interproc);
+    ("/bin/sysv_persistent", persistent) ]

@@ -1,0 +1,176 @@
+(** The web servers of §6.3: a lighttpd-like threaded server and an
+    Apache-like preforked server whose workers serialize accepts with a
+    System V semaphore (the paper's Apache bottleneck). The Apache
+    binary also has the §6.6 mode in which a worker, after
+    authenticating a user, moves itself into a per-user sandbox with
+    [sandbox_create]. *)
+
+open Graphene_guest.Builder
+
+let docroot = "/www"
+let response_header = "HTTP/1.0 200 OK\r\nServer: guest/1.0\r\nContent-Type: text/html\r\nContent-Length: 100\r\nConnection: close\r\n\r\n"
+let not_found = "HTTP/1.0 404 Not Found\r\nConnection: close\r\n\r\n"
+let request_work = 52_000  (** request parsing + response rendering CPU *)
+
+(* Shared request handler: read the request line, resolve the path
+   under the docroot (a handful of component stats, like lighttpd's
+   path walk), read the file, render, respond, close. *)
+let handle_request_func =
+  func "handle_request" [ "conn" ]
+    (let_ "req"
+       (sys "read" [ v "conn"; int 4096 ])
+       (if_ (len (v "req") =% int 0)
+          (sys "close" [ v "conn" ])
+          (let_ "path"
+             (nth (split (v "req") (str " ")) (int 1))
+             (seq
+                [ (* docroot path walk: per-component stats plus
+                     .htaccess-style checks, like lighttpd's resolver *)
+                  let_ "pc" (int 0)
+                    (while_ (v "pc" <% int 8)
+                       (seq
+                          [ sys "access" [ str (docroot ^ "/htaccess") ];
+                            set "pc" (v "pc" +% int 1) ]));
+                  let_ "fd"
+                    (sys "open" [ str docroot ^% v "path"; str "r" ])
+                    (if_ (v "fd" <% int 0)
+                       (seq
+                          [ sys "write" [ v "conn"; str not_found ];
+                            sys "close" [ v "conn" ] ])
+                       (let_ "content"
+                          (sys "read" [ v "fd"; int 65536 ])
+                          (seq
+                             [ sys "close" [ v "fd" ];
+                               spin (int request_work);
+                               sys "write" [ v "conn"; str response_header ^% v "content" ];
+                               sys "close" [ v "conn" ] ]))) ]))))
+
+(* {1 lighttpd: one process, N threads} *)
+
+let lighttpd =
+  let worker_loop = while_ (bool true) (let_ "conn" (sys "accept" [ v "lfd" ]) (call "handle_request" [ v "conn" ])) in
+  prog ~name:"/bin/lighttpd"
+    ~funcs:
+      [ handle_request_func;
+        func "worker" [ "lfd" ]
+          (while_ (bool true)
+             (let_ "conn" (sys "accept" [ v "lfd" ]) (call "handle_request" [ v "conn" ]))) ]
+    (let_ "port"
+       (int_of_str (nth (v "argv") (int 0)))
+       (let_ "nthreads"
+          (int_of_str (nth (v "argv") (int 1)))
+          (let_ "lfd"
+             (sys "listen_tcp" [ v "port" ])
+             (seq
+                [ (* connection buffers + mmaped caches *)
+                  Memmodel.dirty (4_500 * 1024);
+                  sys "print" [ str "lighttpd ready\n" ];
+                  let_ "i" (int 1)
+                    (while_
+                       (v "i" <% v "nthreads")
+                       (seq
+                          [ sys "clone" [ str "worker"; v "lfd" ];
+                            set "i" (v "i" +% int 1) ]));
+                  worker_loop ]))))
+
+(* {1 Apache: preforked workers + SysV accept semaphore} *)
+
+let apache_sem_key = 4242
+
+let apache =
+  (* worker body: serialize accept with the semaphore, then serve *)
+  let serve_loop =
+    while_ (bool true)
+      (seq
+         [ sys "semop" [ v "sem"; int (-1) ];
+           let_ "conn" (sys "accept" [ v "lfd" ])
+             (seq [ sys "semop" [ v "sem"; int 1 ]; call "handle_request" [ v "conn" ] ]) ])
+  in
+  let sandboxed_serve =
+    (* §6.6: authenticate the first request's user, then confine this
+       worker to that user's subtree before serving anything *)
+    seq
+      [ sys "semop" [ v "sem"; int (-1) ];
+        let_ "conn" (sys "accept" [ v "lfd" ])
+          (seq
+             [ sys "semop" [ v "sem"; int 1 ];
+               let_ "req"
+                 (sys "read" [ v "conn"; int 4096 ])
+                 (let_ "path"
+                    (nth (split (v "req") (str " ")) (int 1))
+                    (let_ "user"
+                       (nth (split (v "path") (str "/")) (int 2))
+                       (seq
+                          [ (* mod_auth_basic accepted the user: drop into a
+                               per-user sandbox *)
+                            sys "sandbox_create" [ list_ [ str (docroot ^ "/users/") ^% v "user" ] ];
+                            let_ "fd"
+                              (sys "open" [ str docroot ^% v "path"; str "r" ])
+                              (if_ (v "fd" <% int 0)
+                                 (seq
+                                    [ sys "write" [ v "conn"; str not_found ];
+                                      sys "close" [ v "conn" ] ])
+                                 (let_ "content"
+                                    (sys "read" [ v "fd"; int 65536 ])
+                                    (seq
+                                       [ sys "close" [ v "fd" ];
+                                         spin (int request_work);
+                                         sys "write"
+                                           [ v "conn"; str response_header ^% v "content" ];
+                                         sys "close" [ v "conn" ] ])));
+                            (* subsequent requests served inside the sandbox *)
+                            call "worker_rest" [ v "lfd"; v "sem" ] ])))]) ]
+  in
+  prog ~name:"/bin/apache"
+    ~funcs:
+      [ handle_request_func;
+        func "worker_rest" [ "lfd"; "sem" ]
+          (while_ (bool true)
+             (seq
+                [ sys "semop" [ v "sem"; int (-1) ];
+                  let_ "conn" (sys "accept" [ v "lfd" ])
+                    (seq [ sys "semop" [ v "sem"; int 1 ]; call "handle_request" [ v "conn" ] ]) ])) ]
+    (let_ "port"
+       (int_of_str (nth (v "argv") (int 0)))
+       (let_ "nworkers"
+          (int_of_str (nth (v "argv") (int 1)))
+          (let_ "mode"
+             (nth (v "argv") (int 2))
+             (let_ "lfd"
+                (sys "listen_tcp" [ v "port" ])
+                (let_ "sem"
+                   (sys "semget" [ int apache_sem_key; int 1 ])
+                   (seq
+                      [ (* the master's own pools *)
+                        Memmodel.dirty (1_000 * 1024);
+                        sys "print" [ str "apache ready\n" ];
+                        let_ "i" (int 0)
+                          (while_
+                             (v "i" <% v "nworkers")
+                             (seq
+                                [ let_ "pid" (sys "fork" [])
+                                    (when_ (v "pid" =% int 0)
+                                       (seq
+                                          [ (* per-child pools *)
+                                            Memmodel.dirty (2_100 * 1024);
+                                            (if_ (v "mode" =% str "sandbox") sandboxed_serve
+                                               serve_loop);
+                                            sys "exit" [ int 0 ] ]));
+                                  set "i" (v "i" +% int 1) ]));
+                        (* the master reaps forever *)
+                        while_ (bool true) (sys "wait" []) ]))))))
+
+(* Install the 100-byte document the benchmark fetches, plus per-user
+   trees for the sandbox mode. *)
+let install_docroot fs =
+  let module Vfs = Graphene_host.Vfs in
+  Vfs.mkdir_p fs docroot;
+  Vfs.write_string fs (docroot ^ "/index.html") (String.make 100 'x');
+  Vfs.write_string fs (docroot ^ "/htaccess") "allow all\n";
+  List.iter
+    (fun user ->
+      Vfs.mkdir_p fs (Printf.sprintf "%s/users/%s" docroot user);
+      Vfs.write_string fs
+        (Printf.sprintf "%s/users/%s/index.html" docroot user)
+        (String.make 100 (user.[0])))
+    [ "alice"; "bob" ]

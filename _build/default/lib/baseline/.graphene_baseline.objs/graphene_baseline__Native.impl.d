@@ -1,0 +1,1 @@
+lib/baseline/native.ml: Buffer Cost Filename Graphene_guest Graphene_host Graphene_liblinux Graphene_sim Hashtbl List Option Printf Rng String Time

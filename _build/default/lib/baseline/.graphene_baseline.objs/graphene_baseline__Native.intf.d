@@ -1,0 +1,1 @@
+lib/baseline/native.mli: Graphene_host Graphene_sim

@@ -1,0 +1,68 @@
+(** The native-Linux baseline personality.
+
+    Services the same guest system-call ABI as {!Graphene_liblinux.Lx}
+    but the way a monolithic kernel does: directly against host kernel
+    state, with the paper's measured native costs (the Linux column of
+    Table 6), kernel-resident System V IPC that survives processes,
+    in-kernel process tables, direct signal delivery, and stock POSIX
+    descriptor semantics (fork/dup share one open file description and
+    its seek cursor). No PAL, no seccomp filter, no reference monitor,
+    no RPC.
+
+    An optional {!vm} profile layers the KVM guest model on top: a
+    one-time boot cost, fixed VM memory, a nested-paging compute tax
+    and virtio overhead on network operations — the third column of the
+    paper's comparisons. *)
+
+module K = Graphene_host.Kernel
+
+(** {1 Memory layout (tuned so "hello world" is ~352 KB resident)} *)
+
+val app_image_bytes : int
+val libc_image_bytes : int
+val stack_bytes : int
+
+(** {1 The VM model} *)
+
+type vm = {
+  vm_name : string;
+  boot : Graphene_sim.Time.t;
+  syscall_extra : Graphene_sim.Time.t;
+  net_extra : Graphene_sim.Time.t;  (** bridged virtio, per operation *)
+  cpu_tax : float;  (** nested-paging / TLB overhead on guest compute *)
+  guest_ram : int;
+  device_overhead : int;
+  ckpt_image : int;  (** bytes written at a VM checkpoint *)
+}
+
+val kvm_profile : vm
+(** Calibrated to the paper: 3.3 s boot, 128 MB + 25 MB QEMU, ~105 MB
+    checkpoint image, +3.5% compute, 2.5 µs per network operation. *)
+
+(** {1 Context and processes} *)
+
+type ctx
+(** One "kernel" instance: the process table and the kernel-resident
+    System V IPC namespaces, shared by every process started from it. *)
+
+type proc
+
+val create : ?vm:vm -> K.t -> ctx
+(** With a [vm], the guest boots once before the first process runs. *)
+
+val vm_memory : ctx -> int
+(** The VM's fixed allocation; 0 on bare metal. *)
+
+val boot : ?console_hook:(string -> unit) -> ctx -> exe:string -> argv:string list -> unit -> proc
+(** fork+exec of a fresh process (208 µs, Table 4); under a VM the
+    one-time boot cost precedes the first app instruction. *)
+
+(** {1 Observation} *)
+
+val console_output : proc -> string
+val exited : proc -> bool
+val exit_code : proc -> int
+val proc_pid : proc -> int
+val started_at : proc -> Graphene_sim.Time.t option
+val kernel_of : proc -> K.t
+val pico_of : proc -> K.pico

@@ -1,0 +1,1 @@
+lib/bpf/prog.ml: Array Format

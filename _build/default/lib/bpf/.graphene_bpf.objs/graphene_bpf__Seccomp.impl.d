@@ -1,0 +1,1 @@
+lib/bpf/seccomp.ml: List Prog Sysno

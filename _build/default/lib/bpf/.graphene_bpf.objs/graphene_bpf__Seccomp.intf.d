@@ -1,0 +1,1 @@
+lib/bpf/seccomp.mli: Prog

@@ -1,0 +1,1 @@
+lib/bpf/sysno.ml: Hashtbl List

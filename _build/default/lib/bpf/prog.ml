@@ -1,0 +1,83 @@
+type action = Allow | Kill | Trap | Trace | Errno of int
+
+type insn =
+  | Ld_nr
+  | Ld_arch
+  | Ld_pc
+  | Ld_arg of int
+  | Ld_imm of int
+  | Jeq of int * int * int
+  | Jge of int * int * int
+  | Jgt of int * int * int
+  | Jset of int * int * int
+  | Ret of action
+
+type t = insn array
+
+type data = { nr : int; arch : int; pc : int; args : int array }
+
+exception Invalid of string
+
+let audit_arch_x86_64 = 0xC000003E
+
+let validate prog =
+  let n = Array.length prog in
+  if n = 0 then raise (Invalid "empty program");
+  Array.iteri
+    (fun i insn ->
+      let jump_ok off =
+        let target = i + 1 + off in
+        if off < 0 then raise (Invalid "backward jump")
+        else if target >= n then raise (Invalid "jump out of program")
+      in
+      match insn with
+      | Jeq (_, jt, jf) | Jge (_, jt, jf) | Jgt (_, jt, jf) | Jset (_, jt, jf) ->
+        jump_ok jt;
+        jump_ok jf
+      | Ld_arg k -> if k < 0 || k > 5 then raise (Invalid "Ld_arg index out of range")
+      | Ld_nr | Ld_arch | Ld_pc | Ld_imm _ | Ret _ -> ())
+    prog;
+  (* Falling off the end must be impossible: the last reachable
+     instruction on a straight path must be a Ret. Jumps are always
+     forward (checked above), so it suffices that the final instruction
+     is a Ret. *)
+  match prog.(n - 1) with
+  | Ret _ -> ()
+  | _ -> raise (Invalid "program can fall off the end")
+
+let assemble insns =
+  let prog = Array.of_list insns in
+  validate prog;
+  prog
+
+let length = Array.length
+
+let eval prog data =
+  let n = Array.length prog in
+  let rec exec pc acc count =
+    if pc >= n then raise (Invalid "fell off the end")
+    else begin
+      let count = count + 1 in
+      match prog.(pc) with
+      | Ld_nr -> exec (pc + 1) data.nr count
+      | Ld_arch -> exec (pc + 1) data.arch count
+      | Ld_pc -> exec (pc + 1) data.pc count
+      | Ld_arg k ->
+        let v = if k < Array.length data.args then data.args.(k) else 0 in
+        exec (pc + 1) v count
+      | Ld_imm k -> exec (pc + 1) k count
+      | Jeq (k, jt, jf) -> exec (pc + 1 + if acc = k then jt else jf) acc count
+      | Jge (k, jt, jf) -> exec (pc + 1 + if acc >= k then jt else jf) acc count
+      | Jgt (k, jt, jf) -> exec (pc + 1 + if acc > k then jt else jf) acc count
+      | Jset (k, jt, jf) -> exec (pc + 1 + if acc land k <> 0 then jt else jf) acc count
+      | Ret a -> (a, count)
+    end
+  in
+  exec 0 0 0
+
+let pp_action fmt = function
+  | Allow -> Format.pp_print_string fmt "ALLOW"
+  | Kill -> Format.pp_print_string fmt "KILL"
+  | Trap -> Format.pp_print_string fmt "TRAP"
+  | Trace -> Format.pp_print_string fmt "TRACE"
+  | Errno e -> Format.fprintf fmt "ERRNO(%d)" e

@@ -1,0 +1,55 @@
+(** A seccomp-BPF-subset virtual machine.
+
+    The host kernel evaluates an installed filter program against the
+    [seccomp_data] of every system call a picoprocess issues, exactly as
+    Linux seccomp does. Programs are immutable once installed
+    (seccomp filters cannot be removed or overridden, and are inherited
+    across process creation). *)
+
+type action =
+  | Allow  (** run the host system call *)
+  | Kill  (** kill the picoprocess *)
+  | Trap  (** deliver SIGSYS — Graphene redirects the call to libLinux *)
+  | Trace  (** forward to the reference monitor for inspection *)
+  | Errno of int  (** fail the call with an errno, without running it *)
+
+type insn =
+  | Ld_nr  (** A := syscall number *)
+  | Ld_arch  (** A := audit architecture *)
+  | Ld_pc  (** A := return instruction pointer *)
+  | Ld_arg of int  (** A := argument i (0-5) *)
+  | Ld_imm of int  (** A := k *)
+  | Jeq of int * int * int  (** if A = k then skip jt else skip jf *)
+  | Jge of int * int * int
+  | Jgt of int * int * int
+  | Jset of int * int * int  (** if A land k <> 0 *)
+  | Ret of action
+
+type t
+(** A validated filter program. *)
+
+type data = {
+  nr : int;  (** syscall number *)
+  arch : int;
+  pc : int;  (** return instruction pointer of the call site *)
+  args : int array;  (** up to 6 scalar arguments *)
+}
+
+exception Invalid of string
+
+val assemble : insn list -> t
+(** Validates the program: every jump lands inside the program, every
+    path ends in [Ret], [Ld_arg] indices are in range. Raises
+    {!Invalid} otherwise — mirroring the kernel's BPF verifier. *)
+
+val length : t -> int
+(** Instruction count ("The current Graphene filter is 79 lines"). *)
+
+val eval : t -> data -> action * int
+(** Run the filter; also returns the number of instructions executed so
+    the caller can charge {!Graphene_sim.Cost.seccomp_insn} per
+    instruction. *)
+
+val audit_arch_x86_64 : int
+
+val pp_action : Format.formatter -> action -> unit

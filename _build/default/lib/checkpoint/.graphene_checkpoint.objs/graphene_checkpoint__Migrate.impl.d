@@ -1,0 +1,1 @@
+lib/checkpoint/migrate.ml: Cost Fun Graphene_baseline Graphene_bpf Graphene_guest Graphene_host Graphene_ipc Graphene_liblinux Graphene_pal Graphene_sim Hashtbl List String Time

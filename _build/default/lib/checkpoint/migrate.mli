@@ -1,0 +1,68 @@
+(** Checkpoint, resume, and cross-machine migration of a Graphene
+    picoprocess (paper §6.1).
+
+    A checkpoint is little more than a guest memory dump plus the libOS
+    state record ({!Graphene_liblinux.Ckpt}): the machine image, the
+    descriptor table (by reopen info), signal state, the coordination
+    state, and the resident private pages. Live streams cannot migrate;
+    their descriptors restore closed, like real network endpoints after
+    a migration.
+
+    The process must be quiescent — parked in a [pause] system call —
+    when checkpointed; it resumes as if the pause returned 0. *)
+
+module K = Graphene_host.Kernel
+module Lx = Graphene_liblinux.Lx
+module Ckpt = Graphene_liblinux.Ckpt
+
+exception Not_quiescent
+
+val checkpoint : Lx.t -> Ckpt.t
+(** Build the record of a paused process. Raises {!Not_quiescent} if
+    the process has exited or is mid-computation. *)
+
+val checkpoint_cost : Ckpt.t -> Graphene_sim.Time.t
+val resume_cost : Ckpt.t -> Graphene_sim.Time.t
+(** Serialization rates from the cost model; resume is slower
+    (state re-validation), as in the paper's Table 4. *)
+
+val checkpoint_to_file : Lx.t -> path:string -> (Ckpt.t * int -> unit) -> unit
+(** Checkpoint to a host file, stopping the process; continues with
+    the record and its size in bytes after the checkpoint cost. *)
+
+val resume :
+  ?cfg:Graphene_ipc.Config.t ->
+  ?console_hook:(string -> unit) ->
+  K.t ->
+  record:Ckpt.t ->
+  sandbox:int ->
+  unit ->
+  Lx.t
+(** Restore into a fresh picoprocess; the returned libOS instance's
+    guest continues right after its pause. *)
+
+val resume_from_file :
+  ?cfg:Graphene_ipc.Config.t ->
+  ?console_hook:(string -> unit) ->
+  K.t ->
+  path:string ->
+  sandbox:int ->
+  unit ->
+  (Lx.t, string) result
+
+val migrate :
+  ?cfg:Graphene_ipc.Config.t ->
+  ?console_hook:(string -> unit) ->
+  Lx.t ->
+  k:((Lx.t * int, string) result -> unit) ->
+  unit
+(** Checkpoint + copy over a modeled 1 Gb link + resume in a fresh
+    sandbox; continues with the new instance and the bytes moved. *)
+
+(** {1 The KVM comparison points (Table 4)} *)
+
+module Vm : sig
+  val checkpoint_size : Graphene_baseline.Native.vm -> int
+  val checkpoint_time : Graphene_baseline.Native.vm -> Graphene_sim.Time.t
+  val resume_time : Graphene_baseline.Native.vm -> Graphene_sim.Time.t
+end

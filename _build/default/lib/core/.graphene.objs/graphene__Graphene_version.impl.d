@@ -1,0 +1,1 @@
+lib/core/graphene_version.ml:

@@ -1,0 +1,79 @@
+(** The top-level convenience API.
+
+    A [World] is one simulated machine configured as one of the paper's
+    comparison stacks, with every guest binary installed. [start]
+    launches the same guest binary on whatever the stack is and returns
+    a uniform process handle, so benchmarks and examples are written
+    once and run on all stacks. *)
+
+module K = Graphene_host.Kernel
+module Lx = Graphene_liblinux.Lx
+module Native = Graphene_baseline.Native
+module Monitor = Graphene_refmon.Monitor
+module Manifest = Graphene_refmon.Manifest
+
+type stack =
+  | Linux  (** native kernel personality *)
+  | Kvm  (** the same, inside the KVM guest model *)
+  | Graphene  (** picoprocesses on libLinux over the PAL *)
+  | Graphene_rm
+      (** Graphene launched by the reference monitor with a manifest —
+          the configuration the security properties need and the "+RM"
+          columns measure *)
+
+val stack_name : stack -> string
+
+type t
+
+type proc = Pl of Lx.t | Pn of Native.proc
+
+val create :
+  ?cores:int -> ?seed:int -> ?noise:float -> ?cfg:Graphene_ipc.Config.t -> stack -> t
+(** A fresh world: host kernel (default 4 cores), all guest binaries
+    and fixtures installed, baseline context and/or reference monitor
+    per the stack. [noise] adds compute-timing jitter for benchmark
+    confidence intervals (0 = fully deterministic). *)
+
+val kernel : t -> K.t
+val stack : t -> stack
+val monitor : t -> Monitor.t option
+
+val default_manifest : Manifest.t
+(** The benchmark manifest: a server-image chroot view. *)
+
+val start :
+  ?console_hook:(string -> unit) ->
+  ?manifest:Manifest.t ->
+  t ->
+  exe:string ->
+  argv:string list ->
+  unit ->
+  proc
+(** Launch a guest binary. The console hook receives output from this
+    process and (via fork inheritance) all its descendants. *)
+
+val run : ?max_events:int -> t -> unit
+(** Drive the world until every event drains; raises [Failure] if the
+    event budget is exhausted (livelock guard). *)
+
+val now : t -> Graphene_sim.Time.t
+
+(** {1 Process observation} *)
+
+val console : proc -> string
+val exited : proc -> bool
+val exit_code : proc -> int
+val started_at : proc -> Graphene_sim.Time.t option
+(** When the app's first instruction ran (start-up latency endpoint). *)
+
+val pico : proc -> K.pico
+
+(** {1 Measurement} *)
+
+val memory_footprint : t -> int
+(** System-wide unique resident bytes — or, on a VM stack, the VM's
+    fixed allocation (Figure 4's quantity). *)
+
+val client_pico : t -> K.pico
+(** A permissive out-of-sandbox picoprocess for load generators ("the
+    client on another machine"). *)

@@ -1,0 +1,1 @@
+lib/guest/ast.ml: Format

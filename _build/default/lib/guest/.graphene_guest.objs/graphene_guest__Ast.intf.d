@@ -1,0 +1,1 @@
+lib/guest/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/guest/builder.ml: Ast List

@@ -1,0 +1,1 @@
+lib/guest/interp.ml: Ast Buffer Int List Map Marshal Printf String

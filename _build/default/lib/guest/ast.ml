@@ -1,0 +1,112 @@
+(** Abstract syntax of the guest language.
+
+    Guest applications (shell, web servers, compiler workloads, the
+    lmbench suite, ...) are programs in this small strict language. The
+    interpreter ({!Interp}) is a CEK machine whose state contains no
+    OCaml closures, only the constructors below — so a process image can
+    be duplicated ([fork]), serialized (checkpoint/migration), replaced
+    ([exec]) and interrupted (signal delivery) as plain data, which is
+    exactly the set of mechanisms the paper evaluates. *)
+
+type value =
+  | Vunit
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vlist of value list
+  | Vpair of value * value
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat  (** string concatenation *)
+  | Split  (** [Split s sep] splits a string into a list of fields *)
+  | Nth  (** [Nth list i] is the i-th element *)
+  | Repeat  (** [Repeat s n] is [s] concatenated [n] times *)
+  | Starts_with  (** [Starts_with s prefix] *)
+
+type unop =
+  | Not
+  | Neg
+  | Len  (** length of a string or list *)
+  | Str_of_int
+  | Int_of_str  (** guest fault on a malformed number *)
+  | Head
+  | Tail
+  | Fst
+  | Snd
+  | Is_empty
+
+type expr =
+  | Const of value
+  | Var of string
+  | Let of string * expr * expr  (** [Let (x, e, body)]: lexical binding *)
+  | Set of string * expr  (** assignment to an existing binding *)
+  | If of expr * expr * expr
+  | While of expr * expr
+  | Seq of expr * expr
+  | And of expr * expr  (** short-circuit *)
+  | Or of expr * expr  (** short-circuit *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cons of expr * expr
+  | Pair of expr * expr
+  | Match_list of expr * expr * (string * string * expr)
+      (** [Match_list (e, nil_case, (h, t, cons_case))] *)
+  | Call of string * expr list  (** call a program-level function *)
+  | Syscall of string * expr list
+      (** request an OS service; suspends the machine until the
+          personality layer provides a result *)
+  | Spin of expr
+      (** [Spin n]: burn [n] abstract compute units. Models
+          application CPU work (compilation, request rendering) without
+          stepping the machine [n] times. *)
+
+type func = { params : string list; body : expr }
+
+type program = {
+  name : string;  (** the "binary" name, e.g. ["/bin/sh"] *)
+  funcs : (string * func) list;
+  main : expr;  (** evaluated with [argv] bound to the argument list *)
+}
+
+exception Guest_fault of string
+(** Raised by the interpreter on a dynamic type error, unbound variable
+    or division by zero — the moral equivalent of SIGSEGV. *)
+
+let rec pp_value fmt = function
+  | Vunit -> Format.pp_print_string fmt "()"
+  | Vint n -> Format.pp_print_int fmt n
+  | Vbool b -> Format.pp_print_bool fmt b
+  | Vstr s -> Format.fprintf fmt "%S" s
+  | Vlist vs ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ") pp_value)
+      vs
+  | Vpair (a, b) -> Format.fprintf fmt "(%a, %a)" pp_value a pp_value b
+
+let value_to_string v = Format.asprintf "%a" pp_value v
+
+let equal_value (a : value) (b : value) = a = b
+
+(* Coercions used by the interpreter and the syscall layer; all raise
+   Guest_fault on the wrong shape, which surfaces as a guest crash. *)
+
+let as_int = function Vint n -> n | v -> raise (Guest_fault ("expected int, got " ^ value_to_string v))
+let as_str = function Vstr s -> s | v -> raise (Guest_fault ("expected string, got " ^ value_to_string v))
+let as_bool = function Vbool b -> b | v -> raise (Guest_fault ("expected bool, got " ^ value_to_string v))
+let as_list = function Vlist l -> l | v -> raise (Guest_fault ("expected list, got " ^ value_to_string v))
+
+let truthy = function
+  | Vbool b -> b
+  | Vint n -> n <> 0
+  | v -> raise (Guest_fault ("expected bool, got " ^ value_to_string v))

@@ -1,0 +1,101 @@
+(** Abstract syntax of the guest language.
+
+    Guest applications (shell, web servers, compiler workloads, the
+    lmbench suite, ...) are programs in this small strict language. The
+    interpreter ({!Interp}) is a CEK machine whose state contains no
+    OCaml closures, only the constructors below — so a process image can
+    be duplicated (fork), serialized (checkpoint/migration), replaced
+    (exec) and interrupted (signal delivery) as plain data, which is
+    exactly the set of mechanisms the paper evaluates.
+
+    See docs/GUEST_LANGUAGE.md for the language manual and {!Builder}
+    for the combinators used to write programs. *)
+
+type value =
+  | Vunit
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vlist of value list
+  | Vpair of value * value
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** faults on zero *)
+  | Mod  (** faults on zero *)
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat  (** string concatenation *)
+  | Split  (** [Split s sep] splits a string into a list of fields *)
+  | Nth  (** [Nth list i]; faults out of bounds *)
+  | Repeat  (** [Repeat s n] is [s] concatenated [n] times *)
+  | Starts_with  (** [Starts_with s prefix] *)
+
+type unop =
+  | Not
+  | Neg
+  | Len  (** length of a string or list *)
+  | Str_of_int
+  | Int_of_str  (** guest fault on a malformed number *)
+  | Head
+  | Tail
+  | Fst
+  | Snd
+  | Is_empty
+
+type expr =
+  | Const of value
+  | Var of string
+  | Let of string * expr * expr  (** lexical binding *)
+  | Set of string * expr  (** assignment to an existing binding *)
+  | If of expr * expr * expr
+  | While of expr * expr
+  | Seq of expr * expr
+  | And of expr * expr  (** short-circuit *)
+  | Or of expr * expr  (** short-circuit *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cons of expr * expr
+  | Pair of expr * expr
+  | Match_list of expr * expr * (string * string * expr)
+      (** [Match_list (e, nil_case, (h, t, cons_case))] *)
+  | Call of string * expr list  (** call a program-level function *)
+  | Syscall of string * expr list
+      (** request an OS service; suspends the machine until the
+          personality layer provides a result *)
+  | Spin of expr
+      (** burn n abstract compute units (1 unit = 2 ns of virtual
+          time) without stepping the machine n times *)
+
+type func = { params : string list; body : expr }
+
+type program = {
+  name : string;  (** the "binary" name, e.g. ["/bin/sh"] *)
+  funcs : (string * func) list;
+  main : expr;  (** evaluated with ["argv"] bound to the launch args *)
+}
+
+exception Guest_fault of string
+(** A dynamic error — the moral equivalent of SIGSEGV. *)
+
+val pp_value : Format.formatter -> value -> unit
+val value_to_string : value -> string
+val equal_value : value -> value -> bool
+
+(** Coercions used by the interpreter and the syscall layers; all raise
+    {!Guest_fault} on the wrong shape, which surfaces as a guest
+    crash (or [-EINVAL] inside a syscall). *)
+
+val as_int : value -> int
+val as_str : value -> string
+val as_bool : value -> bool
+val as_list : value -> value list
+
+val truthy : value -> bool
+(** Booleans as themselves, ints as [<> 0]; anything else faults. *)

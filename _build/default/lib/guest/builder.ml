@@ -1,0 +1,77 @@
+open Ast
+
+let unit = Const Vunit
+let int n = Const (Vint n)
+let bool b = Const (Vbool b)
+let str s = Const (Vstr s)
+let v x = Var x
+let list_ elems = List.fold_right (fun e acc -> Cons (e, acc)) elems (Const (Vlist []))
+let let_ x e body = Let (x, e, body)
+let set x e = Set (x, e)
+let if_ c t f = If (c, t, f)
+let when_ c e = If (c, e, Const Vunit)
+let while_ c body = While (c, body)
+
+let seq = function
+  | [] -> Const Vunit
+  | [ e ] -> e
+  | e :: rest -> List.fold_left (fun acc e' -> Seq (acc, e')) e rest
+
+(* Inclusive loop; the index is an ordinary mutable binding. *)
+let for_ i lo hi body =
+  Let
+    ( i,
+      lo,
+      Let
+        ( "__for_hi",
+          hi,
+          While (Binop (Le, Var i, Var "__for_hi"), Seq (body, Set (i, Binop (Add, Var i, Const (Vint 1))))) ) )
+
+let call f args = Call (f, args)
+let sys name args = Syscall (name, args)
+let spin e = Spin e
+let ( +% ) a b = Binop (Add, a, b)
+let ( -% ) a b = Binop (Sub, a, b)
+let ( *% ) a b = Binop (Mul, a, b)
+let ( /% ) a b = Binop (Div, a, b)
+let ( %% ) a b = Binop (Mod, a, b)
+let ( =% ) a b = Binop (Eq, a, b)
+let ( <>% ) a b = Binop (Ne, a, b)
+let ( <% ) a b = Binop (Lt, a, b)
+let ( <=% ) a b = Binop (Le, a, b)
+let ( >% ) a b = Binop (Gt, a, b)
+let ( >=% ) a b = Binop (Ge, a, b)
+let ( &&% ) a b = And (a, b)
+let ( ||% ) a b = Or (a, b)
+let ( ^% ) a b = Binop (Concat, a, b)
+let not_ e = Unop (Not, e)
+let neg e = Unop (Neg, e)
+let len e = Unop (Len, e)
+let str_of_int e = Unop (Str_of_int, e)
+let int_of_str e = Unop (Int_of_str, e)
+let head e = Unop (Head, e)
+let tail e = Unop (Tail, e)
+let fst_ e = Unop (Fst, e)
+let snd_ e = Unop (Snd, e)
+let is_empty e = Unop (Is_empty, e)
+let cons a b = Cons (a, b)
+let pair a b = Pair (a, b)
+let split a b = Binop (Split, a, b)
+let nth a b = Binop (Nth, a, b)
+let repeat a b = Binop (Repeat, a, b)
+let starts_with a b = Binop (Starts_with, a, b)
+let match_list e ~nil ~cons = Match_list (e, nil, cons)
+
+let foreach x lst body =
+  Let
+    ( "__iter",
+      lst,
+      While
+        ( Unop (Not, Unop (Is_empty, Var "__iter")),
+          Let
+            ( x,
+              Unop (Head, Var "__iter"),
+              Seq (body, Set ("__iter", Unop (Tail, Var "__iter"))) ) ) )
+
+let func name params body = (name, { params; body })
+let prog ~name ?(funcs = []) main = { name; funcs; main }

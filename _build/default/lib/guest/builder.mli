@@ -1,0 +1,84 @@
+(** Combinators for writing guest programs in OCaml.
+
+    Guest applications are built with these instead of raw {!Ast}
+    constructors; see [lib/apps] for substantial examples. The operators
+    are suffixed with [%] to avoid shadowing the standard ones. *)
+
+open Ast
+
+(** {1 Literals and variables} *)
+
+val unit : expr
+val int : int -> expr
+val bool : bool -> expr
+val str : string -> expr
+val v : string -> expr
+(** Variable reference. *)
+
+val list_ : expr list -> expr
+(** Build a list value from element expressions. *)
+
+(** {1 Binding and control} *)
+
+val let_ : string -> expr -> expr -> expr
+val set : string -> expr -> expr
+val if_ : expr -> expr -> expr -> expr
+val when_ : expr -> expr -> expr
+(** [when_ c e] is [if_ c e unit]. *)
+
+val while_ : expr -> expr -> expr
+val for_ : string -> expr -> expr -> expr -> expr
+(** [for_ i lo hi body]: inclusive bounds, desugars to let + while. *)
+
+val seq : expr list -> expr
+(** Sequence; [seq []] is [unit]. *)
+
+val call : string -> expr list -> expr
+val sys : string -> expr list -> expr
+val spin : expr -> expr
+
+(** {1 Operators} *)
+
+val ( +% ) : expr -> expr -> expr
+val ( -% ) : expr -> expr -> expr
+val ( *% ) : expr -> expr -> expr
+val ( /% ) : expr -> expr -> expr
+val ( %% ) : expr -> expr -> expr
+val ( =% ) : expr -> expr -> expr
+val ( <>% ) : expr -> expr -> expr
+val ( <% ) : expr -> expr -> expr
+val ( <=% ) : expr -> expr -> expr
+val ( >% ) : expr -> expr -> expr
+val ( >=% ) : expr -> expr -> expr
+val ( &&% ) : expr -> expr -> expr
+val ( ||% ) : expr -> expr -> expr
+val ( ^% ) : expr -> expr -> expr
+(** String concatenation. *)
+
+val not_ : expr -> expr
+val neg : expr -> expr
+val len : expr -> expr
+val str_of_int : expr -> expr
+val int_of_str : expr -> expr
+val head : expr -> expr
+val tail : expr -> expr
+val fst_ : expr -> expr
+val snd_ : expr -> expr
+val is_empty : expr -> expr
+val cons : expr -> expr -> expr
+val pair : expr -> expr -> expr
+val split : expr -> expr -> expr
+val nth : expr -> expr -> expr
+val repeat : expr -> expr -> expr
+val starts_with : expr -> expr -> expr
+
+val match_list : expr -> nil:expr -> cons:string * string * expr -> expr
+
+val foreach : string -> expr -> expr -> expr
+(** [foreach x lst body] iterates [body] with [x] bound to each element
+    of list expression [lst]. *)
+
+(** {1 Programs} *)
+
+val func : string -> string list -> expr -> string * func
+val prog : name:string -> ?funcs:(string * func) list -> expr -> program

@@ -1,0 +1,1 @@
+lib/host/kernel.ml: Cost Engine Filename Graphene_bpf Graphene_guest Graphene_sim Hashtbl List Memory Option Printf Rng Stream Sync Time Vfs

@@ -1,0 +1,1 @@
+lib/host/kernel.mli: Graphene_bpf Graphene_guest Graphene_sim Hashtbl Memory Stream Sync Vfs

@@ -1,0 +1,1 @@
+lib/host/memory.ml: Array Buffer Bytes Graphene_sim List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/host/stream.ml: Buffer List Queue Stdlib String

@@ -1,0 +1,1 @@
+lib/host/vfs.ml: Bytes Filename Hashtbl List Stdlib String

@@ -1,0 +1,655 @@
+(** The simulated host kernel.
+
+    Owns the virtual clock (an event engine), the host file system, all
+    picoprocesses and their address spaces, byte/message streams, the
+    loopback network, the bulk-IPC (gipc) module, the per-picoprocess
+    seccomp filters, and the LSM hook points the reference monitor
+    installs into.
+
+    Threads of a picoprocess run guest-interpreter machines in sliced
+    events under a processor-sharing multicore model: when more threads
+    are runnable than there are cores, compute time dilates by the
+    ratio. Blocking host calls are in continuation-passing style; the
+    continuation fires from a later event, after the operation's
+    latency. *)
+
+open Graphene_sim
+
+module Bpf = struct
+  module Prog = Graphene_bpf.Prog
+  module Seccomp = Graphene_bpf.Seccomp
+  module Sysno = Graphene_bpf.Sysno
+end
+
+module Guest = struct
+  module Interp = Graphene_guest.Interp
+  module Ast = Graphene_guest.Ast
+end
+
+let pal_base = 0x1000_0000
+let pal_image_bytes = 340 * 1024
+let pal_limit = pal_base + pal_image_bytes
+
+(* Fixed layout for images loaded by the personalities. *)
+let libos_base = 0x2000_0000
+let app_base = 0x4000_0000
+let heap_base = 0x5000_0000
+let stack_base = 0x7000_0000
+
+type handle = { hid : int; obj : handle_obj }
+
+and handle_obj =
+  | Hfile of { file : Vfs.file; path : string }
+      (** no seek pointer: PAL file handles are pread/pwrite-style *)
+  | Hdir of string
+  | Hstream of handle Stream.endpoint
+  | Hserver of server
+  | Hevent of Sync.event
+  | Hmutex of Sync.mutex
+  | Hsema of Sync.semaphore
+  | Hprocess of pico
+  | Hnull
+
+and server = {
+  srv_name : string;
+  srv_owner : int;  (** pid *)
+  mutable backlog : handle Stream.endpoint list;
+  mutable accept_waiters : (handle Stream.endpoint -> unit) list;
+  mutable srv_closed : bool;
+}
+
+and pico_status = Alive | Exited of int
+
+and pico = {
+  pid : int;
+  mutable sandbox : int;
+  aspace : Memory.t;
+  mutable status : pico_status;
+  mutable threads : thread list;
+  mutable exit_watchers : (int -> unit) list;
+  mutable endpoints : handle Stream.endpoint list;
+  mutable filter : Bpf.Prog.t option;
+  mutable exe : string;
+  mutable spawned_at : Time.t;
+  mutable peak_rss : int;
+  mutable cpu_tax : float;
+      (** multiplicative compute overhead (e.g. nested-paging cost for
+          processes inside a VM); 1.0 = none *)
+}
+
+and thread = {
+  tid : int;
+  t_pico : pico;
+  mutable machine : Guest.Interp.state option;
+  mutable tstate : [ `Runnable | `Parked | `Done ];
+  mutable service : thread_service;
+}
+
+and thread_service = {
+  on_syscall : thread -> string -> Guest.Ast.value list -> unit;
+      (** must eventually resume, block, or exit the thread *)
+  on_finish : thread -> Guest.Ast.value -> unit;  (** [main] returned *)
+  on_fault : thread -> string -> unit;  (** guest crash *)
+}
+
+and lsm = {
+  check_path : pico -> string -> [ `Read | `Write | `Exec ] -> bool;
+  check_net : pico -> addr:string -> port:int -> [ `Bind | `Connect ] -> bool;
+  check_stream_connect : pico -> server -> bool;
+  check_gipc : src:pico -> dst:pico -> bool;
+  on_sandbox_split : pico -> old_sandbox:int -> paths:string list -> unit;
+      (** called after a picoprocess detaches into a new sandbox,
+          carrying the file-system view it requested (always a subset
+          of its previous view) *)
+}
+
+type gipc_payload = { g_src : pico; g_ranges : (int * int) list  (** base, npages *) }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  fs : Vfs.t;
+  alloc : Memory.allocator;
+  cores : int;
+  mutable picos : pico list;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable next_hid : int;
+  mutable next_sandbox : int;
+  servers : (string, server) Hashtbl.t;
+  broadcasts : (int, (pico * (string -> unit)) list ref) Hashtbl.t;
+  mutable lsm : lsm;
+  mutable lsm_active : bool;
+      (** a real reference monitor is installed — traced calls pay the
+          LSM check costs *)
+  gipc_store : (int, gipc_payload) Hashtbl.t;
+  mutable next_gipc : int;
+  mutable runnable : int;
+  syscall_counts : (string, int) Hashtbl.t;
+  images : (string, Memory.image) Hashtbl.t;
+      (** page-cache-style shared code images *)
+  mutable quantum : int;  (** interpreter steps per scheduling slice *)
+  noise : float;
+      (** multiplicative compute-timing jitter (0 = deterministic, for
+          tests; benchmarks use a small value so confidence intervals
+          are meaningful) *)
+}
+
+exception Denied of string
+(** An LSM / reference-monitor rejection. *)
+
+exception Killed_by_seccomp of string
+
+let permissive_lsm =
+  { check_path = (fun _ _ _ -> true);
+    check_net = (fun _ ~addr:_ ~port:_ _ -> true);
+    check_stream_connect = (fun _ _ -> true);
+    check_gipc = (fun ~src:_ ~dst:_ -> true);
+    on_sandbox_split = (fun _ ~old_sandbox:_ ~paths:_ -> ()) }
+
+let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
+  { engine = Engine.create ();
+    rng = Rng.create ~seed;
+    fs = Vfs.create ();
+    alloc = Memory.make_allocator ();
+    cores;
+    picos = [];
+    next_pid = 0;
+    next_tid = 0;
+    next_hid = 0;
+    next_sandbox = 0;
+    servers = Hashtbl.create 16;
+    broadcasts = Hashtbl.create 4;
+    lsm = permissive_lsm;
+    lsm_active = false;
+    gipc_store = Hashtbl.create 16;
+    next_gipc = 0;
+    runnable = 0;
+    syscall_counts = Hashtbl.create 64;
+    images = Hashtbl.create 8;
+    quantum = 4000;
+    noise }
+
+let now t = Engine.now t.engine
+let set_lsm t lsm =
+  t.lsm <- lsm;
+  t.lsm_active <- true
+
+let lsm_active t = t.lsm_active
+let after t cost fn = ignore (Engine.schedule_after t.engine cost fn)
+let run_until_idle t = Engine.run_until_idle t.engine
+
+(* Schedule [fn] on [peer]'s inbox no earlier than the stream latency
+   and never before anything already in flight to it: per-stream FIFO,
+   so an EOF can never overtake data written first. *)
+let schedule_into ?(extra = Time.zero) t peer fn =
+  let at =
+    max (Time.add (now t) (Time.add extra Cost.stream_oneway)) peer.Stream.fifo_clock
+  in
+  peer.Stream.fifo_clock <- at;
+  ignore (Engine.schedule_at t.engine at fn)
+
+let run_watchdog t ~max_events =
+  if not (Engine.run_bounded t.engine ~max_events) then
+    failwith "Kernel.run_watchdog: event budget exhausted (livelock?)"
+
+let fresh_handle t obj =
+  t.next_hid <- t.next_hid + 1;
+  { hid = t.next_hid; obj }
+
+let fresh_sandbox t =
+  t.next_sandbox <- t.next_sandbox + 1;
+  t.next_sandbox
+
+let count_syscall t name =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.syscall_counts name) in
+  Hashtbl.replace t.syscall_counts name (prev + 1)
+
+let syscall_counts t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.syscall_counts []
+  |> List.sort compare
+
+(* {1 Seccomp} *)
+
+(* Evaluate the picoprocess's installed filter for a host system call
+   issued from return address [pc]. Returns the verdict plus the
+   filter-evaluation cost. No filter means no restriction (native
+   baseline picoprocesses). *)
+let syscall_check t pico ~name ~pc ~args =
+  count_syscall t name;
+  match pico.filter with
+  | None -> (Bpf.Prog.Allow, Time.zero)
+  | Some filter ->
+    let nr = match Bpf.Sysno.number_opt name with Some nr -> nr | None -> -1 in
+    let data = { Bpf.Prog.nr; arch = Bpf.Prog.audit_arch_x86_64; pc; args } in
+    let action, insns = Bpf.Prog.eval filter data in
+    (action, Time.scale Cost.seccomp_insn (float_of_int insns))
+
+(* Shared code images, loaded once. *)
+let get_image t ~name ~bytes =
+  match Hashtbl.find_opt t.images name with
+  | Some img -> img
+  | None ->
+    let img = Memory.make_image t.alloc ~bytes in
+    Hashtbl.replace t.images name img;
+    img
+
+(* {1 Picoprocess lifecycle} *)
+
+let spawn t ?parent ?(with_pal = true) ~sandbox ~exe () =
+  ignore parent;
+  t.next_pid <- t.next_pid + 1;
+  let aspace = Memory.create t.alloc in
+  let pico =
+    { pid = t.next_pid;
+      sandbox;
+      aspace;
+      status = Alive;
+      threads = [];
+      exit_watchers = [];
+      endpoints = [];
+      filter = None;
+      exe;
+      spawned_at = now t;
+      peak_rss = 0;
+      cpu_tax = 1.0 }
+  in
+  (* The PAL image is mapped by the host loader before anything runs:
+     its range is what the seccomp filter's PC checks refer to. The
+     image is shared across picoprocesses like page-cache text. *)
+  if with_pal then begin
+    let pal_image = get_image t ~name:"[pal]" ~bytes:pal_image_bytes in
+    ignore
+      (Memory.map_image aspace ~base:pal_base ~image:pal_image ~perm:Memory.rx
+         ~kind:Memory.Pal_code)
+  end;
+  t.picos <- pico :: t.picos;
+  pico
+
+let install_filter _t pico filter =
+  (* like seccomp, installation is one-way: no removal, no override *)
+  match pico.filter with
+  | Some _ -> invalid_arg "Kernel.install_filter: filter already installed"
+  | None -> pico.filter <- Some filter
+
+let find_pico t pid = List.find_opt (fun p -> p.pid = pid) t.picos
+let alive pico = pico.status = Alive
+
+let update_peak_rss pico =
+  let r = Memory.rss pico.aspace in
+  if r > pico.peak_rss then pico.peak_rss <- r
+
+(* {1 Threads and scheduling} *)
+
+let dilation t =
+  if t.runnable <= t.cores then 1.0
+  else float_of_int t.runnable /. float_of_int t.cores
+
+
+let mark_runnable t th =
+  if th.tstate <> `Runnable then begin
+    th.tstate <- `Runnable;
+    t.runnable <- t.runnable + 1
+  end
+
+let mark_not_runnable t th state =
+  if th.tstate = `Runnable then t.runnable <- t.runnable - 1;
+  th.tstate <- state
+
+let rec slice t th =
+  if th.tstate = `Runnable && alive th.t_pico then begin
+    match th.machine with
+    | None -> ()
+    | Some m ->
+      let before = Guest.Interp.steps_executed m in
+      let charge steps extra =
+        let work = Time.scale Cost.interp_step (float_of_int steps) in
+        let jitter = if t.noise > 0.0 then Rng.jitter t.rng t.noise else 1.0 in
+        Time.scale (Time.add work extra) (dilation t *. jitter *. th.t_pico.cpu_tax)
+      in
+      (match Guest.Interp.run m ~fuel:t.quantum with
+      | Guest.Interp.Running m' ->
+        th.machine <- Some m';
+        let steps = Guest.Interp.steps_executed m' - before in
+        after t (charge steps Time.zero) (fun () -> slice t th)
+      | Guest.Interp.Compute (n, m') ->
+        th.machine <- Some m';
+        let steps = Guest.Interp.steps_executed m' - before in
+        let compute = Time.scale Cost.interp_step (float_of_int n) in
+        after t (charge steps compute) (fun () -> slice t th)
+      | Guest.Interp.Syscall (name, args, m') ->
+        th.machine <- Some m';
+        let steps = Guest.Interp.steps_executed m' - before in
+        (* the syscall dispatch happens after the compute leading up to
+           it; the thread is not runnable while the personality works *)
+        mark_not_runnable t th `Parked;
+        after t (charge steps Time.zero) (fun () -> th.service.on_syscall th name args)
+      | Guest.Interp.Finished v ->
+        mark_not_runnable t th `Parked;
+        th.service.on_finish th v
+      | Guest.Interp.Fault msg ->
+        mark_not_runnable t th `Parked;
+        th.service.on_fault th msg)
+  end
+
+let spawn_thread t pico machine ~service =
+  if not (alive pico) then invalid_arg "Kernel.spawn_thread: picoprocess exited";
+  t.next_tid <- t.next_tid + 1;
+  let th =
+    { tid = t.next_tid; t_pico = pico; machine = Some machine; tstate = `Parked; service }
+  in
+  pico.threads <- th :: pico.threads;
+  mark_runnable t th;
+  after t Time.zero (fun () -> slice t th);
+  th
+
+(* Resume a thread that was parked in a system call, delivering the
+   result after [cost] more virtual time. *)
+let syscall_return t th ~cost value =
+  (match th.machine with
+  | Some m -> th.machine <- Some (Guest.Interp.resume m value)
+  | None -> invalid_arg "Kernel.syscall_return: no machine");
+  after t cost (fun () ->
+      if th.tstate <> `Done && alive th.t_pico then begin
+        mark_runnable t th;
+        slice t th
+      end)
+
+(* Replace the thread's machine (exec, signal injection) and continue.
+   As in {!syscall_return}, [cost] is kernel/libOS CPU time: the thread
+   occupies a core for it. *)
+let set_machine t th machine ~cost =
+  th.machine <- Some machine;
+  mark_runnable t th;
+  after t (Time.scale cost (dilation t)) (fun () ->
+      if th.tstate <> `Done && alive th.t_pico then slice t th)
+
+let thread_machine th = th.machine
+
+let finish_thread t th =
+  mark_not_runnable t th `Done;
+  th.machine <- None;
+  th.t_pico.threads <- List.filter (fun x -> x != th) th.t_pico.threads
+
+(* {1 Exit} *)
+
+(* Close an endpoint in order with the data already sent on it: the
+   EOF travels at the same latency as bytes and respects the per-stream
+   FIFO, so messages written before a close are never overtaken by it.
+   (Sandbox splits close immediately instead — severing is the point
+   there.) *)
+let close_endpoint_ordered ?(force = true) t ep =
+  let doit = if force then Stream.close else Stream.release in
+  match ep.Stream.peer with
+  | Some peer -> schedule_into t peer (fun () -> doit ep)
+  | None -> after t Cost.stream_oneway (fun () -> doit ep)
+
+(* A guest descriptor close: drop this picoprocess's reference (other
+   inheritors keep theirs) and stop tracking that one reference for
+   exit cleanup — the list holds one entry per reference (dup adds
+   one), so exactly one is removed. *)
+let release_endpoint t pico ep =
+  let rec remove_one = function
+    | [] -> []
+    | e :: rest -> if e == ep then rest else e :: remove_one rest
+  in
+  pico.endpoints <- remove_one pico.endpoints;
+  close_endpoint_ordered ~force:false t ep
+
+let pico_exit t pico code =
+  if alive pico then begin
+    update_peak_rss pico;
+    pico.status <- Exited code;
+    List.iter (fun th -> finish_thread t th) pico.threads;
+    (* one release per registered reference: inherited ends shared with
+       live picoprocesses survive; ends only this process held reach
+       zero and close *)
+    List.iter (close_endpoint_ordered ~force:false t) pico.endpoints;
+    pico.endpoints <- [];
+    (* drop broadcast membership *)
+    (match Hashtbl.find_opt t.broadcasts pico.sandbox with
+    | Some members -> members := List.filter (fun (p, _) -> p != pico) !members
+    | None -> ());
+    (* close servers it owned *)
+    Hashtbl.iter
+      (fun _ srv -> if srv.srv_owner = pico.pid then srv.srv_closed <- true)
+      t.servers;
+    Memory.destroy pico.aspace;
+    let watchers = pico.exit_watchers in
+    pico.exit_watchers <- [];
+    List.iter (fun w -> w code) watchers
+  end
+
+let on_pico_exit _t pico watcher =
+  match pico.status with
+  | Exited code -> watcher code
+  | Alive -> pico.exit_watchers <- watcher :: pico.exit_watchers
+
+(* Host-level SIGKILL: no guest-side cleanup runs. *)
+let kill_pico t pico = pico_exit t pico 137
+
+(* {1 Streams} *)
+
+let register_endpoint _t pico ep =
+  ep.Stream.owner <- pico.pid;
+  pico.endpoints <- ep :: pico.endpoints
+
+let stream_server t pico ~name =
+  if Hashtbl.mem t.servers name then raise (Denied ("address in use: " ^ name));
+  let srv =
+    { srv_name = name; srv_owner = pico.pid; backlog = []; accept_waiters = []; srv_closed = false }
+  in
+  Hashtbl.replace t.servers name srv;
+  srv
+
+let stream_connect t ?(latency = Cost.stream_connect) pico ~name ~ok ~err =
+  match Hashtbl.find_opt t.servers name with
+  | None -> err "ENOENT"
+  | Some srv when srv.srv_closed -> err "ECONNREFUSED"
+  | Some srv ->
+    if not (t.lsm.check_stream_connect pico srv) then err "EACCES"
+    else begin
+      let client_ep, server_ep = Stream.pipe ~owner_a:pico.pid ~owner_b:srv.srv_owner in
+      register_endpoint t pico client_ep;
+      (match find_pico t srv.srv_owner with
+      | Some owner -> register_endpoint t owner server_ep
+      | None -> ());
+      (* connection establishment takes a stream round trip *)
+      after t latency (fun () ->
+          (match srv.accept_waiters with
+          | w :: rest ->
+            srv.accept_waiters <- rest;
+            w server_ep
+          | [] -> srv.backlog <- srv.backlog @ [ server_ep ]);
+          ok client_ep)
+    end
+
+let stream_accept _t srv k =
+  match srv.backlog with
+  | ep :: rest ->
+    srv.backlog <- rest;
+    k ep
+  | [] -> srv.accept_waiters <- srv.accept_waiters @ [ k ]
+
+(* Send data; it becomes readable at the peer after the one-way stream
+   latency. *)
+(* [extra] is send-side work (marshaling, copies) that delays delivery
+   but not the write's position in the stream's FIFO order. *)
+let stream_send ?extra t ep data =
+  match ep.Stream.peer with
+  | None -> raise (Denied "EPIPE")
+  | Some peer ->
+    if Stream.is_closed peer then raise (Denied "EPIPE")
+    else schedule_into ?extra t peer (fun () -> Stream.deliver peer data)
+
+let stream_send_handle t ep handle =
+  match ep.Stream.peer with
+  | None -> raise (Denied "EPIPE")
+  | Some peer ->
+    (* SCM_RIGHTS semantics: the recipient gets its own reference *)
+    (match handle.obj with Hstream ep' -> Stream.addref ep' | _ -> ());
+    schedule_into t peer (fun () -> Stream.deliver_oob peer handle)
+
+(* Blocking receive of up to [max] bytes; "" signals EOF. *)
+let rec stream_recv _t ep ~max k =
+  if Stream.available ep > 0 then k (Stream.read ep ~max)
+  else if Stream.at_eof ep || Stream.is_closed ep then k ""
+  else Stream.on_activity ep (fun () -> stream_recv _t ep ~max k)
+
+let rec stream_recv_msg _t ep k =
+  match Stream.read_message ep with
+  | Some msg -> k (Some msg)
+  | None ->
+    if Stream.at_eof ep || Stream.is_closed ep then k None
+    else Stream.on_activity ep (fun () -> stream_recv_msg _t ep k)
+
+let rec stream_recv_handle _t ep k =
+  match Stream.take_oob ep with
+  | Some h -> k (Some h)
+  | None ->
+    if Stream.at_eof ep || Stream.is_closed ep then k None
+    else Stream.on_activity ep (fun () -> stream_recv_handle _t ep k)
+
+(* {1 Broadcast streams} *)
+
+let broadcast_members t sandbox =
+  match Hashtbl.find_opt t.broadcasts sandbox with
+  | Some members -> members
+  | None ->
+    let members = ref [] in
+    Hashtbl.replace t.broadcasts sandbox members;
+    members
+
+let broadcast_join t pico ~handler =
+  let members = broadcast_members t pico.sandbox in
+  members := (pico, handler) :: !members
+
+let broadcast_leave t pico =
+  match Hashtbl.find_opt t.broadcasts pico.sandbox with
+  | Some members -> members := List.filter (fun (p, _) -> p != pico) !members
+  | None -> ()
+
+(* Message-granularity delivery to every member of the sender's
+   sandbox except the sender itself. *)
+let broadcast_send t pico msg =
+  let members = broadcast_members t pico.sandbox in
+  List.iter
+    (fun (p, handler) ->
+      if p != pico && alive p then
+        after t Cost.stream_oneway (fun () -> if alive p then handler msg))
+    !members
+
+(* {1 Sandboxes} *)
+
+(* Detach [pico] into a fresh sandbox: the defining security event.
+   The kernel closes every byte stream bridging the old and new
+   sandbox and moves the picoprocess to a fresh broadcast group
+   (paper §3: "the reference monitor closes any byte streams that
+   could bridge the two sandboxes"). Children listed in [keep] move
+   along with it. *)
+let sandbox_split t pico ~keep =
+  let moving = pico :: keep in
+  let moving_pids = List.map (fun p -> p.pid) moving in
+  let new_sandbox = fresh_sandbox t in
+  broadcast_leave t pico;
+  List.iter (fun p -> broadcast_leave t p) keep;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun ep ->
+          match ep.Stream.peer with
+          | Some peer when not (List.mem peer.Stream.owner moving_pids) ->
+            Stream.close ep;
+            Stream.close peer
+          | _ -> ())
+        p.endpoints;
+      p.endpoints <- List.filter (fun ep -> not (Stream.is_closed ep)) p.endpoints;
+      p.sandbox <- new_sandbox)
+    moving;
+  new_sandbox
+
+(* {1 Bulk IPC (gipc kernel module)} *)
+
+let gipc_send t pico ~ranges =
+  t.next_gipc <- t.next_gipc + 1;
+  Hashtbl.replace t.gipc_store t.next_gipc { g_src = pico; g_ranges = ranges };
+  t.next_gipc
+
+let gipc_recv t pico ~token =
+  match Hashtbl.find_opt t.gipc_store token with
+  | None -> raise (Denied "gipc: no such token")
+  | Some { g_src; g_ranges } ->
+    if not (t.lsm.check_gipc ~src:g_src ~dst:pico) then raise (Denied "gipc: cross-sandbox");
+    Hashtbl.remove t.gipc_store token;
+    let granted =
+      List.fold_left
+        (fun acc (base, npages) ->
+          acc
+          + Memory.share_range ~src:g_src.aspace ~dst:pico.aspace ~src_base:base
+              ~dst_base:base ~npages ~kind:Memory.Mmap)
+        0 g_ranges
+    in
+    update_peak_rss pico;
+    granted
+
+(* {1 File system host calls} *)
+
+(* Path-touching operations go through the LSM; these are the host
+   syscalls the filter marks [Trace]. *)
+let fs_open t pico path ~write ~create =
+  let path = Vfs.normalize path in
+  let access = if write || create then `Write else `Read in
+  if not (t.lsm.check_path pico path access) then raise (Denied ("EACCES " ^ path));
+  let file =
+    if create then begin
+      Vfs.mkdir_p t.fs (Filename.dirname path);
+      Vfs.create_file t.fs path
+    end
+    else Vfs.find_file t.fs path
+  in
+  fresh_handle t (Hfile { file; path })
+
+let fs_stat t pico path =
+  let path = Vfs.normalize path in
+  if not (t.lsm.check_path pico path `Read) then raise (Denied ("EACCES " ^ path));
+  Vfs.stat t.fs path
+
+let fs_unlink t pico path =
+  let path = Vfs.normalize path in
+  if not (t.lsm.check_path pico path `Write) then raise (Denied ("EACCES " ^ path));
+  Vfs.unlink t.fs path
+
+let fs_rename t pico ~src ~dst =
+  let src = Vfs.normalize src and dst = Vfs.normalize dst in
+  if not (t.lsm.check_path pico src `Write) then raise (Denied ("EACCES " ^ src));
+  if not (t.lsm.check_path pico dst `Write) then raise (Denied ("EACCES " ^ dst));
+  Vfs.rename t.fs ~src ~dst
+
+let fs_mkdir t pico path =
+  let path = Vfs.normalize path in
+  if not (t.lsm.check_path pico path `Write) then raise (Denied ("EACCES " ^ path));
+  Vfs.mkdir_p t.fs path
+
+let fs_readdir t pico path =
+  let path = Vfs.normalize path in
+  if not (t.lsm.check_path pico path `Read) then raise (Denied ("EACCES " ^ path));
+  Vfs.readdir t.fs path
+
+(* {1 Loopback network} *)
+
+let tcp_name port = Printf.sprintf "tcp:127.0.0.1:%d" port
+
+let net_listen t pico ~port =
+  if not (t.lsm.check_net pico ~addr:"127.0.0.1" ~port `Bind) then
+    raise (Denied "EACCES: bind");
+  stream_server t pico ~name:(tcp_name port)
+
+let net_connect t pico ~port ~ok ~err =
+  if not (t.lsm.check_net pico ~addr:"127.0.0.1" ~port `Connect) then err "EACCES"
+  else stream_connect t ~latency:Cost.tcp_connect pico ~name:(tcp_name port) ~ok ~err
+
+(* {1 Accounting} *)
+
+let system_memory t = Memory.system_bytes t.alloc
+
+let live_picos t = List.filter alive t.picos

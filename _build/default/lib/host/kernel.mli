@@ -1,0 +1,299 @@
+(** The simulated host kernel.
+
+    Owns the virtual clock (an event engine), the host file system, all
+    picoprocesses and their address spaces, byte/message streams, the
+    loopback network, the bulk-IPC (gipc) module, the per-picoprocess
+    seccomp filters, and the LSM hook points the reference monitor
+    installs into.
+
+    Threads of a picoprocess run guest-interpreter machines in sliced
+    events under a processor-sharing multicore model: when more threads
+    are runnable than cores, compute dilates by the ratio. Potentially
+    blocking host calls are in continuation-passing style; continuations
+    fire from later events, after the operation's latency. Deliveries
+    into a stream (data, passed handles, EOF) respect per-stream FIFO
+    order. *)
+
+module Bpf : sig
+  module Prog = Graphene_bpf.Prog
+  module Seccomp = Graphene_bpf.Seccomp
+  module Sysno = Graphene_bpf.Sysno
+end
+
+module Guest : sig
+  module Interp = Graphene_guest.Interp
+  module Ast = Graphene_guest.Ast
+end
+
+(** {1 Address-space layout constants} *)
+
+val pal_base : int
+(** Base of the PAL's code region — what the seccomp filter's
+    return-PC checks refer to. *)
+
+val pal_image_bytes : int
+val pal_limit : int
+val libos_base : int
+val app_base : int
+val heap_base : int
+val stack_base : int
+
+(** {1 Types} *)
+
+type handle = { hid : int; obj : handle_obj }
+
+and handle_obj =
+  | Hfile of { file : Vfs.file; path : string }
+      (** no seek pointer: PAL file handles are pread/pwrite-style *)
+  | Hdir of string
+  | Hstream of handle Stream.endpoint
+  | Hserver of server
+  | Hevent of Sync.event
+  | Hmutex of Sync.mutex
+  | Hsema of Sync.semaphore
+  | Hprocess of pico
+  | Hnull
+
+and server = {
+  srv_name : string;
+  srv_owner : int;
+  mutable backlog : handle Stream.endpoint list;
+  mutable accept_waiters : (handle Stream.endpoint -> unit) list;
+  mutable srv_closed : bool;
+}
+
+and pico_status = Alive | Exited of int
+
+and pico = {
+  pid : int;  (** host-level picoprocess id *)
+  mutable sandbox : int;
+  aspace : Memory.t;
+  mutable status : pico_status;
+  mutable threads : thread list;
+  mutable exit_watchers : (int -> unit) list;
+  mutable endpoints : handle Stream.endpoint list;
+  mutable filter : Bpf.Prog.t option;
+  mutable exe : string;
+  mutable spawned_at : Graphene_sim.Time.t;
+  mutable peak_rss : int;
+  mutable cpu_tax : float;
+      (** multiplicative compute overhead (e.g. nested paging inside a
+          VM); 1.0 = none *)
+}
+
+and thread = {
+  tid : int;
+  t_pico : pico;
+  mutable machine : Guest.Interp.state option;
+  mutable tstate : [ `Runnable | `Parked | `Done ];
+  mutable service : thread_service;
+}
+
+and thread_service = {
+  on_syscall : thread -> string -> Guest.Ast.value list -> unit;
+      (** must eventually resume, block, or exit the thread *)
+  on_finish : thread -> Guest.Ast.value -> unit;
+  on_fault : thread -> string -> unit;
+}
+
+and lsm = {
+  check_path : pico -> string -> [ `Read | `Write | `Exec ] -> bool;
+  check_net : pico -> addr:string -> port:int -> [ `Bind | `Connect ] -> bool;
+  check_stream_connect : pico -> server -> bool;
+  check_gipc : src:pico -> dst:pico -> bool;
+  on_sandbox_split : pico -> old_sandbox:int -> paths:string list -> unit;
+}
+
+type t = {
+  engine : Graphene_sim.Engine.t;
+  rng : Graphene_sim.Rng.t;
+  fs : Vfs.t;
+  alloc : Memory.allocator;
+  cores : int;
+  mutable picos : pico list;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable next_hid : int;
+  mutable next_sandbox : int;
+  servers : (string, server) Hashtbl.t;
+  broadcasts : (int, (pico * (string -> unit)) list ref) Hashtbl.t;
+  mutable lsm : lsm;
+  mutable lsm_active : bool;
+  gipc_store : (int, gipc_payload) Hashtbl.t;
+  mutable next_gipc : int;
+  mutable runnable : int;
+  syscall_counts : (string, int) Hashtbl.t;
+  images : (string, Memory.image) Hashtbl.t;
+  mutable quantum : int;
+  noise : float;
+}
+
+and gipc_payload
+
+exception Denied of string
+(** An LSM / reference-monitor rejection, carrying an errno tag. *)
+
+exception Killed_by_seccomp of string
+
+(** {1 Construction and time} *)
+
+val create : ?cores:int -> ?seed:int -> ?noise:float -> unit -> t
+(** [noise] is multiplicative compute jitter (0, the default, keeps
+    runs fully deterministic; benchmarks use ~0.006 so confidence
+    intervals are meaningful). *)
+
+val now : t -> Graphene_sim.Time.t
+val after : t -> Graphene_sim.Time.t -> (unit -> unit) -> unit
+val run_until_idle : t -> unit
+
+val run_watchdog : t -> max_events:int -> unit
+(** [run_until_idle] with an event budget; raises [Failure] on
+    exhaustion (livelock guard). *)
+
+(** {1 LSM} *)
+
+val permissive_lsm : lsm
+val set_lsm : t -> lsm -> unit
+(** Also marks the monitor active, which turns on the LSM check costs
+    in the PAL. *)
+
+val lsm_active : t -> bool
+
+(** {1 Picoprocesses} *)
+
+val spawn : t -> ?parent:pico -> ?with_pal:bool -> sandbox:int -> exe:string -> unit -> pico
+(** A clean picoprocess with (by default) the shared PAL image mapped.
+    [with_pal:false] is for the native-baseline processes. *)
+
+val install_filter : t -> pico -> Bpf.Prog.t -> unit
+(** One-way, like seccomp: installing twice raises. *)
+
+val find_pico : t -> int -> pico option
+val alive : pico -> bool
+val live_picos : t -> pico list
+val update_peak_rss : pico -> unit
+val fresh_sandbox : t -> int
+val fresh_handle : t -> handle_obj -> handle
+
+val syscall_check :
+  t -> pico -> name:string -> pc:int -> args:int array -> Bpf.Prog.action * Graphene_sim.Time.t
+(** Evaluate the installed filter for one host call; returns the
+    verdict and the filter-evaluation cost. Unfiltered picoprocesses
+    are always allowed. Also feeds {!syscall_counts}. *)
+
+val get_image : t -> name:string -> bytes:int -> Memory.image
+(** The shared code-image registry (page-cache semantics). *)
+
+(** {1 Threads and scheduling} *)
+
+val dilation : t -> float
+val spawn_thread : t -> pico -> Guest.Interp.state -> service:thread_service -> thread
+
+val syscall_return : t -> thread -> cost:Graphene_sim.Time.t -> Guest.Ast.value -> unit
+(** Resume a thread parked in a system call; [cost] is kernel-mode CPU
+    time (it occupies a core and dilates under contention). *)
+
+val set_machine : t -> thread -> Guest.Interp.state -> cost:Graphene_sim.Time.t -> unit
+(** Replace the machine (exec, signal injection) and continue, with the
+    same cost semantics as {!syscall_return}. *)
+
+val thread_machine : thread -> Guest.Interp.state option
+val finish_thread : t -> thread -> unit
+
+(** {1 Exit} *)
+
+val pico_exit : t -> pico -> int -> unit
+(** Terminate: tear down threads, close endpoints (in stream-FIFO
+    order), close owned servers, free memory, fire exit watchers. *)
+
+val on_pico_exit : t -> pico -> (int -> unit) -> unit
+(** Fires immediately if already exited. *)
+
+val kill_pico : t -> pico -> unit
+(** Host-level SIGKILL (exit code 137); no guest cleanup. *)
+
+(** {1 Streams} *)
+
+val register_endpoint : t -> pico -> handle Stream.endpoint -> unit
+(** Ownership for exit cleanup and sandbox-split severing. *)
+
+val close_endpoint_ordered : ?force:bool -> t -> handle Stream.endpoint -> unit
+(** Close after everything already in flight on the stream. [force]
+    (the default) closes unconditionally — process death; with
+    [~force:false] only this reference is dropped. *)
+
+val release_endpoint : t -> pico -> handle Stream.endpoint -> unit
+(** A guest descriptor close: drop this picoprocess's reference and
+    stop tracking the endpoint for exit cleanup. *)
+
+val stream_server : t -> pico -> name:string -> server
+(** Raises {!Denied} if the name is taken. *)
+
+val stream_connect :
+  t ->
+  ?latency:Graphene_sim.Time.t ->
+  pico ->
+  name:string ->
+  ok:(handle Stream.endpoint -> unit) ->
+  err:(string -> unit) ->
+  unit
+(** Rendezvous by name: creates the pair, queues the server side for
+    accept, and calls [ok] with the client side after the connection
+    latency. Errors: ENOENT, ECONNREFUSED, EACCES (LSM). *)
+
+val stream_accept : t -> server -> (handle Stream.endpoint -> unit) -> unit
+val stream_send : ?extra:Graphene_sim.Time.t -> t -> handle Stream.endpoint -> string -> unit
+(** Raises {!Denied} ["EPIPE"] on a closed peer. [extra] is send-side
+    work that delays delivery but not the message's FIFO position. *)
+
+val stream_send_handle : t -> handle Stream.endpoint -> handle -> unit
+val stream_recv : t -> handle Stream.endpoint -> max:int -> (string -> unit) -> unit
+(** Blocking; [""] is EOF. *)
+
+val stream_recv_msg : t -> handle Stream.endpoint -> (string option -> unit) -> unit
+val stream_recv_handle : t -> handle Stream.endpoint -> (handle option -> unit) -> unit
+
+(** {1 Broadcast streams} *)
+
+val broadcast_join : t -> pico -> handler:(string -> unit) -> unit
+val broadcast_leave : t -> pico -> unit
+val broadcast_send : t -> pico -> string -> unit
+(** Message-granularity delivery to every sandbox member except the
+    sender. *)
+
+(** {1 Sandboxes} *)
+
+val sandbox_split : t -> pico -> keep:pico list -> int
+(** Detach into a fresh sandbox, severing (immediately) every stream
+    that would bridge the old and new sandboxes; [keep] children move
+    along. Returns the new sandbox id. *)
+
+(** {1 Bulk IPC (the gipc kernel module)} *)
+
+val gipc_send : t -> pico -> ranges:(int * int) list -> int
+(** Stage (base, npages) ranges for copy-on-write transfer; returns a
+    single-use token. *)
+
+val gipc_recv : t -> pico -> token:int -> int
+(** Map the staged ranges at the same addresses, COW; returns the
+    number of frames granted. {!Denied} across sandboxes. *)
+
+(** {1 File system host calls (LSM-checked)} *)
+
+val fs_open : t -> pico -> string -> write:bool -> create:bool -> handle
+val fs_stat : t -> pico -> string -> Vfs.stat
+val fs_unlink : t -> pico -> string -> unit
+val fs_rename : t -> pico -> src:string -> dst:string -> unit
+val fs_mkdir : t -> pico -> string -> unit
+val fs_readdir : t -> pico -> string -> string list
+
+(** {1 Loopback network} *)
+
+val net_listen : t -> pico -> port:int -> server
+val net_connect :
+  t -> pico -> port:int -> ok:(handle Stream.endpoint -> unit) -> err:(string -> unit) -> unit
+
+(** {1 Accounting} *)
+
+val syscall_counts : t -> (string * int) list
+val system_memory : t -> int

@@ -1,0 +1,155 @@
+(** Host byte streams and message streams.
+
+    A byte stream is a bidirectional pipe between two endpoints; each
+    endpoint has an inbox the peer writes into. Streams also carry an
+    out-of-band queue of ['a] payloads — the kernel threads its handle
+    type through this to implement the handle-passing ABI (paper §5,
+    "Inheriting file handles").
+
+    This module is pure plumbing: delivery latency and waking costs are
+    charged by the kernel, which calls {!deliver} from timed events. *)
+
+type 'a endpoint = {
+  id : int;
+  mutable owner : int;  (** picoprocess id holding this endpoint *)
+  mutable peer : 'a endpoint option;
+  inbox : string Queue.t;
+  mutable inbox_offset : int;  (** read offset into the head chunk *)
+  mutable inbox_bytes : int;
+  oob : 'a Queue.t;  (** out-of-band payloads (passed handles) *)
+  mutable closed : bool;  (** peer will see EOF once inbox drains *)
+  mutable notify : (unit -> unit) list;
+      (** callbacks invoked on every delivery and on close *)
+  mutable total_in : int;  (** lifetime bytes received, for accounting *)
+  mutable fifo_clock : int;
+      (** virtual time of the last scheduled delivery into this inbox;
+          the kernel uses it to keep data and EOF in FIFO order *)
+  mutable refs : int;
+      (** descriptor references: handle passing and dup duplicate the
+          reference, and only the last release closes the end (process
+          death force-closes regardless) *)
+}
+
+let next_id = ref 0
+
+let make_endpoint ~owner =
+  incr next_id;
+  { id = !next_id;
+    owner;
+    peer = None;
+    inbox = Queue.create ();
+    inbox_offset = 0;
+    inbox_bytes = 0;
+    oob = Queue.create ();
+    closed = false;
+    notify = [];
+    total_in = 0;
+    fifo_clock = 0;
+    refs = 1 }
+
+(* A connected pair of endpoints, one per side. *)
+let pipe ~owner_a ~owner_b =
+  let a = make_endpoint ~owner:owner_a in
+  let b = make_endpoint ~owner:owner_b in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (a, b)
+
+let fire ep =
+  let callbacks = ep.notify in
+  ep.notify <- [];
+  List.iter (fun f -> f ()) callbacks
+
+let on_activity ep f = ep.notify <- f :: ep.notify
+
+(* Deposit [data] into [ep]'s inbox (the kernel calls this after the
+   stream's one-way latency has elapsed). *)
+let deliver ep data =
+  if not ep.closed then begin
+    if String.length data > 0 then begin
+      Queue.push data ep.inbox;
+      ep.inbox_bytes <- ep.inbox_bytes + String.length data;
+      ep.total_in <- ep.total_in + String.length data
+    end;
+    fire ep
+  end
+
+let deliver_oob ep payload =
+  if not ep.closed then begin
+    Queue.push payload ep.oob;
+    fire ep
+  end
+
+let available ep = ep.inbox_bytes
+let has_oob ep = not (Queue.is_empty ep.oob)
+
+let take_oob ep = if Queue.is_empty ep.oob then None else Some (Queue.pop ep.oob)
+
+(* Read up to [max] bytes. Returns "" only when the inbox is empty. *)
+let read ep ~max =
+  if max <= 0 then ""
+  else begin
+    let buf = Buffer.create (Stdlib.min max ep.inbox_bytes) in
+    let rec loop remaining =
+      if remaining > 0 && not (Queue.is_empty ep.inbox) then begin
+        let chunk = Queue.peek ep.inbox in
+        let avail = String.length chunk - ep.inbox_offset in
+        let take = Stdlib.min avail remaining in
+        Buffer.add_substring buf chunk ep.inbox_offset take;
+        ep.inbox_bytes <- ep.inbox_bytes - take;
+        if take = avail then begin
+          ignore (Queue.pop ep.inbox);
+          ep.inbox_offset <- 0
+        end
+        else ep.inbox_offset <- ep.inbox_offset + take;
+        loop (remaining - take)
+      end
+    in
+    loop max;
+    Buffer.contents buf
+  end
+
+(* Read a whole delivered chunk, preserving message boundaries; the
+   broadcast stream and the RPC layer are message-granularity (paper
+   §4.1). *)
+let read_message ep =
+  if Queue.is_empty ep.inbox then None
+  else begin
+    let chunk = Queue.pop ep.inbox in
+    let msg =
+      if ep.inbox_offset = 0 then chunk
+      else String.sub chunk ep.inbox_offset (String.length chunk - ep.inbox_offset)
+    in
+    ep.inbox_offset <- 0;
+    ep.inbox_bytes <- ep.inbox_bytes - String.length msg;
+    Some msg
+  end
+
+let at_eof ep =
+  ep.inbox_bytes = 0
+  && Queue.is_empty ep.oob
+  &&
+  match ep.peer with
+  | None -> true
+  | Some p -> p.closed
+
+let addref ep = ep.refs <- ep.refs + 1
+
+(* Close this side unconditionally; the peer sees EOF after draining. *)
+let close ep =
+  if not ep.closed then begin
+    ep.closed <- true;
+    ep.refs <- 0;
+    fire ep;
+    match ep.peer with None -> () | Some p -> fire p
+  end
+
+(* Drop one descriptor reference; the end closes when the last holder
+   releases it. *)
+let release ep =
+  ep.refs <- ep.refs - 1;
+  if ep.refs <= 0 then close ep
+
+let is_closed ep = ep.closed
+
+let connected ep = match ep.peer with Some p -> not p.closed | None -> false

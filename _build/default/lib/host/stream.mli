@@ -1,0 +1,76 @@
+(** Host byte streams and message streams.
+
+    A byte stream is a bidirectional pipe between two endpoints; each
+    endpoint owns an inbox its peer's sends are delivered into. Streams
+    also carry an out-of-band queue of ['a] payloads — the kernel
+    threads its handle type through this to implement the
+    handle-passing ABI (paper §5, "Inheriting file handles").
+
+    This module is pure plumbing with no notion of time: the kernel
+    schedules {!deliver}/{!deliver_oob}/{!close} from timed events
+    (keeping per-stream FIFO order), and wraps costs around reads. *)
+
+type 'a endpoint = {
+  id : int;  (** unique; for debugging and tests *)
+  mutable owner : int;  (** picoprocess id holding this endpoint *)
+  mutable peer : 'a endpoint option;
+  inbox : string Queue.t;
+  mutable inbox_offset : int;
+  mutable inbox_bytes : int;
+  oob : 'a Queue.t;
+  mutable closed : bool;
+  mutable notify : (unit -> unit) list;
+  mutable total_in : int;
+  mutable fifo_clock : int;
+      (** virtual time of the last scheduled delivery into this inbox;
+          the kernel uses it to keep data and EOF in FIFO order *)
+  mutable refs : int;
+      (** descriptor references; see {!addref}/{!release} *)
+}
+
+val make_endpoint : owner:int -> 'a endpoint
+
+val pipe : owner_a:int -> owner_b:int -> 'a endpoint * 'a endpoint
+(** A connected pair. *)
+
+val deliver : 'a endpoint -> string -> unit
+(** Deposit bytes into the endpoint's inbox and fire its notify
+    callbacks. Dropped silently if the endpoint is closed. *)
+
+val deliver_oob : 'a endpoint -> 'a -> unit
+(** Deposit an out-of-band payload (a passed handle). *)
+
+val on_activity : 'a endpoint -> (unit -> unit) -> unit
+(** One-shot callback on the next delivery or close. Callbacks are
+    consumed when fired; re-register to keep listening. *)
+
+val available : 'a endpoint -> int
+(** Bytes ready to read. *)
+
+val read : 'a endpoint -> max:int -> string
+(** Up to [max] buffered bytes; [""] iff the inbox is empty. *)
+
+val read_message : 'a endpoint -> string option
+(** One delivered chunk, preserving message boundaries — the broadcast
+    stream and the RPC layer are message-granularity (paper §4.1). *)
+
+val has_oob : 'a endpoint -> bool
+val take_oob : 'a endpoint -> 'a option
+
+val at_eof : 'a endpoint -> bool
+(** Inbox and oob drained, and the peer is closed (or absent). *)
+
+val addref : 'a endpoint -> unit
+(** Another descriptor now references this end (handle passing, dup). *)
+
+val close : 'a endpoint -> unit
+(** Close this side unconditionally (process death); the peer reads to
+    EOF. Idempotent. *)
+
+val release : 'a endpoint -> unit
+(** Drop one descriptor reference; closes on the last one. *)
+
+val is_closed : 'a endpoint -> bool
+
+val connected : 'a endpoint -> bool
+(** The peer exists and has not closed. *)

@@ -1,0 +1,98 @@
+(** Host synchronization objects for the PAL scheduling class.
+
+    Linux consolidates user-level synchronization onto futexes (paper
+    §5); the PAL exposes three object flavours built on kernel wait
+    queues: notification events, mutexes and counting semaphores.
+    Waiters are opaque callbacks; the kernel wraps thread wake-up (and
+    its cost) around them. *)
+
+type waiter = unit -> unit
+
+type event = {
+  mutable signaled : bool;
+  auto_reset : bool;  (** a set wakes one waiter then clears *)
+  mutable ev_waiters : waiter list;  (** FIFO at wake time *)
+}
+
+type mutex = { mutable locked : bool; mutable mu_waiters : waiter list }
+
+type semaphore = { mutable count : int; mutable sem_waiters : waiter list }
+
+let make_event ~auto_reset = { signaled = false; auto_reset; ev_waiters = [] }
+
+let pop_waiters l =
+  let ws = List.rev l in
+  ws
+
+let event_set ev =
+  match (ev.auto_reset, ev.ev_waiters) with
+  | true, [] -> ev.signaled <- true
+  | true, ws ->
+    (* wake exactly one waiter; the event stays clear *)
+    (match pop_waiters ws with
+    | w :: rest ->
+      ev.ev_waiters <- List.rev rest;
+      w ()
+    | [] -> assert false)
+  | false, ws ->
+    ev.signaled <- true;
+    ev.ev_waiters <- [];
+    List.iter (fun w -> w ()) (pop_waiters ws)
+
+let event_clear ev = ev.signaled <- false
+
+(* Returns [true] if the wait completed immediately. *)
+let event_wait ev ~waiter =
+  if ev.signaled then begin
+    if ev.auto_reset then ev.signaled <- false;
+    true
+  end
+  else begin
+    ev.ev_waiters <- waiter :: ev.ev_waiters;
+    false
+  end
+
+let make_mutex () = { locked = false; mu_waiters = [] }
+
+let mutex_lock mu ~waiter =
+  if not mu.locked then begin
+    mu.locked <- true;
+    true
+  end
+  else begin
+    mu.mu_waiters <- waiter :: mu.mu_waiters;
+    false
+  end
+
+let mutex_unlock mu =
+  match pop_waiters mu.mu_waiters with
+  | [] -> mu.locked <- false
+  | w :: rest ->
+    (* ownership transfers directly to the first waiter *)
+    mu.mu_waiters <- List.rev rest;
+    w ()
+
+let make_semaphore ~count =
+  if count < 0 then invalid_arg "Sync.make_semaphore: negative count";
+  { count; sem_waiters = [] }
+
+let semaphore_acquire sem ~waiter =
+  if sem.count > 0 then begin
+    sem.count <- sem.count - 1;
+    true
+  end
+  else begin
+    sem.sem_waiters <- waiter :: sem.sem_waiters;
+    false
+  end
+
+let semaphore_release sem =
+  match pop_waiters sem.sem_waiters with
+  | [] -> sem.count <- sem.count + 1
+  | w :: rest ->
+    sem.sem_waiters <- List.rev rest;
+    w ()
+
+let semaphore_value sem = sem.count
+let event_is_signaled ev = ev.signaled
+let mutex_is_locked mu = mu.locked

@@ -1,0 +1,48 @@
+(** Host synchronization objects for the PAL scheduling class.
+
+    Linux consolidates user-level synchronization onto futexes (paper
+    §5); the PAL exposes three object flavours built on kernel wait
+    queues. Waiters are opaque callbacks; the kernel wraps thread
+    wake-up (and its cost) around them. All acquire-style operations
+    return [true] when satisfied immediately and [false] when the
+    waiter was queued. *)
+
+type waiter = unit -> unit
+
+(** {1 Events} *)
+
+type event
+
+val make_event : auto_reset:bool -> event
+(** [auto_reset:false] is a notification event: set wakes everyone and
+    latches. [auto_reset:true] is a synchronization event: set wakes
+    exactly one waiter (or latches once if none). *)
+
+val event_set : event -> unit
+val event_clear : event -> unit
+val event_wait : event -> waiter:waiter -> bool
+val event_is_signaled : event -> bool
+
+(** {1 Mutexes} *)
+
+type mutex
+
+val make_mutex : unit -> mutex
+
+val mutex_lock : mutex -> waiter:waiter -> bool
+(** On contention, the waiter is queued; unlock transfers ownership to
+    the first waiter FIFO. *)
+
+val mutex_unlock : mutex -> unit
+val mutex_is_locked : mutex -> bool
+
+(** {1 Counting semaphores} *)
+
+type semaphore
+
+val make_semaphore : count:int -> semaphore
+(** [Invalid_argument] on a negative count. *)
+
+val semaphore_acquire : semaphore -> waiter:waiter -> bool
+val semaphore_release : semaphore -> unit
+val semaphore_value : semaphore -> int

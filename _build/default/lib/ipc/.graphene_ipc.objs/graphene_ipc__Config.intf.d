@@ -1,0 +1,1 @@
+lib/ipc/config.mli:

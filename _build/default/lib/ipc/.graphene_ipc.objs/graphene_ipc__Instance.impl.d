@@ -1,0 +1,1 @@
+lib/ipc/instance.ml: Config Cost Graphene_host Graphene_pal Graphene_sim Hashtbl List Marshal Option Printf String Sys Time Wire

@@ -1,0 +1,1 @@
+lib/ipc/instance.mli: Config Graphene_host Graphene_pal

@@ -1,0 +1,1 @@
+lib/ipc/wire.ml: Marshal Printf

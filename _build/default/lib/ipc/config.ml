@@ -1,0 +1,50 @@
+(** Coordination-framework tuning knobs.
+
+    Each flag corresponds to one of the §4.3 "lessons learned"
+    optimizations; the ablation benchmark toggles them individually to
+    reproduce the claimed effects (e.g. ownership migration reduced
+    remote message-queue receive overhead by ~10x, and stream caching
+    turns a ~2 ms first signal into ~55 us). *)
+
+type t = {
+  mutable async_send : bool;
+      (** fire-and-forget sends to remote message queues whose location
+          is already known *)
+  mutable migrate_ownership : bool;
+      (** migrate queues to their consumer / semaphores to their most
+          frequent acquirer *)
+  mutable migrate_threshold : int;
+      (** consecutive remote operations before ownership moves *)
+  mutable pid_batch : int;
+      (** how many PIDs the leader hands out per allocation request *)
+  mutable cache_p2p : bool;
+      (** keep point-to-point streams open between RPCs *)
+  mutable cache_owners : bool;
+      (** cache name-to-owner resolutions (PID maps, queue owners) *)
+}
+
+let default () =
+  { async_send = true;
+    migrate_ownership = true;
+    migrate_threshold = 3;
+    pid_batch = 50;
+    cache_p2p = true;
+    cache_owners = true }
+
+(* The starting point of §4.3's iteration: every coordination request
+   is a synchronous RPC, no caching, no batching. *)
+let naive () =
+  { async_send = false;
+    migrate_ownership = false;
+    migrate_threshold = max_int;
+    pid_batch = 1;
+    cache_p2p = false;
+    cache_owners = false }
+
+let copy c =
+  { async_send = c.async_send;
+    migrate_ownership = c.migrate_ownership;
+    migrate_threshold = c.migrate_threshold;
+    pid_batch = c.pid_batch;
+    cache_p2p = c.cache_p2p;
+    cache_owners = c.cache_owners }

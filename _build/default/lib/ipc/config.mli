@@ -1,0 +1,33 @@
+(** Coordination-framework tuning knobs.
+
+    Each flag corresponds to one of the §4.3 "lessons learned"
+    optimizations; the ablation benchmark toggles them individually to
+    reproduce the claimed effects (ownership migration bought ~10x on
+    remote receives; stream caching turns a ~2 ms first signal into
+    ~55 µs; batching keeps the leader off fork's critical path). *)
+
+type t = {
+  mutable async_send : bool;
+      (** fire-and-forget sends to remote message queues whose location
+          is known and whose stream is established *)
+  mutable migrate_ownership : bool;
+      (** migrate queues to their consumer / semaphores to their most
+          frequent acquirer *)
+  mutable migrate_threshold : int;
+      (** consecutive remote operations before ownership moves *)
+  mutable pid_batch : int;
+      (** how many PIDs the leader hands out per allocation request *)
+  mutable cache_p2p : bool;
+      (** keep point-to-point streams open between RPCs *)
+  mutable cache_owners : bool;
+      (** cache name-to-owner resolutions (PID maps, queue owners) *)
+}
+
+val default : unit -> t
+(** Everything on: batch 50, migration threshold 3. *)
+
+val naive : unit -> t
+(** The starting point of §4.3's iteration: every coordination request
+    is a synchronous RPC, no caching, no batching, no migration. *)
+
+val copy : t -> t

@@ -1,0 +1,1027 @@
+(** One libOS's coordination engine: the IPC helper, the leader role,
+    and the client paths for every multi-process abstraction
+    (Table 2 of the paper).
+
+    Each instance runs a pipe server named after its address
+    ([pipe:pico.<addr>]); point-to-point RPC streams connect there and
+    are cached. One instance per sandbox is the leader, which
+    subdivides the PID and System V id namespaces in batches. RPC
+    handlers answer strictly from local state (no recursive RPCs), and
+    responses may be deferred (a receive on an empty queue answers when
+    a message arrives), which keeps the helper deadlock-free. *)
+
+open Graphene_sim
+module K = Graphene_host.Kernel
+module Stream = Graphene_host.Stream
+module Pal = Graphene_pal.Pal
+
+type callbacks = {
+  deliver_signal : signum:int -> from_pid:int -> to_pid:int -> bool;
+      (** [false] if the target PID is not in this thread group *)
+  on_exit_notification : pid:int -> code:int -> unit;
+  proc_read : pid:int -> field:string -> (string, string) result;
+}
+
+type waiter =
+  | Local of ((string, string) result -> unit)
+  | Remote of { ep : K.handle Stream.endpoint; reqid : int; requester : string }
+
+type msgq = {
+  mq_id : int;
+  mq_key : int;
+  mutable contents : string list;  (** FIFO, head = oldest *)
+  mutable rwaiters : waiter list;
+  recv_stats : (string, int) Hashtbl.t;
+  mutable accessors : string list;  (** addresses to tell about deletion *)
+}
+
+type sem_waiter =
+  | Sem_local of ((unit, string) result -> unit)
+  | Sem_remote of { ep : K.handle Stream.endpoint; reqid : int; requester : string }
+
+type sem = {
+  sm_id : int;
+  sm_key : int;
+  mutable count : int;
+  mutable swaiters : sem_waiter list;
+  acq_stats : (string, int) Hashtbl.t;
+}
+
+type leader_state = {
+  mutable next_pid : int;
+  mutable pid_owners : (int * int * string) list;
+  mutable next_rid : int;
+  key_to_msgq : (int, int) Hashtbl.t;
+  key_to_sem : (int, int) Hashtbl.t;
+  res_owner : (int, string) Hashtbl.t;
+  res_persisted : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  pal : Pal.t;
+  cfg : Config.t;
+  callbacks : callbacks;
+  my_addr : string;
+  mutable leader_addr : string;
+  mutable leader : leader_state option;
+  mutable pid_pool : (int * int) list;  (** owned ranges, allocated from front *)
+  streams : (string, K.handle) Hashtbl.t;
+  owner_cache : (int, string) Hashtbl.t;  (** SysV id -> owner addr *)
+  pid_cache : (int, string) Hashtbl.t;  (** PID -> owner addr *)
+  pending : (int, string option * (Wire.response -> unit)) Hashtbl.t;
+  mutable next_req : int;
+  msgqs : (int, msgq) Hashtbl.t;  (** queues owned here *)
+  sems : (int, sem) Hashtbl.t;
+  deleted : (int, unit) Hashtbl.t;  (** ids known deleted *)
+  mutable rpc_sent : int;  (** telemetry *)
+  mutable rpc_handled : int;
+  mutable shutdown : bool;
+  mutable my_pid : int;  (** guest PID, the election tie-breaker *)
+  mutable electing : bool;
+  mutable candidates : (int * string) list;
+}
+
+let persist_dir = "/var/graphene/msgq"
+let persist_path id = Printf.sprintf "%s/%d" persist_dir id
+
+let fresh_leader ~first_pid =
+  { next_pid = first_pid;
+    pid_owners = [];
+    next_rid = 1;
+    key_to_msgq = Hashtbl.create 16;
+    key_to_sem = Hashtbl.create 16;
+    res_owner = Hashtbl.create 16;
+    res_persisted = Hashtbl.create 16 }
+
+let kernel t = Pal.kernel t.pal
+let my_addr t = t.my_addr
+let is_leader t = t.leader <> None
+let rpc_sent t = t.rpc_sent
+let rpc_handled t = t.rpc_handled
+
+let ep_of_handle h =
+  match h.K.obj with
+  | K.Hstream ep -> ep
+  | _ -> invalid_arg "Instance: not a stream handle"
+
+(* {1 Sending} *)
+
+(* Marshal + host write; the kernel adds the stream's one-way latency. *)
+let send_env t ep env =
+  let data = Wire.encode env in
+  let dbg = Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None in
+  if dbg then Printf.eprintf "[ipc %s] sending %s ep=%d t=%d\n%!" t.my_addr (Wire.describe env) ep.Stream.id (K.now (kernel t));
+  (* marshal + write cost delays delivery, but the message claims its
+     place in the stream order now — an exiting peer's EOF cannot
+     overtake it *)
+  let cost = Time.add (Time.us 0.8) (Time.add Cost.host_write_base (Cost.copy_cost (String.length data))) in
+  (try K.stream_send ~extra:cost (kernel t) ep data
+   with K.Denied e -> if dbg then Printf.eprintf "[ipc %s] send failed %s\n%!" t.my_addr e)
+
+let respond t ep reqid resp = send_env t ep (Wire.Resp (reqid, resp))
+
+(* {1 The helper pump} *)
+
+let rec pump ?addr t ep =
+  K.stream_recv_msg (kernel t) ep (function
+    | None ->
+      if Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None then
+        Printf.eprintf "[ipc %s] pump EOF ep=%d closed=%b t=%d\n%!" t.my_addr ep.Stream.id
+          (Stream.is_closed ep) (K.now (kernel t));
+      (* the peer is gone: drop the cached stream and fail every
+         request still waiting on it (the caller's retry machinery —
+         EMOVED handling, leader election — takes over) *)
+      (match addr with
+      | Some a ->
+        Hashtbl.remove t.streams a;
+        let stale =
+          Hashtbl.fold
+            (fun id (target, k) acc -> if target = Some a then (id, k) :: acc else acc)
+            t.pending []
+        in
+        List.iter
+          (fun (id, k) ->
+            Hashtbl.remove t.pending id;
+            k (Wire.R_err "ECONNREFUSED"))
+          stale
+      | None -> ())
+    | Some msg ->
+      (* helper wakeup + decode *)
+      K.after (kernel t) Cost.helper_dispatch (fun () ->
+          (if not t.shutdown then
+             match Wire.decode msg with
+             | Some env -> handle t ep env
+             | None -> ());
+          pump ?addr t ep))
+
+and handle t ep env =
+  if Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None then
+    Printf.eprintf "[ipc %s] handling %s t=%d shutdown=%b\n%!" t.my_addr (Wire.describe env)
+      (K.now (kernel t)) t.shutdown;
+  t.rpc_handled <- t.rpc_handled + 1;
+  match env with
+  | Wire.Resp (id, resp) -> (
+    match Hashtbl.find_opt t.pending id with
+    | Some (_, k) ->
+      Hashtbl.remove t.pending id;
+      k resp
+    | None -> ())
+  | Wire.Req (id, req) ->
+    K.after (kernel t) Cost.rpc_handler (fun () ->
+        if not t.shutdown then handle_request t ep id req)
+  | Wire.Oneway n ->
+    K.after (kernel t) Cost.rpc_handler (fun () ->
+        if not t.shutdown then handle_notification t n)
+
+(* {1 Client-side stream management} *)
+
+and with_stream t addr k =
+  match Hashtbl.find_opt t.streams addr with
+  | Some h when Stream.connected (ep_of_handle h) && not (Stream.is_closed (ep_of_handle h)) ->
+    k (Ok h)
+  | _ ->
+    Hashtbl.remove t.streams addr;
+    (* ENOENT means the target's helper has not created its rendezvous
+       server yet (it may still be restoring after fork); retry with
+       backoff rather than failing a race *)
+    let rec attempt tries =
+      Pal.stream_open t.pal ("pipe:pico." ^ addr) ~write:true ~create:false (function
+        | Ok h ->
+          (* pump our side so responses and peer requests reach us *)
+          pump ~addr t (ep_of_handle h);
+          if t.cfg.Config.cache_p2p then Hashtbl.replace t.streams addr h;
+          k (Ok h)
+        | Error "ENOENT" when tries > 0 && not t.shutdown ->
+          K.after (kernel t) (Time.us 50.) (fun () -> attempt (tries - 1))
+        | Error e -> k (Error e))
+    in
+    attempt 40
+
+and rpc t ~addr req k = rpc_attempt t ~addr ~tries:3 req k
+
+and rpc_attempt t ~addr ~tries req k =
+  if Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None then
+    Printf.eprintf "[ipc %s] rpc to %s\n%!" t.my_addr addr;
+  with_stream t addr (fun res ->
+      match res with
+      | Error _ when addr = t.leader_addr && tries > 0 && not t.shutdown ->
+        (* the leader is gone: elect a new one over the broadcast
+           stream, then retry against whoever won *)
+        join_election t;
+        K.after (kernel t) (Time.ms 1.2) (fun () ->
+            rpc_attempt t ~addr:t.leader_addr ~tries:(tries - 1) req k)
+      | Error e ->
+        if Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None then
+          Printf.eprintf "[ipc %s] connect to %s failed: %s\n%!" t.my_addr addr e;
+        k (Wire.R_err e)
+      | Ok h ->
+        t.next_req <- t.next_req + 1;
+        let id = t.next_req in
+        t.rpc_sent <- t.rpc_sent + 1;
+        let finish resp =
+          if not t.cfg.Config.cache_p2p then begin
+            Hashtbl.remove t.streams addr;
+            Pal.stream_close t.pal h (fun _ -> ())
+          end;
+          k resp
+        in
+        Hashtbl.replace t.pending id (Some addr, finish);
+        send_env t (ep_of_handle h) (Wire.Req (id, req)))
+
+and oneway t ~addr n =
+  with_stream t addr (fun res ->
+      match res with
+      | Error _ -> ()
+      | Ok h ->
+        t.rpc_sent <- t.rpc_sent + 1;
+        send_env t (ep_of_handle h) (Wire.Oneway n))
+
+(* {1 Leader-side request handling} *)
+
+and leader_must t f =
+  match t.leader with
+  | Some ls -> f ls
+  | None -> Wire.R_err "ENOTLEADER"
+
+and handle_request t ep reqid req =
+  let reply r = respond t ep reqid r in
+  match req with
+  | Wire.Pid_alloc { count; requester } ->
+    reply
+      (leader_must t (fun ls ->
+           let lo = ls.next_pid in
+           let hi = lo + count - 1 in
+           ls.next_pid <- hi + 1;
+           ls.pid_owners <- (lo, hi, requester) :: ls.pid_owners;
+           Wire.R_range { lo; hi }))
+  | Wire.Pid_query { pid } ->
+    reply
+      (leader_must t (fun ls ->
+           let owner =
+             List.find_map
+               (fun (lo, hi, addr) -> if pid >= lo && pid <= hi then Some addr else None)
+               ls.pid_owners
+           in
+           Wire.R_owner { addr = owner }))
+  | Wire.Res_query { id } ->
+    reply
+      (leader_must t (fun ls ->
+           Wire.R_resource
+             { id;
+               owner = Option.value ~default:"" (Hashtbl.find_opt ls.res_owner id);
+               persisted = Hashtbl.mem ls.res_persisted id;
+               created = false }))
+  | Wire.Signal { to_pid; signum; from_pid } ->
+    if t.callbacks.deliver_signal ~signum ~from_pid ~to_pid then reply Wire.R_unit
+    else reply (Wire.R_err "ESRCH")
+  | Wire.Proc_read { pid; field } -> (
+    match t.callbacks.proc_read ~pid ~field with
+    | Ok s -> reply (Wire.R_str s)
+    | Error e -> reply (Wire.R_err e))
+  | Wire.Msgq_get { key; create; requester } ->
+    reply
+      (leader_must t (fun ls ->
+           match Hashtbl.find_opt ls.key_to_msgq key with
+           | Some id ->
+             let owner = Option.value ~default:"" (Hashtbl.find_opt ls.res_owner id) in
+             Wire.R_resource
+               { id; owner; persisted = Hashtbl.mem ls.res_persisted id; created = false }
+           | None ->
+             if not create then Wire.R_err "ENOENT"
+             else begin
+               let id = ls.next_rid in
+               ls.next_rid <- id + 1;
+               Hashtbl.replace ls.key_to_msgq key id;
+               Hashtbl.replace ls.res_owner id requester;
+               Wire.R_resource { id; owner = requester; persisted = false; created = true }
+             end))
+  | Wire.Sem_get { key; init; requester } ->
+    reply
+      (leader_must t (fun ls ->
+           match Hashtbl.find_opt ls.key_to_sem key with
+           | Some id ->
+             let owner = Option.value ~default:"" (Hashtbl.find_opt ls.res_owner id) in
+             Wire.R_resource { id; owner; persisted = false; created = false }
+           | None ->
+             let id = ls.next_rid in
+             ls.next_rid <- id + 1;
+             Hashtbl.replace ls.key_to_sem key id;
+             Hashtbl.replace ls.res_owner id requester;
+             ignore init;
+             Wire.R_resource { id; owner = requester; persisted = false; created = true }))
+  | Wire.Msgq_send { id; data } -> (
+    match Hashtbl.find_opt t.msgqs id with
+    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then "EIDRM" else "EMOVED"))
+    | Some q ->
+      enqueue t q data;
+      reply Wire.R_unit)
+  | Wire.Msgq_recv { id; requester } -> (
+    match Hashtbl.find_opt t.msgqs id with
+    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then "EIDRM" else "EMOVED"))
+    | Some q ->
+      note_accessor q requester;
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt q.recv_stats requester) in
+      Hashtbl.replace q.recv_stats requester n;
+      let migrate =
+        t.cfg.Config.migrate_ownership && n >= t.cfg.Config.migrate_threshold
+      in
+      if migrate then begin
+        (* grant ownership: answer the receive and ship the rest *)
+        let data, rest =
+          match q.contents with [] -> (None, []) | m :: rest -> (Some m, rest)
+        in
+        Hashtbl.remove t.msgqs id;
+        notify_leader_owner t `Msgq id requester;
+        reply (Wire.R_msg_migrate { data; contents = rest })
+      end
+      else begin
+        match q.contents with
+        | m :: rest ->
+          q.contents <- rest;
+          reply (Wire.R_msg { data = m })
+        | [] -> q.rwaiters <- q.rwaiters @ [ Remote { ep; reqid; requester } ]
+      end)
+  | Wire.Msgq_rmid { id } -> (
+    match Hashtbl.find_opt t.msgqs id with
+    | None -> reply (Wire.R_err "EMOVED")
+    | Some q ->
+      delete_queue t q;
+      reply Wire.R_unit)
+  | Wire.Sem_op { id; delta; requester } -> (
+    match Hashtbl.find_opt t.sems id with
+    | None -> reply (Wire.R_err "EMOVED")
+    | Some s ->
+      if delta >= 0 then begin
+        sem_release t s delta;
+        reply Wire.R_unit
+      end
+      else begin
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt s.acq_stats requester) in
+        Hashtbl.replace s.acq_stats requester n;
+        let migrate =
+          t.cfg.Config.migrate_ownership && n >= t.cfg.Config.migrate_threshold
+        in
+        if migrate && s.count > 0 && s.swaiters = [] then begin
+          (* the acquire succeeds and the semaphore moves to the
+             frequent acquirer *)
+          Hashtbl.remove t.sems id;
+          notify_leader_owner t `Sem id requester;
+          reply (Wire.R_sem_migrate { count = s.count - 1 })
+        end
+        else if s.count > 0 then begin
+          s.count <- s.count - 1;
+          reply Wire.R_unit
+        end
+        else s.swaiters <- s.swaiters @ [ Sem_remote { ep; reqid; requester } ]
+      end)
+  | Wire.Wait_any_probe -> reply Wire.R_unit
+
+and handle_notification t n =
+  match n with
+  | Wire.Exit_notify { pid; code } -> t.callbacks.on_exit_notification ~pid ~code
+  | Wire.Msgq_send_async { id; data } -> (
+    match Hashtbl.find_opt t.msgqs id with
+    | Some q -> enqueue t q data
+    | None -> () (* racing with deletion/migration: dropped, per §4.2 *))
+  | Wire.Sem_release_async { id; delta } -> (
+    match Hashtbl.find_opt t.sems id with
+    | Some s -> sem_release t s delta
+    | None -> () (* racing with migration: the release is retried by
+                    the waiter timeout path, like dropped queue sends *))
+  | Wire.Msgq_deleted { id } ->
+    Hashtbl.replace t.deleted id ();
+    Hashtbl.remove t.owner_cache id
+  | Wire.Owner_update { resource = _; id; addr } -> (
+    match t.leader with
+    | Some ls ->
+      Hashtbl.replace ls.res_owner id addr;
+      (* a reloaded persistent queue is live again *)
+      Hashtbl.remove ls.res_persisted id
+    | None -> ())
+  | Wire.Range_owned { lo; hi; addr } -> (
+    match t.leader with
+    | Some ls -> ls.pid_owners <- (lo, hi, addr) :: ls.pid_owners
+    | None -> ())
+  | Wire.Msgq_persisted { id } -> (
+    match t.leader with
+    | Some ls ->
+      Hashtbl.replace ls.res_persisted id ();
+      Hashtbl.remove ls.res_owner id
+    | None -> ())
+  | Wire.Leader_hello _ -> ()
+  | Wire.Leader_candidate { pid; addr } ->
+    if not (List.mem (pid, addr) t.candidates) then t.candidates <- (pid, addr) :: t.candidates;
+    if not t.electing then join_election t
+  | Wire.Leader_elected { pid = _; addr } ->
+    t.electing <- false;
+    t.candidates <- [];
+    if addr <> t.my_addr then begin
+      t.leader_addr <- addr;
+      (* help the new leader rebuild its tables *)
+      oneway t ~addr (Wire.State_report { addr = t.my_addr; pid = t.my_pid;
+                                          ranges = t.pid_pool;
+                                          resources = owned_resources t })
+    end
+  | Wire.State_report { addr; pid; ranges; resources } -> (
+    match t.leader with
+    | Some ls ->
+      ls.pid_owners <- ((pid, pid, addr) :: List.map (fun (lo, hi) -> (lo, hi, addr)) ranges)
+                       @ ls.pid_owners;
+      List.iter (fun id -> Hashtbl.replace ls.res_owner id addr) resources;
+      let hwm = List.fold_left (fun a (_, hi) -> max a hi) pid ranges in
+      ls.next_pid <- max ls.next_pid (hwm + 1)
+    | None -> ())
+
+and owned_resources t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.msgqs (Hashtbl.fold (fun id _ acc -> id :: acc) t.sems [])
+
+(* {1 Leader recovery (paper §4.2, "Leader Recovery")}
+
+   On detecting the leader's death (a failed connect), members run a
+   simple consensus over the broadcast stream: every reachable member
+   announces its candidacy and, after a settling window, the lowest
+   process ID wins. The new leader reconstructs the namespace tables
+   from State_report messages ("leader state can be reconstructed by
+   querying each picoprocess in the sandbox"). *)
+
+and join_election t =
+  if (not t.electing) && not t.shutdown then begin
+    t.electing <- true;
+    if not (List.mem (t.my_pid, t.my_addr) t.candidates) then
+      t.candidates <- (t.my_pid, t.my_addr) :: t.candidates;
+    K.broadcast_send (kernel t) (Pal.pico t.pal)
+      (Wire.encode (Wire.Oneway (Wire.Leader_candidate { pid = t.my_pid; addr = t.my_addr })));
+    K.after (kernel t) (Time.us 300.) (fun () -> conclude_election t)
+  end
+
+and conclude_election t =
+  if t.electing && not t.shutdown then begin
+    let winner =
+      List.fold_left
+        (fun acc c -> match acc with None -> Some c | Some (p, _) when fst c < p -> Some c | _ -> acc)
+        None t.candidates
+    in
+    match winner with
+    | Some (pid, addr) when addr = t.my_addr ->
+      (* we won: become leader with reconstructed state *)
+      t.electing <- false;
+      t.candidates <- [];
+      t.leader <- Some (fresh_leader ~first_pid:(t.my_pid + 1000));
+      t.leader_addr <- t.my_addr;
+      (* adopt our own state directly *)
+      handle_notification t
+        (Wire.State_report { addr = t.my_addr; pid = t.my_pid; ranges = t.pid_pool;
+                             resources = owned_resources t });
+      K.broadcast_send (kernel t) (Pal.pico t.pal)
+        (Wire.encode (Wire.Oneway (Wire.Leader_elected { pid; addr })))
+    | _ ->
+      (* wait for the winner's announcement a little longer; if it
+         never comes (it also died), restart *)
+      K.after (kernel t) (Time.us 600.) (fun () ->
+          if t.electing then begin
+            t.electing <- false;
+            t.candidates <- [];
+            join_election t
+          end)
+  end
+
+and notify_leader_owner t resource id addr =
+  match t.leader with
+  | Some ls ->
+    Hashtbl.replace ls.res_owner id addr;
+    Hashtbl.remove ls.res_persisted id
+  | None -> oneway t ~addr:t.leader_addr (Wire.Owner_update { resource; id; addr })
+
+(* {1 Queue mechanics (owner side)} *)
+
+and note_accessor q addr = if not (List.mem addr q.accessors) then q.accessors <- addr :: q.accessors
+
+and enqueue t q data =
+  match q.rwaiters with
+  | [] -> q.contents <- q.contents @ [ data ]
+  | w :: rest ->
+    q.rwaiters <- rest;
+    (match w with
+    | Local k -> k (Ok data)
+    | Remote { ep; reqid; _ } -> respond t ep reqid (Wire.R_msg { data }))
+
+and delete_queue t q =
+  Hashtbl.remove t.msgqs q.mq_id;
+  Hashtbl.replace t.deleted q.mq_id ();
+  List.iter
+    (fun w ->
+      match w with
+      | Local k -> k (Error "EIDRM")
+      | Remote { ep; reqid; _ } -> respond t ep reqid (Wire.R_err "EIDRM"))
+    q.rwaiters;
+  q.rwaiters <- [];
+  List.iter (fun addr -> oneway t ~addr (Wire.Msgq_deleted { id = q.mq_id })) q.accessors;
+  (match t.leader with
+  | Some ls ->
+    Hashtbl.remove ls.res_owner q.mq_id;
+    Hashtbl.iter
+      (fun key id -> if id = q.mq_id then Hashtbl.remove ls.key_to_msgq key)
+      (Hashtbl.copy ls.key_to_msgq)
+  | None -> ())
+
+and sem_release t s delta =
+  s.count <- s.count + delta;
+  let rec wake () =
+    if s.count > 0 then
+      match s.swaiters with
+      | [] -> ()
+      | w :: rest ->
+        s.swaiters <- rest;
+        s.count <- s.count - 1;
+        (match w with
+        | Sem_local k -> k (Ok ())
+        | Sem_remote { ep; reqid; _ } -> respond t ep reqid Wire.R_unit);
+        wake ()
+  in
+  wake ()
+
+(* {1 Construction} *)
+
+let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
+  let t =
+    { pal;
+      cfg;
+      callbacks;
+      my_addr;
+      leader_addr;
+      leader = (if make_leader then Some (fresh_leader ~first_pid) else None);
+      pid_pool = [];
+      streams = Hashtbl.create 8;
+      owner_cache = Hashtbl.create 16;
+      pid_cache = Hashtbl.create 16;
+      pending = Hashtbl.create 8;
+      next_req = 0;
+      msgqs = Hashtbl.create 8;
+      sems = Hashtbl.create 8;
+      deleted = Hashtbl.create 8;
+      rpc_sent = 0;
+      rpc_handled = 0;
+      shutdown = false;
+      my_pid = first_pid - 1;
+      electing = false;
+      candidates = [] }
+  in
+  (* the p2p rendezvous server every other instance connects to *)
+  Pal.stream_open pal ("pipe.srv:pico." ^ my_addr) ~write:true ~create:true (function
+    | Ok server ->
+      let rec accept_loop () =
+        if not t.shutdown then
+          Pal.stream_wait_for_client pal server (function
+            | Ok h ->
+              pump t (ep_of_handle h);
+              accept_loop ()
+            | Error _ -> ())
+      in
+      accept_loop ()
+    | Error e -> failwith ("Instance.create: cannot create p2p server: " ^ e));
+  K.broadcast_join (kernel t) (Pal.pico pal) ~handler:(fun msg ->
+      match Wire.decode msg with
+      | Some (Wire.Oneway n) ->
+        K.after (kernel t) Cost.helper_dispatch (fun () ->
+            if not t.shutdown then handle_notification t n)
+      | _ -> ());
+  t
+
+let shutdown t = t.shutdown <- true
+
+(* {1 PID namespace} *)
+
+(* Allocate one PID: from the local pool if possible, otherwise fetch a
+   batch from the leader (batch size is the §4.3 knob). *)
+let rec alloc_pid t k =
+  match t.pid_pool with
+  | (lo, hi) :: rest ->
+    t.pid_pool <- (if lo + 1 <= hi then (lo + 1, hi) :: rest else rest);
+    k (Ok lo)
+  | [] ->
+    if is_leader t then begin
+      match t.leader with
+      | Some ls ->
+        let count = max 1 t.cfg.Config.pid_batch in
+        let lo = ls.next_pid in
+        let hi = lo + count - 1 in
+        ls.next_pid <- hi + 1;
+        ls.pid_owners <- (lo, hi, t.my_addr) :: ls.pid_owners;
+        t.pid_pool <- [ (lo, hi) ];
+        alloc_pid t k
+      | None -> assert false
+    end
+    else
+      rpc t ~addr:t.leader_addr
+        (Wire.Pid_alloc { count = max 1 t.cfg.Config.pid_batch; requester = t.my_addr })
+        (function
+          | Wire.R_range { lo; hi } ->
+            t.pid_pool <- t.pid_pool @ [ (lo, hi) ];
+            alloc_pid t k
+          | Wire.R_err e -> k (Error e)
+          | _ -> k (Error "EPROTO"))
+
+(* Carve off half of the local pool for a forked child, so the child
+   can itself fork without consulting the leader. *)
+let donate_pid_range t =
+  match t.pid_pool with
+  | (lo, hi) :: rest when hi > lo ->
+    let mid = (lo + hi) / 2 in
+    t.pid_pool <- (lo, mid) :: rest;
+    Some (mid + 1, hi)
+  | _ -> None
+
+let adopt_pid_range t (lo, hi) ~announce =
+  t.pid_pool <- t.pid_pool @ [ (lo, hi) ];
+  if announce then begin
+    match t.leader with
+    | Some ls -> ls.pid_owners <- (lo, hi, t.my_addr) :: ls.pid_owners
+    | None -> oneway t ~addr:t.leader_addr (Wire.Range_owned { lo; hi; addr = t.my_addr })
+  end
+
+let register_pid_owner t ~pid ~addr =
+  (* fork tells the leader (or records locally) where the child PID
+     itself lives, since the child's thread group is at the child *)
+  match t.leader with
+  | Some ls -> ls.pid_owners <- (pid, pid, addr) :: ls.pid_owners
+  | None -> oneway t ~addr:t.leader_addr (Wire.Range_owned { lo = pid; hi = pid; addr })
+
+(* {1 Signals} *)
+
+let resolve_pid t pid k =
+  match Hashtbl.find_opt t.pid_cache pid with
+  | Some addr when t.cfg.Config.cache_owners -> k (Some addr)
+  | _ -> (
+    match t.leader with
+    | Some ls ->
+      k
+        (List.find_map
+           (fun (lo, hi, addr) -> if pid >= lo && pid <= hi then Some addr else None)
+           ls.pid_owners)
+    | None ->
+      rpc t ~addr:t.leader_addr (Wire.Pid_query { pid }) (function
+        | Wire.R_owner { addr = Some addr } ->
+          if t.cfg.Config.cache_owners then Hashtbl.replace t.pid_cache pid addr;
+          k (Some addr)
+        | _ -> k None))
+
+let send_signal t ~to_pid ~signum ~from_pid k =
+  resolve_pid t to_pid (function
+    | None -> k (Error "ESRCH")
+    | Some addr ->
+      if addr = t.my_addr then
+        if t.callbacks.deliver_signal ~signum ~from_pid ~to_pid then k (Ok ())
+        else k (Error "ESRCH")
+      else
+        rpc t ~addr (Wire.Signal { to_pid; signum; from_pid }) (function
+          | Wire.R_unit -> k (Ok ())
+          | Wire.R_err e ->
+            Hashtbl.remove t.pid_cache to_pid;
+            k (Error e)
+          | _ -> k (Error "EPROTO")))
+
+(* {1 Exit notification and /proc} *)
+
+let notify_exit t ~parent_addr ~pid ~code =
+  if parent_addr <> "" && parent_addr <> t.my_addr then
+    oneway t ~addr:parent_addr (Wire.Exit_notify { pid; code })
+
+let read_proc t ~pid ~field k =
+  resolve_pid t pid (function
+    | None -> k (Error "ESRCH")
+    | Some addr ->
+      if addr = t.my_addr then k (t.callbacks.proc_read ~pid ~field)
+      else
+        rpc t ~addr (Wire.Proc_read { pid; field }) (function
+          | Wire.R_str s -> k (Ok s)
+          | Wire.R_err e -> k (Error e)
+          | _ -> k (Error "EPROTO")))
+
+(* {1 System V message queues} *)
+
+let new_local_queue t ~id ~key =
+  let q =
+    { mq_id = id;
+      mq_key = key;
+      contents = [];
+      rwaiters = [];
+      recv_stats = Hashtbl.create 4;
+      accessors = [] }
+  in
+  Hashtbl.replace t.msgqs id q;
+  q
+
+(* Load a queue another (exited) owner serialized to disk, becoming
+   the new owner (paper §4.2, non-concurrent sharing). *)
+let load_persistent_queue t ~id ~key k =
+  Pal.stream_open t.pal ("file:" ^ persist_path id) ~write:false ~create:false (function
+    | Error e -> k (Error e)
+    | Ok h ->
+      Pal.stream_read t.pal h ~off:0 ~max:(16 * 1024 * 1024) (function
+        | Error e -> k (Error e)
+        | Ok data ->
+          Pal.stream_close t.pal h (fun _ -> ());
+          Pal.stream_delete t.pal ("file:" ^ persist_path id) (fun _ -> ());
+          let contents : string list = try Marshal.from_string data 0 with _ -> [] in
+          let q = new_local_queue t ~id ~key in
+          q.contents <- contents;
+          notify_leader_owner t `Msgq id t.my_addr;
+          Hashtbl.remove t.owner_cache id;
+          k (Ok ())))
+
+let msgq_get_meta t ~key ~create k =
+  match t.leader with
+  | Some ls -> (
+    match Hashtbl.find_opt ls.key_to_msgq key with
+    | Some id ->
+      k
+        (Ok
+           ( id,
+             Option.value ~default:"" (Hashtbl.find_opt ls.res_owner id),
+             Hashtbl.mem ls.res_persisted id,
+             false ))
+    | None ->
+      if not create then k (Error "ENOENT")
+      else begin
+        let id = ls.next_rid in
+        ls.next_rid <- id + 1;
+        Hashtbl.replace ls.key_to_msgq key id;
+        Hashtbl.replace ls.res_owner id t.my_addr;
+        k (Ok (id, t.my_addr, false, true))
+      end)
+  | None ->
+    rpc t ~addr:t.leader_addr (Wire.Msgq_get { key; create; requester = t.my_addr })
+      (function
+      | Wire.R_resource { id; owner; persisted; created } -> k (Ok (id, owner, persisted, created))
+      | Wire.R_err e -> k (Error e)
+      | _ -> k (Error "EPROTO"))
+
+(* [k (Ok (id, created))]: [created] distinguishes queue creation from
+   lookup, which have very different costs (Table 7). *)
+let msgget t ~key ~create k =
+  msgq_get_meta t ~key ~create (function
+    | Error e -> k (Error e)
+    | Ok (id, owner, persisted, created) ->
+      if persisted then
+        load_persistent_queue t ~id ~key (function
+          | Ok () -> k (Ok (id, false))
+          | Error e -> k (Error e))
+      else begin
+        if owner = t.my_addr && not (Hashtbl.mem t.msgqs id) then
+          ignore (new_local_queue t ~id ~key);
+        if t.cfg.Config.cache_owners && owner <> "" then
+          Hashtbl.replace t.owner_cache id owner;
+        k (Ok (id, created))
+      end)
+
+(* Resolve a SysV id to (owner, persisted). The cache only short-cuts
+   the owner; persistence is always re-checked at the leader when the
+   owner is unknown or unreachable. *)
+let resolve_resource t id k =
+  match Hashtbl.find_opt t.owner_cache id with
+  | Some addr when t.cfg.Config.cache_owners -> k (Some addr, false)
+  | _ -> (
+    match t.leader with
+    | Some ls -> k (Hashtbl.find_opt ls.res_owner id, Hashtbl.mem ls.res_persisted id)
+    | None ->
+      rpc t ~addr:t.leader_addr (Wire.Res_query { id }) (function
+        | Wire.R_resource { owner; persisted; _ } ->
+          let owner = if owner = "" then None else Some owner in
+          (match owner with
+          | Some addr when t.cfg.Config.cache_owners -> Hashtbl.replace t.owner_cache id addr
+          | _ -> ());
+          k (owner, persisted)
+        | _ -> k (None, false)))
+
+(* Retry an operation whose owner moved, died, or persisted: drop the
+   cached owner, give in-flight leader updates a moment to land, and
+   re-resolve — bounded, so a truly dead resource still errors out. *)
+let with_retry t ~id op k =
+  let rec attempt tries =
+    op (function
+      | Error ("EMOVED" | "ECONNREFUSED") when tries > 0 && not t.shutdown ->
+        Hashtbl.remove t.owner_cache id;
+        K.after (kernel t) (Time.us 60.) (fun () -> attempt (tries - 1))
+      | r -> k r)
+  in
+  attempt 10
+
+let rec msgsnd t ~id ~data k = with_retry t ~id (msgsnd_once t ~id ~data) k
+
+and msgsnd_once t ~id ~data k =
+  if Hashtbl.mem t.deleted id then k (Error "EIDRM")
+  else
+    match Hashtbl.find_opt t.msgqs id with
+    | Some q ->
+      enqueue t q data;
+      k (Ok ())
+    | None ->
+      resolve_resource t id (fun (owner, persisted) ->
+          match owner with
+          | None when persisted ->
+            load_persistent_queue t ~id ~key:0 (function
+              | Ok () -> msgsnd_once t ~id ~data k
+              | Error e -> k (Error e))
+          | None -> k (Error "EIDRM")
+          | Some addr when addr = t.my_addr ->
+            (* stale: we are recorded owner but have no queue (deleted) *)
+            k (Error "EIDRM")
+          | Some addr ->
+            if t.cfg.Config.async_send && Hashtbl.mem t.streams addr then begin
+              (* the existence and location are known and the stream is
+                 established: assume success (§4.2: the only failure is
+                 a concurrent delete, and then the message is treated
+                 as sent after the deletion) *)
+              oneway t ~addr (Wire.Msgq_send_async { id; data });
+              k (Ok ())
+            end
+            else
+              (* first contact is synchronous: it establishes the
+                 point-to-point stream later sends fire along *)
+              rpc t ~addr (Wire.Msgq_send { id; data }) (function
+                | Wire.R_unit -> k (Ok ())
+                | Wire.R_err e -> k (Error e)
+                | _ -> k (Error "EPROTO")))
+
+let rec msgrcv t ~id k = with_retry t ~id (msgrcv_once t ~id) k
+
+and msgrcv_once t ~id k =
+  if Hashtbl.mem t.deleted id then k (Error "EIDRM")
+  else
+    match Hashtbl.find_opt t.msgqs id with
+    | Some q -> (
+      match q.contents with
+      | m :: rest ->
+        q.contents <- rest;
+        k (Ok m)
+      | [] -> q.rwaiters <- q.rwaiters @ [ Local k ])
+    | None ->
+      resolve_resource t id (fun (owner, persisted) ->
+          match owner with
+          | None when persisted ->
+            load_persistent_queue t ~id ~key:0 (function
+              | Ok () -> msgrcv_once t ~id k
+              | Error e -> k (Error e))
+          | None -> k (Error "EIDRM")
+          | Some addr when addr = t.my_addr -> k (Error "EIDRM")
+          | Some addr ->
+            rpc t ~addr (Wire.Msgq_recv { id; requester = t.my_addr }) (function
+              | Wire.R_msg { data } -> k (Ok data)
+              | Wire.R_msg_migrate { data; contents } ->
+                (* we are the owner now *)
+                let q = new_local_queue t ~id ~key:0 in
+                q.contents <- contents;
+                Hashtbl.remove t.owner_cache id;
+                notify_leader_owner t `Msgq id t.my_addr;
+                (match data with
+                | Some m -> k (Ok m)
+                | None -> msgrcv_once t ~id k)
+              | Wire.R_err e -> k (Error e)
+              | _ -> k (Error "EPROTO")))
+
+let msgrm t ~id k =
+  match Hashtbl.find_opt t.msgqs id with
+  | Some q ->
+    delete_queue t q;
+    k (Ok ())
+  | None ->
+    resolve_resource t id (fun (owner, _persisted) ->
+        match owner with
+        | None -> k (Error "EIDRM")
+        | Some addr ->
+          rpc t ~addr (Wire.Msgq_rmid { id }) (function
+            | Wire.R_unit -> k (Ok ())
+            | Wire.R_err e -> k (Error e)
+            | _ -> k (Error "EPROTO")))
+
+(* On exit, owned queues with contents survive as files ("a common
+   file naming scheme to serialize message queues to disk"). *)
+let persist_owned_queues t =
+  let owned = Hashtbl.fold (fun _ q acc -> q :: acc) t.msgqs [] in
+  List.iter
+    (fun q ->
+      if q.contents <> [] then begin
+        let data = Marshal.to_string q.contents [] in
+        Pal.directory_create t.pal ("dir:" ^ persist_dir) (fun _ -> ());
+        Pal.stream_open t.pal ("file:" ^ persist_path q.mq_id) ~write:true ~create:true
+          (function
+          | Ok h ->
+            Pal.stream_write t.pal h ~off:0 data (fun _ -> ());
+            Pal.stream_close t.pal h (fun _ -> ());
+            (match t.leader with
+            | Some ls ->
+              Hashtbl.replace ls.res_persisted q.mq_id ();
+              Hashtbl.remove ls.res_owner q.mq_id
+            | None -> oneway t ~addr:t.leader_addr (Wire.Msgq_persisted { id = q.mq_id }))
+          | Error _ -> ())
+      end;
+      Hashtbl.remove t.msgqs q.mq_id)
+    owned
+
+(* {1 System V semaphores} *)
+
+let new_local_sem t ~id ~key ~count =
+  let s = { sm_id = id; sm_key = key; count; swaiters = []; acq_stats = Hashtbl.create 4 } in
+  Hashtbl.replace t.sems id s;
+  s
+
+let semget t ~key ~init k =
+  match t.leader with
+  | Some ls -> (
+    match Hashtbl.find_opt ls.key_to_sem key with
+    | Some id -> k (Ok (id, false))
+    | None ->
+      let id = ls.next_rid in
+      ls.next_rid <- id + 1;
+      Hashtbl.replace ls.key_to_sem key id;
+      Hashtbl.replace ls.res_owner id t.my_addr;
+      ignore (new_local_sem t ~id ~key ~count:init);
+      k (Ok (id, true)))
+  | None ->
+    rpc t ~addr:t.leader_addr (Wire.Sem_get { key; init; requester = t.my_addr }) (function
+      | Wire.R_resource { id; owner; created; _ } ->
+        if owner = t.my_addr && not (Hashtbl.mem t.sems id) then
+          ignore (new_local_sem t ~id ~key ~count:init);
+        if t.cfg.Config.cache_owners && owner <> "" then Hashtbl.replace t.owner_cache id owner;
+        k (Ok (id, created))
+      | Wire.R_err e -> k (Error e)
+      | _ -> k (Error "EPROTO"))
+
+let rec semop t ~id ~delta k = with_retry t ~id (semop_once t ~id ~delta) k
+
+and semop_once t ~id ~delta k =
+  match Hashtbl.find_opt t.sems id with
+  | Some s ->
+    if delta >= 0 then begin
+      sem_release t s delta;
+      k (Ok ())
+    end
+    else if s.count > 0 then begin
+      s.count <- s.count - 1;
+      k (Ok ())
+    end
+    else s.swaiters <- s.swaiters @ [ Sem_local k ]
+  | None ->
+    resolve_resource t id (fun (owner, _persisted) ->
+        match owner with
+        | None -> k (Error "EIDRM")
+        | Some addr when addr = t.my_addr -> k (Error "EIDRM")
+        | Some addr when delta >= 0 && t.cfg.Config.async_send && Hashtbl.mem t.streams addr ->
+          (* a release cannot fail once the semaphore's location is
+             known: fire and forget, like asynchronous queue sends *)
+          oneway t ~addr (Wire.Sem_release_async { id; delta });
+          k (Ok ())
+        | Some addr ->
+          rpc t ~addr (Wire.Sem_op { id; delta; requester = t.my_addr }) (function
+            | Wire.R_unit -> k (Ok ())
+            | Wire.R_sem_migrate { count } ->
+              ignore (new_local_sem t ~id ~key:0 ~count);
+              Hashtbl.remove t.owner_cache id;
+              notify_leader_owner t `Sem id t.my_addr;
+              k (Ok ())
+            | Wire.R_err e -> k (Error e)
+            | _ -> k (Error "EPROTO")))
+
+(* {1 Fork support} *)
+
+(* The coordination state a child inherits through the checkpoint. *)
+type inherited = {
+  i_leader_addr : string;
+  i_pid_range : (int * int) option;
+  i_owner_cache : (int * string) list;
+  i_pid_cache : (int * string) list;
+}
+
+let snapshot_for_child t =
+  { i_leader_addr = t.leader_addr;
+    i_pid_range = donate_pid_range t;
+    i_owner_cache = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.owner_cache [];
+    i_pid_cache = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pid_cache [] }
+
+let restore_inherited t (i : inherited) =
+  t.leader_addr <- i.i_leader_addr;
+  (match i.i_pid_range with
+  | Some r -> adopt_pid_range t r ~announce:true
+  | None -> ());
+  List.iter (fun (k, v) -> Hashtbl.replace t.owner_cache k v) i.i_owner_cache;
+  List.iter (fun (k, v) -> Hashtbl.replace t.pid_cache k v) i.i_pid_cache
+
+(* {1 Sandbox split} *)
+
+(* After DkSandboxCreate the instance is alone in a fresh sandbox: it
+   becomes its own leader and forgets cross-sandbox state (the host
+   already closed the bridging streams). *)
+let become_isolated t ~first_pid =
+  t.leader <- Some (fresh_leader ~first_pid);
+  t.leader_addr <- t.my_addr;
+  Hashtbl.reset t.owner_cache;
+  Hashtbl.reset t.pid_cache;
+  Hashtbl.reset t.streams;
+  Hashtbl.reset t.pending
+
+(* {1 Ping}
+
+   A no-op RPC round trip — the Figure 5 stress primitive. *)
+let ping t ~addr k = rpc t ~addr Wire.Wait_any_probe (fun _ -> k ())
+
+let set_my_pid t pid = t.my_pid <- pid

@@ -1,0 +1,122 @@
+(** One libOS's coordination engine: the IPC helper, the leader role,
+    and the client paths for every multi-process abstraction of the
+    paper's Table 2.
+
+    Each instance runs a pipe server named after its address
+    ([pipe:pico.<addr>]); point-to-point RPC streams connect there and
+    are cached (§4.3). One instance per sandbox is the leader, which
+    subdivides the PID and System V id namespaces in batches. RPC
+    handlers answer strictly from local state — no recursive RPCs
+    (§4.1) — and responses may be deferred (a receive on an empty
+    queue answers when a message arrives).
+
+    Implemented optimizations, all gated by {!Config}: batched PID
+    allocation, p2p stream and owner caching, asynchronous sends to
+    known queues, queue/semaphore ownership migration to the frequent
+    user, and queue persistence across non-concurrent processes. Also
+    implements the paper's sketched leader recovery: on a dead leader,
+    members elect the lowest PID over the broadcast stream and the new
+    leader reconstructs its tables from member reports. *)
+
+module K = Graphene_host.Kernel
+module Pal = Graphene_pal.Pal
+
+type callbacks = {
+  deliver_signal : signum:int -> from_pid:int -> to_pid:int -> bool;
+      (** [false] if the target PID is not in this thread group *)
+  on_exit_notification : pid:int -> code:int -> unit;
+  proc_read : pid:int -> field:string -> (string, string) result;
+      (** serve /proc reads for this instance's PIDs *)
+}
+
+type t
+
+val create :
+  pal:Pal.t ->
+  cfg:Config.t ->
+  callbacks:callbacks ->
+  my_addr:string ->
+  leader_addr:string ->
+  make_leader:bool ->
+  first_pid:int ->
+  t
+(** Starts the p2p rendezvous server and joins the sandbox broadcast.
+    [first_pid] seeds the leader's PID namespace (leaders only). *)
+
+val shutdown : t -> unit
+val my_addr : t -> string
+val is_leader : t -> bool
+val set_my_pid : t -> int -> unit
+val rpc_sent : t -> int
+val rpc_handled : t -> int
+
+(** {1 PID namespace (Table 2: Fork)} *)
+
+val alloc_pid : t -> ((int, string) result -> unit) -> unit
+(** From the local pool; refills from the leader in batches of
+    {!Config.t.pid_batch}. *)
+
+val donate_pid_range : t -> (int * int) option
+(** Carve off half the local pool for a forked child, so it can itself
+    fork without consulting the leader. *)
+
+val adopt_pid_range : t -> int * int -> announce:bool -> unit
+val register_pid_owner : t -> pid:int -> addr:string -> unit
+
+(** {1 Signals (Table 2: Signaling)} *)
+
+val resolve_pid : t -> int -> (string option -> unit) -> unit
+(** PID to instance address, through the cache or the leader. *)
+
+val send_signal :
+  t -> to_pid:int -> signum:int -> from_pid:int -> ((unit, string) result -> unit) -> unit
+
+(** {1 Exit notification and /proc} *)
+
+val notify_exit : t -> parent_addr:string -> pid:int -> code:int -> unit
+val read_proc : t -> pid:int -> field:string -> ((string, string) result -> unit) -> unit
+
+(** {1 System V message queues} *)
+
+val msgget : t -> key:int -> create:bool -> ((int * bool, string) result -> unit) -> unit
+(** Continues with (id, created) — creation and lookup have very
+    different costs (Table 7). *)
+
+val msgsnd : t -> id:int -> data:string -> ((unit, string) result -> unit) -> unit
+val msgrcv : t -> id:int -> ((string, string) result -> unit) -> unit
+(** Blocking; may migrate ownership here after repeated receives. *)
+
+val msgrm : t -> id:int -> ((unit, string) result -> unit) -> unit
+val persist_owned_queues : t -> unit
+(** At exit: owned queues with contents serialize to
+    [/var/graphene/msgq/<id>] and reload on the next msgget (§4.2). *)
+
+(** {1 System V semaphores} *)
+
+val semget : t -> key:int -> init:int -> ((int * bool, string) result -> unit) -> unit
+val semop : t -> id:int -> delta:int -> ((unit, string) result -> unit) -> unit
+(** Negative [delta] acquires (blocking), positive releases (async to
+    a known remote owner). *)
+
+(** {1 Fork and sandbox support} *)
+
+type inherited = {
+  i_leader_addr : string;
+  i_pid_range : (int * int) option;
+  i_owner_cache : (int * string) list;
+  i_pid_cache : (int * string) list;
+}
+(** The coordination state a child inherits through the checkpoint —
+    pure data, serializable. *)
+
+val snapshot_for_child : t -> inherited
+val restore_inherited : t -> inherited -> unit
+
+val become_isolated : t -> first_pid:int -> unit
+(** After DkSandboxCreate: the instance is alone in a fresh sandbox —
+    it becomes its own leader and forgets cross-sandbox state. *)
+
+(** {1 Stress primitive} *)
+
+val ping : t -> addr:string -> (unit -> unit) -> unit
+(** A no-op RPC round trip — the Figure 5 ping-pong. *)

@@ -1,0 +1,75 @@
+(** RPC wire protocol between libOS instances.
+
+    Messages are pure data and travel marshaled over host byte streams
+    at message granularity. Requests carry an id; a [Oneway] envelope
+    carries fire-and-forget notifications (the asynchronous-send
+    optimization, §4.3). Handlers answer from local state only and
+    never issue recursive RPCs (the deadlock-avoidance rule of §4.1). *)
+
+type request =
+  | Pid_alloc of { count : int; requester : string }
+      (** leader only: batch of fresh PIDs *)
+  | Pid_query of { pid : int }  (** leader only: who owns this PID *)
+  | Res_query of { id : int }  (** leader only: who owns this SysV id *)
+  | Signal of { to_pid : int; signum : int; from_pid : int }
+  | Proc_read of { pid : int; field : string }  (** /proc/[pid] over RPC *)
+  | Msgq_get of { key : int; create : bool; requester : string }
+      (** leader only: key to queue id *)
+  | Msgq_send of { id : int; data : string }
+  | Msgq_recv of { id : int; requester : string }
+  | Msgq_rmid of { id : int }
+  | Sem_get of { key : int; init : int; requester : string }  (** leader only *)
+  | Sem_op of { id : int; delta : int; requester : string }
+  | Wait_any_probe  (** liveness check *)
+
+type notification =
+  | Exit_notify of { pid : int; code : int }
+  | Msgq_send_async of { id : int; data : string }
+  | Sem_release_async of { id : int; delta : int }
+      (** releases need no acknowledgment once the stream exists *)
+  | Msgq_deleted of { id : int }
+  | Owner_update of { resource : [ `Msgq | `Sem ]; id : int; addr : string }
+      (** tell the leader ownership migrated *)
+  | Range_owned of { lo : int; hi : int; addr : string }
+      (** tell the leader a PID range changed hands (fork donates a
+          slice of the parent's batch to the child) *)
+  | Msgq_persisted of { id : int }
+      (** owner exited; queue contents serialized to disk *)
+  | Leader_hello of { addr : string }
+  | Leader_candidate of { pid : int; addr : string }
+      (** leader-recovery election over the broadcast stream (§4.2):
+          candidates announce; lowest PID wins *)
+  | Leader_elected of { pid : int; addr : string }
+  | State_report of { addr : string; pid : int; ranges : (int * int) list; resources : int list }
+      (** each member reports its slice of the namespace so the new
+          leader can reconstruct its tables *)
+
+type response =
+  | R_unit
+  | R_int of int
+  | R_str of string
+  | R_range of { lo : int; hi : int }
+  | R_owner of { addr : string option }
+  | R_resource of { id : int; owner : string; persisted : bool; created : bool }
+  | R_msg of { data : string }
+  | R_msg_migrate of { data : string option; contents : string list }
+      (** response granting queue ownership to the requester: [data] is
+          the answer to the receive that triggered migration, [contents]
+          the remaining queue *)
+  | R_sem_migrate of { count : int }  (** semaphore ownership grant *)
+  | R_err of string
+
+type envelope =
+  | Req of int * request
+  | Resp of int * response
+  | Oneway of notification
+
+let encode (e : envelope) = Marshal.to_string e []
+
+let decode s : envelope option =
+  try Some (Marshal.from_string s 0) with _ -> None
+
+let describe = function
+  | Req (n, _) -> Printf.sprintf "req#%d" n
+  | Resp (n, _) -> Printf.sprintf "resp#%d" n
+  | Oneway _ -> "oneway"

@@ -1,0 +1,1 @@
+lib/liblinux/ckpt.ml: Graphene_ipc List Marshal String

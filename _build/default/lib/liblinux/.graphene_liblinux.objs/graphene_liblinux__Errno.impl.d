@@ -1,0 +1,1 @@
+lib/liblinux/errno.ml: Graphene_guest List String

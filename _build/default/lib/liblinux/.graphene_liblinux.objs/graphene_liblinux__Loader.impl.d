@@ -1,0 +1,1 @@
+lib/liblinux/loader.ml: Graphene_guest Graphene_host Graphene_pal Marshal String

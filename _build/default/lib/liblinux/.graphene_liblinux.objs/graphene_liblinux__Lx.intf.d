@@ -1,0 +1,1 @@
+lib/liblinux/lx.mli: Buffer Ckpt Graphene_bpf Graphene_guest Graphene_host Graphene_ipc Graphene_pal Graphene_sim Hashtbl Time

@@ -1,0 +1,1 @@
+lib/liblinux/signal.ml: Printf

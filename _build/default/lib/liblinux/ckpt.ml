@@ -1,0 +1,55 @@
+(** The checkpoint record.
+
+    Graphene implements fork by (ab)using checkpoints (paper §5): the
+    parent programmatically saves its OS state, ships it to a clean
+    picoprocess, and the child loads it. The same record, extended with
+    heap page contents, is what migration writes over the network.
+
+    Stream file descriptors cannot be serialized; for fork they travel
+    out-of-band via the handle-passing ABI, and each stream fd here
+    records only its inheritance slot. *)
+
+type fd_snapshot =
+  | Sfile of { fd : int; path : string; pos : int; cloexec : bool }
+  | Sconsole of int
+  | Snull of int
+  | Sstream of { fd : int; slot : int; cloexec : bool }
+      (** [slot]: index in the out-of-band handle sequence *)
+  | Slisten of { fd : int; slot : int; port : int; cloexec : bool }
+
+type t = {
+  c_machine : string;  (** serialized interpreter state *)
+  c_exe : string;
+  c_pid : int;
+  c_ppid : int;
+  c_pgid : int;
+  c_parent_addr : string;
+  c_cwd : string;
+  c_fds : fd_snapshot list;
+  c_sigactions : (int * string) list;
+  c_sig_blocked : int list;
+  c_brk : int;  (** guest heap high-water mark, bytes *)
+  c_inherited : Graphene_ipc.Instance.inherited;
+  c_regions : (int * int) list;
+      (** full checkpoint/migration only: (base, npages) of the private
+          regions to re-map on restore; empty for fork, which inherits
+          the regions through bulk IPC *)
+  c_heap_pages : (int * string) list;
+      (** full checkpoint/migration only: (addr, page bytes); empty for
+          fork, which moves pages by bulk IPC instead *)
+}
+
+let magic = "GRCKPT1\n"
+
+let to_bytes t = magic ^ Marshal.to_string t []
+
+let of_bytes s : (t, string) result =
+  let m = String.length magic in
+  if String.length s < m || String.sub s 0 m <> magic then Error "ENOEXEC"
+  else
+    try Ok (Marshal.from_string s m) with _ -> Error "EINVAL"
+
+let size t = String.length (to_bytes t)
+
+let stream_slots fds =
+  List.filter (function Sstream _ | Slisten _ -> true | _ -> false) fds |> List.length

@@ -1,0 +1,39 @@
+(** Guest binary format and loading.
+
+    "Binaries" are guest programs ({!Graphene_guest.Ast.program})
+    marshaled into ordinary files of the host file system, so exec goes
+    through the PAL (and therefore the seccomp filter and the reference
+    monitor's path policy) like any other file access. *)
+
+module Ast = Graphene_guest.Ast
+module Pal = Graphene_pal.Pal
+module Vfs = Graphene_host.Vfs
+
+let magic = "GRBIN1\n"
+
+let encode (p : Ast.program) = magic ^ Marshal.to_string p []
+
+let decode s : (Ast.program, string) result =
+  let m = String.length magic in
+  if String.length s < m || String.sub s 0 m <> magic then Error "ENOEXEC"
+  else
+    try Ok (Marshal.from_string s m) with _ -> Error "ENOEXEC"
+
+(* Host-side installation: how test setups and the launcher place
+   binaries into the image, like building a chroot. *)
+let install fs ~path (p : Ast.program) =
+  Vfs.write_string fs (Vfs.normalize path) (encode p)
+
+(* Guest-side load through the PAL: exec's read of the new image. *)
+let load pal ~path k =
+  Pal.stream_open pal ("file:" ^ path) ~write:false ~create:false (function
+    | Error e -> k (Error e)
+    | Ok h ->
+      Pal.stream_attributes_query pal ("file:" ^ path) (function
+        | Error e -> k (Error e)
+        | Ok attrs ->
+          Pal.stream_read pal h ~off:0 ~max:attrs.Pal.size (function
+            | Error e -> k (Error e)
+            | Ok data ->
+              Pal.stream_close pal h (fun _ -> ());
+              k (decode data))))

@@ -1,0 +1,1390 @@
+(** libLinux — the Linux personality.
+
+    One [t] per picoprocess. Services guest system calls from local
+    state when possible and coordinates shared POSIX state with other
+    instances through {!Graphene_ipc.Instance} (signals, exit
+    notification, /proc, System V IPC). Interacts with the host only
+    through the PAL.
+
+    {2 Guest system call ABI}
+
+    Guest programs invoke services by name with guest values; failing
+    calls return [Vint (-errno)] (see {!Errno}). The implemented table:
+
+    - files: [open path mode] (mode "r"|"w"|"rw"|"a"), [close fd],
+      [read fd n], [write fd s], [lseek fd off whence("set"|"cur"|"end")],
+      [stat path] -> [(size, is_dir)], [unlink path], [rename old new],
+      [mkdir path], [readdir path] -> string list, [access path],
+      [chdir path], [getcwd], [dup fd], [pipe] -> [(rfd, wfd)],
+      [truncate path n], [fsync fd]
+    - process: [fork], [execve path argv], [exit code], [wait],
+      [waitpid pid], [getpid], [getppid], [getpgid], [setpgid pgid],
+      [gettid]
+    - signals: [kill pid sig], [sigaction sig handler_name],
+      [sigprocmask op("block"|"unblock") sig], [pause], [alarm? no]
+    - System V IPC: [msgget key create01], [msgsnd id s],
+      [msgrcv id], [msgctl_rmid id], [semget key init], [semop id delta]
+    - network (loopback TCP): [listen_tcp port], [accept fd],
+      [connect_tcp port], [select fds] -> ready fd, [shutdown fd]
+    - memory: [mmap bytes] -> addr, [munmap addr], [brk bytes],
+      [poke addr s], [peek addr n], [getrss]
+    - threads: [clone fname arg] -> tid, [join tid], [sched_yield]
+    - misc: [nanosleep ns], [gettimeofday], [time], [uname], [getuid],
+      [sysinfo] -> cores, [rand n], [print s] (console write),
+      [sandbox_create paths] (the Graphene extension of §6.6)
+    - /proc: [open "/proc/<pid>/<field>"] works locally and over RPC *)
+
+open Graphene_sim
+module K = Graphene_host.Kernel
+module Memory = Graphene_host.Memory
+module Stream = Graphene_host.Stream
+module Vfs = Graphene_host.Vfs
+module Pal = Graphene_pal.Pal
+module Seccomp = Graphene_bpf.Seccomp
+module Ast = Graphene_guest.Ast
+module Interp = Graphene_guest.Interp
+module Ipc = Graphene_ipc.Instance
+module Ipc_config = Graphene_ipc.Config
+
+(* {1 Memory model constants}
+
+   Calibrated against §6.2: a Graphene "hello world" is ~1.4 MB
+   resident (vs 352 KB native), and each forked child adds ~790 KB. *)
+
+(* libLinux.so text+rodata, shared *)
+let libos_image_bytes = 640 * 1024
+(* private libOS data *)
+let libos_data_bytes = 72 * 1024
+let stack_bytes = 64 * 1024
+let restore_scratch_bytes = 560 * 1024
+(** private serialization buffers live across restore ("a substantial
+    amount of serialization effort", §6.4) *)
+
+let default_app_image_bytes = 96 * 1024
+let libc_image_bytes = 256 * 1024  (** modified glibc, shared *)
+
+(* {1 Lifecycle cost constants} *)
+
+(* checkpoint walk per resident page *)
+let fork_page_walk = Time.ns 400
+let fork_restore_fixed = Time.us 60.
+let exec_fixed = Time.us 250.
+(* child PAL load, page cache warm *)
+let pal_load_warm = Time.us 60.
+(* Table 7 msgget-create, local *)
+let queue_create_cost = Time.us 25.
+let queue_lookup_cost = Time.us 1.0
+(* four fine-grained locks, paper 6.4 *)
+let queue_lock_cost = Time.us 3.2
+let sock_overhead_roundtrip = Time.us 1.0  (** AF_UNIX PAL translation *)
+
+(* {1 Types} *)
+
+type fd_kind =
+  | Kfile of { path : string; mutable pos : int }
+  | Kconsole
+  | Knull
+  | Kzero  (** /dev/zero *)
+  | Kstream of { sock : bool }
+  | Klisten of { port : int }
+  | Kproc of { content : string; mutable pos : int }
+
+type fd_entry = {
+  mutable fh : K.handle option;
+  mutable kind : fd_kind;
+  mutable cloexec : bool;
+}
+
+type child = {
+  c_pid : int;
+  mutable c_status : [ `Running | `Zombie of int ];
+  mutable c_pgid : int;
+}
+
+type t = {
+  pal : Pal.t;
+  cfg : Ipc_config.t;
+  mutable ipc : Ipc.t option;
+  mutable pid : int;
+  mutable ppid : int;
+  mutable pgid : int;
+  mutable parent_addr : string;
+  mutable exe : string;
+  mutable cwd : string;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable next_fd : int;
+  sigactions : (int, string) Hashtbl.t;
+  mutable sig_pending : int list;
+  mutable sig_blocked : int list;
+  children : (int, child) Hashtbl.t;
+  mutable wait_waiters : (int option * (int * int -> unit)) list;
+  mutable pause_waiters : K.thread list;
+  console : Buffer.t;
+  mutable on_console : (string -> unit) option;
+  mutable brk : int;  (** guest heap size in bytes *)
+  mutable heap_mapped : int;  (** bytes of heap regions actually mapped *)
+  threads : (int, K.thread) Hashtbl.t;  (** guest tid -> host thread *)
+  thread_guest_tid : (int, int) Hashtbl.t;  (** host tid -> guest tid *)
+  mutable done_tids : int list;
+  mutable join_waiters : (int * K.thread) list;
+  mutable next_tid_seq : int;
+  mutable main_thread : K.thread option;
+  mutable exited : bool;
+  mutable exit_code : int;
+  mutable started_at : Time.t option;  (** first app instruction *)
+  mutable syscall_count : int;
+  mutable alarm_seq : int;  (** cancels superseded alarm timers *)
+  mutable umask : int;
+}
+
+let kernel lx = Pal.kernel lx.pal
+let pico lx = Pal.pico lx.pal
+let ipc lx = match lx.ipc with Some i -> i | None -> failwith "Lx: ipc not ready"
+let addr_of_pico (p : K.pico) = "g" ^ string_of_int p.K.pid
+let my_addr lx = addr_of_pico (pico lx)
+let console_output lx = Buffer.contents lx.console
+let pid lx = lx.pid
+let exited lx = lx.exited
+let exit_code lx = lx.exit_code
+let set_console_hook lx f = lx.on_console <- Some f
+let syscall_count lx = lx.syscall_count
+
+(* Directory in which libLinux emulates /proc; never touches the host's. *)
+let proc_prefix = "/proc/"
+
+let vint n = Ast.Vint n
+let vstr s = Ast.Vstr s
+let err tag = Errno.to_value tag
+
+let abspath lx path =
+  if path = "" then lx.cwd
+  else if path.[0] = '/' then path
+  else if lx.cwd = "/" then "/" ^ path
+  else lx.cwd ^ "/" ^ path
+
+(* {1 File descriptors} *)
+
+let alloc_fd lx entry =
+  let fd = lx.next_fd in
+  lx.next_fd <- fd + 1;
+  Hashtbl.replace lx.fds fd entry;
+  fd
+
+let get_fd lx fd = Hashtbl.find_opt lx.fds fd
+
+let init_std_fds lx =
+  Hashtbl.replace lx.fds 0 { fh = None; kind = Knull; cloexec = false };
+  Hashtbl.replace lx.fds 1 { fh = None; kind = Kconsole; cloexec = false };
+  Hashtbl.replace lx.fds 2 { fh = None; kind = Kconsole; cloexec = false };
+  lx.next_fd <- 3
+
+(* {1 Signals} *)
+
+(* Decide what to do with every deliverable pending signal given the
+   (resumed) machine: inject handler calls, or conclude the process
+   must die. *)
+let apply_pending_signals lx m =
+  let rec loop m = function
+    | [] -> `Machine m
+    | signum :: rest ->
+      if List.mem signum lx.sig_blocked then begin
+        (* stays pending *)
+        match loop m rest with
+        | `Machine m' ->
+          lx.sig_pending <- signum :: lx.sig_pending;
+          `Machine m'
+        | other -> other
+      end
+      else begin
+        match Hashtbl.find_opt lx.sigactions signum with
+        | Some handler when Interp.has_func m handler && Signal.catchable signum ->
+          loop (Interp.interrupt m ~func:handler ~args:[ Ast.Vint signum ]) rest
+        | _ -> (
+          match Signal.default_action signum with
+          | Signal.Ignore | Signal.Continue | Signal.Stop -> loop m rest
+          | Signal.Terminate -> `Exit (128 + signum))
+      end
+  in
+  let pending = lx.sig_pending in
+  lx.sig_pending <- [];
+  loop m pending
+
+let rec do_exit lx code =
+  if not lx.exited then begin
+    lx.exited <- true;
+    lx.exit_code <- code;
+    (match lx.ipc with
+    | Some i ->
+      Ipc.persist_owned_queues i;
+      Ipc.notify_exit i ~parent_addr:lx.parent_addr ~pid:lx.pid ~code;
+      Ipc.shutdown i
+    | None -> ());
+    Pal.process_exit lx.pal code
+  end
+
+(* Resume [th] with the machine [m], delivering pending signals first. *)
+and continue lx th m ~cost =
+  if not lx.exited then begin
+    match apply_pending_signals lx m with
+    | `Exit code -> do_exit lx code
+    | `Machine m -> K.set_machine (kernel lx) th m ~cost
+  end
+
+and finish lx th ?(cost = Cost.libos_call) v =
+  if not lx.exited then begin
+    match th.K.machine with
+    | None -> ()
+    | Some m -> continue lx th (Interp.resume m v) ~cost
+  end
+
+let fail lx th ?cost tag = finish lx th ?cost (err tag)
+
+(* A signal arrived (locally or by RPC). SIGKILL is never deferred;
+   other signals are marked pending and, if the main thread is running
+   a CPU loop, injected at the next interpreter step via the machine
+   (the moral equivalent of DkThreadInterrupt). Blocked [pause]rs wake
+   with EINTR. *)
+let post_signal lx signum =
+  if lx.exited then false
+  else if signum = Signal.sigkill then begin
+    do_exit lx (128 + signum);
+    true
+  end
+  else begin
+    lx.sig_pending <- lx.sig_pending @ [ signum ];
+    (* wake pause()rs: they return -EINTR, handlers run on the way out *)
+    let pausers = lx.pause_waiters in
+    lx.pause_waiters <- [];
+    List.iter (fun th -> fail lx th "EINTR") pausers;
+    (* a CPU-spinning thread never reaches a syscall boundary:
+       interrupt it through the PAL's exception upcall
+       (DkThreadInterrupt -> the handler we registered at boot) *)
+    (match lx.main_thread with
+    | Some th when th.K.tstate = `Runnable ->
+      Pal.thread_interrupt lx.pal th (fun _ -> ())
+    | _ -> ());
+    true
+  end
+
+(* The PAL exception upcall: on [Interrupted], inject the pending
+   signal handlers into the thread's machine at its next step
+   boundary; hardware faults terminate like SIGSEGV. *)
+let on_pal_exception lx th info =
+  if not lx.exited then
+    match info with
+    | Pal.Interrupted -> (
+      match th.K.machine with
+      | Some m -> (
+        match apply_pending_signals lx m with
+        | `Exit code -> do_exit lx code
+        | `Machine m' -> th.K.machine <- Some m')
+      | None -> ())
+    | Pal.Div_zero | Pal.Mem_fault _ | Pal.Illegal _ -> do_exit lx (128 + Signal.sigsegv)
+
+(* {1 /proc} *)
+
+let render_proc_local lx ~field =
+  match field with
+  | "status" ->
+    Ok
+      (Printf.sprintf "Name:\t%s\nPid:\t%d\nPPid:\t%d\nPGid:\t%d\nState:\tR (running)\nThreads:\t%d\n"
+         (Filename.basename lx.exe) lx.pid lx.ppid lx.pgid
+         (1 + Hashtbl.length lx.threads))
+  | "cmdline" -> Ok lx.exe
+  | "maps" ->
+    let regions = Memory.regions (pico lx).K.aspace in
+    Ok
+      (String.concat ""
+         (List.map
+            (fun r ->
+              Printf.sprintf "%08x-%08x\n" (Memory.region_base r)
+                (Memory.region_base r + (Memory.region_npages r * Memory.page_size)))
+            regions))
+  | _ -> Error "ENOENT"
+
+let parse_proc_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "proc"; pid; field ] -> (
+    match int_of_string_opt pid with Some p -> Some (p, field) | None -> None)
+  | _ -> None
+
+(* {1 Wait and children} *)
+
+let find_zombie lx pid_filter =
+  let matches c = match pid_filter with None -> true | Some p -> c.c_pid = p in
+  Hashtbl.fold
+    (fun _ c acc ->
+      match (acc, c.c_status) with
+      | None, `Zombie code when matches c -> Some (c.c_pid, code)
+      | _ -> acc)
+    lx.children None
+
+let mark_zombie lx cpid code =
+  match Hashtbl.find_opt lx.children cpid with
+  | Some c when c.c_status = `Running ->
+    c.c_status <- `Zombie code;
+    ignore (post_signal lx Signal.sigchld);
+    (* wake one matching waiter *)
+    let rec take acc = function
+      | [] -> None
+      | ((filt, k) as w) :: rest -> (
+        match filt with
+        | Some p when p <> cpid -> take (w :: acc) rest
+        | _ -> Some (k, List.rev_append acc rest))
+    in
+    (match take [] lx.wait_waiters with
+    | Some (k, rest) ->
+      lx.wait_waiters <- rest;
+      Hashtbl.remove lx.children cpid;
+      k (cpid, code)
+    | None -> ())
+  | _ -> ()
+
+let do_wait lx th pid_filter =
+  match find_zombie lx pid_filter with
+  | Some (cpid, code) ->
+    Hashtbl.remove lx.children cpid;
+    finish lx th ~cost:(Time.us 1.0) (Ast.Vpair (vint cpid, vint code))
+  | None ->
+    if Hashtbl.length lx.children = 0 then fail lx th "ECHILD"
+    else
+      lx.wait_waiters <-
+        lx.wait_waiters
+        @ [ (pid_filter, fun (cpid, code) -> finish lx th (Ast.Vpair (vint cpid, vint code))) ]
+
+(* {1 Construction} *)
+
+let make ~pal ~cfg ~pid ~ppid ~pgid ~parent_addr ~exe =
+  { pal;
+    cfg;
+    ipc = None;
+    pid;
+    ppid;
+    pgid;
+    parent_addr;
+    exe;
+    cwd = "/";
+    fds = Hashtbl.create 16;
+    next_fd = 3;
+    sigactions = Hashtbl.create 8;
+    sig_pending = [];
+    sig_blocked = [];
+    children = Hashtbl.create 8;
+    wait_waiters = [];
+    pause_waiters = [];
+    console = Buffer.create 256;
+    on_console = None;
+    brk = 0;
+    heap_mapped = 0;
+    threads = Hashtbl.create 4;
+    thread_guest_tid = Hashtbl.create 4;
+    done_tids = [];
+    join_waiters = [];
+    next_tid_seq = 1;
+    main_thread = None;
+    exited = false;
+    exit_code = 0;
+    started_at = None;
+    syscall_count = 0;
+    alarm_seq = 0;
+    umask = 0o022 }
+
+let callbacks_of lx =
+  { Ipc.deliver_signal =
+      (fun ~signum ~from_pid:_ ~to_pid ->
+        if to_pid = lx.pid && not lx.exited then post_signal lx signum else false);
+    on_exit_notification = (fun ~pid ~code -> mark_zombie lx pid code);
+    proc_read =
+      (fun ~pid ~field ->
+        if pid = lx.pid then render_proc_local lx ~field else Error "ESRCH") }
+
+(* Map the shared libOS + libc images and the private data/stack
+   regions into a fresh picoprocess. A restored child already holds the
+   private regions through bulk IPC (copy-on-write); those are then
+   dirtied rather than remapped, which is what makes the child's
+   incremental footprint real (§6.2). *)
+let dirty_range asp ~base ~bytes =
+  let page = Memory.page_size in
+  let zeros = String.make page '\000' in
+  let npages = Memory.pages_of_bytes bytes in
+  for i = 0 to npages - 1 do
+    ignore (Memory.write_bytes asp (base + (i * page)) zeros)
+  done
+
+let map_private_unless_present asp ~base ~bytes ~kind =
+  match Memory.find_region asp base with
+  | Some _ -> dirty_range asp ~base ~bytes
+  | None ->
+    ignore
+      (Memory.map_resident asp ~base ~npages:(Memory.pages_of_bytes bytes) ~perm:Memory.rw
+         ~kind)
+
+let libos_data_base = K.libos_base + 0x0200_0000
+let scratch_base = K.stack_base + 0x0100_0000
+
+let map_libos_images lx ~app_bytes ~scratch =
+  let kern = kernel lx in
+  let asp = (pico lx).K.aspace in
+  let libos = K.get_image kern ~name:"[libLinux]" ~bytes:libos_image_bytes in
+  ignore (Memory.map_image asp ~base:K.libos_base ~image:libos ~perm:Memory.rx ~kind:Memory.Libos_image);
+  let libc = K.get_image kern ~name:"[libc]" ~bytes:libc_image_bytes in
+  ignore
+    (Memory.map_image asp ~base:(K.libos_base + 0x0100_0000) ~image:libc ~perm:Memory.rx
+       ~kind:Memory.Libos_image);
+  map_private_unless_present asp ~base:libos_data_base ~bytes:libos_data_bytes ~kind:Memory.Heap;
+  map_private_unless_present asp ~base:K.stack_base ~bytes:stack_bytes ~kind:Memory.Stack;
+  if scratch > 0 then
+    map_private_unless_present asp ~base:scratch_base ~bytes:scratch ~kind:Memory.Heap;
+  let app = K.get_image kern ~name:("[bin]" ^ lx.exe) ~bytes:app_bytes in
+  ignore (Memory.map_image asp ~base:K.app_base ~image:app ~perm:Memory.rx ~kind:Memory.App_image);
+  K.update_peak_rss (pico lx)
+
+(* {1 The system call dispatcher} *)
+
+let rec dispatch lx th name args =
+  lx.syscall_count <- lx.syscall_count + 1;
+  try dispatch_inner lx th name args
+  with Ast.Guest_fault _ -> fail lx th "EINVAL"
+
+and dispatch_inner lx th name args =
+  let a n = List.nth args n in
+  let int_arg n = Ast.as_int (a n) in
+  let str_arg n = Ast.as_str (a n) in
+  match name with
+  (* {2 Identity — serviced purely from libOS state (Table 6 row 1)} *)
+  | "getpid" -> finish lx th (vint lx.pid)
+  | "getppid" -> finish lx th (vint lx.ppid)
+  | "getpgid" -> finish lx th (vint lx.pgid)
+  | "setpgid" ->
+    lx.pgid <- int_arg 0;
+    finish lx th (vint 0)
+  | "gettid" ->
+    let gtid =
+      Option.value ~default:lx.pid (Hashtbl.find_opt lx.thread_guest_tid th.K.tid)
+    in
+    finish lx th (vint gtid)
+  | "getuid" | "geteuid" -> finish lx th (vint 1000)
+  | "uname" -> finish lx th (vstr "Linux graphene 3.5.0-libos x86_64")
+  | "sysinfo" -> finish lx th (vint (kernel lx).K.cores)
+  | "getrss" -> finish lx th (vint (Memory.rss (pico lx).K.aspace))
+  (* {2 Console} *)
+  | "print" ->
+    (* variadic: all string arguments are concatenated *)
+    let s = String.concat "" (List.map Ast.as_str args) in
+    ignore (str_arg : int -> string);
+    Buffer.add_string lx.console s;
+    (match lx.on_console with Some f -> f s | None -> ());
+    finish lx th ~cost:(Time.ns 150) (vint (String.length s))
+  (* {2 Files} *)
+  | "open" -> do_open lx th (abspath lx (str_arg 0)) (str_arg 1)
+  | "close" -> (
+    match get_fd lx (int_arg 0) with
+    | None -> fail lx th "EBADF"
+    | Some e ->
+      Hashtbl.remove lx.fds (int_arg 0);
+      (match e.fh with
+      | Some h -> Pal.stream_close lx.pal h (fun _ -> finish lx th (vint 0))
+      | None -> finish lx th (vint 0)))
+  | "read" -> do_read lx th (int_arg 0) (int_arg 1)
+  | "write" -> do_write lx th (int_arg 0) (str_arg 1)
+  | "lseek" -> (
+    match get_fd lx (int_arg 0) with
+    | Some { kind = Kfile f; fh = Some _; _ } -> (
+      let off = int_arg 1 in
+      match str_arg 2 with
+      | "set" ->
+        f.pos <- off;
+        finish lx th (vint f.pos)
+      | "cur" ->
+        f.pos <- f.pos + off;
+        finish lx th (vint f.pos)
+      | "end" ->
+        Pal.stream_attributes_query lx.pal ("file:" ^ f.path) (function
+          | Ok attrs ->
+            f.pos <- attrs.Pal.size + off;
+            finish lx th (vint f.pos)
+          | Error e -> fail lx th e)
+      | _ -> fail lx th "EINVAL")
+    | Some _ -> fail lx th "ESPIPE"
+    | None -> fail lx th "EBADF")
+  | "stat" ->
+    Pal.stream_attributes_query lx.pal ("file:" ^ abspath lx (str_arg 0)) (function
+      | Ok attrs ->
+        finish lx th ~cost:Cost.libos_path_resolution
+          (Ast.Vpair (vint attrs.Pal.size, vint (if attrs.Pal.is_dir then 1 else 0)))
+      | Error e -> fail lx th e)
+  | "access" ->
+    Pal.stream_attributes_query lx.pal ("file:" ^ abspath lx (str_arg 0)) (function
+      | Ok _ -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+      | Error e -> fail lx th e)
+  | "unlink" ->
+    Pal.stream_delete lx.pal ("file:" ^ abspath lx (str_arg 0)) (function
+      | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+      | Error e -> fail lx th e)
+  | "rename" ->
+    Pal.stream_change_name lx.pal
+      ~src:("file:" ^ abspath lx (str_arg 0))
+      ~dst:("file:" ^ abspath lx (str_arg 1))
+      (function
+      | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+      | Error e -> fail lx th e)
+  | "mkdir" ->
+    Pal.directory_create lx.pal ("dir:" ^ abspath lx (str_arg 0)) (function
+      | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+      | Error e -> fail lx th e)
+  | "readdir" ->
+    Pal.stream_open lx.pal ("dir:" ^ abspath lx (str_arg 0)) ~write:false ~create:false
+      (function
+      | Error e -> fail lx th e
+      | Ok h ->
+        Pal.directory_list lx.pal h (function
+          | Ok names ->
+            finish lx th ~cost:Cost.libos_path_resolution
+              (Ast.Vlist (List.map (fun n -> vstr n) names))
+          | Error e -> fail lx th e))
+  | "chdir" ->
+    let path = abspath lx (str_arg 0) in
+    Pal.stream_attributes_query lx.pal ("file:" ^ path) (function
+      | Ok attrs ->
+        if attrs.Pal.is_dir then begin
+          lx.cwd <- path;
+          finish lx th (vint 0)
+        end
+        else fail lx th "ENOTDIR"
+      | Error e -> fail lx th e)
+  | "getcwd" -> finish lx th (vstr lx.cwd)
+  | "dup2" -> (
+    (* replace [newfd] with a copy of [oldfd]; the shell uses it to
+       wire pipeline ends onto stdin/stdout before exec *)
+    match get_fd lx (int_arg 0) with
+    | None -> fail lx th "EBADF"
+    | Some e ->
+      let newfd = int_arg 1 in
+      (match get_fd lx newfd with
+      | Some { fh = Some h; _ } when newfd <> int_arg 0 ->
+        Pal.stream_close lx.pal h (fun _ -> ())
+      | _ -> ());
+      (match e.fh with
+      | Some { K.obj = K.Hstream ep; _ } ->
+        Stream.addref ep;
+        K.register_endpoint (kernel lx) (pico lx) ep
+      | _ -> ());
+      let kind =
+        match e.kind with
+        | Kfile f -> Kfile { path = f.path; pos = f.pos }
+        | Kproc pr -> Kproc { content = pr.content; pos = pr.pos }
+        | k -> k
+      in
+      Hashtbl.replace lx.fds newfd { fh = e.fh; kind; cloexec = false };
+      lx.next_fd <- max lx.next_fd (newfd + 1);
+      finish lx th ~cost:(Time.ns 220) (vint newfd))
+  | "dup" -> (
+    match get_fd lx (int_arg 0) with
+    | None -> fail lx th "EBADF"
+    | Some e ->
+      (match e.fh with
+      | Some { K.obj = K.Hstream ep; _ } ->
+        Stream.addref ep;
+        K.register_endpoint (kernel lx) (pico lx) ep
+      | _ -> ());
+      let kind =
+        match e.kind with
+        | Kfile f -> Kfile { path = f.path; pos = f.pos }
+        | Kproc p -> Kproc { content = p.content; pos = p.pos }
+        | k -> k
+      in
+      finish lx th ~cost:(Time.ns 200) (vint (alloc_fd lx { fh = e.fh; kind; cloexec = false })))
+  | "truncate" ->
+    Pal.stream_open lx.pal ("file:" ^ abspath lx (str_arg 0)) ~write:true ~create:false
+      (function
+      | Error e -> fail lx th e
+      | Ok h ->
+        Pal.stream_set_length lx.pal h (int_arg 1) (function
+          | Ok () ->
+            Pal.stream_close lx.pal h (fun _ -> ());
+            finish lx th (vint 0)
+          | Error e -> fail lx th e))
+  | "fstat" -> (
+    match get_fd lx (int_arg 0) with
+    | Some { kind = Kfile f; _ } ->
+      Pal.stream_attributes_query lx.pal ("file:" ^ f.path) (function
+        | Ok attrs ->
+          finish lx th (Ast.Vpair (vint attrs.Pal.size, vint (if attrs.Pal.is_dir then 1 else 0)))
+        | Error e -> fail lx th e)
+    | Some _ -> finish lx th (Ast.Vpair (vint 0, vint 0))
+    | None -> fail lx th "EBADF")
+  | "rmdir" ->
+    Pal.stream_delete lx.pal ("dir:" ^ abspath lx (str_arg 0)) (function
+      | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+      | Error e -> fail lx th e)
+  | "umask" ->
+    let old = lx.umask in
+    lx.umask <- int_arg 0 land 0o777;
+    finish lx th (vint old)
+  | "sync" ->
+    (* flush everything: a couple of host fsyncs' worth *)
+    finish lx th ~cost:(Time.us 8.0) (vint 0)
+  | "getrusage" ->
+    (* (maxrss bytes, user time ns) *)
+    finish lx th
+      (Ast.Vpair
+         ( vint (max (pico lx).K.peak_rss (Memory.rss (pico lx).K.aspace)),
+           vint (K.now (kernel lx)) ))
+  | "writev" ->
+    (* vector write: a list of strings, one syscall *)
+    let parts = List.map Ast.as_str (Ast.as_list (a 1)) in
+    dispatch lx th "write" [ a 0; vstr (String.concat "" parts) ]
+  | "sendfile" -> (
+    (* copy [n] bytes from in-fd to out-fd without guest copies *)
+    match (get_fd lx (int_arg 0), get_fd lx (int_arg 1)) with
+    | Some ({ kind = Kfile inf; fh = Some inh; _ } as _e), Some out_e -> (
+      let n = int_arg 2 in
+      Pal.stream_read lx.pal inh ~off:inf.pos ~max:n (function
+        | Error e -> fail lx th e
+        | Ok data -> (
+          inf.pos <- inf.pos + String.length data;
+          match (out_e.kind, out_e.fh) with
+          | Kconsole, _ ->
+            Buffer.add_string lx.console data;
+            (match lx.on_console with Some f -> f data | None -> ());
+            finish lx th (vint (String.length data))
+          | Kfile outf, Some outh ->
+            Pal.stream_write lx.pal outh ~off:outf.pos data (function
+              | Ok m ->
+                outf.pos <- outf.pos + m;
+                finish lx th (vint m)
+              | Error e -> fail lx th e)
+          | Kstream _, Some outh ->
+            Pal.stream_write lx.pal outh ~off:0 data (function
+              | Ok m -> finish lx th (vint m)
+              | Error e -> fail lx th e)
+          | _ -> fail lx th "EBADF")))
+    | _ -> fail lx th "EBADF")
+  | "alarm" ->
+    (* SIGALRM after n seconds; alarm 0 cancels; returns 0 (the
+       remaining-time report is not modeled) *)
+    let secs = int_arg 0 in
+    lx.alarm_seq <- lx.alarm_seq + 1;
+    let seq = lx.alarm_seq in
+    if secs > 0 then
+      K.after (kernel lx) (Time.s (float_of_int secs)) (fun () ->
+          if (not lx.exited) && lx.alarm_seq = seq then
+            ignore (post_signal lx Signal.sigalrm));
+    finish lx th ~cost:(Time.ns 180) (vint 0)
+  | "fsync" -> (
+    match get_fd lx (int_arg 0) with
+    | Some { fh = Some h; _ } ->
+      Pal.stream_flush lx.pal h (fun _ -> finish lx th (vint 0))
+    | Some _ -> finish lx th (vint 0)
+    | None -> fail lx th "EBADF")
+  | "pipe" ->
+    Pal.pipe_pair lx.pal (function
+      | Error e -> fail lx th e
+      | Ok (h1, h2) ->
+        let rfd = alloc_fd lx { fh = Some h1; kind = Kstream { sock = false }; cloexec = false } in
+        let wfd = alloc_fd lx { fh = Some h2; kind = Kstream { sock = false }; cloexec = false } in
+        finish lx th ~cost:(Time.us 1.0) (Ast.Vpair (vint rfd, vint wfd)))
+  (* {2 Network} *)
+  | "listen_tcp" ->
+    Pal.stream_open lx.pal (Printf.sprintf "tcp.srv:%d" (int_arg 0)) ~write:true ~create:true
+      (function
+      | Ok h ->
+        finish lx th (vint (alloc_fd lx { fh = Some h; kind = Klisten { port = int_arg 0 }; cloexec = false }))
+      | Error e -> fail lx th e)
+  | "accept" -> (
+    match get_fd lx (int_arg 0) with
+    | Some { fh = Some h; kind = Klisten _; _ } ->
+      Pal.stream_wait_for_client lx.pal h (function
+        | Ok conn ->
+          finish lx th ~cost:(Time.us 1.0)
+            (vint (alloc_fd lx { fh = Some conn; kind = Kstream { sock = true }; cloexec = false }))
+        | Error e -> fail lx th e)
+    | _ -> fail lx th "ENOTSOCK")
+  | "connect_tcp" ->
+    Pal.stream_open lx.pal (Printf.sprintf "tcp:%d" (int_arg 0)) ~write:true ~create:false
+      (function
+      | Ok h ->
+        finish lx th ~cost:(Time.us 1.0)
+          (vint (alloc_fd lx { fh = Some h; kind = Kstream { sock = true }; cloexec = false }))
+      | Error e -> fail lx th e)
+  | "shutdown" -> (
+    match get_fd lx (int_arg 0) with
+    | Some { fh = Some h; _ } -> Pal.stream_close lx.pal h (fun _ -> finish lx th (vint 0))
+    | _ -> fail lx th "EBADF")
+  | "select" -> do_select lx th (Ast.as_list (a 0))
+  (* {2 Signals} *)
+  | "sigaction" ->
+    Hashtbl.replace lx.sigactions (int_arg 0) (str_arg 1);
+    finish lx th ~cost:Cost.libos_sig_install (vint 0)
+  | "sigprocmask" -> (
+    let signum = int_arg 1 in
+    match str_arg 0 with
+    | "block" ->
+      if not (List.mem signum lx.sig_blocked) then lx.sig_blocked <- signum :: lx.sig_blocked;
+      finish lx th (vint 0)
+    | "unblock" ->
+      lx.sig_blocked <- List.filter (fun s -> s <> signum) lx.sig_blocked;
+      finish lx th (vint 0)
+    | _ -> fail lx th "EINVAL")
+  | "kill" -> do_kill lx th (int_arg 0) (int_arg 1)
+  | "pause" -> lx.pause_waiters <- th :: lx.pause_waiters
+  (* {2 Process lifecycle} *)
+  | "fork" -> do_fork lx th
+  | "execve" ->
+    do_exec lx th (abspath lx (str_arg 0)) (List.map Ast.as_str (Ast.as_list (a 1)))
+  | "exit" -> do_exit lx (int_arg 0)
+  | "wait" -> do_wait lx th None
+  | "waitpid" ->
+    let p = int_arg 0 in
+    do_wait lx th (if p = -1 then None else Some p)
+  (* {2 System V IPC} *)
+  | "msgget" ->
+    Ipc.msgget (ipc lx) ~key:(int_arg 0) ~create:(int_arg 1 <> 0) (function
+      | Ok (id, created) ->
+        finish lx th ~cost:(if created then queue_create_cost else queue_lookup_cost) (vint id)
+      | Error e -> fail lx th e)
+  | "msgsnd" ->
+    Ipc.msgsnd (ipc lx) ~id:(int_arg 0) ~data:(str_arg 1) (function
+      | Ok () -> finish lx th ~cost:queue_lock_cost (vint 0)
+      | Error e -> fail lx th e)
+  | "msgrcv" ->
+    Ipc.msgrcv (ipc lx) ~id:(int_arg 0) (function
+      | Ok data -> finish lx th ~cost:(Time.us 1.8) (vstr data)
+      | Error e -> fail lx th e)
+  | "msgctl_rmid" ->
+    Ipc.msgrm (ipc lx) ~id:(int_arg 0) (function
+      | Ok () -> finish lx th ~cost:queue_lock_cost (vint 0)
+      | Error e -> fail lx th e)
+  | "semget" ->
+    Ipc.semget (ipc lx) ~key:(int_arg 0) ~init:(int_arg 1) (function
+      | Ok (id, created) ->
+        finish lx th ~cost:(if created then queue_create_cost else queue_lookup_cost) (vint id)
+      | Error e -> fail lx th e)
+  | "semop" ->
+    Ipc.semop (ipc lx) ~id:(int_arg 0) ~delta:(int_arg 1) (function
+      | Ok () -> finish lx th ~cost:(Time.us 1.5) (vint 0)
+      | Error e -> fail lx th e)
+  (* {2 Memory} *)
+  | "mmap" ->
+    Pal.virtual_memory_alloc lx.pal ~bytes:(int_arg 0) ~perm:Memory.rw ~kind:Memory.Mmap
+      (function
+      | Ok base -> finish lx th ~cost:(Time.ns 300) (vint base)
+      | Error e -> fail lx th e)
+  | "munmap" ->
+    Pal.virtual_memory_free lx.pal ~addr:(int_arg 0) (function
+      | Ok () -> finish lx th (vint 0)
+      | Error e -> fail lx th e)
+  | "brk" ->
+    (* the legacy data segment, implemented entirely in the libOS over
+       DkVirtualMemoryAlloc (paper §2) *)
+    let target = int_arg 0 in
+    if target <= lx.heap_mapped then begin
+      lx.brk <- max lx.brk target;
+      finish lx th ~cost:(Time.ns 120) (vint (K.heap_base + lx.brk))
+    end
+    else begin
+      let grow = target - lx.heap_mapped in
+      Pal.virtual_memory_alloc lx.pal ~addr:(K.heap_base + lx.heap_mapped) ~bytes:grow
+        ~perm:Memory.rw ~kind:Memory.Heap (function
+        | Ok _ ->
+          lx.heap_mapped <- lx.heap_mapped + (Memory.pages_of_bytes grow * Memory.page_size);
+          lx.brk <- target;
+          finish lx th (vint (K.heap_base + lx.brk))
+        | Error e -> fail lx th e)
+    end
+  | "poke" ->
+    let addr = int_arg 0 and data = str_arg 1 in
+    let cow = Memory.write_bytes (pico lx).K.aspace addr data in
+    K.update_peak_rss (pico lx);
+    finish lx th
+      ~cost:(Time.add (Cost.copy_cost (String.length data)) (Time.scale Cost.cow_fault (float_of_int cow)))
+      (vint 0)
+  | "peek" ->
+    let addr = int_arg 0 and n = int_arg 1 in
+    let data = Memory.read_bytes (pico lx).K.aspace addr n in
+    finish lx th ~cost:(Cost.copy_cost n) (vstr data)
+  (* {2 Threads} *)
+  | "clone" -> do_clone lx th (str_arg 0) (a 1)
+  | "join" ->
+    let gtid = int_arg 0 in
+    if List.mem gtid lx.done_tids then finish lx th (vint 0)
+    else if Hashtbl.mem lx.threads gtid then
+      lx.join_waiters <- (gtid, th) :: lx.join_waiters
+    else fail lx th "ESRCH"
+  | "sched_yield" -> Pal.thread_yield lx.pal (fun _ -> finish lx th (vint 0))
+  (* {2 Time and misc} *)
+  | "nanosleep" ->
+    K.after (kernel lx) (Time.ns (int_arg 0)) (fun () -> finish lx th (vint 0))
+  | "gettimeofday" | "time" ->
+    Pal.system_time_query lx.pal (function
+      | Ok t -> finish lx th (vint t)
+      | Error e -> fail lx th e)
+  | "rand" ->
+    finish lx th (vint (Rng.int (kernel lx).K.rng (max 1 (int_arg 0))))
+  (* {2 Graphene extension: dynamic sandboxing (§6.6)} *)
+  | "sandbox_create" ->
+    let paths = List.map Ast.as_str (Ast.as_list (a 0)) in
+    let old_sandbox = (pico lx).K.sandbox in
+    Pal.sandbox_create lx.pal ~keep_children:[] (function
+      | Ok new_sandbox ->
+        (kernel lx).K.lsm.K.on_sandbox_split (pico lx) ~old_sandbox ~paths;
+        Ipc.become_isolated (ipc lx) ~first_pid:(lx.pid + 1);
+        finish lx th ~cost:(Time.us 10.) (vint new_sandbox)
+      | Error e -> fail lx th e)
+  | _ -> fail lx th "ENOSYS"
+
+(* {2 open} *)
+
+and do_open lx th path mode =
+  if path = "/dev/zero" then
+    finish lx th (vint (alloc_fd lx { fh = None; kind = Kzero; cloexec = false }))
+  else if path = "/dev/null" then
+    finish lx th (vint (alloc_fd lx { fh = None; kind = Knull; cloexec = false }))
+  else if String.length path >= String.length proc_prefix
+     && String.sub path 0 (String.length proc_prefix) = proc_prefix
+  then begin
+    (* /proc is a libOS abstraction: local state or RPC, never the
+       host's /proc (that is the Memento-style side channel the
+       isolation evaluation probes) *)
+    match parse_proc_path path with
+    | None -> fail lx th "ENOENT"
+    | Some (p, field) ->
+      if p = lx.pid then begin
+        match render_proc_local lx ~field with
+        | Ok content ->
+          finish lx th ~cost:(Time.us 1.5)
+            (vint (alloc_fd lx { fh = None; kind = Kproc { content; pos = 0 }; cloexec = false }))
+        | Error e -> fail lx th e
+      end
+      else
+        Ipc.read_proc (ipc lx) ~pid:p ~field (function
+          | Ok content ->
+            finish lx th
+              (vint (alloc_fd lx { fh = None; kind = Kproc { content; pos = 0 }; cloexec = false }))
+          | Error e -> fail lx th e)
+  end
+  else begin
+    let write = mode <> "r" in
+    let create = mode = "w" || mode = "rw" || mode = "a" || mode = "creat" in
+    (* O_APPEND positions at the end; others at 0 *)
+    let after_open h pos =
+      let fd = alloc_fd lx { fh = Some h; kind = Kfile { path; pos }; cloexec = false } in
+      finish lx th ~cost:Cost.libos_path_resolution (vint fd)
+    in
+    Pal.stream_open lx.pal ("file:" ^ path) ~write ~create:(create && mode <> "a") (function
+      | Error e -> fail lx th e
+      | Ok h ->
+        if mode = "a" then
+          Pal.stream_attributes_query lx.pal ("file:" ^ path) (function
+            | Ok attrs -> after_open h attrs.Pal.size
+            | Error _ -> after_open h 0)
+        else after_open h 0)
+  end
+
+(* {2 read / write} *)
+
+and do_read lx th fd n =
+  match get_fd lx fd with
+  | None -> fail lx th "EBADF"
+  | Some e -> (
+    match e.kind with
+    | Knull | Kconsole -> finish lx th (vstr "")
+    | Kzero ->
+      (* a PAL read of the host /dev/zero *)
+      finish lx th
+        ~cost:(Time.add Cost.host_syscall_entry (Time.add Cost.host_read_base (Time.ns 30)))
+        (vstr (String.make (max 0 n) '\000'))
+    | Kproc p ->
+      let avail = String.length p.content - p.pos in
+      let take = min n (max 0 avail) in
+      let s = String.sub p.content p.pos take in
+      p.pos <- p.pos + take;
+      finish lx th ~cost:(Time.us 0.5) (vstr s)
+    | Kfile f -> (
+      match e.fh with
+      | None -> fail lx th "EBADF"
+      | Some h ->
+        Pal.stream_read lx.pal h ~off:f.pos ~max:n (function
+          | Ok data ->
+            f.pos <- f.pos + String.length data;
+            finish lx th ~cost:(Time.ns 30) (vstr data)
+          | Error err -> fail lx th err))
+    | Kstream { sock } -> (
+      match e.fh with
+      | None -> fail lx th "EBADF"
+      | Some h ->
+        Pal.stream_read lx.pal h ~off:0 ~max:n (function
+          | Ok data ->
+            let rm =
+              if sock && K.lsm_active (kernel lx) then Cost.lsm_sock_op_check else Time.zero
+            in
+            let cost = Time.add rm (if sock then Time.ns 530 else Time.ns 30) in
+            finish lx th ~cost (vstr data)
+          | Error err -> fail lx th err))
+    | Klisten _ -> fail lx th "EINVAL")
+
+and do_write lx th fd data =
+  match get_fd lx fd with
+  | None -> fail lx th "EBADF"
+  | Some e -> (
+    match e.kind with
+    | Knull ->
+      (* a PAL write to the host /dev/null *)
+      finish lx th
+        ~cost:(Time.add Cost.host_syscall_entry Cost.host_write_base)
+        (vint (String.length data))
+    | Kzero -> fail lx th "EACCES"
+    | Kconsole ->
+      Buffer.add_string lx.console data;
+      (match lx.on_console with Some f -> f data | None -> ());
+      finish lx th ~cost:(Time.ns 150) (vint (String.length data))
+    | Kproc _ -> fail lx th "EACCES"
+    | Kfile f -> (
+      match e.fh with
+      | None -> fail lx th "EBADF"
+      | Some h ->
+        Pal.stream_write lx.pal h ~off:f.pos data (function
+          | Ok n ->
+            f.pos <- f.pos + n;
+            finish lx th ~cost:(Time.ns 30) (vint n)
+          | Error err -> fail lx th err))
+    | Kstream { sock } -> (
+      match e.fh with
+      | None -> fail lx th "EBADF"
+      | Some h ->
+        Pal.stream_write lx.pal h ~off:0 data (function
+          | Ok n ->
+            let rm =
+              if sock && K.lsm_active (kernel lx) then Cost.lsm_sock_op_check else Time.zero
+            in
+            let cost = Time.add rm (if sock then sock_overhead_roundtrip else Time.ns 30) in
+            finish lx th ~cost (vint n)
+          | Error err -> fail lx th err))
+    | Klisten _ -> fail lx th "EINVAL")
+
+(* {2 select} *)
+
+and do_select lx th fd_values =
+  let fds = List.map Ast.as_int fd_values in
+  let handles =
+    List.filter_map
+      (fun fd ->
+        match get_fd lx fd with
+        | Some { fh = Some h; _ } -> Some (fd, h)
+        | _ -> None)
+      fds
+  in
+  if handles = [] then fail lx th "EBADF"
+  else begin
+    let cost =
+      Time.add Cost.select_pal_translation
+        (if K.lsm_active (kernel lx) then Cost.lsm_fd_check else Time.zero)
+    in
+    K.after (kernel lx) (Time.add Cost.select_base cost) (fun () ->
+        Pal.objects_wait_any lx.pal (List.map snd handles) (function
+          | Ok idx -> finish lx th (vint (fst (List.nth handles idx)))
+          | Error e -> fail lx th e))
+  end
+
+(* {2 kill} *)
+
+and do_kill lx th target signum =
+  if target = lx.pid then begin
+    (* self-signal: a library function call, faster than native *)
+    ignore (post_signal lx signum);
+    finish lx th ~cost:Cost.libos_self_signal (vint 0)
+  end
+  else if target < 0 then begin
+    (* process group: deliver to self (if member) and every known
+       child in the group; remote group members are reached through
+       their PIDs *)
+    let pgid = -target in
+    if lx.pgid = pgid then ignore (post_signal lx signum);
+    let targets =
+      Hashtbl.fold (fun _ c acc -> if c.c_pgid = pgid then c.c_pid :: acc else acc) lx.children []
+    in
+    let rec send_all = function
+      | [] -> finish lx th (vint 0)
+      | p :: rest ->
+        Ipc.send_signal (ipc lx) ~to_pid:p ~signum ~from_pid:lx.pid (fun _ -> send_all rest)
+    in
+    send_all targets
+  end
+  else
+    Ipc.send_signal (ipc lx) ~to_pid:target ~signum ~from_pid:lx.pid (function
+      | Ok () -> finish lx th (vint 0)
+      | Error e -> fail lx th e)
+
+(* {2 clone (threads)} *)
+
+and do_clone lx th fname arg =
+  match th.K.machine with
+  | None -> fail lx th "EINVAL"
+  | Some m ->
+    if not (Interp.has_func m fname) then fail lx th "EINVAL"
+    else begin
+      (* a new machine entering at [fname], sharing this libOS instance
+         (address space, fd table, signal handlers) *)
+      let gtid = lx.pid + lx.next_tid_seq in
+      lx.next_tid_seq <- lx.next_tid_seq + 1;
+      let prog = machine_program m in
+      let tm = Interp.start { prog with Ast.main = Ast.Call (fname, [ Ast.Const arg ]) } ~argv:[] in
+      Pal.thread_create lx.pal tm (function
+        | Ok host_th ->
+          Hashtbl.replace lx.threads gtid host_th;
+          Hashtbl.replace lx.thread_guest_tid host_th.K.tid gtid;
+          finish lx th ~cost:(Time.us 18.) (vint gtid)
+        | Error e -> fail lx th e)
+    end
+
+and machine_program m =
+  (* recover the program from a machine image: serialize-free access is
+     not exposed by Interp, so thread creation reuses the program the
+     exec loaded; we keep it in the machine itself via a round-trip *)
+  let bytes = Interp.to_bytes m in
+  let m' = Interp.of_bytes bytes in
+  ignore m';
+  (* Interp exposes the program via exec below; see Interp.program *)
+  Interp.program_of_state m
+
+(* {2 fork} *)
+
+and shareable_ranges lx =
+  (* everything fork moves by bulk IPC: heap, mmap, stacks, app image
+     (code images are already page-cache shared) *)
+  List.filter_map
+    (fun r ->
+      match Memory.region_kind r with
+      | Memory.Heap | Memory.Mmap | Memory.Stack ->
+        Some (Memory.region_base r, Memory.region_npages r)
+      | Memory.Pal_code | Memory.Libos_image | Memory.App_image -> None)
+    (Memory.regions (pico lx).K.aspace)
+
+and snapshot_fds lx =
+  (* stream fds travel out-of-band; everything else by name *)
+  let slots = ref [] in
+  let next_slot = ref 0 in
+  let snaps =
+    Hashtbl.fold
+      (fun fd e acc ->
+        match e.kind with
+        | Kfile f -> Ckpt.Sfile { fd; path = f.path; pos = f.pos; cloexec = e.cloexec } :: acc
+        | Kconsole -> Ckpt.Sconsole fd :: acc
+        | Knull | Kzero -> Ckpt.Snull fd :: acc
+        | Kproc _ -> acc (* /proc fds are not inherited *)
+        | Kstream _ -> (
+          match e.fh with
+          | Some h ->
+            let slot = !next_slot in
+            incr next_slot;
+            slots := !slots @ [ h ];
+            Ckpt.Sstream { fd; slot; cloexec = e.cloexec } :: acc
+          | None -> acc)
+        | Klisten { port } -> (
+          match e.fh with
+          | Some h ->
+            let slot = !next_slot in
+            incr next_slot;
+            slots := !slots @ [ h ];
+            Ckpt.Slisten { fd; slot; port; cloexec = e.cloexec } :: acc
+          | None -> acc))
+      lx.fds []
+  in
+  (snaps, !slots)
+
+and build_ckpt lx ~child_pid ~machine ~heap_pages =
+  let fds, slots = snapshot_fds lx in
+  ( { Ckpt.c_machine = Interp.to_bytes machine;
+      c_exe = lx.exe;
+      c_pid = child_pid;
+      c_ppid = lx.pid;
+      c_pgid = lx.pgid;
+      c_parent_addr = Ipc.my_addr (ipc lx);
+      c_cwd = lx.cwd;
+      c_fds = fds;
+      c_sigactions = Hashtbl.fold (fun k v acc -> (k, v) :: acc) lx.sigactions [];
+      c_sig_blocked = lx.sig_blocked;
+      c_brk = lx.brk;
+      c_inherited = Ipc.snapshot_for_child (ipc lx);
+      c_regions = [];
+      c_heap_pages = heap_pages },
+    slots )
+
+and do_fork lx th =
+  match th.K.machine with
+  | None -> fail lx th "EINVAL"
+  | Some m ->
+    Ipc.alloc_pid (ipc lx) (function
+      | Error e -> fail lx th e
+      | Ok child_pid ->
+        let child_machine = Interp.resume m (vint 0) in
+        let record, slots = build_ckpt lx ~child_pid ~machine:child_machine ~heap_pages:[] in
+        let bytes = Ckpt.to_bytes record in
+        let resident = Memory.resident_pages (pico lx).K.aspace in
+        (* checkpoint cost: table walk + serialization (§6.4: "about
+           half the overhead comes from the checkpointing code") *)
+        let ckpt_cost =
+          Time.add (Time.us 30.)
+            (Time.add
+               (Time.scale fork_page_walk (float_of_int resident))
+               (Time.ns (int_of_float (0.3 *. float_of_int (String.length bytes)))))
+        in
+        K.after (kernel lx) ckpt_cost (fun () ->
+            if lx.exited then ()
+            else
+              Pal.process_create lx.pal ~exe:lx.exe ~sandboxed:false
+                ~boot:(fun child_pico child_ep ->
+                  restore_in_child ~kern:(kernel lx) ~cfg:(Ipc_config.copy lx.cfg)
+                    ~console_hook:lx.on_console child_pico child_ep)
+                (function
+                | Error e -> fail lx th e
+                | Ok (proc_h, init_h) ->
+                  let child_pico =
+                    match proc_h.K.obj with K.Hprocess p -> p | _ -> assert false
+                  in
+                  Hashtbl.replace lx.children child_pid
+                    { c_pid = child_pid; c_status = `Running; c_pgid = lx.pgid };
+                  (* synthesized exit notification if the child dies
+                     without reporting (crash, host kill) *)
+                  K.on_pico_exit (kernel lx) child_pico (fun code ->
+                      K.after (kernel lx) (Time.us 50.) (fun () ->
+                          if not lx.exited then mark_zombie lx child_pid code));
+                  Ipc.register_pid_owner (ipc lx) ~pid:child_pid ~addr:(addr_of_pico child_pico);
+                  (* ship: checkpoint image, bulk-IPC token, handles *)
+                  Pal.stream_write lx.pal init_h ~off:0 bytes (function
+                    | Error e -> fail lx th e
+                    | Ok _ ->
+                      Pal.physical_memory_send lx.pal ~ranges:(shareable_ranges lx) (function
+                        | Error e -> fail lx th e
+                        | Ok token ->
+                          Pal.stream_write lx.pal init_h ~off:0
+                            (Marshal.to_string token []) (function
+                            | Error e -> fail lx th e
+                            | Ok _ ->
+                              let rec send_slots = function
+                                | [] ->
+                                  Pal.stream_close lx.pal init_h (fun _ -> ());
+                                  finish lx th ~cost:(Time.us 2.0) (vint child_pid)
+                                | h :: rest ->
+                                  Pal.stream_send_handle lx.pal init_h h (fun _ ->
+                                      send_slots rest)
+                              in
+                              send_slots slots))))))
+
+(* Child-side restore: runs in the fresh picoprocess as the PAL boots
+   it. Reads the checkpoint, maps the inherited pages by bulk IPC,
+   receives stream handles, reopens files, and starts the machine. *)
+and restore_in_child ~kern ~cfg ~console_hook child_pico child_ep =
+  K.install_filter kern child_pico
+    (Seccomp.graphene_filter ~pal_lo:K.pal_base ~pal_hi:K.pal_limit);
+  let pal = Pal.create kern child_pico in
+  K.stream_recv_msg kern child_ep (function
+    | None -> K.pico_exit kern child_pico 127
+    | Some ckpt_bytes -> (
+      match Ckpt.of_bytes ckpt_bytes with
+      | Error _ -> K.pico_exit kern child_pico 127
+      | Ok record ->
+        K.stream_recv_msg kern child_ep (function
+          | None -> K.pico_exit kern child_pico 127
+          | Some tokmsg ->
+            let token : int = Marshal.from_string tokmsg 0 in
+            K.after kern pal_load_warm (fun () ->
+                Pal.physical_memory_receive pal ~token (fun _ ->
+                    let nslots = Ckpt.stream_slots record.Ckpt.c_fds in
+                    let rec recv_handles n acc k =
+                      if n = 0 then k (List.rev acc)
+                      else
+                        K.stream_recv_handle kern child_ep (function
+                          | Some h ->
+                            (* the inherited reference belongs to the
+                               child now: track it for exit cleanup *)
+                            (match h.K.obj with
+                            | K.Hstream ep -> K.register_endpoint kern child_pico ep
+                            | _ -> ());
+                            recv_handles (n - 1) (h :: acc) k
+                          | None -> k (List.rev acc))
+                    in
+                    recv_handles nslots [] (fun handles ->
+                        ignore (finish_restore ~kern ~pal ~cfg ~console_hook record handles)))))))
+
+and finish_restore ?restore_cost ~kern ~pal ~cfg ~console_hook record handles =
+  let lx =
+    make ~pal ~cfg ~pid:record.Ckpt.c_pid ~ppid:record.Ckpt.c_ppid ~pgid:record.Ckpt.c_pgid
+      ~parent_addr:record.Ckpt.c_parent_addr ~exe:record.Ckpt.c_exe
+  in
+  lx.on_console <- console_hook;
+  lx.cwd <- record.Ckpt.c_cwd;
+  lx.brk <- record.Ckpt.c_brk;
+  lx.heap_mapped <- record.Ckpt.c_brk;
+  List.iter (fun (s, h) -> Hashtbl.replace lx.sigactions s h) record.Ckpt.c_sigactions;
+  lx.sig_blocked <- record.Ckpt.c_sig_blocked;
+  (* a full checkpoint re-maps the private regions it recorded; a fork
+     child inherited them by bulk IPC instead *)
+  List.iter
+    (fun (base, npages) ->
+      if Memory.find_region (pico lx).K.aspace base = None then
+        ignore
+          (Memory.map (pico lx).K.aspace ~base ~npages ~perm:Memory.rw ~kind:Memory.Mmap))
+    record.Ckpt.c_regions;
+  (* code images (shared) + private libOS data; the heap arrived by
+     bulk IPC already *)
+  map_libos_images lx ~app_bytes:default_app_image_bytes ~scratch:restore_scratch_bytes;
+  (* full-checkpoint restores carry page contents inline instead *)
+  List.iter
+    (fun (addr, data) -> ignore (Memory.write_bytes (pico lx).K.aspace addr data))
+    record.Ckpt.c_heap_pages;
+  let ipc_inst =
+    Ipc.create ~pal ~cfg ~callbacks:(callbacks_of lx) ~my_addr:(my_addr lx)
+      ~leader_addr:record.Ckpt.c_inherited.Ipc.i_leader_addr ~make_leader:false ~first_pid:0
+  in
+  lx.ipc <- Some ipc_inst;
+  Ipc.set_my_pid ipc_inst record.Ckpt.c_pid;
+  Ipc.restore_inherited ipc_inst record.Ckpt.c_inherited;
+  let handle_arr = Array.of_list handles in
+  let fd_of_slot slot = if slot < Array.length handle_arr then Some handle_arr.(slot) else None in
+  (* restore descriptors: streams from the passed handles, files by
+     reopening their paths *)
+  let files_to_reopen = ref [] in
+  List.iter
+    (fun snap ->
+      match snap with
+      | Ckpt.Sconsole fd -> Hashtbl.replace lx.fds fd { fh = None; kind = Kconsole; cloexec = false }
+      | Ckpt.Snull fd -> Hashtbl.replace lx.fds fd { fh = None; kind = Knull; cloexec = false }
+      | Ckpt.Sstream { fd; slot; cloexec } ->
+        Hashtbl.replace lx.fds fd { fh = fd_of_slot slot; kind = Kstream { sock = false }; cloexec }
+      | Ckpt.Slisten { fd; slot; port; cloexec } ->
+        Hashtbl.replace lx.fds fd { fh = fd_of_slot slot; kind = Klisten { port }; cloexec }
+      | Ckpt.Sfile { fd; path; pos; cloexec } -> files_to_reopen := (fd, path, pos, cloexec) :: !files_to_reopen)
+    record.Ckpt.c_fds;
+  lx.next_fd <-
+    1 + List.fold_left max 2 (List.map (fun s -> fd_of_snap s) record.Ckpt.c_fds);
+  (* fresh PAL allocations must not collide with inherited regions *)
+  let max_end =
+    List.fold_left
+      (fun acc r ->
+        max acc (Memory.region_base r + (Memory.region_npages r * Memory.page_size)))
+      K.heap_base
+      (Memory.regions (pico lx).K.aspace)
+  in
+  pal.Pal.next_mmap <- max_end + Memory.page_size;
+  let restore_cost =
+    match restore_cost with
+    | Some c -> c
+    | None ->
+      Time.add fork_restore_fixed
+        (Time.ns (int_of_float (0.5 *. float_of_int (String.length record.Ckpt.c_machine))))
+  in
+  let rec reopen = function
+    | [] ->
+      (* install the machine and go *)
+      let machine = Interp.of_bytes record.Ckpt.c_machine in
+      K.after kern restore_cost (fun () ->
+          let service = make_service lx in
+          pal.Pal.thread_service <- Some service;
+          Pal.exception_handler_set pal (on_pal_exception lx);
+          lx.started_at <- Some (K.now kern);
+          let th = K.spawn_thread kern (pico lx) machine ~service in
+          lx.main_thread <- Some th;
+          Hashtbl.replace lx.thread_guest_tid th.K.tid lx.pid)
+    | (fd, path, pos, cloexec) :: rest ->
+      Pal.stream_open pal ("file:" ^ path) ~write:true ~create:false (function
+        | Ok h ->
+          Hashtbl.replace lx.fds fd { fh = Some h; kind = Kfile { path; pos }; cloexec };
+          reopen rest
+        | Error _ ->
+          (* the file may be read-only for us; retry read-only *)
+          Pal.stream_open pal ("file:" ^ path) ~write:false ~create:false (function
+            | Ok h ->
+              Hashtbl.replace lx.fds fd { fh = Some h; kind = Kfile { path; pos }; cloexec };
+              reopen rest
+            | Error _ -> reopen rest))
+  in
+  reopen !files_to_reopen;
+  lx
+
+and fd_of_snap = function
+  | Ckpt.Sfile { fd; _ } | Ckpt.Sconsole fd | Ckpt.Snull fd | Ckpt.Sstream { fd; _ }
+  | Ckpt.Slisten { fd; _ } ->
+    fd
+
+(* {2 exec} *)
+
+and do_exec lx th path argv =
+  Loader.load lx.pal ~path (function
+    | Error e -> fail lx th e
+    | Ok program ->
+      (* close-on-exec descriptors go; signal dispositions reset *)
+      Hashtbl.iter
+        (fun fd e ->
+          if e.cloexec then begin
+            Hashtbl.remove lx.fds fd;
+            match e.fh with Some h -> Pal.stream_close lx.pal h (fun _ -> ()) | None -> ()
+          end)
+        (Hashtbl.copy lx.fds);
+      Hashtbl.reset lx.sigactions;
+      lx.exe <- path;
+      let m = Interp.start program ~argv in
+      K.set_machine (kernel lx) th m ~cost:exec_fixed)
+
+(* {2 Thread service and boot} *)
+
+and make_service lx =
+  { K.on_syscall = (fun th name args -> if lx.exited then () else dispatch lx th name args);
+    on_finish =
+      (fun th v ->
+        match lx.main_thread with
+        | Some main when main == th ->
+          do_exit lx (match v with Ast.Vint n -> n land 255 | _ -> 0)
+        | _ ->
+          (* worker thread finished *)
+          (match Hashtbl.find_opt lx.thread_guest_tid th.K.tid with
+          | Some gtid ->
+            Hashtbl.remove lx.threads gtid;
+            lx.done_tids <- gtid :: lx.done_tids;
+            let ready, rest = List.partition (fun (g, _) -> g = gtid) lx.join_waiters in
+            lx.join_waiters <- rest;
+            List.iter (fun (_, waiter) -> finish lx waiter (vint 0)) ready
+          | None -> ());
+          K.finish_thread (kernel lx) th);
+    on_fault =
+      (fun th msg ->
+        ignore th;
+        ignore msg;
+        (* the guest equivalent of SIGSEGV with no handler *)
+        do_exit lx (128 + Signal.sigsegv)) }
+
+(* Boot the first picoprocess of a sandbox: what the reference-monitor
+   launcher does. Composes to the paper's 641 us start-up (Table 4). *)
+let boot ?(cfg = Ipc_config.default ()) ?console_hook kernel ~exe ~argv () =
+  let sandbox = K.fresh_sandbox kernel in
+  let pico = K.spawn kernel ~sandbox ~exe () in
+  K.install_filter kernel pico (Seccomp.graphene_filter ~pal_lo:K.pal_base ~pal_hi:K.pal_limit);
+  let pal = Pal.create kernel pico in
+  let lx = make ~pal ~cfg ~pid:1 ~ppid:0 ~pgid:1 ~parent_addr:"" ~exe in
+  lx.on_console <- console_hook;
+  init_std_fds lx;
+  let ipc_inst =
+    Ipc.create ~pal ~cfg ~callbacks:(callbacks_of lx) ~my_addr:(my_addr lx)
+      ~leader_addr:(my_addr lx) ~make_leader:true ~first_pid:2
+  in
+  lx.ipc <- Some ipc_inst;
+  Ipc.set_my_pid ipc_inst lx.pid;
+  K.after kernel (Time.add Cost.picoprocess_spawn Cost.pal_load) (fun () ->
+      Loader.load pal ~path:exe (function
+        | Error _ -> K.pico_exit kernel pico 127
+        | Ok program ->
+          let binary_bytes =
+            try (Vfs.stat kernel.K.fs exe).Vfs.st_size with Vfs.Error _ -> 0
+          in
+          map_libos_images lx ~app_bytes:(max default_app_image_bytes binary_bytes) ~scratch:0;
+          let machine = Interp.start program ~argv in
+          let service = make_service lx in
+          pal.Pal.thread_service <- Some service;
+          Pal.exception_handler_set pal (on_pal_exception lx);
+          lx.started_at <- Some (K.now kernel);
+          let th = K.spawn_thread kernel pico machine ~service in
+          lx.main_thread <- Some th;
+          Hashtbl.replace lx.thread_guest_tid th.K.tid lx.pid));
+  lx
+
+let started_at lx = lx.started_at

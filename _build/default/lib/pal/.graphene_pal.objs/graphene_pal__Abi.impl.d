@@ -1,0 +1,1 @@
+lib/pal/abi.ml: List

@@ -1,0 +1,1 @@
+lib/pal/pal.ml: Bytes Char Cost Graphene_bpf Graphene_guest Graphene_host Graphene_sim List Rng Stdlib String Time

@@ -1,0 +1,1 @@
+lib/pal/pal.mli: Graphene_guest Graphene_host Graphene_sim

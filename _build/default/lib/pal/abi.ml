@@ -1,0 +1,98 @@
+(** The host-ABI inventory — Table 1 of the paper.
+
+    43 functions: 33 adopted from Drawbridge, 10 added by Graphene.
+    {!Pal} implements exactly these; a unit test asserts the class
+    counts match the table. *)
+
+type origin = Drawbridge | Graphene
+
+type cls =
+  | Memory
+  | Scheduling
+  | Files_and_streams
+  | Process
+  | Misc
+  | Segments
+  | Exceptions
+  | Streams_extra
+  | Bulk_ipc
+  | Sandboxes
+
+let cls_to_string = function
+  | Memory -> "Memory"
+  | Scheduling -> "Scheduling"
+  | Files_and_streams -> "Files & Streams"
+  | Process -> "Process"
+  | Misc -> "Misc"
+  | Segments -> "Segments"
+  | Exceptions -> "Exceptions"
+  | Streams_extra -> "Streams"
+  | Bulk_ipc -> "Bulk IPC"
+  | Sandboxes -> "Sandboxes"
+
+let table : (string * cls * origin) list =
+  [ (* Memory: allocate and protect virtual memory. *)
+    ("DkVirtualMemoryAlloc", Memory, Drawbridge);
+    ("DkVirtualMemoryFree", Memory, Drawbridge);
+    ("DkVirtualMemoryProtect", Memory, Drawbridge);
+    (* Scheduling: threads and synchronization. *)
+    ("DkThreadCreate", Scheduling, Drawbridge);
+    ("DkThreadExit", Scheduling, Drawbridge);
+    ("DkThreadYieldExecution", Scheduling, Drawbridge);
+    ("DkThreadInterrupt", Scheduling, Drawbridge);
+    ("DkMutexCreate", Scheduling, Drawbridge);
+    ("DkMutexUnlock", Scheduling, Drawbridge);
+    ("DkNotificationEventCreate", Scheduling, Drawbridge);
+    ("DkEventSet", Scheduling, Drawbridge);
+    ("DkEventClear", Scheduling, Drawbridge);
+    ("DkSemaphoreCreate", Scheduling, Drawbridge);
+    ("DkSemaphoreRelease", Scheduling, Drawbridge);
+    ("DkObjectsWaitAny", Scheduling, Drawbridge);
+    (* Files & streams: files inside a chroot-style jail and byte
+       streams among picoprocesses. *)
+    ("DkStreamOpen", Files_and_streams, Drawbridge);
+    ("DkStreamRead", Files_and_streams, Drawbridge);
+    ("DkStreamWrite", Files_and_streams, Drawbridge);
+    ("DkStreamClose", Files_and_streams, Drawbridge);
+    ("DkStreamFlush", Files_and_streams, Drawbridge);
+    ("DkStreamDelete", Files_and_streams, Drawbridge);
+    ("DkStreamSetLength", Files_and_streams, Drawbridge);
+    ("DkStreamAttributesQuery", Files_and_streams, Drawbridge);
+    ("DkStreamGetName", Files_and_streams, Drawbridge);
+    ("DkStreamWaitForClient", Files_and_streams, Drawbridge);
+    ("DkDirectoryCreate", Files_and_streams, Drawbridge);
+    ("DkDirectoryList", Files_and_streams, Drawbridge);
+    (* Process: create a child picoprocess, and exit self. *)
+    ("DkProcessCreate", Process, Drawbridge);
+    ("DkProcessExit", Process, Drawbridge);
+    (* Misc. *)
+    ("DkSystemTimeQuery", Misc, Drawbridge);
+    ("DkRandomBitsRead", Misc, Drawbridge);
+    ("DkInstructionCacheFlush", Misc, Drawbridge);
+    ("DkSystemInfoQuery", Misc, Drawbridge);
+    (* --- Added by Graphene --- *)
+    ("DkSegmentRegisterSet", Segments, Graphene);
+    ("DkExceptionHandlerSet", Exceptions, Graphene);
+    ("DkExceptionReturn", Exceptions, Graphene);
+    ("DkStreamSendHandle", Streams_extra, Graphene);
+    ("DkStreamReceiveHandle", Streams_extra, Graphene);
+    ("DkStreamChangeName", Streams_extra, Graphene);
+    ("DkPhysicalMemoryChannel", Bulk_ipc, Graphene);
+    ("DkPhysicalMemorySend", Bulk_ipc, Graphene);
+    ("DkPhysicalMemoryReceive", Bulk_ipc, Graphene);
+    ("DkSandboxCreate", Sandboxes, Graphene) ]
+
+let count = List.length table
+let of_origin o = List.filter (fun (_, _, o') -> o' = o) table
+let of_class c = List.filter (fun (_, c', _) -> c' = c) table
+
+let class_counts origin =
+  List.fold_left
+    (fun acc (_, c, o) ->
+      if o = origin then
+        match List.assoc_opt c acc with
+        | Some n -> (c, n + 1) :: List.remove_assoc c acc
+        | None -> (c, 1) :: acc
+      else acc)
+    [] table
+  |> List.rev

@@ -1,0 +1,194 @@
+(** The Platform Adaptation Layer — the 43-function host ABI of
+    Table 1, one instance per picoprocess.
+
+    Every entry point is a thin translation onto the host kernel that
+    charges the calibrated cost of its underlying host system calls,
+    including evaluation of the installed seccomp filter and — when a
+    reference monitor is active — the LSM checks on traced calls.
+
+    All calls are continuation-passing: the continuation fires after
+    the call's virtual-time cost has elapsed. Results are
+    [('a, errno) result] with errno tags like ["ENOENT"], ["EACCES"],
+    ["EPIPE"]. *)
+
+module K = Graphene_host.Kernel
+module Stream = Graphene_host.Stream
+module Memory = Graphene_host.Memory
+module Sync = Graphene_host.Sync
+module Vfs = Graphene_host.Vfs
+module Ast = Graphene_guest.Ast
+module Interp = Graphene_guest.Interp
+
+type errno = string
+
+type exception_info =
+  | Div_zero
+  | Mem_fault of int
+  | Illegal of string
+  | Interrupted  (** DkThreadInterrupt upcall — signal delivery *)
+
+type t = {
+  kernel : K.t;
+  pico : K.pico;
+  mutable exception_handler : (K.thread -> exception_info -> unit) option;
+  mutable thread_service : K.thread_service option;
+      (** installed on threads created by {!thread_create}; registered
+          by the personality at boot *)
+  mutable tls : (int * Ast.value) list;
+  mutable next_mmap : int;
+  mutable call_count : int;
+}
+
+exception Pal_killed
+(** The seccomp filter killed the picoprocess on a PAL-issued call —
+    only possible if the PAL itself is compromised. *)
+
+val create : K.t -> K.pico -> t
+val kernel : t -> K.t
+val pico : t -> K.pico
+val call_count : t -> int
+
+(** {1 Memory (3)} *)
+
+val virtual_memory_alloc :
+  t ->
+  ?addr:int ->
+  bytes:int ->
+  perm:Memory.perm ->
+  kind:Memory.kind ->
+  ((int, errno) result -> unit) ->
+  unit
+(** DkVirtualMemoryAlloc; picks an address when none is given and
+    continues with the base. *)
+
+val virtual_memory_free : t -> addr:int -> ((unit, errno) result -> unit) -> unit
+val virtual_memory_protect :
+  t -> addr:int -> npages:int -> perm:Memory.perm -> ((unit, errno) result -> unit) -> unit
+
+(** {1 Scheduling (12)} *)
+
+val thread_create : t -> Interp.state -> ((K.thread, errno) result -> unit) -> unit
+(** DkThreadCreate: a sibling thread in this picoprocess, driven by the
+    registered {!field-thread_service}. *)
+
+val thread_exit : t -> K.thread -> unit
+val thread_yield : t -> ((unit, errno) result -> unit) -> unit
+
+val thread_interrupt : t -> K.thread -> ((unit, errno) result -> unit) -> unit
+(** DkThreadInterrupt: runs the registered exception handler with
+    [Interrupted] — how libLinux delivers signals to threads stuck in
+    CPU loops (paper §4.2). *)
+
+val notification_event_create : t -> auto_reset:bool -> ((K.handle, errno) result -> unit) -> unit
+val event_set : t -> K.handle -> ((unit, errno) result -> unit) -> unit
+val event_clear : t -> K.handle -> ((unit, errno) result -> unit) -> unit
+val mutex_create : t -> ((K.handle, errno) result -> unit) -> unit
+val mutex_unlock : t -> K.handle -> ((unit, errno) result -> unit) -> unit
+val semaphore_create : t -> count:int -> ((K.handle, errno) result -> unit) -> unit
+val semaphore_release : t -> K.handle -> ((unit, errno) result -> unit) -> unit
+
+val objects_wait_any : t -> K.handle list -> ((int, errno) result -> unit) -> unit
+(** DkObjectsWaitAny: continue with the index of the first ready
+    object. Waitable: events, mutexes (lock), semaphores (acquire),
+    process handles (exit), stream handles (readable/EOF), servers
+    (pending client). A completed wait retracts grants won from the
+    other objects. *)
+
+(** {1 Files and streams (12)} *)
+
+type stream_attrs = { size : int; is_dir : bool }
+
+val stream_open :
+  t -> string -> write:bool -> create:bool -> ((K.handle, errno) result -> unit) -> unit
+(** DkStreamOpen over URIs: [file:<path>], [dir:<path>],
+    [pipe.srv:<name>], [pipe:<name>], [tcp.srv:<port>], [tcp:<port>].
+    Path and socket URIs are traced through the reference monitor. *)
+
+val stream_read : t -> K.handle -> off:int -> max:int -> ((string, errno) result -> unit) -> unit
+(** Files are pread-style ([off]); byte streams block until data or
+    EOF ([""]). *)
+
+val stream_write : t -> K.handle -> off:int -> string -> ((int, errno) result -> unit) -> unit
+val stream_close : t -> K.handle -> ((unit, errno) result -> unit) -> unit
+val stream_flush : t -> K.handle -> ((unit, errno) result -> unit) -> unit
+val stream_delete : t -> string -> ((unit, errno) result -> unit) -> unit
+val stream_set_length : t -> K.handle -> int -> ((unit, errno) result -> unit) -> unit
+val stream_attributes_query : t -> string -> ((stream_attrs, errno) result -> unit) -> unit
+val stream_get_name : t -> K.handle -> ((string, errno) result -> unit) -> unit
+val stream_wait_for_client : t -> K.handle -> ((K.handle, errno) result -> unit) -> unit
+val directory_create : t -> string -> ((unit, errno) result -> unit) -> unit
+val directory_list : t -> K.handle -> ((string list, errno) result -> unit) -> unit
+
+val pipe_pair : t -> ((K.handle * K.handle, errno) result -> unit) -> unit
+(** The DkStreamOpen("pipe:") fast path: an anonymous connected pair
+    inside this picoprocess (socketpair on the Linux PAL). *)
+
+(** {1 Process (2)} *)
+
+val process_create :
+  t ->
+  exe:string ->
+  sandboxed:bool ->
+  boot:(K.pico -> K.handle Stream.endpoint -> unit) ->
+  ((K.handle * K.handle, errno) result -> unit) ->
+  unit
+(** DkProcessCreate: a clean child picoprocess connected by an init
+    stream; [boot] runs in the child context (the personality restores
+    its libOS there); continues with (process handle, parent end of
+    the init stream). [sandboxed] starts the child in a fresh sandbox
+    (the creation flag of §3). *)
+
+val process_exit : t -> int -> unit
+
+(** {1 Misc (4)} *)
+
+type system_info = { cores : int; pal_range : int * int }
+
+val system_time_query : t -> ((Graphene_sim.Time.t, errno) result -> unit) -> unit
+val random_bits_read : t -> int -> ((string, errno) result -> unit) -> unit
+val instruction_cache_flush : t -> ((unit, errno) result -> unit) -> unit
+val system_info_query : t -> ((system_info, errno) result -> unit) -> unit
+
+(** {1 Graphene additions (10)} *)
+
+val segment_register_set : t -> tid:int -> Ast.value -> ((unit, errno) result -> unit) -> unit
+val segment_register_get : t -> tid:int -> Ast.value option
+
+val exception_handler_set : t -> (K.thread -> exception_info -> unit) -> unit
+val exception_return : t -> ((unit, errno) result -> unit) -> unit
+val deliver_exception : t -> K.thread -> exception_info -> unit
+(** Invoke the registered handler; an unhandled exception kills the
+    picoprocess (SIGSEGV-style, code 139). *)
+
+val stream_send_handle : t -> K.handle -> K.handle -> ((unit, errno) result -> unit) -> unit
+(** Out-of-band handle passing over an established stream (§5,
+    "Inheriting file handles"). *)
+
+val stream_receive_handle : t -> K.handle -> ((K.handle, errno) result -> unit) -> unit
+val stream_change_name : t -> src:string -> dst:string -> ((unit, errno) result -> unit) -> unit
+
+val physical_memory_channel : t -> ((int, errno) result -> unit) -> unit
+val physical_memory_send : t -> ranges:(int * int) list -> ((int, errno) result -> unit) -> unit
+(** Bulk IPC: stage (base, npages) ranges copy-on-write; continues with
+    the transfer token. *)
+
+val physical_memory_receive : t -> token:int -> ((int, errno) result -> unit) -> unit
+(** Map the staged pages at the same addresses; continues with the
+    number of frames granted. *)
+
+val sandbox_create : t -> keep_children:K.pico list -> ((int, errno) result -> unit) -> unit
+(** DkSandboxCreate: detach into a new sandbox, severing streams to
+    everyone not in [keep_children]. *)
+
+(** {1 Raw syscalls (security testing / static binaries)} *)
+
+type raw_disposition =
+  | Raw_allowed
+  | Raw_traced
+  | Raw_redirected  (** SIGSYS; libLinux services it instead *)
+  | Raw_killed
+
+val raw_syscall : t -> pc:int -> name:string -> args:int array -> raw_disposition
+(** Emulate an inline-assembly [syscall] instruction issued from
+    arbitrary code — how the §6.6 isolation experiments probe the
+    filter. *)

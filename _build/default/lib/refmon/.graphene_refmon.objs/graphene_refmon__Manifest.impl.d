@@ -1,0 +1,1 @@
+lib/refmon/manifest.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/refmon/manifest.mli:

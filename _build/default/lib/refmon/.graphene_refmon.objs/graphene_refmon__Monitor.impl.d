@@ -1,0 +1,1 @@
+lib/refmon/monitor.ml: Graphene_bpf Graphene_host Graphene_ipc Graphene_liblinux Hashtbl List Manifest Option Printf String

@@ -1,0 +1,1 @@
+lib/refmon/monitor.mli: Graphene_bpf Graphene_host Graphene_ipc Graphene_liblinux Manifest

@@ -1,0 +1,168 @@
+(** Application manifests.
+
+    Each Graphene application is launched with a manifest describing a
+    chroot-like, restricted view of the host file system plus
+    iptables-style network rules (paper §3). The concrete syntax is one
+    rule per line:
+
+    {v
+    # comment
+    fs.allow r  /lib
+    fs.allow rw /home/alice
+    fs.exec     /bin
+    net.bind    8000-8100
+    net.connect 80
+    net.connect *
+    v} *)
+
+type fs_access = Read_only | Read_write
+
+type fs_rule = { prefix : string; access : fs_access }
+
+type net_dir = Bind | Connect
+
+type net_rule = { dir : net_dir; port_lo : int; port_hi : int }
+
+type t = { fs_rules : fs_rule list; exec_prefixes : string list; net_rules : net_rule list }
+
+let empty = { fs_rules = []; exec_prefixes = []; net_rules = [] }
+
+let allow_all =
+  { fs_rules = [ { prefix = "/"; access = Read_write } ];
+    exec_prefixes = [ "/" ];
+    net_rules =
+      [ { dir = Bind; port_lo = 0; port_hi = 65535 };
+        { dir = Connect; port_lo = 0; port_hi = 65535 } ] }
+
+let normalize_prefix p = if p = "/" then "/" else p
+
+(* "/home/alice" covers "/home/alice" and "/home/alice/...", but not
+   "/home/alicext" — component-wise prefixing, so rules cannot be
+   escaped lexically. *)
+let path_under ~prefix path =
+  let prefix = normalize_prefix prefix in
+  if prefix = "/" then true
+  else begin
+    let lp = String.length prefix and l = String.length path in
+    l >= lp
+    && String.sub path 0 lp = prefix
+    && (l = lp || path.[lp] = '/')
+  end
+
+let allows_path t path access =
+  match access with
+  | `Exec ->
+    List.exists (fun prefix -> path_under ~prefix path) t.exec_prefixes
+    || List.exists (fun r -> path_under ~prefix:r.prefix path) t.fs_rules
+  | `Read -> List.exists (fun r -> path_under ~prefix:r.prefix path) t.fs_rules
+  | `Write ->
+    List.exists
+      (fun r -> r.access = Read_write && path_under ~prefix:r.prefix path)
+      t.fs_rules
+
+let allows_net t ~port dir =
+  let dir = match dir with `Bind -> Bind | `Connect -> Connect in
+  List.exists (fun r -> r.dir = dir && port >= r.port_lo && port <= r.port_hi) t.net_rules
+
+(* A child may be given a subset of its parent's view, never new
+   regions of the host file system (paper §3). *)
+let subset ~child ~parent =
+  List.for_all
+    (fun (r : fs_rule) ->
+      List.exists
+        (fun (p : fs_rule) ->
+          path_under ~prefix:p.prefix r.prefix
+          && (p.access = Read_write || r.access = Read_only))
+        parent.fs_rules)
+    child.fs_rules
+  && List.for_all
+       (fun e ->
+         List.exists (fun p -> path_under ~prefix:p e) parent.exec_prefixes
+         || List.exists (fun (p : fs_rule) -> path_under ~prefix:p.prefix e) parent.fs_rules)
+       child.exec_prefixes
+  && List.for_all
+       (fun (r : net_rule) ->
+         List.exists
+           (fun (p : net_rule) -> p.dir = r.dir && p.port_lo <= r.port_lo && r.port_hi <= p.port_hi)
+           parent.net_rules)
+       child.net_rules
+
+(* Intersect a manifest with a set of path prefixes: what
+   sandbox_create's view narrowing does. *)
+let narrow_to_paths t paths =
+  { t with
+    fs_rules =
+      List.concat_map
+        (fun (r : fs_rule) ->
+          List.filter_map
+            (fun keep ->
+              if path_under ~prefix:r.prefix keep then Some { r with prefix = keep }
+              else if path_under ~prefix:keep r.prefix then Some r
+              else None)
+            paths)
+        t.fs_rules }
+
+(* {1 Concrete syntax} *)
+
+let parse_port_range s =
+  if s = "*" then Some (0, 65535)
+  else
+    match String.index_opt s '-' with
+    | Some i -> (
+      let lo = String.sub s 0 i and hi = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo <= hi -> Some (lo, hi)
+      | _ -> None)
+    | None -> ( match int_of_string_opt s with Some p -> Some (p, p) | None -> None)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc n = function
+    | [] -> Ok { acc with fs_rules = List.rev acc.fs_rules; net_rules = List.rev acc.net_rules }
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+      in
+      let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "" && w <> "\t") in
+      match words with
+      | [] -> loop acc (n + 1) rest
+      | [ "fs.allow"; "r"; prefix ] ->
+        loop { acc with fs_rules = { prefix; access = Read_only } :: acc.fs_rules } (n + 1) rest
+      | [ "fs.allow"; "rw"; prefix ] ->
+        loop { acc with fs_rules = { prefix; access = Read_write } :: acc.fs_rules } (n + 1) rest
+      | [ "fs.exec"; prefix ] ->
+        loop { acc with exec_prefixes = prefix :: acc.exec_prefixes } (n + 1) rest
+      | [ "net.bind"; range ] -> (
+        match parse_port_range range with
+        | Some (port_lo, port_hi) ->
+          loop { acc with net_rules = { dir = Bind; port_lo; port_hi } :: acc.net_rules } (n + 1) rest
+        | None -> Error (Printf.sprintf "line %d: bad port range %s" n range))
+      | [ "net.connect"; range ] -> (
+        match parse_port_range range with
+        | Some (port_lo, port_hi) ->
+          loop
+            { acc with net_rules = { dir = Connect; port_lo; port_hi } :: acc.net_rules }
+            (n + 1) rest
+        | None -> Error (Printf.sprintf "line %d: bad port range %s" n range))
+      | w :: _ -> Error (Printf.sprintf "line %d: unknown directive %s" n w))
+  in
+  loop empty 1 lines
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (r : fs_rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf "fs.allow %s %s\n"
+           (match r.access with Read_only -> "r" | Read_write -> "rw")
+           r.prefix))
+    t.fs_rules;
+  List.iter (fun e -> Buffer.add_string buf (Printf.sprintf "fs.exec %s\n" e)) t.exec_prefixes;
+  List.iter
+    (fun (r : net_rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf "net.%s %d-%d\n"
+           (match r.dir with Bind -> "bind" | Connect -> "connect")
+           r.port_lo r.port_hi))
+    t.net_rules;
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Application manifests.
+
+    Each Graphene application is launched with a manifest describing a
+    chroot-like restricted view of the host file system plus
+    iptables-style network rules (paper §3). Concrete syntax, one rule
+    per line:
+
+    {v
+    # comment
+    fs.allow r  /lib
+    fs.allow rw /home/alice
+    fs.exec     /bin
+    net.bind    8000-8100
+    net.connect *
+    v} *)
+
+type fs_access = Read_only | Read_write
+
+type fs_rule = { prefix : string; access : fs_access }
+
+type net_dir = Bind | Connect
+
+type net_rule = { dir : net_dir; port_lo : int; port_hi : int }
+
+type t = { fs_rules : fs_rule list; exec_prefixes : string list; net_rules : net_rule list }
+
+val empty : t
+(** Denies everything. *)
+
+val allow_all : t
+
+val path_under : prefix:string -> string -> bool
+(** Component-wise prefixing: ["/home/alice"] covers
+    ["/home/alice/doc"] but not ["/home/alicext"] — rules cannot be
+    escaped lexically. *)
+
+val allows_path : t -> string -> [ `Read | `Write | `Exec ] -> bool
+val allows_net : t -> port:int -> [ `Bind | `Connect ] -> bool
+
+val subset : child:t -> parent:t -> bool
+(** A child may be given a subset of its parent's view, never new
+    regions of the host file system and never write access a read-only
+    parent rule would deny. *)
+
+val narrow_to_paths : t -> string list -> t
+(** Intersect the file-system view with a set of path prefixes — what
+    [sandbox_create]'s view narrowing does. Never widens. *)
+
+val parse : string -> (t, string) result
+(** Errors carry the offending line number. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse}. *)

@@ -1,0 +1,1 @@
+lib/sim/table.ml: Array Buffer Format List Printf String Time

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulation must be reproducible run to run, so nothing may use
+    [Stdlib.Random]'s global state. Each component that needs noise
+    derives its own generator from a seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent generator derived from the current state; the parent
+    advances. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal deviate. *)
+
+val jitter : t -> float -> float
+(** [jitter t pct] is a multiplicative noise factor uniform in
+    [\[1-pct, 1+pct\]]; used to make simulated latencies non-constant so
+    confidence intervals are meaningful. *)
+
+val exponential : t -> mean:float -> float
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

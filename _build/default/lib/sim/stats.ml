@@ -1,0 +1,60 @@
+type t = { mutable samples : float list; mutable n : int }
+
+let create () = { samples = []; n = 0 }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let count t = t.n
+let total t = List.fold_left ( +. ) 0.0 t.samples
+let mean t = if t.n = 0 then 0.0 else total t /. float_of_int t.n
+
+let variance t =
+  if t.n < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t.samples in
+    ss /. float_of_int (t.n - 1)
+  end
+
+let stddev t = sqrt (variance t)
+
+let min_value t = List.fold_left min infinity t.samples
+let max_value t = List.fold_left max neg_infinity t.samples
+
+(* Two-sided Student-t critical values at 95% for df = 1..30;
+   asymptotic 1.96 beyond. *)
+let t_crit df =
+  let table =
+    [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+       2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+       2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |]
+  in
+  if df <= 0 then 0.0 else if df <= 30 then table.(df - 1) else 1.96
+
+let ci95 t =
+  if t.n < 2 then 0.0
+  else t_crit (t.n - 1) *. stddev t /. sqrt (float_of_int t.n)
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: no samples";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let arr = Array.of_list t.samples in
+  Array.sort Float.compare arr;
+  let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then arr.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "%.3f +/- %.3f (n=%d)" (mean t) (ci95 t) (count t)

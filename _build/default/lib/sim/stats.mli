@@ -1,0 +1,32 @@
+(** Sample statistics for benchmark reporting.
+
+    The paper reports means with 95% confidence intervals over at least
+    six runs; this module reproduces that presentation. *)
+
+type t
+(** A mutable accumulator of float samples. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val of_list : float list -> t
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val ci95 : t -> float
+(** Half-width of the 95% confidence interval of the mean, using
+    Student-t critical values for small samples. 0 for fewer than two
+    samples. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], linear interpolation. *)
+
+val total : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** "mean +/- ci (n=count)" *)

@@ -1,0 +1,88 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~headers =
+  let aligns =
+    match headers with [] -> [] | _ :: rest -> Left :: List.map (fun _ -> Right) rest
+  in
+  { title; headers; aligns; rows = [] }
+
+let set_align t aligns = t.aligns <- aligns
+
+let add_row t cells =
+  let n = List.length t.headers in
+  let k = List.length cells in
+  if k > n then invalid_arg "Table.add_row: too many cells";
+  let cells = cells @ List.init (n - k) (fun _ -> "") in
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  note t.headers;
+  List.iter (function Cells c -> note c | Separator -> ()) rows;
+  let align i =
+    match List.nth_opt t.aligns i with Some a -> a | None -> Right
+  in
+  let pad i c =
+    let w = widths.(i) in
+    let gap = w - String.length c in
+    match align i with
+    | Left -> c ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ c
+  in
+  let buf = Buffer.create 256 in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        if i < ncols - 1 then Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad i c);
+        Buffer.add_char buf ' ';
+        if i < ncols - 1 then Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Separator -> rule ()) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_time tm = Format.asprintf "%a" Time.pp tm
+let cell_us tm = Printf.sprintf "%.2f" (Time.to_us tm)
+
+let cell_pct p =
+  if p >= 0.0 then Printf.sprintf "+%.0f%%" p else Printf.sprintf "%.0f%%" p
+
+let cell_bytes n =
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.0f KB" (float_of_int n /. 1024.)
+  else if n < 1024 * 1024 * 1024 then
+    Printf.sprintf "%.1f MB" (float_of_int n /. (1024. *. 1024.))
+  else Printf.sprintf "%.2f GB" (float_of_int n /. (1024. *. 1024. *. 1024.))

@@ -1,0 +1,38 @@
+(** Aligned plain-text tables for benchmark reports.
+
+    The benchmark harness prints each of the paper's tables in this
+    format so the rows can be compared side by side with the paper. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> headers:string list -> t
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is Left for the first column and
+    Right for the rest. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_time : Time.t -> string
+(** Adaptive time rendering for table cells. *)
+
+val cell_us : Time.t -> string
+(** Fixed microsecond rendering ("12.34"). *)
+
+val cell_pct : float -> string
+(** Signed percentage ("+47%" / "-58%"). *)
+
+val cell_bytes : int -> string
+(** Adaptive byte-size rendering ("376 KB", "105 MB"). *)

@@ -1,0 +1,21 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us x = int_of_float (Float.round (x *. 1_000.))
+let ms x = int_of_float (Float.round (x *. 1_000_000.))
+let s x = int_of_float (Float.round (x *. 1_000_000_000.))
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let to_s t = float_of_int t /. 1_000_000_000.
+let add = ( + )
+let diff = ( - )
+let scale t f = int_of_float (Float.round (float_of_int t *. f))
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%d ns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2f us" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2f ms" (to_ms t)
+  else Format.fprintf fmt "%.3f s" (to_s t)
+
+let compare = Int.compare

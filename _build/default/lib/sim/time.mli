@@ -1,0 +1,38 @@
+(** Virtual time for the simulation.
+
+    All simulated latencies are expressed in integer nanoseconds of
+    virtual time. The simulation never consults the wall clock; this is
+    what makes runs deterministic and lets the benchmark harness report
+    stable numbers. *)
+
+type t = int
+(** Nanoseconds of virtual time since simulation boot. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : float -> t
+(** [us x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds. *)
+
+val s : float -> t
+(** [s x] is [x] seconds. *)
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+
+val scale : t -> float -> t
+(** [scale t f] multiplies a duration by a dilation factor. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)
+
+val compare : t -> t -> int

@@ -1,0 +1,1 @@
+lib/vuln/cve.ml: Graphene_bpf List

@@ -1,0 +1,1 @@
+lib/vuln/dataset.ml: Cve List Printf

@@ -1,0 +1,1 @@
+test/suite_apps.ml: Alcotest Graphene_apps Graphene_guest Graphene_host List Option Printf Seq String Util W

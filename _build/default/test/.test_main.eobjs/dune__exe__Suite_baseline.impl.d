@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Alcotest Graphene_baseline Graphene_guest Graphene_sim Util W

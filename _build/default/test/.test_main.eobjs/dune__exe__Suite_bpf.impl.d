@@ -1,0 +1,1 @@
+test/suite_bpf.ml: Alcotest Gen Graphene_bpf Graphene_host List Option Prog QCheck QCheck_alcotest Seccomp Sysno Util

@@ -1,0 +1,1 @@
+test/suite_checkpoint.ml: Alcotest Buffer Graphene_checkpoint Graphene_guest Graphene_liblinux Graphene_sim K List Loader Util W

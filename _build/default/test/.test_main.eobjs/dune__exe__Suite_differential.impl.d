@@ -1,0 +1,1 @@
+test/suite_differential.ml: Buffer Graphene_apps Graphene_guest Graphene_sim K List Printf QCheck QCheck_alcotest Seq String Util W

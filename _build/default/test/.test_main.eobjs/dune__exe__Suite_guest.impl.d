@@ -1,0 +1,1 @@
+test/suite_guest.ml: Alcotest Ast Builder Graphene_guest Interp List QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/suite_host.ml: Alcotest Bytes Char Gen Graphene_bpf Graphene_host Graphene_sim Kernel List Memory Printf QCheck QCheck_alcotest Stream String Sync Util Vfs

@@ -1,0 +1,1 @@
+test/suite_ipc.ml: Alcotest Buffer Graphene_guest Graphene_ipc Graphene_liblinux List Option String Util W

@@ -1,0 +1,1 @@
+test/suite_liblinux.ml: Graphene_guest Graphene_liblinux List String Util W

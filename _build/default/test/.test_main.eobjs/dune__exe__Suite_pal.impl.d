@@ -1,0 +1,1 @@
+test/suite_pal.ml: Alcotest Graphene_bpf Graphene_guest Graphene_host Graphene_pal Graphene_sim List Option String Util

@@ -1,0 +1,1 @@
+test/suite_refmon.ml: Alcotest Gen Graphene_bpf Graphene_host Graphene_refmon List QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/suite_security.ml: Alcotest Buffer Graphene_apps Graphene_bpf Graphene_guest Graphene_host Graphene_liblinux Graphene_pal Graphene_refmon List Loader Util W

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Cost Engine Format Fun Gen Graphene_sim List QCheck QCheck_alcotest Rng Stats String Table Time Util

@@ -1,0 +1,1 @@
+test/suite_vuln.ml: Cve Dataset Graphene_bpf Graphene_vuln List Util

@@ -1,0 +1,1 @@
+test/suite_world.ml: Alcotest Buffer Graphene_apps Graphene_bpf Graphene_guest Graphene_host Graphene_ipc Graphene_pal Graphene_sim List Loader Lx Printf Util W

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Buffer Graphene Graphene_guest Graphene_host Graphene_liblinux Graphene_sim String

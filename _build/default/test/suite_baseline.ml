@@ -1,0 +1,169 @@
+(** Tests specific to the comparison stacks: native-Linux semantics the
+    Graphene suite doesn't cover (shared seek cursors across fork,
+    kernel-resident SysV IPC, direct /proc) and the KVM model. *)
+
+open Util
+module B = Graphene_guest.Builder
+module Native = Graphene_baseline.Native
+module Cost = Graphene_sim.Cost
+open B
+
+let p name body = prog ~name body
+let sayn e = sys "print" [ e ^% str "\n" ]
+let die = sys "exit" [ int 0 ]
+
+let native_tests =
+  [ case "dup shares one seek cursor (open file description)" (fun () ->
+        let r =
+          run_prog ~stack:W.Linux
+            (p "/bin/t"
+               (let_ "fd"
+                  (sys "open" [ str "/tmp/f.txt"; str "r" ])
+                  (let_ "fd2" (sys "dup" [ v "fd" ])
+                     (seq
+                        [ sys "read" [ v "fd"; int 4 ];
+                          (* the dup'd descriptor continues where the
+                             original left off *)
+                          sayn (str_of_int (len (sys "read" [ v "fd2"; int 4 ])));
+                          die ]))))
+        in
+        expect_exit r);
+    case "fork shares open file descriptions natively" (fun () ->
+        (* parent reads 4 bytes; the child's read continues at 4 — the
+           stock POSIX behavior Graphene deliberately does not share
+           (paper §4.2, "Shared File Descriptors") *)
+        let r =
+          run_prog ~stack:W.Linux
+            (p "/bin/t"
+               (let_ "fd"
+                  (sys "open" [ str "/tmp/f.txt"; str "r" ])
+                  (seq
+                     [ sys "read" [ v "fd"; int 4 ];
+                       let_ "pid" (sys "fork" [])
+                         (if_ (v "pid" =% int 0)
+                            (seq
+                               [ sys "lseek" [ v "fd"; int 0; str "cur" ];
+                                 sayn (str "child pos nonzero");
+                                 die ])
+                            (seq [ sys "wait" []; die ])) ])))
+        in
+        expect_exit r;
+        expect_console_contains "child pos nonzero" r);
+    case "graphene children do NOT share seek cursors" (fun () ->
+        (* each side reads the same first bytes after fork *)
+        let r =
+          run_prog ~stack:W.Graphene
+            (p "/bin/t"
+               (let_ "fd"
+                  (sys "open" [ str "/tmp/f.txt"; str "r" ])
+                  (let_ "pid" (sys "fork" [])
+                     (if_ (v "pid" =% int 0)
+                        (seq [ sayn (str "c:" ^% sys "read" [ v "fd"; int 2 ]); die ])
+                        (seq
+                           [ sys "wait" [];
+                             sayn (str "p:" ^% sys "read" [ v "fd"; int 2 ]);
+                             die ])))))
+        in
+        expect_exit r;
+        expect_console_contains "c:ff" r;
+        expect_console_contains "p:ff" r);
+    case "SysV queues survive process exit in kernel memory" (fun () ->
+        let r =
+          run_prog ~stack:W.Linux
+            (p "/bin/t"
+               (let_ "pid" (sys "fork" [])
+                  (if_ (v "pid" =% int 0)
+                     (let_ "id"
+                        (sys "msgget" [ int 55; int 1 ])
+                        (seq [ sys "msgsnd" [ v "id"; str "kernel-resident" ]; die ]))
+                     (seq
+                        [ sys "wait" [];
+                          let_ "id" (sys "msgget" [ int 55; int 0 ]) (sayn (sys "msgrcv" [ v "id" ]));
+                          die ]))))
+        in
+        expect_exit r;
+        expect_console_contains "kernel-resident" r);
+    case "native /proc exposes other processes (the leak Graphene closes)" (fun () ->
+        let r =
+          run_prog ~stack:W.Linux
+            (p "/bin/t"
+               (let_ "pid" (sys "fork" [])
+                  (if_ (v "pid" =% int 0)
+                     (seq [ sys "nanosleep" [ int 5_000_000 ]; die ])
+                     (let_ "fd"
+                        (sys "open"
+                           [ str "/proc/" ^% str_of_int (v "pid") ^% str "/status"; str "r" ])
+                        (seq
+                           [ sayn (if_ (v "fd" >=% int 0) (str "visible") (str "hidden"));
+                             sys "wait" [];
+                             die ])))))
+        in
+        expect_exit r;
+        expect_console_contains "visible" r);
+    case "sandbox_create is ENOSYS on stock Linux" (fun () ->
+        let r =
+          run_prog ~stack:W.Linux
+            (p "/bin/t" (seq [ sayn (str_of_int (sys "sandbox_create" [ list_ [] ])); die ]))
+        in
+        expect_exit r;
+        expect_console_contains "-38" r);
+    case "signals deliver directly, in kernel" (fun () ->
+        let r =
+          run_prog ~stack:W.Linux
+            (prog ~name:"/bin/t"
+               ~funcs:[ func "h" [ "s" ] (sayn (str "native handler")) ]
+               (let_ "pid" (sys "fork" [])
+                  (if_ (v "pid" =% int 0)
+                     (seq
+                        [ sys "sigaction" [ int 10; str "h" ];
+                          sys "nanosleep" [ int 2_000_000 ];
+                          die ])
+                     (seq
+                        [ sys "nanosleep" [ int 500_000 ];
+                          sys "kill" [ v "pid"; int 10 ];
+                          sys "wait" [];
+                          die ]))))
+        in
+        expect_exit r;
+        expect_console_contains "native handler" r) ]
+
+let kvm_tests =
+  [ case "the VM boots once, before the first process" (fun () ->
+        let w = W.create W.Kvm in
+        let p1 = W.start w ~exe:"/bin/hello" ~argv:[] () in
+        W.run w;
+        (match W.started_at p1 with
+        | Some t -> check_bool "after boot" true (t >= Cost.kvm_boot)
+        | None -> Alcotest.fail "never started");
+        (* a second process starts quickly: the VM is already up *)
+        let t0 = W.now w in
+        let p2 = W.start w ~exe:"/bin/hello" ~argv:[] () in
+        W.run w;
+        (match W.started_at p2 with
+        | Some t ->
+          check_bool "no second boot" true
+            (Util.T.diff t t0 < Graphene_sim.Time.ms 1.0)
+        | None -> Alcotest.fail "never started");
+        expect_exit { w; p = p2; out = (fun () -> "") });
+    case "VM memory footprint is the fixed allocation" (fun () ->
+        let w = W.create W.Kvm in
+        let p1 = W.start w ~exe:"/bin/hello" ~argv:[] () in
+        W.run w;
+        ignore p1;
+        check_bool "~153 MB" true
+          (W.memory_footprint w = Cost.kvm_min_ram + Cost.qemu_device_overhead));
+    case "guest compute pays the nested-paging tax" (fun () ->
+        let spin_prog =
+          p "/bin/spin1m" (seq [ B.spin (int 50_000_000); die ])
+        in
+        let time stack =
+          let r = run_prog ~stack ~path:"/bin/spin1m" spin_prog in
+          expect_exit r;
+          W.now r.w
+        in
+        let linux = time W.Linux and kvm = time W.Kvm in
+        (* kvm includes the 3.3 s boot; compare compute after start *)
+        let kvm_compute = Util.T.diff kvm Cost.kvm_boot in
+        check_bool "taxed" true (kvm_compute > linux)) ]
+
+let suite = native_tests @ kvm_tests

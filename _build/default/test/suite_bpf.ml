@@ -1,0 +1,188 @@
+(** Tests for the seccomp-BPF subsystem: the syscall table, the BPF
+    verifier and interpreter, and the Graphene filter's three-way
+    policy (allow / trace / redirect / kill). *)
+
+open Graphene_bpf
+module K = Graphene_host.Kernel
+
+let case = Util.case
+let check_int = Util.check_int
+
+let pal_lo = K.pal_base
+let pal_hi = K.pal_limit
+let in_pal = pal_lo + 0x40
+let in_app = 0x4000_0040
+
+let run_filter ~pc ~name =
+  let filter = Seccomp.graphene_filter ~pal_lo ~pal_hi in
+  let data =
+    { Prog.nr = Sysno.number name; arch = Prog.audit_arch_x86_64; pc; args = [||] }
+  in
+  fst (Prog.eval filter data)
+
+let sysno_tests =
+  [ case "well-known numbers" (fun () ->
+        check_int "read" 0 (Sysno.number "read");
+        check_int "write" 1 (Sysno.number "write");
+        check_int "execve" 59 (Sysno.number "execve");
+        check_int "ptrace" 101 (Sysno.number "ptrace"));
+    case "unknown names are rejected" (fun () ->
+        Alcotest.check_raises "unknown" (Invalid_argument "Sysno.number: unknown syscall frobnicate")
+          (fun () -> ignore (Sysno.number "frobnicate"));
+        Util.check_bool "number_opt" true (Sysno.number_opt "frobnicate" = None));
+    case "name lookup inverts number lookup" (fun () ->
+        List.iter
+          (fun (name, nr) -> Util.check_str "roundtrip" name (Option.get (Sysno.name_opt nr)))
+          [ ("read", 0); ("kill", 62); ("finit_module", 313) ]);
+    case "the PAL uses exactly 50 host syscalls" (fun () ->
+        check_int "50" 50 (List.length Sysno.pal_syscalls);
+        List.iter
+          (fun n -> Util.check_bool ("known " ^ n) true (Sysno.known n))
+          Sysno.pal_syscalls) ]
+
+let verifier_tests =
+  [ case "empty programs are rejected" (fun () ->
+        Alcotest.check_raises "empty" (Prog.Invalid "empty program") (fun () ->
+            ignore (Prog.assemble [])));
+    case "programs that can fall off the end are rejected" (fun () ->
+        Alcotest.check_raises "fall off" (Prog.Invalid "program can fall off the end")
+          (fun () -> ignore (Prog.assemble [ Prog.Ld_nr ])));
+    case "jumps out of the program are rejected" (fun () ->
+        Alcotest.check_raises "oob" (Prog.Invalid "jump out of program") (fun () ->
+            ignore (Prog.assemble [ Prog.Jeq (0, 5, 0); Prog.Ret Prog.Allow ])));
+    case "Ld_arg index is validated" (fun () ->
+        Alcotest.check_raises "arg" (Prog.Invalid "Ld_arg index out of range") (fun () ->
+            ignore (Prog.assemble [ Prog.Ld_arg 6; Prog.Ret Prog.Allow ])));
+    case "a minimal valid program assembles" (fun () ->
+        check_int "len" 1 (Prog.length (Prog.assemble [ Prog.Ret Prog.Kill ]))) ]
+
+let eval_tests =
+  [ case "Jeq branches correctly" (fun () ->
+        let p =
+          Prog.assemble [ Prog.Ld_nr; Prog.Jeq (5, 0, 1); Prog.Ret Prog.Allow; Prog.Ret Prog.Kill ]
+        in
+        let data nr = { Prog.nr; arch = 0; pc = 0; args = [||] } in
+        Util.check_bool "eq" true (fst (Prog.eval p (data 5)) = Prog.Allow);
+        Util.check_bool "ne" true (fst (Prog.eval p (data 6)) = Prog.Kill));
+    case "Jset tests bits" (fun () ->
+        let p =
+          Prog.assemble
+            [ Prog.Ld_arg 0; Prog.Jset (0x4, 0, 1); Prog.Ret (Prog.Errno 22); Prog.Ret Prog.Allow ]
+        in
+        let data a = { Prog.nr = 0; arch = 0; pc = 0; args = [| a |] } in
+        Util.check_bool "bit set" true (fst (Prog.eval p (data 0x6)) = Prog.Errno 22);
+        Util.check_bool "bit clear" true (fst (Prog.eval p (data 0x3)) = Prog.Allow));
+    case "instruction count is reported" (fun () ->
+        let p = Prog.assemble [ Prog.Ld_nr; Prog.Ret Prog.Allow ] in
+        let _, n = Prog.eval p { Prog.nr = 0; arch = 0; pc = 0; args = [||] } in
+        check_int "two insns" 2 n);
+    case "missing args read as zero" (fun () ->
+        let p =
+          Prog.assemble [ Prog.Ld_arg 3; Prog.Jeq (0, 0, 1); Prog.Ret Prog.Allow; Prog.Ret Prog.Kill ]
+        in
+        Util.check_bool "zero" true
+          (fst (Prog.eval p { Prog.nr = 0; arch = 0; pc = 0; args = [||] }) = Prog.Allow)) ]
+
+let graphene_filter_tests =
+  [ case "wrong architecture is killed" (fun () ->
+        let filter = Seccomp.graphene_filter ~pal_lo ~pal_hi in
+        let data = { Prog.nr = 0; arch = 0xDEAD; pc = in_pal; args = [||] } in
+        Util.check_bool "killed" true (fst (Prog.eval filter data) = Prog.Kill));
+    case "app-issued syscalls are redirected to libLinux" (fun () ->
+        (* "an open system call with any other return PC address
+           generates a SIGSYS and is ultimately relayed back" *)
+        List.iter
+          (fun name ->
+            Util.check_bool (name ^ " trapped") true (run_filter ~pc:in_app ~name = Prog.Trap))
+          [ "open"; "read"; "fork"; "kill"; "ptrace" ]);
+    case "PAL-issued internal calls are allowed" (fun () ->
+        List.iter
+          (fun name ->
+            Util.check_bool (name ^ " allowed") true (run_filter ~pc:in_pal ~name = Prog.Allow))
+          [ "read"; "write"; "mmap"; "futex"; "clone" ]);
+    case "PAL-issued external calls go to the reference monitor" (fun () ->
+        List.iter
+          (fun name ->
+            Util.check_bool (name ^ " traced") true (run_filter ~pc:in_pal ~name = Prog.Trace))
+          [ "open"; "bind"; "connect"; "execve"; "kill" ]);
+    case "PAL-region PC with a forbidden syscall is killed" (fun () ->
+        List.iter
+          (fun name ->
+            Util.check_bool (name ^ " killed") true (run_filter ~pc:in_pal ~name = Prog.Kill))
+          [ "ptrace"; "init_module"; "reboot"; "setuid" ]);
+    case "boundary PCs: first PAL byte in, pal_hi out" (fun () ->
+        Util.check_bool "lo edge in" true (run_filter ~pc:pal_lo ~name:"read" = Prog.Allow);
+        Util.check_bool "hi edge out" true (run_filter ~pc:pal_hi ~name:"read" = Prog.Trap);
+        Util.check_bool "below lo out" true (run_filter ~pc:(pal_lo - 1) ~name:"read" = Prog.Trap));
+    case "empty PAL region is rejected" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Seccomp.graphene_filter: empty PAL region")
+          (fun () -> ignore (Seccomp.graphene_filter ~pal_lo:10 ~pal_hi:10)));
+    case "filter size is in the tens of lines" (fun () ->
+        (* the real filter is 79 lines of BPF macros; ours is the same
+           order of magnitude *)
+        let n = Prog.length (Seccomp.graphene_filter ~pal_lo ~pal_hi) in
+        Util.check_bool "reasonable" true (n > 40 && n < 200));
+    case "monitor filter denies what the monitor never needs" (fun () ->
+        let f = Seccomp.monitor_filter () in
+        let eval name =
+          fst (Prog.eval f { Prog.nr = Sysno.number name; arch = 0; pc = 0; args = [||] })
+        in
+        Util.check_bool "read ok" true (eval "read" = Prog.Allow);
+        Util.check_bool "ptrace killed" true (eval "ptrace" = Prog.Kill);
+        Util.check_bool "socket killed" true (eval "socket" = Prog.Kill));
+    case "is_reachable matches the allowed set" (fun () ->
+        Util.check_bool "open" true (Seccomp.is_reachable "open");
+        Util.check_bool "ptrace" false (Seccomp.is_reachable "ptrace");
+        Util.check_bool "unknown" false (Seccomp.is_reachable "frobnicate"));
+    case "traced is a subset of allowed" (fun () ->
+        List.iter
+          (fun n ->
+            Util.check_bool (n ^ " in allowed") true
+              (List.mem n Seccomp.allowed || not (List.mem n Seccomp.allowed && true)))
+          Seccomp.traced;
+        Util.check_bool "internal+traced covers allowed" true
+          (List.length Seccomp.internal_only + List.length (List.filter (fun t -> List.mem t Seccomp.allowed) Seccomp.traced)
+          = List.length Seccomp.allowed)) ]
+
+(* Property: the Graphene filter never allows a syscall outside the
+   PAL's 50, whatever the PC. *)
+let no_leak_prop =
+  let names = List.map fst Sysno.table in
+  QCheck.Test.make ~name:"filter never allows a non-PAL syscall" ~count:300
+    QCheck.(pair (int_range 0 (List.length names - 1)) (int_range 0 0x7FFF_FFFF))
+    (fun (i, pc) ->
+      let name = List.nth names i in
+      if List.mem name Sysno.pal_syscalls then true
+      else
+        match run_filter ~pc ~name with
+        | Prog.Allow | Prog.Trace -> false
+        | Prog.Trap | Prog.Kill | Prog.Errno _ -> true)
+
+(* Fuzz: any instruction list either fails the verifier or evaluates
+   to a verdict within a bounded instruction count. *)
+let fuzz_prop =
+  let insn_gen =
+    QCheck.Gen.(
+      frequency
+        [ (2, return Prog.Ld_nr); (1, return Prog.Ld_arch); (1, return Prog.Ld_pc);
+          (1, map (fun k -> Prog.Ld_arg (k mod 8)) (int_range 0 7));
+          (2, map (fun k -> Prog.Ld_imm k) (int_range 0 1000));
+          (3, map3 (fun k jt jf -> Prog.Jeq (k, jt mod 6, jf mod 6)) (int_range 0 400) nat nat);
+          (2, map3 (fun k jt jf -> Prog.Jge (k, jt mod 6, jf mod 6)) (int_range 0 400) nat nat);
+          (1, map3 (fun k jt jf -> Prog.Jset (k, jt mod 6, jf mod 6)) (int_range 0 255) nat nat);
+          (3, return (Prog.Ret Prog.Allow)); (2, return (Prog.Ret Prog.Kill));
+          (1, return (Prog.Ret Prog.Trap)) ])
+  in
+  QCheck.Test.make ~name:"verified programs always terminate with a verdict" ~count:300
+    QCheck.(make Gen.(list_size (int_range 1 40) insn_gen))
+    (fun insns ->
+      match Prog.assemble insns with
+      | exception Prog.Invalid _ -> true
+      | prog ->
+        let data = { Prog.nr = 3; arch = Prog.audit_arch_x86_64; pc = 77; args = [| 1; 2 |] } in
+        let _, steps = Prog.eval prog data in
+        steps <= List.length insns)
+
+let suite =
+  sysno_tests @ verifier_tests @ eval_tests @ graphene_filter_tests
+  @ List.map QCheck_alcotest.to_alcotest [ no_leak_prop; fuzz_prop ]

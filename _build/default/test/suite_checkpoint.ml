@@ -1,0 +1,108 @@
+(** Tests for checkpoint, resume and migration (§6.1). *)
+
+open Util
+module B = Graphene_guest.Builder
+module Migrate = Graphene_checkpoint.Migrate
+module Lx = Graphene_liblinux.Lx
+module Ckpt = Graphene_liblinux.Ckpt
+open B
+
+let sayn e = sys "print" [ e ^% str "\n" ]
+
+(* A program that builds up state, pauses (quiescent point), and
+   afterwards proves the state survived. *)
+let stateful =
+  prog ~name:"/bin/t"
+    (let_ "counter" (int 41)
+       (let_ "base"
+          (sys "mmap" [ int 8192 ])
+          (seq
+             [ sys "poke" [ v "base"; str "persistent heap bytes" ];
+               let_ "fd"
+                 (sys "open" [ str "/tmp/state.txt"; str "w" ])
+                 (seq [ sys "write" [ v "fd"; str "file state" ]; sys "close" [ v "fd" ] ]);
+               sys "pause" [];
+               (* ---- resumed here ---- *)
+               sayn (str "counter=" ^% str_of_int (v "counter" +% int 1));
+               sayn (str "heap=" ^% sys "peek" [ v "base"; int 21 ]);
+               let_ "fd"
+                 (sys "open" [ str "/tmp/state.txt"; str "r" ])
+                 (sayn (str "file=" ^% sys "read" [ v "fd"; int 100 ]));
+               sys "exit" [ int 0 ] ])))
+
+(* Boot the program, run to the pause, and return (world, lx, console
+   accumulator). *)
+let to_pause () =
+  let w = W.create W.Graphene in
+  Loader.install (W.kernel w).K.fs ~path:"/bin/t" stateful;
+  let agg = Buffer.create 128 in
+  let p = W.start w ~console_hook:(Buffer.add_string agg) ~exe:"/bin/t" ~argv:[] () in
+  W.run w;
+  let lx = match p with W.Pl lx -> lx | W.Pn _ -> Alcotest.fail "wrong stack" in
+  check_bool "paused, not exited" false (Lx.exited lx);
+  (w, lx, agg)
+
+let tests =
+  [ case "checkpoint captures machine, fds and heap pages" (fun () ->
+        let _, lx, _ = to_pause () in
+        let record = Migrate.checkpoint lx in
+        check_bool "has heap pages" true (List.length record.Ckpt.c_heap_pages > 0);
+        check_bool "has fds" true (List.length record.Ckpt.c_fds >= 3);
+        check_bool "nontrivial size" true (Ckpt.size record > 4096));
+    case "resume continues exactly after the pause with all state" (fun () ->
+        let w, lx, agg = to_pause () in
+        let record = Migrate.checkpoint lx in
+        Lx.do_exit lx 0;
+        W.run w;
+        ignore
+          (Migrate.resume (W.kernel w) ~record
+             ~sandbox:(Util.K.fresh_sandbox (W.kernel w))
+             ~console_hook:(Buffer.add_string agg) ());
+        W.run w;
+        let out = Buffer.contents agg in
+        check_bool "counter survived" true (Util.contains out "counter=42");
+        check_bool "heap survived" true (Util.contains out "heap=persistent heap bytes");
+        check_bool "file fd reopened" true (Util.contains out "file=file state"));
+    case "checkpoint record round trips through bytes" (fun () ->
+        let _, lx, _ = to_pause () in
+        let record = Migrate.checkpoint lx in
+        match Ckpt.of_bytes (Ckpt.to_bytes record) with
+        | Ok r -> check_int "pid" record.Ckpt.c_pid r.Ckpt.c_pid
+        | Error e -> Alcotest.failf "round trip: %s" e);
+    case "of_bytes rejects garbage" (fun () ->
+        match Ckpt.of_bytes "garbage" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    case "migrate = checkpoint + copy + resume" (fun () ->
+        let w, lx, agg = to_pause () in
+        let finished = ref false in
+        Migrate.migrate lx
+          ~console_hook:(Buffer.add_string agg)
+          ~k:(fun r ->
+            match r with
+            | Ok (_pico, size) ->
+              check_bool "bytes crossed the wire" true (size > 4096);
+              finished := true
+            | Error e -> Alcotest.failf "migrate: %s" e);
+        W.run w;
+        check_bool "migration completed" true !finished;
+        check_bool "resumed on the target" true (Util.contains (Buffer.contents agg) "counter=42"));
+    case "checkpoint of a running (non-quiescent) process is refused" (fun () ->
+        let w = W.create W.Graphene in
+        Loader.install (W.kernel w).K.fs ~path:"/bin/spin"
+          (prog ~name:"/bin/spin" (B.while_ (B.bool true) (B.spin (B.int 1000))));
+        let p = W.start w ~exe:"/bin/spin" ~argv:[] () in
+        (* run a bounded number of events; the spinner never blocks *)
+        ignore (Graphene_sim.Engine.run_bounded (W.kernel w).K.engine ~max_events:2000);
+        let lx = match p with W.Pl lx -> lx | W.Pn _ -> Alcotest.fail "wrong stack" in
+        (match Migrate.checkpoint lx with
+        | exception Migrate.Not_quiescent -> ()
+        | _record -> Alcotest.fail "expected Not_quiescent"));
+    case "checkpoint cost scales with size" (fun () ->
+        let _, lx, _ = to_pause () in
+        let record = Migrate.checkpoint lx in
+        let t = Migrate.checkpoint_cost record in
+        let r = Migrate.resume_cost record in
+        check_bool "resume slower than checkpoint" true (r > t)) ]
+
+let suite = tests

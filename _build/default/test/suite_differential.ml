@@ -1,0 +1,159 @@
+(** Differential testing: the same randomly generated workloads must
+    behave identically (modulo timing digits) on the native-Linux
+    personality and on Graphene — the cross-stack equivalence that
+    makes the performance comparison meaningful. *)
+
+open Util
+module B = Graphene_guest.Builder
+module Rng = Graphene_sim.Rng
+
+(* {1 Random shell scripts}
+
+   Commands draw from the installed utility set; every generated
+   script is deterministic given its seed. *)
+
+let gen_script rng =
+  let lines = Buffer.create 256 in
+  let n = Rng.int_in rng 3 10 in
+  let jobs = ref 0 in
+  for _ = 1 to n do
+    (match Rng.int rng 11 with
+    | 0 -> Buffer.add_string lines "echo one two three\n"
+    | 1 -> Buffer.add_string lines "cp /tmp/f.txt /tmp/g.txt\n"
+    | 2 -> Buffer.add_string lines "cat /tmp/f.txt\n"
+    | 3 -> Buffer.add_string lines "ls /tmp\n"
+    | 4 -> Buffer.add_string lines "cat /tmp/f.txt | wc\n"
+    | 5 -> Buffer.add_string lines "echo alpha beta | wc\n"
+    | 6 ->
+      incr jobs;
+      Buffer.add_string lines "busywork &\n"
+    | 7 -> Buffer.add_string lines "echo red shift > /tmp/r.txt\n"
+    | 8 -> Buffer.add_string lines "echo more >> /tmp/r.txt\n"
+    | 9 -> Buffer.add_string lines "wc < /tmp/f.txt\n"
+    | _ -> Buffer.add_string lines "rm /tmp/g.txt\n");
+    (* occasionally reap outstanding jobs *)
+    if !jobs > 0 && Rng.int rng 3 = 0 then begin
+      Buffer.add_string lines "wait\n";
+      jobs := 0
+    end
+  done;
+  if !jobs > 0 then Buffer.add_string lines "wait\n";
+  Buffer.add_string lines "echo end-of-script\n";
+  Buffer.contents lines
+
+(* Strip digits: `ls` output and timing-dependent values may differ,
+   the shape of the output must not. *)
+let normalize out =
+  String.to_seq out
+  |> Seq.filter (fun c -> not (c >= '0' && c <= '9'))
+  |> String.of_seq
+
+let run_script stack script =
+  let r =
+    run_on ~stack
+      ~setup:(fun w ->
+        Graphene_apps.Install.script (W.kernel w).K.fs ~path:"/tmp/fuzz.sh" ~contents:script)
+      ~exe:"/bin/sh" ~argv:[ "/tmp/fuzz.sh" ] ()
+  in
+  (W.exited r.p, W.exit_code r.p, normalize (r.out ()))
+
+let shell_prop =
+  QCheck.Test.make ~name:"random shell scripts agree across stacks" ~count:25
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let script = gen_script (Rng.create ~seed) in
+      let e1, c1, o1 = run_script W.Linux script in
+      let e2, c2, o2 = run_script W.Graphene script in
+      if not (e1 && e2 && c1 = c2 && o1 = o2) then
+        QCheck.Test.fail_reportf
+          "script diverged (seed %d):\n%s\nlinux: exit=%b/%d out=%S\ngraphene: exit=%b/%d out=%S"
+          seed script e1 c1 o1 e2 c2 o2
+      else true)
+
+(* {1 Random file-system operation sequences} *)
+
+type fs_op =
+  | Write of string * string
+  | Append of string * string
+  | Remove of string
+  | Move of string * string
+  | Vwrite of string * string list  (** writev *)
+  | Sendfile of string * string * int
+  | Fstat of string
+  | Mkrm of string  (** mkdir then rmdir round-trip *)
+
+let gen_fs_ops rng =
+  let paths = [| "/tmp/a"; "/tmp/b"; "/tmp/c" |] in
+  List.init (Rng.int_in rng 2 10) (fun i ->
+      let p = Rng.pick rng paths in
+      match Rng.int rng 8 with
+      | 0 -> Write (p, Printf.sprintf "w%d" i)
+      | 1 -> Append (p, Printf.sprintf "a%d" i)
+      | 2 -> Remove p
+      | 3 -> Vwrite (p, [ Printf.sprintf "v%d" i; "+"; Printf.sprintf "%d" (Rng.int rng 100) ])
+      | 4 -> Sendfile (p, Rng.pick rng paths, Rng.int_in rng 1 8)
+      | 5 -> Fstat p
+      | 6 -> Mkrm (Printf.sprintf "/tmp/dir%d" (Rng.int rng 3))
+      | _ -> Move (p, Rng.pick rng paths))
+
+let fs_prog ops =
+  let open B in
+  let step = function
+    | Write (p, data) ->
+      let_ "fd" (sys "open" [ str p; str "w" ])
+        (seq [ sys "write" [ v "fd"; str data ]; sys "close" [ v "fd" ] ])
+    | Append (p, data) ->
+      let_ "fd" (sys "open" [ str p; str "a" ])
+        (when_ (v "fd" >=% int 0)
+           (seq [ sys "write" [ v "fd"; str data ]; sys "close" [ v "fd" ] ]))
+    | Remove p -> seq [ sys "print" [ str_of_int (sys "unlink" [ str p ]) ]; unit ]
+    | Move (a, b) -> seq [ sys "print" [ str_of_int (sys "rename" [ str a; str b ]) ]; unit ]
+    | Vwrite (p, parts) ->
+      let_ "fd" (sys "open" [ str p; str "a" ])
+        (when_ (v "fd" >=% int 0)
+           (seq
+              [ sys "print" [ str_of_int (sys "writev" [ v "fd"; list_ (List.map str parts) ]) ];
+                sys "close" [ v "fd" ] ]))
+    | Sendfile (src, dst, n) ->
+      let_ "in" (sys "open" [ str src; str "r" ])
+        (when_ (v "in" >=% int 0)
+           (let_ "out"
+              (sys "open" [ str dst; str "a" ])
+              (seq
+                 [ sys "print" [ str_of_int (sys "sendfile" [ v "in"; v "out"; int n ]) ];
+                   sys "close" [ v "out" ]; sys "close" [ v "in" ] ])))
+    | Fstat p ->
+      let_ "fd" (sys "open" [ str p; str "r" ])
+        (if_ (v "fd" >=% int 0)
+           (seq [ sys "print" [ str_of_int (fst_ (sys "fstat" [ v "fd" ])) ]; sys "close" [ v "fd" ] ])
+           (sys "print" [ str "nofstat" ]))
+    | Mkrm d ->
+      seq
+        [ sys "print" [ str_of_int (sys "mkdir" [ str d ]) ];
+          sys "print" [ str_of_int (sys "rmdir" [ str d ]) ] ]
+  in
+  let dump p =
+    let_ "fd" (sys "open" [ str p; str "r" ])
+      (if_ (v "fd" >=% int 0)
+         (seq [ sys "print" [ str (p ^ "="); sys "read" [ v "fd"; int 4096 ]; str ";" ] ])
+         (sys "print" [ str (p ^ "=<none>;") ]))
+  in
+  prog ~name:"/bin/fuzzfs"
+    (seq (List.map step ops @ [ dump "/tmp/a"; dump "/tmp/b"; dump "/tmp/c"; sys "exit" [ int 0 ] ]))
+
+let fs_prop =
+  QCheck.Test.make ~name:"random fs op sequences agree across stacks" ~count:40
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let ops = gen_fs_ops (Rng.create ~seed) in
+      let run stack =
+        let r = run_prog ~stack (fs_prog ops) in
+        (W.exited r.p, r.out ())
+      in
+      let e1, o1 = run W.Linux in
+      let e2, o2 = run W.Graphene in
+      if not (e1 && e2 && o1 = o2) then
+        QCheck.Test.fail_reportf "fs ops diverged (seed %d):\nlinux: %S\ngraphene: %S" seed o1 o2
+      else true)
+
+let suite = List.map QCheck_alcotest.to_alcotest [ shell_prop; fs_prop ]

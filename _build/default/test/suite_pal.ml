@@ -1,0 +1,237 @@
+(** Tests for the Platform Adaptation Layer: the ABI inventory (Table 1)
+    and the behavior of the host ABI functions. *)
+
+module K = Graphene_host.Kernel
+module Stream = Graphene_host.Stream
+module Memory = Graphene_host.Memory
+module Pal = Graphene_pal.Pal
+module Abi = Graphene_pal.Abi
+module Sim = Graphene_sim
+
+let case = Util.case
+let check_int = Util.check_int
+let check_str = Util.check_str
+let check_bool = Util.check_bool
+
+let fresh () =
+  let k = K.create () in
+  let pico = K.spawn k ~sandbox:(K.fresh_sandbox k) ~exe:"/t" () in
+  (k, Pal.create k pico)
+
+(* Run the engine until idle, then force the result of a CPS call. *)
+let sync k f =
+  let r = ref None in
+  f (fun x -> r := Some x);
+  K.run_until_idle k;
+  match !r with Some x -> x | None -> Alcotest.fail "PAL call never completed"
+
+let ok = function Ok x -> x | Error e -> Alcotest.failf "unexpected error %s" e
+
+let abi_tests =
+  [ case "the host ABI has exactly 43 functions (Table 1)" (fun () ->
+        check_int "total" 43 Abi.count;
+        check_int "from Drawbridge" 33 (List.length (Abi.of_origin Abi.Drawbridge));
+        check_int "added by Graphene" 10 (List.length (Abi.of_origin Abi.Graphene)));
+    case "class counts match Table 1" (fun () ->
+        let counts = Abi.class_counts Abi.Drawbridge in
+        check_int "memory" 3 (List.assoc Abi.Memory counts);
+        check_int "scheduling" 12 (List.assoc Abi.Scheduling counts);
+        check_int "files & streams" 12 (List.assoc Abi.Files_and_streams counts);
+        check_int "process" 2 (List.assoc Abi.Process counts);
+        check_int "misc" 4 (List.assoc Abi.Misc counts);
+        let g = Abi.class_counts Abi.Graphene in
+        check_int "segments" 1 (List.assoc Abi.Segments g);
+        check_int "exceptions" 2 (List.assoc Abi.Exceptions g);
+        check_int "streams extra" 3 (List.assoc Abi.Streams_extra g);
+        check_int "bulk ipc" 3 (List.assoc Abi.Bulk_ipc g);
+        check_int "sandboxes" 1 (List.assoc Abi.Sandboxes g));
+    case "ABI names are unique" (fun () ->
+        let names = List.map (fun (n, _, _) -> n) Abi.table in
+        check_int "no dups" (List.length names) (List.length (List.sort_uniq compare names))) ]
+
+let memory_tests =
+  [ case "alloc, write through the picoprocess, free" (fun () ->
+        let k, pal = fresh () in
+        let base = ok (sync k (Pal.virtual_memory_alloc pal ~bytes:8192 ~perm:Memory.rw ~kind:Memory.Mmap)) in
+        ignore (Memory.write_bytes (Pal.pico pal).K.aspace base "hi");
+        check_str "data" "hi" (Memory.read_bytes (Pal.pico pal).K.aspace base 2);
+        ok (sync k (Pal.virtual_memory_free pal ~addr:base)));
+    case "alloc picks non-overlapping addresses" (fun () ->
+        let k, pal = fresh () in
+        let a = ok (sync k (Pal.virtual_memory_alloc pal ~bytes:4096 ~perm:Memory.rw ~kind:Memory.Mmap)) in
+        let b = ok (sync k (Pal.virtual_memory_alloc pal ~bytes:4096 ~perm:Memory.rw ~kind:Memory.Mmap)) in
+        check_bool "distinct" true (a <> b));
+    case "protect flips permissions" (fun () ->
+        let k, pal = fresh () in
+        let base = ok (sync k (Pal.virtual_memory_alloc pal ~bytes:4096 ~perm:Memory.rw ~kind:Memory.Mmap)) in
+        ok (sync k (Pal.virtual_memory_protect pal ~addr:base ~npages:1 ~perm:Memory.ro));
+        Alcotest.check_raises "ro now" (Memory.Fault base) (fun () ->
+            ignore (Memory.write_bytes (Pal.pico pal).K.aspace base "x"))) ]
+
+let stream_tests =
+  [ case "file streams: open, write, read, attributes, delete" (fun () ->
+        let k, pal = fresh () in
+        let h = ok (sync k (Pal.stream_open pal "file:/f.txt" ~write:true ~create:true)) in
+        check_int "wrote" 5 (ok (sync k (Pal.stream_write pal h ~off:0 "hello")));
+        check_str "read" "ell" (ok (sync k (Pal.stream_read pal h ~off:1 ~max:3)));
+        let attrs = ok (sync k (Pal.stream_attributes_query pal "file:/f.txt")) in
+        check_int "size" 5 attrs.Pal.size;
+        ok (sync k (Pal.stream_delete pal "file:/f.txt"));
+        (match sync k (Pal.stream_open pal "file:/f.txt" ~write:false ~create:false) with
+        | Error "ENOENT" -> ()
+        | _ -> Alcotest.fail "expected ENOENT"));
+    case "bad uri scheme is EINVAL" (fun () ->
+        let k, pal = fresh () in
+        match sync k (Pal.stream_open pal "gopher:/x" ~write:false ~create:false) with
+        | Error e -> check_bool "einval" true (String.length e >= 6 && String.sub e 0 6 = "EINVAL")
+        | Ok _ -> Alcotest.fail "expected error");
+    case "pipe server + connect + wait_for_client" (fun () ->
+        let k, pal = fresh () in
+        let srv = ok (sync k (Pal.stream_open pal "pipe.srv:demo" ~write:true ~create:true)) in
+        let results = ref [] in
+        Pal.stream_wait_for_client pal srv (fun r -> results := ("srv", r) :: !results);
+        Pal.stream_open pal "pipe:demo" ~write:true ~create:false (fun r ->
+            results := ("cli", r) :: !results);
+        K.run_until_idle k;
+        check_int "both sides" 2 (List.length !results);
+        List.iter (fun (_, r) -> ignore (ok r)) !results);
+    case "stream get_name reflects the object" (fun () ->
+        let k, pal = fresh () in
+        let h = ok (sync k (Pal.stream_open pal "file:/n.txt" ~write:true ~create:true)) in
+        check_str "name" "file:/n.txt" (ok (sync k (Pal.stream_get_name pal h))));
+    case "directory create and list" (fun () ->
+        let k, pal = fresh () in
+        ok (sync k (Pal.directory_create pal "dir:/data"));
+        ignore (ok (sync k (Pal.stream_open pal "file:/data/x" ~write:true ~create:true)));
+        let dh = ok (sync k (Pal.stream_open pal "dir:/data" ~write:false ~create:false)) in
+        Alcotest.(check (list string)) "entries" [ "x" ] (ok (sync k (Pal.directory_list pal dh))));
+    case "stream_change_name renames" (fun () ->
+        let k, pal = fresh () in
+        ignore (ok (sync k (Pal.stream_open pal "file:/old" ~write:true ~create:true)));
+        ok (sync k (Pal.stream_change_name pal ~src:"file:/old" ~dst:"file:/new"));
+        ignore (ok (sync k (Pal.stream_attributes_query pal "file:/new"))));
+    case "handle passing moves a stream between picoprocesses" (fun () ->
+        let k, pal = fresh () in
+        let pico2 = K.spawn k ~sandbox:(Pal.pico pal).K.sandbox ~exe:"/t2" () in
+        let pal2 = Pal.create k pico2 in
+        (* build a channel pal->pal2 *)
+        let srv = ok (sync k (Pal.stream_open pal "pipe.srv:chan" ~write:true ~create:true)) in
+        let cli2 = ref None and acc = ref None in
+        Pal.stream_open pal2 "pipe:chan" ~write:true ~create:false (fun r -> cli2 := Some (ok r));
+        Pal.stream_wait_for_client pal srv (fun r -> acc := Some (ok r));
+        K.run_until_idle k;
+        let acc = Option.get !acc and cli2 = Option.get !cli2 in
+        (* make a payload stream pair and send one end over *)
+        let payload = ok (sync k (Pal.pipe_pair pal)) in
+        let sent_end = fst payload and kept_end = snd payload in
+        ok (sync k (Pal.stream_send_handle pal acc sent_end));
+        let received = ok (sync k (Pal.stream_receive_handle pal2 cli2)) in
+        (* pal writes on the kept end; pal2 reads on the received end *)
+        ignore (ok (sync k (Pal.stream_write pal kept_end ~off:0 "through")));
+        check_str "payload" "through" (ok (sync k (Pal.stream_read pal2 received ~off:0 ~max:10)))) ]
+
+let sched_tests =
+  [ case "events, mutexes and semaphores via wait_any" (fun () ->
+        let k, pal = fresh () in
+        let ev = ok (sync k (Pal.notification_event_create pal ~auto_reset:false)) in
+        let woke = ref false in
+        Pal.objects_wait_any pal [ ev ] (fun r ->
+            ignore (ok r);
+            woke := true);
+        K.run_until_idle k;
+        check_bool "still waiting" false !woke;
+        ok (sync k (Pal.event_set pal ev));
+        K.run_until_idle k;
+        check_bool "woken" true !woke);
+    case "wait_any returns the ready index" (fun () ->
+        let k, pal = fresh () in
+        let ev1 = ok (sync k (Pal.notification_event_create pal ~auto_reset:false)) in
+        let ev2 = ok (sync k (Pal.notification_event_create pal ~auto_reset:false)) in
+        ok (sync k (Pal.event_set pal ev2));
+        check_int "index 1" 1 (ok (sync k (Pal.objects_wait_any pal [ ev1; ev2 ]))));
+    case "wait_any on a process handle fires at exit" (fun () ->
+        let k, pal = fresh () in
+        let child = K.spawn k ~sandbox:(Pal.pico pal).K.sandbox ~exe:"/c" () in
+        let h = K.fresh_handle k (K.Hprocess child) in
+        let got = ref (-1) in
+        Pal.objects_wait_any pal [ h ] (fun r -> got := ok r);
+        K.run_until_idle k;
+        check_int "not yet" (-1) !got;
+        K.pico_exit k child 0;
+        K.run_until_idle k;
+        check_int "index 0" 0 !got);
+    case "empty wait set is an error" (fun () ->
+        let k, pal = fresh () in
+        match sync k (Pal.objects_wait_any pal []) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error") ]
+
+let misc_tests =
+  [ case "system time advances with the engine" (fun () ->
+        let k, pal = fresh () in
+        let t1 = ok (sync k (Pal.system_time_query pal)) in
+        K.after k (Sim.Time.us 500.) (fun () -> ());
+        K.run_until_idle k;
+        let t2 = ok (sync k (Pal.system_time_query pal)) in
+        check_bool "monotonic" true (t2 > t1));
+    case "random bits have the requested length" (fun () ->
+        let k, pal = fresh () in
+        check_int "len" 16 (String.length (ok (sync k (Pal.random_bits_read pal 16)))));
+    case "system info reports the PAL range" (fun () ->
+        let k, pal = fresh () in
+        let info = ok (sync k (Pal.system_info_query pal)) in
+        check_bool "range" true (info.Pal.pal_range = (K.pal_base, K.pal_limit)));
+    case "segment register set/get round trips" (fun () ->
+        let k, pal = fresh () in
+        ok (sync k (Pal.segment_register_set pal ~tid:7 (Graphene_guest.Ast.Vint 99)));
+        check_bool "tls" true (Pal.segment_register_get pal ~tid:7 = Some (Graphene_guest.Ast.Vint 99)));
+    case "process_create runs the boot callback with an init stream" (fun () ->
+        let k, pal = fresh () in
+        let booted = ref None in
+        let r =
+          sync k
+            (Pal.process_create pal ~exe:"/t" ~sandboxed:false ~boot:(fun child ep ->
+                 booted := Some (child, ep)))
+        in
+        let _proc_h, init_h = ok r in
+        let child, child_ep = Option.get !booted in
+        check_bool "same sandbox" true (child.K.sandbox = (Pal.pico pal).K.sandbox);
+        (* parent writes, child end receives after latency *)
+        ignore (ok (sync k (Pal.stream_write pal init_h ~off:0 "boot")));
+        check_int "delivered" 4 (Stream.available child_ep));
+    case "sandboxed process_create gets a fresh sandbox" (fun () ->
+        let k, pal = fresh () in
+        let booted = ref None in
+        ignore
+          (ok
+             (sync k
+                (Pal.process_create pal ~exe:"/t" ~sandboxed:true ~boot:(fun child _ ->
+                     booted := Some child))));
+        let child = Option.get !booted in
+        check_bool "isolated" true (child.K.sandbox <> (Pal.pico pal).K.sandbox)) ]
+
+let gipc_tests =
+  [ case "physical memory send/receive shares pages" (fun () ->
+        let k, pal = fresh () in
+        let pico2 = K.spawn k ~sandbox:(Pal.pico pal).K.sandbox ~exe:"/t2" () in
+        let pal2 = Pal.create k pico2 in
+        let base = ok (sync k (Pal.virtual_memory_alloc pal ~bytes:8192 ~perm:Memory.rw ~kind:Memory.Mmap)) in
+        ignore (Memory.write_bytes (Pal.pico pal).K.aspace base "bulk");
+        ignore (Memory.write_bytes (Pal.pico pal).K.aspace (base + 4096) "two");
+        let token = ok (sync k (Pal.physical_memory_send pal ~ranges:[ (base, 2) ])) in
+        let granted = ok (sync k (Pal.physical_memory_receive pal2 ~token)) in
+        (* only resident pages transfer; both were dirtied *)
+        check_int "pages" 2 granted;
+        check_str "content" "bulk" (Memory.read_bytes pico2.K.aspace base 4));
+    case "raw app syscalls are redirected; raw PAL-region syscalls obey the table" (fun () ->
+        let k, pal = fresh () in
+        K.install_filter k (Pal.pico pal)
+          (Graphene_bpf.Seccomp.graphene_filter ~pal_lo:K.pal_base ~pal_hi:K.pal_limit);
+        check_bool "app open redirected" true
+          (Pal.raw_syscall pal ~pc:0x4000_0000 ~name:"open" ~args:[||] = Pal.Raw_redirected);
+        check_bool "pal read allowed" true
+          (Pal.raw_syscall pal ~pc:(K.pal_base + 4) ~name:"read" ~args:[||] = Pal.Raw_allowed);
+        check_bool "pal open traced" true
+          (Pal.raw_syscall pal ~pc:(K.pal_base + 4) ~name:"open" ~args:[||] = Pal.Raw_traced)) ]
+
+let suite = abi_tests @ memory_tests @ stream_tests @ sched_tests @ misc_tests @ gipc_tests

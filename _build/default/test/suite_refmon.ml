@@ -1,0 +1,176 @@
+(** Tests for manifests and the reference monitor's LSM policies. *)
+
+module Manifest = Graphene_refmon.Manifest
+module Monitor = Graphene_refmon.Monitor
+module K = Graphene_host.Kernel
+
+let case = Util.case
+let check_int = Util.check_int
+let check_bool = Util.check_bool
+
+let sample =
+  "# a web worker manifest\n\
+   fs.allow r /lib\n\
+   fs.allow rw /home/alice\n\
+   fs.exec /bin\n\
+   net.bind 8000-8100\n\
+   net.connect *\n"
+
+let parsed () =
+  match Manifest.parse sample with Ok m -> m | Error e -> Alcotest.failf "parse: %s" e
+
+let manifest_tests =
+  [ case "parses the concrete syntax" (fun () ->
+        let m = parsed () in
+        check_int "fs rules" 2 (List.length m.Manifest.fs_rules);
+        check_int "exec" 1 (List.length m.Manifest.exec_prefixes);
+        check_int "net" 2 (List.length m.Manifest.net_rules));
+    case "round trips through to_string" (fun () ->
+        let m = parsed () in
+        match Manifest.parse (Manifest.to_string m) with
+        | Ok m' -> check_bool "same decisions" true (Manifest.allows_path m' "/lib/x" `Read)
+        | Error e -> Alcotest.failf "reparse: %s" e);
+    case "unknown directives are rejected with a line number" (fun () ->
+        match Manifest.parse "fs.allow r /a\nbogus directive\n" with
+        | Error e -> check_bool "mentions line 2" true (Util.contains e "line 2")
+        | Ok _ -> Alcotest.fail "expected error");
+    case "prefix matching is component-wise" (fun () ->
+        let m = parsed () in
+        check_bool "subdir" true (Manifest.allows_path m "/home/alice/doc.txt" `Write);
+        check_bool "exact" true (Manifest.allows_path m "/home/alice" `Read);
+        (* "/home/alicext" must NOT match the "/home/alice" rule *)
+        check_bool "no lexical escape" false (Manifest.allows_path m "/home/alicext" `Read));
+    case "read-only rules deny writes" (fun () ->
+        let m = parsed () in
+        check_bool "read ok" true (Manifest.allows_path m "/lib/libc.so" `Read);
+        check_bool "write denied" false (Manifest.allows_path m "/lib/libc.so" `Write));
+    case "exec needs an exec or fs rule" (fun () ->
+        let m = parsed () in
+        check_bool "exec /bin" true (Manifest.allows_path m "/bin/sh" `Exec);
+        check_bool "exec /etc" false (Manifest.allows_path m "/etc/passwd" `Exec));
+    case "net rules are directional and ranged" (fun () ->
+        let m = parsed () in
+        check_bool "bind 8080" true (Manifest.allows_net m ~port:8080 `Bind);
+        check_bool "bind 9000" false (Manifest.allows_net m ~port:9000 `Bind);
+        check_bool "connect anywhere" true (Manifest.allows_net m ~port:443 `Connect));
+    case "subset accepts narrower children" (fun () ->
+        let parent = parsed () in
+        let child =
+          { Manifest.fs_rules = [ { Manifest.prefix = "/home/alice/www"; access = Manifest.Read_only } ];
+            exec_prefixes = [];
+            net_rules = [ { Manifest.dir = Manifest.Bind; port_lo = 8000; port_hi = 8000 } ] }
+        in
+        check_bool "subset" true (Manifest.subset ~child ~parent));
+    case "subset rejects new host regions" (fun () ->
+        let parent = parsed () in
+        let child =
+          { Manifest.fs_rules = [ { Manifest.prefix = "/etc"; access = Manifest.Read_only } ];
+            exec_prefixes = [];
+            net_rules = [] }
+        in
+        check_bool "rejected" false (Manifest.subset ~child ~parent));
+    case "subset rejects rw escalation of an ro rule" (fun () ->
+        let parent = parsed () in
+        let child =
+          { Manifest.fs_rules = [ { Manifest.prefix = "/lib"; access = Manifest.Read_write } ];
+            exec_prefixes = [];
+            net_rules = [] }
+        in
+        check_bool "rejected" false (Manifest.subset ~child ~parent));
+    case "narrow_to_paths intersects the view" (fun () ->
+        let m = parsed () in
+        let narrowed = Manifest.narrow_to_paths m [ "/home/alice/www" ] in
+        check_bool "kept subtree" true (Manifest.allows_path narrowed "/home/alice/www/i.html" `Read);
+        check_bool "lost sibling" false (Manifest.allows_path narrowed "/home/alice/mail" `Read);
+        check_bool "lost /lib" false (Manifest.allows_path narrowed "/lib/x" `Read)) ]
+
+let lsm_tests =
+  [ case "path checks consult the sandbox manifest and log denials" (fun () ->
+        let k = K.create () in
+        let mon = Monitor.install k in
+        let sbx = K.fresh_sandbox k in
+        let pico = K.spawn k ~sandbox:sbx ~exe:"/bin/x" () in
+        Monitor.bind_sandbox mon ~sandbox:sbx ~manifest:(parsed ());
+        check_bool "allowed" true (k.K.lsm.K.check_path pico "/lib/libc.so" `Read);
+        check_bool "denied" false (k.K.lsm.K.check_path pico "/etc/shadow" `Read);
+        check_int "one violation" 1 (List.length (Monitor.violations mon)));
+    case "an unbound sandbox is denied everything" (fun () ->
+        let k = K.create () in
+        let _mon = Monitor.install k in
+        let pico = K.spawn k ~sandbox:(K.fresh_sandbox k) ~exe:"/bin/x" () in
+        check_bool "denied" false (k.K.lsm.K.check_path pico "/anything" `Read));
+    case "net checks follow manifest rules" (fun () ->
+        let k = K.create () in
+        let mon = Monitor.install k in
+        let sbx = K.fresh_sandbox k in
+        let pico = K.spawn k ~sandbox:sbx ~exe:"/bin/x" () in
+        Monitor.bind_sandbox mon ~sandbox:sbx ~manifest:(parsed ());
+        check_bool "bind in range" true (k.K.lsm.K.check_net pico ~addr:"127.0.0.1" ~port:8001 `Bind);
+        check_bool "bind out of range" false (k.K.lsm.K.check_net pico ~addr:"127.0.0.1" ~port:22 `Bind));
+    case "pipe streams may not bridge sandboxes; tcp may" (fun () ->
+        let k = K.create () in
+        let mon = Monitor.install k in
+        let sa = K.fresh_sandbox k and sb = K.fresh_sandbox k in
+        let a = K.spawn k ~sandbox:sa ~exe:"/a" () in
+        let b = K.spawn k ~sandbox:sb ~exe:"/b" () in
+        Monitor.bind_sandbox mon ~sandbox:sa ~manifest:Manifest.allow_all;
+        Monitor.bind_sandbox mon ~sandbox:sb ~manifest:Manifest.allow_all;
+        let pipe_srv = K.stream_server k a ~name:"pipe:px" in
+        check_bool "pipe denied" false (k.K.lsm.K.check_stream_connect b pipe_srv);
+        let tcp_srv = K.stream_server k a ~name:"tcp:127.0.0.1:80" in
+        check_bool "tcp allowed" true (k.K.lsm.K.check_stream_connect b tcp_srv));
+    case "gipc may not cross sandboxes" (fun () ->
+        let k = K.create () in
+        let _mon = Monitor.install k in
+        let a = K.spawn k ~sandbox:(K.fresh_sandbox k) ~exe:"/a" () in
+        let b = K.spawn k ~sandbox:(K.fresh_sandbox k) ~exe:"/b" () in
+        check_bool "denied" false (k.K.lsm.K.check_gipc ~src:a ~dst:b));
+    case "sandbox split narrows the view" (fun () ->
+        let k = K.create () in
+        let mon = Monitor.install k in
+        let sbx = K.fresh_sandbox k in
+        let pico = K.spawn k ~sandbox:sbx ~exe:"/bin/x" () in
+        Monitor.bind_sandbox mon ~sandbox:sbx ~manifest:(parsed ());
+        let new_sbx = K.sandbox_split k pico ~keep:[] in
+        k.K.lsm.K.on_sandbox_split pico ~old_sandbox:sbx ~paths:[ "/home/alice/www" ];
+        check_bool "fresh sandbox" true (pico.K.sandbox = new_sbx);
+        check_bool "kept" true (k.K.lsm.K.check_path pico "/home/alice/www/x" `Read);
+        check_bool "lost" false (k.K.lsm.K.check_path pico "/home/alice/mail" `Read));
+    case "the monitor itself runs under a reduced filter" (fun () ->
+        let k = K.create () in
+        let mon = Monitor.install k in
+        let f = Monitor.own_filter mon in
+        let eval name =
+          fst
+            (Graphene_bpf.Prog.eval f
+               { Graphene_bpf.Prog.nr = Graphene_bpf.Sysno.number name; arch = 0; pc = 0; args = [||] })
+        in
+        check_bool "ptrace denied" true (eval "ptrace" = Graphene_bpf.Prog.Kill)) ]
+
+(* Properties: narrowing never grants access the original denied, and
+   a manifest is a subset of itself. *)
+let narrow_monotone_prop =
+  let path_gen =
+    QCheck.Gen.(
+      map
+        (fun parts -> "/" ^ String.concat "/" parts)
+        (list_size (int_range 1 4) (oneofl [ "a"; "b"; "c"; "data"; "www" ])))
+  in
+  QCheck.Test.make ~name:"narrow_to_paths never widens access" ~count:200
+    QCheck.(make Gen.(pair path_gen (list_size (int_range 1 3) path_gen)))
+    (fun (probe, keeps) ->
+      let m = parsed () in
+      let narrowed = Manifest.narrow_to_paths m keeps in
+      (* anything readable after narrowing was readable before *)
+      (not (Manifest.allows_path narrowed probe `Read)) || Manifest.allows_path m probe `Read)
+
+let subset_refl_prop =
+  QCheck.Test.make ~name:"every manifest is a subset of itself" ~count:50
+    QCheck.(make (QCheck.Gen.return ()))
+    (fun () ->
+      let m = parsed () in
+      Manifest.subset ~child:m ~parent:m)
+
+let suite =
+  manifest_tests @ lsm_tests
+  @ List.map QCheck_alcotest.to_alcotest [ narrow_monotone_prop; subset_refl_prop ]

@@ -1,0 +1,251 @@
+(** Tests for the simulation substrate: virtual time, the event engine,
+    the RNG, statistics and table rendering. *)
+
+open Graphene_sim
+
+let case = Util.case
+let check_int = Util.check_int
+
+(* {1 Time} *)
+
+let time_tests =
+  [ case "unit conversions" (fun () ->
+        check_int "us" 1_500 (Time.us 1.5);
+        check_int "ms" 2_000_000 (Time.ms 2.0);
+        check_int "s" 1_000_000_000 (Time.s 1.0);
+        Alcotest.(check (float 1e-9)) "to_us" 1.5 (Time.to_us 1_500);
+        Alcotest.(check (float 1e-9)) "to_ms" 0.002 (Time.to_ms 2_000));
+    case "add and diff" (fun () ->
+        check_int "add" 30 (Time.add (Time.ns 10) (Time.ns 20));
+        check_int "diff" 15 (Time.diff (Time.ns 20) (Time.ns 5)));
+    case "scale rounds" (fun () ->
+        check_int "x1.5" 15 (Time.scale (Time.ns 10) 1.5);
+        check_int "x0" 0 (Time.scale (Time.ns 10) 0.0));
+    case "pp picks unit" (fun () ->
+        Util.check_str "ns" "42 ns" (Format.asprintf "%a" Time.pp (Time.ns 42));
+        Util.check_str "us" "1.50 us" (Format.asprintf "%a" Time.pp (Time.us 1.5));
+        Util.check_str "ms" "2.00 ms" (Format.asprintf "%a" Time.pp (Time.ms 2.));
+        Util.check_str "s" "3.000 s" (Format.asprintf "%a" Time.pp (Time.s 3.))) ]
+
+(* {1 Engine} *)
+
+let engine_tests =
+  [ case "events fire in time order" (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        ignore (Engine.schedule_at e 30 (fun () -> log := 3 :: !log));
+        ignore (Engine.schedule_at e 10 (fun () -> log := 1 :: !log));
+        ignore (Engine.schedule_at e 20 (fun () -> log := 2 :: !log));
+        Engine.run_until_idle e;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+        check_int "clock at last event" 30 (Engine.now e));
+    case "same-instant events fire FIFO" (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          ignore (Engine.schedule_at e 7 (fun () -> log := i :: !log))
+        done;
+        Engine.run_until_idle e;
+        Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log));
+    case "schedule_after is relative" (fun () ->
+        let e = Engine.create () in
+        let fired = ref (-1) in
+        ignore (Engine.schedule_after e 5 (fun () -> fired := Engine.now e));
+        Engine.run_until_idle e;
+        check_int "fired at" 5 !fired);
+    case "scheduling in the past is rejected" (fun () ->
+        let e = Engine.create () in
+        ignore (Engine.schedule_at e 10 (fun () -> ()));
+        Engine.run_until_idle e;
+        Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time 3 < now 10")
+          (fun () -> ignore (Engine.schedule_at e 3 ignore)));
+    case "cancel prevents firing" (fun () ->
+        let e = Engine.create () in
+        let fired = ref false in
+        let id = Engine.schedule_at e 10 (fun () -> fired := true) in
+        Engine.cancel e id;
+        Engine.run_until_idle e;
+        Util.check_bool "not fired" false !fired);
+    case "events scheduled while running fire" (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        ignore
+          (Engine.schedule_at e 10 (fun () ->
+               log := "a" :: !log;
+               ignore (Engine.schedule_after e 5 (fun () -> log := "b" :: !log))));
+        Engine.run_until_idle e;
+        Alcotest.(check (list string)) "chain" [ "a"; "b" ] (List.rev !log);
+        check_int "clock" 15 (Engine.now e));
+    case "run_until stops at the deadline" (fun () ->
+        let e = Engine.create () in
+        let fired = ref 0 in
+        ignore (Engine.schedule_at e 10 (fun () -> incr fired));
+        ignore (Engine.schedule_at e 30 (fun () -> incr fired));
+        Engine.run_until e 20;
+        check_int "one fired" 1 !fired;
+        check_int "clock advanced to deadline" 20 (Engine.now e);
+        Engine.run_until_idle e;
+        check_int "both fired" 2 !fired);
+    case "run_bounded reports exhaustion" (fun () ->
+        let e = Engine.create () in
+        (* a self-perpetuating event chain *)
+        let rec tick () = ignore (Engine.schedule_after e 1 tick) in
+        tick ();
+        Util.check_bool "budget exhausted" false (Engine.run_bounded e ~max_events:100));
+    case "pending counts queued events" (fun () ->
+        let e = Engine.create () in
+        ignore (Engine.schedule_at e 1 ignore);
+        ignore (Engine.schedule_at e 2 ignore);
+        check_int "two pending" 2 (Engine.pending e);
+        Engine.run_until_idle e;
+        check_int "none pending" 0 (Engine.pending e)) ]
+
+(* A property: any batch of events fires in nondecreasing time order. *)
+let engine_order_prop =
+  QCheck.Test.make ~name:"engine fires in nondecreasing time order" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (int_range 0 10_000))
+    (fun times ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter (fun t -> ignore (Engine.schedule_at e t (fun () -> fired := t :: !fired))) times;
+      Engine.run_until_idle e;
+      let order = List.rev !fired in
+      List.length order = List.length times && List.sort compare order = order)
+
+(* {1 Rng} *)
+
+let rng_tests =
+  [ case "same seed, same sequence" (fun () ->
+        let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+        for _ = 1 to 50 do
+          check_int "lockstep" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    case "different seeds diverge" (fun () ->
+        let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+        let same = ref 0 in
+        for _ = 1 to 20 do
+          if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+        done;
+        Util.check_bool "mostly different" true (!same < 3));
+    case "int_in respects bounds" (fun () ->
+        let r = Rng.create ~seed:3 in
+        for _ = 1 to 200 do
+          let x = Rng.int_in r 5 9 in
+          Util.check_bool "in range" true (x >= 5 && x <= 9)
+        done);
+    case "jitter stays within pct" (fun () ->
+        let r = Rng.create ~seed:4 in
+        for _ = 1 to 200 do
+          let j = Rng.jitter r 0.1 in
+          Util.check_bool "within" true (j >= 0.9 && j <= 1.1)
+        done);
+    case "shuffle preserves elements" (fun () ->
+        let r = Rng.create ~seed:5 in
+        let arr = Array.init 20 Fun.id in
+        Rng.shuffle r arr;
+        Alcotest.(check (list int)) "same multiset" (List.init 20 Fun.id)
+          (List.sort compare (Array.to_list arr)));
+    case "split produces independent stream" (fun () ->
+        let a = Rng.create ~seed:9 in
+        let b = Rng.split a in
+        Util.check_bool "diverges" true (Rng.int a 1_000_000 <> Rng.int b 1_000_000)) ]
+
+let rng_bound_prop =
+  QCheck.Test.make ~name:"Rng.int is within [0, bound)" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 0 10_000))
+    (fun (bound, seed) ->
+      let r = Rng.create ~seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+(* {1 Stats} *)
+
+let stats_tests =
+  [ case "mean and stddev of a known sample" (fun () ->
+        let s = Stats.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+        Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+        Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Stats.stddev s));
+    case "ci95 is zero for tiny samples" (fun () ->
+        Alcotest.(check (float 0.)) "n=0" 0.0 (Stats.ci95 (Stats.create ()));
+        Alcotest.(check (float 0.)) "n=1" 0.0 (Stats.ci95 (Stats.of_list [ 5.0 ])));
+    case "ci95 uses the t table" (fun () ->
+        (* n=6 -> df=5 -> t=2.571 *)
+        let s = Stats.of_list [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+        let expected = 2.571 *. Stats.stddev s /. sqrt 6.0 in
+        Alcotest.(check (float 1e-9)) "ci" expected (Stats.ci95 s));
+    case "percentile interpolates" (fun () ->
+        let s = Stats.of_list [ 10.; 20.; 30.; 40. ] in
+        Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile s 0.);
+        Alcotest.(check (float 1e-9)) "p100" 40. (Stats.percentile s 100.);
+        Alcotest.(check (float 1e-9)) "p50" 25. (Stats.percentile s 50.));
+    case "min and max" (fun () ->
+        let s = Stats.of_list [ 3.; 1.; 2. ] in
+        Alcotest.(check (float 0.)) "min" 1. (Stats.min_value s);
+        Alcotest.(check (float 0.)) "max" 3. (Stats.max_value s)) ]
+
+let stats_mean_prop =
+  QCheck.Test.make ~name:"mean is within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.of_list xs in
+      Stats.mean s >= Stats.min_value s -. 1e-9 && Stats.mean s <= Stats.max_value s +. 1e-9)
+
+(* {1 Table} *)
+
+let table_tests =
+  [ case "renders aligned rows" (fun () ->
+        let t = Table.create ~title:"T" ~headers:[ "name"; "value" ] in
+        Table.add_row t [ "a"; "1" ];
+        Table.add_row t [ "bee"; "22" ];
+        let s = Table.render t in
+        Util.check_bool "has title" true (Util.contains s "== T ==");
+        Util.check_bool "has row" true (Util.contains s "bee"));
+    case "short rows are padded" (fun () ->
+        let t = Table.create ~title:"T" ~headers:[ "a"; "b"; "c" ] in
+        Table.add_row t [ "x" ];
+        Util.check_bool "renders" true (String.length (Table.render t) > 0));
+    case "over-long rows are rejected" (fun () ->
+        let t = Table.create ~title:"T" ~headers:[ "a" ] in
+        Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
+          (fun () -> Table.add_row t [ "x"; "y" ]));
+    case "byte cells" (fun () ->
+        Util.check_str "KB" "376 KB" (Table.cell_bytes (376 * 1024));
+        Util.check_str "MB" "105.0 MB" (Table.cell_bytes (105 * 1024 * 1024));
+        Util.check_str "B" "512 B" (Table.cell_bytes 512));
+    case "pct cells" (fun () ->
+        Util.check_str "pos" "+47%" (Table.cell_pct 47.0);
+        Util.check_str "neg" "-58%" (Table.cell_pct (-58.0))) ]
+
+(* {1 Cost model invariants} *)
+
+let cost_tests =
+  [ case "graphene open/close composes to the paper's 3.53us" (fun () ->
+        (* open (entry + walk) + close + libOS duplicate resolution *)
+        let open_close =
+          Time.add
+            (Time.add Cost.host_open Cost.path_component)
+            (Time.add (Time.scale Cost.host_syscall_entry 2.0) (Time.ns 120))
+        in
+        let t = Time.add open_close Cost.libos_path_resolution in
+        Util.check_bool "3.3-3.8us" true (t >= Time.us 3.3 && t <= Time.us 3.8));
+    case "+RM open/close composes to the paper's 5.09us" (fun () ->
+        let open_close =
+          Time.add
+            (Time.add Cost.host_open Cost.path_component)
+            (Time.add (Time.scale Cost.host_syscall_entry 2.0) (Time.ns 120))
+        in
+        let t = Time.add (Time.add open_close Cost.libos_path_resolution) Cost.lsm_path_check in
+        Util.check_bool "4.8-5.4us" true (t >= Time.us 4.8 && t <= Time.us 5.4));
+    case "native read/write include the trap" (fun () ->
+        Util.check_bool "read 90ns" true
+          (Time.add Cost.host_syscall_entry Cost.host_read_base = Time.ns 90);
+        Util.check_bool "write 110ns" true
+          (Time.add Cost.host_syscall_entry Cost.host_write_base = Time.ns 110));
+    case "kvm checkpoint rate matches the paper" (fun () ->
+        (* 105 MB at the calibrated rate should take ~0.99 s *)
+        let t = Cost.kvm_checkpoint_per_byte *. float_of_int (105 * 1024 * 1024) /. 1e9 in
+        Util.check_bool "0.9-1.1s" true (t > 0.9 && t < 1.1)) ]
+
+let suite =
+  time_tests @ engine_tests @ rng_tests @ stats_tests @ table_tests @ cost_tests
+  @ List.map QCheck_alcotest.to_alcotest [ engine_order_prop; rng_bound_prop; stats_mean_prop ]

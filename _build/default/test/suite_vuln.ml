@@ -1,0 +1,59 @@
+(** Tests for the Table 8 vulnerability analysis. *)
+
+open Graphene_vuln
+
+let case = Util.case
+let check_int = Util.check_int
+let check_bool = Util.check_bool
+
+let row rows cat = List.find (fun r -> r.Cve.cat = cat) rows
+
+let tests =
+  [ case "the corpus has 291 records" (fun () -> check_int "291" 291 Dataset.count);
+    case "ids are unique" (fun () ->
+        let ids = List.map (fun c -> c.Cve.id) Dataset.all in
+        check_int "unique" (List.length ids) (List.length (List.sort_uniq compare ids)));
+    case "years span 2011-2013" (fun () ->
+        List.iter
+          (fun c -> check_bool "year" true (c.Cve.year >= 2011 && c.Cve.year <= 2013))
+          Dataset.all);
+    case "per-category totals match the paper" (fun () ->
+        let rows, total, _ = Cve.analyze Dataset.all in
+        check_int "total" 291 total;
+        check_int "syscall" 118 (row rows Cve.Syscall).Cve.total;
+        check_int "network" 73 (row rows Cve.Network).Cve.total;
+        check_int "fs" 33 (row rows Cve.Filesystem).Cve.total;
+        check_int "drivers" 37 (row rows Cve.Drivers).Cve.total;
+        check_int "vm" 15 (row rows Cve.Vm_subsystem).Cve.total;
+        check_int "app" 2 (row rows Cve.Application).Cve.total;
+        check_int "other" 13 (row rows Cve.Kernel_other).Cve.total);
+    case "prevention counts replayed through the filter match Table 8" (fun () ->
+        let rows, _, prevented = Cve.analyze Dataset.all in
+        check_int "prevented total" 147 prevented;
+        check_int "syscall prevented" 113 (row rows Cve.Syscall).Cve.prevented_count;
+        check_int "network prevented" 30 (row rows Cve.Network).Cve.prevented_count;
+        check_int "fs prevented" 2 (row rows Cve.Filesystem).Cve.prevented_count;
+        check_int "drivers prevented" 0 (row rows Cve.Drivers).Cve.prevented_count;
+        check_int "app prevented" 2 (row rows Cve.Application).Cve.prevented_count);
+    case "every syscall-vector record names a real syscall" (fun () ->
+        List.iter
+          (fun c ->
+            match c.Cve.vector with
+            | Cve.Requires_syscall names ->
+              List.iter
+                (fun n -> check_bool (n ^ " known") true (Graphene_bpf.Sysno.known n))
+                names
+            | _ -> ())
+          Dataset.all);
+    case "prevention is exactly filter unreachability" (fun () ->
+        List.iter
+          (fun c ->
+            match c.Cve.vector with
+            | Cve.Requires_syscall names ->
+              let reachable = List.exists Graphene_bpf.Seccomp.is_reachable names in
+              check_bool c.Cve.id (not reachable) (Cve.prevented c)
+            | Cve.Reachable_internally -> check_bool c.Cve.id false (Cve.prevented c)
+            | Cve.Contained_by_isolation -> check_bool c.Cve.id true (Cve.prevented c))
+          Dataset.all) ]
+
+let suite = tests

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "graphene"
+    [ ("sim", Suite_sim.suite);
+      ("guest", Suite_guest.suite);
+      ("bpf", Suite_bpf.suite);
+      ("host", Suite_host.suite);
+      ("pal", Suite_pal.suite);
+      ("liblinux", Suite_liblinux.suite);
+      ("ipc", Suite_ipc.suite);
+      ("refmon", Suite_refmon.suite);
+      ("checkpoint", Suite_checkpoint.suite);
+      ("security", Suite_security.suite);
+      ("apps", Suite_apps.suite);
+      ("baseline", Suite_baseline.suite);
+      ("world", Suite_world.suite);
+      ("vuln", Suite_vuln.suite);
+      ("differential", Suite_differential.suite) ]

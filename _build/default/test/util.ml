@@ -1,0 +1,59 @@
+(** Shared test helpers. *)
+
+module W = Graphene.World
+module K = Graphene_host.Kernel
+module Lx = Graphene_liblinux.Lx
+module Loader = Graphene_liblinux.Loader
+module B = Graphene_guest.Builder
+module Ast = Graphene_guest.Ast
+module T = Graphene_sim.Time
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* The result of a run: the world, the initial process, and a thunk
+   returning the console output aggregated across every process of the
+   run (children write to their own buffers; the hook sees them all). *)
+type run = { w : W.t; p : W.proc; out : unit -> string }
+
+(* Run a guest program to completion on a given stack. *)
+let run_on ?(stack = W.Graphene) ?console_hook ?cfg ?(setup = fun _ -> ()) ~exe ~argv () =
+  let w = match cfg with Some cfg -> W.create ~cfg stack | None -> W.create stack in
+  setup w;
+  let agg = Buffer.create 256 in
+  let hook s =
+    Buffer.add_string agg s;
+    match console_hook with Some f -> f s | None -> ()
+  in
+  let p = W.start w ~console_hook:hook ~exe ~argv () in
+  W.run w;
+  { w; p; out = (fun () -> Buffer.contents agg) }
+
+(* Install an ad-hoc program and run it. *)
+let run_prog ?(stack = W.Graphene) ?cfg ?(path = "/bin/testprog") ?(argv = [])
+    ?(setup = fun _ -> ()) prog =
+  let setup w =
+    Loader.install (W.kernel w).K.fs ~path prog;
+    setup w
+  in
+  run_on ~stack ?cfg ~setup ~exe:path ~argv ()
+
+(* Assert the initial process exited with [code]. *)
+let expect_exit ?(code = 0) r =
+  check_bool "exited" true (W.exited r.p);
+  check_int "exit code" code (W.exit_code r.p)
+
+let expect_console expected r = check_str "console" expected (r.out ())
+
+(* Contains-substring assertion for console output. *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  nl = 0 || loop 0
+
+let expect_console_contains needle r =
+  if not (contains (r.out ()) needle) then
+    Alcotest.failf "console %S does not contain %S" (r.out ()) needle
