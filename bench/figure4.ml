@@ -89,9 +89,10 @@ let run ?(full = true) () =
   let selected = if full then workloads else [ List.nth workloads 1 ] in
   List.iter
     (fun (name, f) ->
-      let linux = Harness.trials ~n:3 ~stack:W.Linux f in
-      let graphene = Harness.trials ~n:3 ~stack:W.Graphene_rm f in
-      let kvm = Harness.trials ~n:3 ~stack:W.Kvm f in
+      let m stack = Harness.trials ~n:3 ~name:("figure4/" ^ name) ~unit:"bytes" ~stack f in
+      let linux = m W.Linux in
+      let graphene = m W.Graphene_rm in
+      let kvm = m W.Kvm in
       Table.add_row t [ name; mb linux; mb graphene; mb kvm ])
     selected;
   Table.print t;

@@ -17,14 +17,77 @@ module Marks = Graphene_apps.Lmbench.Marks
 let default_trials = 6
 let noise = 0.006
 
+(* {1 Machine-readable metrics}
+
+   Every named measurement lands in a registry; [write_metrics] dumps
+   it as BENCH_<mode>.json so runs can be diffed and plotted without
+   scraping the printed tables. *)
+
+type metric = {
+  m_name : string;
+  m_unit : string;
+  m_mean : float;
+  m_ci95 : float;
+  m_trials : int;
+}
+
+let metrics : metric list ref = ref []
+
+let record ?(unit = "") name s =
+  metrics :=
+    { m_name = name;
+      m_unit = unit;
+      m_mean = Stats.mean s;
+      m_ci95 = Stats.ci95 s;
+      m_trials = Stats.count s }
+    :: !metrics
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(* %.17g round-trips doubles exactly and stays valid JSON. *)
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let write_metrics ~mode =
+  let path = Printf.sprintf "BENCH_%s.json" mode in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"mode\":\"%s\",\"version\":\"%s\",\"metrics\":[\n"
+       (json_escape mode)
+       (json_escape Graphene.Graphene_version.version));
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"unit\":\"%s\",\"mean\":%s,\"ci95\":%s,\"trials\":%d}"
+           (json_escape m.m_name) (json_escape m.m_unit) (json_float m.m_mean)
+           (json_float m.m_ci95) m.m_trials))
+    (List.rev !metrics);
+  Buffer.add_string b "\n]}\n";
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "\n-- %d metrics -> %s\n" (List.length !metrics) path
+
 (* Run [f] against [n] fresh worlds of [stack]; collect its float
-   result into stats. *)
-let trials ?(n = default_trials) ~stack f =
+   result into stats. [name] also records the result in the metrics
+   registry, suffixed by the stack. *)
+let trials ?(n = default_trials) ?name ?unit ~stack f =
   let s = Stats.create () in
   for seed = 1 to n do
     let w = W.create ~seed:(seed * 7919) ~noise stack in
     Stats.add s (f w)
   done;
+  (match name with
+  | Some name -> record ?unit (name ^ "/" ^ W.stack_name stack) s
+  | None -> ());
   s
 
 (* The run of one guest program to completion; returns (world, proc,

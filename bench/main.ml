@@ -112,13 +112,15 @@ let () =
       (fun (_, title, f) ->
         header title;
         f ())
-      (experiments ~full)
+      (experiments ~full);
+    Harness.write_metrics ~mode
   | "bechamel" -> Bech.run ()
   | name -> (
     match List.find_opt (fun (n, _, _) -> n = name) (experiments ~full:true) with
     | Some (_, title, f) ->
       header title;
-      f ()
+      f ();
+      Harness.write_metrics ~mode
     | None ->
       prerr_endline
         ("unknown experiment " ^ name

@@ -65,22 +65,22 @@ let run () =
       ~headers:[ "Test"; "Linux"; "KVM"; "Graphene" ]
   in
   let fmt_us (s : Stats.t) = Format.asprintf "%a" T.pp (T.us (Stats.mean s)) in
-  let start_linux = Harness.trials ~stack:W.Linux (startup_time W.Linux) in
-  let start_kvm = Harness.trials ~stack:W.Kvm (startup_time W.Kvm) in
-  let start_g = Harness.trials ~stack:W.Graphene_rm (startup_time W.Graphene_rm) in
+  let start_linux = Harness.trials ~name:"table4/startup" ~unit:"us" ~stack:W.Linux (startup_time W.Linux) in
+  let start_kvm = Harness.trials ~name:"table4/startup" ~unit:"us" ~stack:W.Kvm (startup_time W.Kvm) in
+  let start_g = Harness.trials ~name:"table4/startup" ~unit:"us" ~stack:W.Graphene_rm (startup_time W.Graphene_rm) in
   Table.add_row t [ "Start-up"; fmt_us start_linux; fmt_us start_kvm; fmt_us start_g ];
-  let ckpt_g = Harness.trials ~stack:W.Graphene (fun w -> fst (graphene_ckpt w)) in
+  let ckpt_g = Harness.trials ~name:"table4/checkpoint" ~unit:"us" ~stack:W.Graphene (fun w -> fst (graphene_ckpt w)) in
   let kvm = Native.kvm_profile in
   Table.add_row t
     [ "Checkpoint"; "N/A";
       Format.asprintf "%a" T.pp (Migrate.Vm.checkpoint_time kvm);
       fmt_us ckpt_g ];
-  let resume_g = Harness.trials ~stack:W.Graphene graphene_resume in
+  let resume_g = Harness.trials ~name:"table4/resume" ~unit:"us" ~stack:W.Graphene graphene_resume in
   Table.add_row t
     [ "Resume"; "N/A";
       Format.asprintf "%a" T.pp (Migrate.Vm.resume_time kvm);
       fmt_us resume_g ];
-  let size_g = Harness.trials ~stack:W.Graphene (fun w -> float_of_int (snd (graphene_ckpt w))) in
+  let size_g = Harness.trials ~name:"table4/ckpt_size" ~unit:"bytes" ~stack:W.Graphene (fun w -> float_of_int (snd (graphene_ckpt w))) in
   Table.add_row t
     [ "Checkpoint size"; "N/A";
       Table.cell_bytes (Migrate.Vm.checkpoint_size kvm);

@@ -35,7 +35,12 @@ let throughput ~exe ~argv ~ready ~concurrency ~requests w =
 let time_rows ~trials rows table =
   List.iter
     (fun (name, f) ->
-      let cols = List.map (fun stack -> Harness.trials ~n:trials ~stack f) stacks in
+      let cols =
+        List.map
+          (fun stack ->
+            Harness.trials ~n:trials ~name:("table5/" ^ name) ~unit:"s" ~stack f)
+          stacks
+      in
       Harness.row_time table name cols)
     rows
 
@@ -71,7 +76,9 @@ let run ?(full = true) () =
       List.iter
         (fun conc ->
           let m stack =
-            Harness.trials ~n:(if full then 4 else 2) ~stack
+            Harness.trials ~n:(if full then 4 else 2)
+              ~name:(Printf.sprintf "table5/%s_%dconc" label conc)
+              ~unit:"MB/s" ~stack
               (throughput ~exe ~argv ~ready ~concurrency:conc ~requests)
           in
           let linux = m W.Linux and kvm = m W.Kvm and g = m W.Graphene_rm in

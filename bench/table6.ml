@@ -37,7 +37,10 @@ let run ?(full = true) () =
   let trials = if full then 6 else 2 in
   List.iter
     (fun (name, exe, iters) ->
-      let m stack = Harness.trials ~n:trials ~stack (Harness.lmbench_us ~exe ~iters) in
+      let m stack =
+        Harness.trials ~n:trials ~name:("table6/" ^ name) ~unit:"us" ~stack
+          (Harness.lmbench_us ~exe ~iters)
+      in
       let linux = m W.Linux and g = m W.Graphene and grm = m W.Graphene_rm in
       let pct s =
         Table.cell_pct ((Stats.mean s -. Stats.mean linux) /. Stats.mean linux *. 100.)

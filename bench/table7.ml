@@ -31,7 +31,10 @@ let run ?(full = true) () =
           "paper L/in/inter/persist" ]
   in
   let measure ~stack ~exe ~phase =
-    Harness.trials ~n:trials ~stack (Harness.phase_us ~exe ~iters ~phase)
+    Harness.trials ~n:trials
+      ~name:(Printf.sprintf "table7/%s_%s" (Filename.basename exe) phase)
+      ~unit:"us" ~stack
+      (Harness.phase_us ~exe ~iters ~phase)
   in
   List.iter
     (fun ((label, phase), (_, inter_phase)) ->

@@ -1,20 +1,24 @@
 (** The graphene command-line tool.
 
     {v
-    graphene run [-s STACK] [--rm] [-a ARG]... BINARY   run a guest binary
-    graphene script [-s STACK] FILE                     run a shell script file
-    graphene abi                                        print the host ABI (Table 1)
-    graphene filter NAME [NAME...]                      what the seccomp filter does to syscalls
-    graphene cves [-y YEAR]                             the Table 8 vulnerability analysis
+    graphene run [-s STACK] [-a ARG]... [--trace F] BINARY  run a guest binary
+    graphene script [-s STACK] [--trace F] FILE             run a shell script file
+    graphene stats [-s STACK] [-a ARG]... BINARY            run + per-subsystem report
+    graphene abi                                            print the host ABI (Table 1)
+    graphene filter NAME [NAME...]                          what the seccomp filter does
+    graphene cves [-y YEAR]                                 the Table 8 vulnerability analysis
     v}
 
     The run/script commands build a fresh simulated world, install the
     standard binaries, execute, and report console output, exit code,
-    virtual time, and host-syscall telemetry. *)
+    virtual time, and host-syscall telemetry. [--trace] records every
+    layer's spans against the virtual clock and writes Chrome
+    trace-event JSON (load it in Perfetto or about://tracing). *)
 
 open Cmdliner
 module W = Graphene.World
 module K = Graphene_host.Kernel
+module Obs = Graphene_obs.Obs
 
 let stack_conv =
   let parse = function
@@ -35,42 +39,73 @@ let stack_arg =
 let telemetry_arg =
   Arg.(value & flag & info [ "t"; "telemetry" ] ~doc:"Print host-syscall telemetry after the run.")
 
-let report ?(telemetry = false) w p =
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a virtual-clock trace of the run and write Chrome trace-event JSON to $(docv) (load it in Perfetto or about://tracing).")
+
+(* Returns false (with a message on stderr) if [path] is unwritable. *)
+let write_file path contents =
+  match open_out_bin path with
+  | oc ->
+    output_string oc contents;
+    close_out oc;
+    true
+  | exception Sys_error msg ->
+    Printf.eprintf "graphene: cannot write trace: %s\n" msg;
+    false
+
+let report ?(telemetry = false) ?trace w p =
   Printf.printf "\n-- exit code: %d\n" (W.exit_code p);
   Printf.printf "-- virtual time: %s\n"
     (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
   Printf.printf "-- peak memory: %s\n"
     (Graphene_sim.Table.cell_bytes (W.memory_footprint w));
   if telemetry then begin
-    Printf.printf "-- host syscalls:\n";
+    Printf.printf "-- host syscalls (by count, with kernel-mode virtual time):\n";
     List.iter
-      (fun (name, n) -> Printf.printf "   %-16s %6d\n" name n)
-      (K.syscall_counts (W.kernel w))
+      (fun (name, n, t) ->
+        Printf.printf "   %-16s %6d  %s\n" name n
+          (Format.asprintf "%a" Graphene_sim.Time.pp t))
+      (K.syscall_report (W.kernel w))
   end;
-  if W.exit_code p = 0 then 0 else 1
+  let trace_ok =
+    match trace with
+    | Some path ->
+      write_file path (Obs.to_chrome_json (W.tracer w))
+      && begin
+           Printf.printf "-- trace: %d events -> %s\n" (Obs.events (W.tracer w)) path;
+           true
+         end
+    | None -> true
+  in
+  if W.exit_code p = 0 && trace_ok then 0 else 1
+
+let exe_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BINARY" ~doc:"Guest binary path, e.g. /bin/hello.")
+
+let argv_arg =
+  Arg.(value & opt_all string [] & info [ "a"; "arg" ] ~docv:"ARG" ~doc:"Argument passed to the guest (repeatable).")
 
 let run_cmd =
-  let exe_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"BINARY" ~doc:"Guest binary path, e.g. /bin/hello.")
-  in
-  let argv_arg =
-    Arg.(value & opt_all string [] & info [ "a"; "arg" ] ~docv:"ARG" ~doc:"Argument passed to the guest (repeatable).")
-  in
-  let run stack exe argv telemetry =
+  let run stack exe argv telemetry trace =
     let w = W.create stack in
+    if trace <> None then Obs.enable (W.tracer w);
     let p = W.start w ~console_hook:print_string ~exe ~argv () in
     W.run w;
-    report ~telemetry w p
+    report ~telemetry ?trace w p
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a guest binary on a simulated stack")
-    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ telemetry_arg)
+    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ telemetry_arg $ trace_arg)
 
 let script_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Shell script (host file) to run under /bin/sh.")
   in
-  let run stack file telemetry =
+  let run stack file telemetry trace =
     let contents =
       let ic = open_in_bin file in
       let n = in_channel_length ic in
@@ -79,14 +114,42 @@ let script_cmd =
       s
     in
     let w = W.create stack in
+    if trace <> None then Obs.enable (W.tracer w);
     Graphene_apps.Install.script (W.kernel w).K.fs ~path:"/tmp/cli.sh" ~contents;
     let p = W.start w ~console_hook:print_string ~exe:"/bin/sh" ~argv:[ "/tmp/cli.sh" ] () in
     W.run w;
-    report ~telemetry w p
+    report ~telemetry ?trace w p
   in
   Cmd.v
     (Cmd.info "script" ~doc:"Run a shell script under the guest /bin/sh")
-    Term.(const run $ stack_arg $ file_arg $ telemetry_arg)
+    Term.(const run $ stack_arg $ file_arg $ telemetry_arg $ trace_arg)
+
+let stats_cmd =
+  let run stack exe argv trace =
+    let w = W.create stack in
+    Obs.enable (W.tracer w);
+    let p = W.start w ~console_hook:ignore ~exe ~argv () in
+    W.run w;
+    Printf.printf "-- %s on %s: exit %d, virtual time %s\n\n" exe (W.stack_name stack)
+      (W.exit_code p)
+      (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
+    print_string (Obs.summary (W.tracer w));
+    let trace_ok =
+      match trace with
+      | Some path ->
+        write_file path (Obs.to_chrome_json (W.tracer w))
+        && begin
+             Printf.printf "-- trace: %d events -> %s\n" (Obs.events (W.tracer w)) path;
+             true
+           end
+      | None -> true
+    in
+    if W.exit_code p = 0 && trace_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a guest binary with tracing on and print the per-subsystem report")
+    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ trace_arg)
 
 let abi_cmd =
   let run () =
@@ -164,4 +227,4 @@ let () =
     Cmd.info "graphene" ~version:Graphene.Graphene_version.version
       ~doc:"The Graphene (EuroSys 2014) reproduction toolbox"
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; script_cmd; abi_cmd; filter_cmd; cves_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; script_cmd; stats_cmd; abi_cmd; filter_cmd; cves_cmd ]))

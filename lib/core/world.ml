@@ -56,6 +56,7 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) ?(cfg = Ipc_config.default (
 let kernel t = t.kernel
 let stack t = t.stack
 let monitor t = t.monitor
+let tracer t = t.kernel.K.tracer
 
 let default_manifest =
   (* the benchmark manifest: the usual chroot view of a server image *)

@@ -38,6 +38,10 @@ val kernel : t -> K.t
 val stack : t -> stack
 val monitor : t -> Monitor.t option
 
+val tracer : t -> Graphene_obs.Obs.t
+(** The world's tracer (disabled by default); enable it before [run]
+    to record spans from every layer. *)
+
 val default_manifest : Manifest.t
 (** The benchmark manifest: a server-image chroot view. *)
 

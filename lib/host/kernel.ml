@@ -14,6 +14,7 @@
     latency. *)
 
 open Graphene_sim
+module Obs = Graphene_obs.Obs
 
 module Bpf = struct
   module Prog = Graphene_bpf.Prog
@@ -126,6 +127,9 @@ type t = {
   mutable next_gipc : int;
   mutable runnable : int;
   syscall_counts : (string, int) Hashtbl.t;
+  syscall_times : (string, Time.t) Hashtbl.t;
+      (** total kernel-mode virtual time charged per host syscall *)
+  tracer : Obs.t;
   images : (string, Memory.image) Hashtbl.t;
       (** page-cache-style shared code images *)
   mutable quantum : int;  (** interpreter steps per scheduling slice *)
@@ -148,7 +152,20 @@ let permissive_lsm =
     on_sandbox_split = (fun _ ~old_sandbox:_ ~paths:_ -> ()) }
 
 let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
-  { engine = Engine.create ();
+  let tracer = Obs.create () in
+  let engine = Engine.create () in
+  (* Event-dispatch instrumentation: lifetime counter plus a sampled
+     queue-depth track. Purely observational; one branch when tracing
+     is off. *)
+  Engine.set_fire_hook engine
+    (Some
+       (fun clock pending ->
+         if Obs.enabled tracer then begin
+           Obs.count tracer "sim.events_fired";
+           if Engine.events_fired engine mod 64 = 0 then
+             Obs.counter_sample tracer ~name:"sim.pending_events" clock pending
+         end));
+  { engine;
     rng = Rng.create ~seed;
     fs = Vfs.create ();
     alloc = Memory.make_allocator ();
@@ -166,6 +183,8 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
     next_gipc = 0;
     runnable = 0;
     syscall_counts = Hashtbl.create 64;
+    syscall_times = Hashtbl.create 64;
+    tracer;
     images = Hashtbl.create 8;
     quantum = 4000;
     noise }
@@ -209,6 +228,35 @@ let syscall_counts t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.syscall_counts []
   |> List.sort compare
 
+let charge_syscall_time t name d =
+  let prev = Option.value ~default:Time.zero (Hashtbl.find_opt t.syscall_times name) in
+  Hashtbl.replace t.syscall_times name (Time.add prev d)
+
+(* Per-syscall (count, total kernel-mode time), busiest first. *)
+let syscall_report t =
+  Hashtbl.fold
+    (fun name n acc ->
+      (name, n, Option.value ~default:Time.zero (Hashtbl.find_opt t.syscall_times name)) :: acc)
+    t.syscall_counts []
+  |> List.sort (fun (n1, c1, _) (n2, c2, _) ->
+         if c1 <> c2 then compare c2 c1 else compare n1 n2)
+
+(* An LSM hook decision. Traced as a refmon-layer span at the hook
+   point itself, so the trace shows the check even under the permissive
+   LSM (where it costs nothing). *)
+let lsm_verdict t pico ~hook ~target ~cost allowed =
+  if Obs.enabled t.tracer then begin
+    Obs.count t.tracer (if allowed then "refmon.allow" else "refmon.deny");
+    Obs.span t.tracer Obs.Refmon ~name:hook ~pid:pico.pid
+      ~args:
+        [ ("target", Obs.Astr target);
+          ("verdict", Obs.Astr (if allowed then "allow" else "deny")) ]
+      ~start:(now t)
+      ~dur:(if t.lsm_active then cost else Time.zero)
+      ()
+  end;
+  allowed
+
 (* {1 Seccomp} *)
 
 (* Evaluate the picoprocess's installed filter for a host system call
@@ -217,13 +265,22 @@ let syscall_counts t =
    baseline picoprocesses). *)
 let syscall_check t pico ~name ~pc ~args =
   count_syscall t name;
-  match pico.filter with
-  | None -> (Bpf.Prog.Allow, Time.zero)
-  | Some filter ->
-    let nr = match Bpf.Sysno.number_opt name with Some nr -> nr | None -> -1 in
-    let data = { Bpf.Prog.nr; arch = Bpf.Prog.audit_arch_x86_64; pc; args } in
-    let action, insns = Bpf.Prog.eval filter data in
-    (action, Time.scale Cost.seccomp_insn (float_of_int insns))
+  let action, filter_cost =
+    match pico.filter with
+    | None -> (Bpf.Prog.Allow, Time.zero)
+    | Some filter ->
+      let nr = match Bpf.Sysno.number_opt name with Some nr -> nr | None -> -1 in
+      let data = { Bpf.Prog.nr; arch = Bpf.Prog.audit_arch_x86_64; pc; args } in
+      let action, insns = Bpf.Prog.eval filter data in
+      (action, Time.scale Cost.seccomp_insn (float_of_int insns))
+  in
+  if Obs.enabled t.tracer then
+    Obs.instant t.tracer Obs.Kernel ~name:("sys:" ^ name) ~pid:pico.pid
+      ~args:
+        [ ("verdict", Obs.Astr (Format.asprintf "%a" Bpf.Prog.pp_action action));
+          ("filter_ns", Obs.Aint filter_cost) ]
+      (now t);
+  (action, filter_cost)
 
 (* Shared code images, loaded once. *)
 let get_image t ~name ~bytes =
@@ -264,6 +321,8 @@ let spawn t ?parent ?(with_pal = true) ~sandbox ~exe () =
          ~kind:Memory.Pal_code)
   end;
   t.picos <- pico :: t.picos;
+  Obs.set_process_name t.tracer ~pid:pico.pid
+    (Printf.sprintf "pico %d (%s) sandbox %d" pico.pid exe sandbox);
   pico
 
 let install_filter _t pico filter =
@@ -305,7 +364,13 @@ let rec slice t th =
       let charge steps extra =
         let work = Time.scale Cost.interp_step (float_of_int steps) in
         let jitter = if t.noise > 0.0 then Rng.jitter t.rng t.noise else 1.0 in
-        Time.scale (Time.add work extra) (dilation t *. jitter *. th.t_pico.cpu_tax)
+        let d = Time.scale (Time.add work extra) (dilation t *. jitter *. th.t_pico.cpu_tax) in
+        if Obs.enabled t.tracer then begin
+          Obs.span t.tracer Obs.Kernel ~name:"slice" ~pid:th.t_pico.pid ~tid:th.tid
+            ~args:[ ("steps", Obs.Aint steps) ] ~start:(now t) ~dur:d ();
+          Obs.observe t.tracer "kernel.slice_ns" (float_of_int d)
+        end;
+        d
       in
       (match Guest.Interp.run m ~fuel:t.quantum with
       | Guest.Interp.Running m' ->
@@ -447,7 +512,12 @@ let stream_connect t ?(latency = Cost.stream_connect) pico ~name ~ok ~err =
   | None -> err "ENOENT"
   | Some srv when srv.srv_closed -> err "ECONNREFUSED"
   | Some srv ->
-    if not (t.lsm.check_stream_connect pico srv) then err "EACCES"
+    if
+      not
+        (lsm_verdict t pico ~hook:"check_stream_connect" ~target:srv.srv_name
+           ~cost:Cost.lsm_socket_check
+           (t.lsm.check_stream_connect pico srv))
+    then err "EACCES"
     else begin
       let client_ep, server_ep = Stream.pipe ~owner_a:pico.pid ~owner_b:srv.srv_owner in
       register_endpoint t pico client_ep;
@@ -480,7 +550,19 @@ let stream_send ?extra t ep data =
   | None -> raise (Denied "EPIPE")
   | Some peer ->
     if Stream.is_closed peer then raise (Denied "EPIPE")
-    else schedule_into ?extra t peer (fun () -> Stream.deliver peer data)
+    else begin
+      if Obs.enabled t.tracer then begin
+        let len = String.length data in
+        Obs.count t.tracer "kernel.stream_sends";
+        Obs.observe t.tracer "kernel.stream_send_bytes" (float_of_int len);
+        Obs.instant t.tracer Obs.Kernel ~name:"stream.send" ~pid:ep.Stream.owner
+          ~args:
+            [ ("bytes", Obs.Aint len);
+              ("peer_queue_depth", Obs.Aint peer.Stream.inbox_bytes) ]
+          (now t)
+      end;
+      schedule_into ?extra t peer (fun () -> Stream.deliver peer data)
+    end
 
 let stream_send_handle t ep handle =
   match ep.Stream.peer with
@@ -491,10 +573,19 @@ let stream_send_handle t ep handle =
     schedule_into t peer (fun () -> Stream.deliver_oob peer handle)
 
 (* Blocking receive of up to [max] bytes; "" signals EOF. *)
-let rec stream_recv _t ep ~max k =
-  if Stream.available ep > 0 then k (Stream.read ep ~max)
+let rec stream_recv t ep ~max k =
+  if Stream.available ep > 0 then begin
+    let data = Stream.read ep ~max in
+    if Obs.enabled t.tracer then
+      Obs.instant t.tracer Obs.Kernel ~name:"stream.recv" ~pid:ep.Stream.owner
+        ~args:
+          [ ("bytes", Obs.Aint (String.length data));
+            ("queue_depth", Obs.Aint (Stream.available ep)) ]
+        (now t);
+    k data
+  end
   else if Stream.at_eof ep || Stream.is_closed ep then k ""
-  else Stream.on_activity ep (fun () -> stream_recv _t ep ~max k)
+  else Stream.on_activity ep (fun () -> stream_recv t ep ~max k)
 
 let rec stream_recv_msg _t ep k =
   match Stream.read_message ep with
@@ -566,6 +657,14 @@ let sandbox_split t pico ~keep =
       p.endpoints <- List.filter (fun ep -> not (Stream.is_closed ep)) p.endpoints;
       p.sandbox <- new_sandbox)
     moving;
+  if Obs.enabled t.tracer then begin
+    Obs.count t.tracer "kernel.sandbox_splits";
+    Obs.instant t.tracer Obs.Kernel ~name:"sandbox.split" ~pid:pico.pid
+      ~args:
+        [ ("new_sandbox", Obs.Aint new_sandbox);
+          ("moved", Obs.Aint (List.length moving)) ]
+      (now t)
+  end;
   new_sandbox
 
 (* {1 Bulk IPC (gipc kernel module)} *)
@@ -573,13 +672,26 @@ let sandbox_split t pico ~keep =
 let gipc_send t pico ~ranges =
   t.next_gipc <- t.next_gipc + 1;
   Hashtbl.replace t.gipc_store t.next_gipc { g_src = pico; g_ranges = ranges };
+  if Obs.enabled t.tracer then begin
+    let pages = List.fold_left (fun acc (_, n) -> acc + n) 0 ranges in
+    Obs.count t.tracer "kernel.gipc_sends";
+    Obs.instant t.tracer Obs.Kernel ~name:"gipc.send" ~pid:pico.pid
+      ~args:[ ("pages", Obs.Aint pages); ("token", Obs.Aint t.next_gipc) ]
+      (now t)
+  end;
   t.next_gipc
 
 let gipc_recv t pico ~token =
   match Hashtbl.find_opt t.gipc_store token with
   | None -> raise (Denied "gipc: no such token")
   | Some { g_src; g_ranges } ->
-    if not (t.lsm.check_gipc ~src:g_src ~dst:pico) then raise (Denied "gipc: cross-sandbox");
+    if
+      not
+        (lsm_verdict t pico ~hook:"check_gipc"
+           ~target:(Printf.sprintf "pid %d -> pid %d" g_src.pid pico.pid)
+           ~cost:Cost.lsm_fd_check
+           (t.lsm.check_gipc ~src:g_src ~dst:pico))
+    then raise (Denied "gipc: cross-sandbox");
     Hashtbl.remove t.gipc_store token;
     let granted =
       List.fold_left
@@ -590,16 +702,30 @@ let gipc_recv t pico ~token =
         0 g_ranges
     in
     update_peak_rss pico;
+    if Obs.enabled t.tracer then begin
+      Obs.count t.tracer "kernel.gipc_recvs";
+      Obs.observe t.tracer "kernel.gipc_pages" (float_of_int granted);
+      Obs.instant t.tracer Obs.Kernel ~name:"gipc.recv" ~pid:pico.pid
+        ~args:[ ("pages_granted", Obs.Aint granted); ("token", Obs.Aint token) ]
+        (now t)
+    end;
     granted
 
 (* {1 File system host calls} *)
 
 (* Path-touching operations go through the LSM; these are the host
    syscalls the filter marks [Trace]. *)
+let check_path_traced t pico path access =
+  lsm_verdict t pico ~hook:"check_path"
+    ~target:
+      (path ^ " (" ^ (match access with `Read -> "r" | `Write -> "w" | `Exec -> "x") ^ ")")
+    ~cost:Cost.lsm_path_check
+    (t.lsm.check_path pico path access)
+
 let fs_open t pico path ~write ~create =
   let path = Vfs.normalize path in
   let access = if write || create then `Write else `Read in
-  if not (t.lsm.check_path pico path access) then raise (Denied ("EACCES " ^ path));
+  if not (check_path_traced t pico path access) then raise (Denied ("EACCES " ^ path));
   let file =
     if create then begin
       Vfs.mkdir_p t.fs (Filename.dirname path);
@@ -611,28 +737,28 @@ let fs_open t pico path ~write ~create =
 
 let fs_stat t pico path =
   let path = Vfs.normalize path in
-  if not (t.lsm.check_path pico path `Read) then raise (Denied ("EACCES " ^ path));
+  if not (check_path_traced t pico path `Read) then raise (Denied ("EACCES " ^ path));
   Vfs.stat t.fs path
 
 let fs_unlink t pico path =
   let path = Vfs.normalize path in
-  if not (t.lsm.check_path pico path `Write) then raise (Denied ("EACCES " ^ path));
+  if not (check_path_traced t pico path `Write) then raise (Denied ("EACCES " ^ path));
   Vfs.unlink t.fs path
 
 let fs_rename t pico ~src ~dst =
   let src = Vfs.normalize src and dst = Vfs.normalize dst in
-  if not (t.lsm.check_path pico src `Write) then raise (Denied ("EACCES " ^ src));
-  if not (t.lsm.check_path pico dst `Write) then raise (Denied ("EACCES " ^ dst));
+  if not (check_path_traced t pico src `Write) then raise (Denied ("EACCES " ^ src));
+  if not (check_path_traced t pico dst `Write) then raise (Denied ("EACCES " ^ dst));
   Vfs.rename t.fs ~src ~dst
 
 let fs_mkdir t pico path =
   let path = Vfs.normalize path in
-  if not (t.lsm.check_path pico path `Write) then raise (Denied ("EACCES " ^ path));
+  if not (check_path_traced t pico path `Write) then raise (Denied ("EACCES " ^ path));
   Vfs.mkdir_p t.fs path
 
 let fs_readdir t pico path =
   let path = Vfs.normalize path in
-  if not (t.lsm.check_path pico path `Read) then raise (Denied ("EACCES " ^ path));
+  if not (check_path_traced t pico path `Read) then raise (Denied ("EACCES " ^ path));
   Vfs.readdir t.fs path
 
 (* {1 Loopback network} *)
@@ -640,12 +766,23 @@ let fs_readdir t pico path =
 let tcp_name port = Printf.sprintf "tcp:127.0.0.1:%d" port
 
 let net_listen t pico ~port =
-  if not (t.lsm.check_net pico ~addr:"127.0.0.1" ~port `Bind) then
-    raise (Denied "EACCES: bind");
+  if
+    not
+      (lsm_verdict t pico ~hook:"check_net"
+         ~target:(Printf.sprintf "bind 127.0.0.1:%d" port)
+         ~cost:Cost.lsm_socket_check
+         (t.lsm.check_net pico ~addr:"127.0.0.1" ~port `Bind))
+  then raise (Denied "EACCES: bind");
   stream_server t pico ~name:(tcp_name port)
 
 let net_connect t pico ~port ~ok ~err =
-  if not (t.lsm.check_net pico ~addr:"127.0.0.1" ~port `Connect) then err "EACCES"
+  if
+    not
+      (lsm_verdict t pico ~hook:"check_net"
+         ~target:(Printf.sprintf "connect 127.0.0.1:%d" port)
+         ~cost:Cost.lsm_socket_check
+         (t.lsm.check_net pico ~addr:"127.0.0.1" ~port `Connect))
+  then err "EACCES"
   else stream_connect t ~latency:Cost.tcp_connect pico ~name:(tcp_name port) ~ok ~err
 
 (* {1 Accounting} *)

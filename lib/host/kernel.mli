@@ -123,6 +123,9 @@ type t = {
   mutable next_gipc : int;
   mutable runnable : int;
   syscall_counts : (string, int) Hashtbl.t;
+  syscall_times : (string, Graphene_sim.Time.t) Hashtbl.t;
+      (** total kernel-mode virtual time charged per host syscall *)
+  tracer : Graphene_obs.Obs.t;
   images : (string, Memory.image) Hashtbl.t;
   mutable quantum : int;
   noise : float;
@@ -296,4 +299,19 @@ val net_connect :
 (** {1 Accounting} *)
 
 val syscall_counts : t -> (string * int) list
+
+val charge_syscall_time : t -> string -> Graphene_sim.Time.t -> unit
+(** Attribute kernel-mode virtual time to a named host call (the PAL
+    calls this from its dispatch choke point). *)
+
+val syscall_report : t -> (string * int * Graphene_sim.Time.t) list
+(** Per-syscall [(name, count, total kernel-mode time)], descending by
+    count (ties broken by name). *)
+
+val lsm_verdict :
+  t -> pico -> hook:string -> target:string -> cost:Graphene_sim.Time.t -> bool -> bool
+(** Trace an LSM hook decision (refmon-layer span + allow/deny counter)
+    and return the verdict unchanged. The span costs [cost] when a real
+    monitor is installed, zero under the permissive LSM. *)
+
 val system_memory : t -> int

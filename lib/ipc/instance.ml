@@ -11,6 +11,7 @@
     a message arrives), which keeps the helper deadlock-free. *)
 
 open Graphene_sim
+module Obs = Graphene_obs.Obs
 module K = Graphene_host.Kernel
 module Stream = Graphene_host.Stream
 module Pal = Graphene_pal.Pal
@@ -218,7 +219,19 @@ and rpc_attempt t ~addr ~tries req k =
         t.next_req <- t.next_req + 1;
         let id = t.next_req in
         t.rpc_sent <- t.rpc_sent + 1;
+        let t0 = K.now (kernel t) in
+        let tracer = (kernel t).K.tracer in
+        if Obs.enabled tracer then Obs.count tracer "ipc.rpcs";
         let finish resp =
+          if Obs.enabled tracer then begin
+            let dur = Time.diff (K.now (kernel t)) t0 in
+            Obs.span tracer Obs.Ipc
+              ~name:("rpc:" ^ Wire.req_label req)
+              ~pid:(Pal.pico t.pal).K.pid
+              ~args:[ ("peer", Obs.Astr addr) ]
+              ~start:t0 ~dur ();
+            Obs.observe tracer "ipc.rpc_roundtrip_ns" (float_of_int dur)
+          end;
           if not t.cfg.Config.cache_p2p then begin
             Hashtbl.remove t.streams addr;
             Pal.stream_close t.pal h (fun _ -> ())
@@ -234,6 +247,15 @@ and oneway t ~addr n =
       | Error _ -> ()
       | Ok h ->
         t.rpc_sent <- t.rpc_sent + 1;
+        let tracer = (kernel t).K.tracer in
+        if Obs.enabled tracer then begin
+          Obs.count tracer "ipc.oneway";
+          Obs.instant tracer Obs.Ipc
+            ~name:("oneway:" ^ Wire.notification_label n)
+            ~pid:(Pal.pico t.pal).K.pid
+            ~args:[ ("peer", Obs.Astr addr) ]
+            (K.now (kernel t))
+        end;
         send_env t (ep_of_handle h) (Wire.Oneway n))
 
 (* {1 Leader-side request handling} *)

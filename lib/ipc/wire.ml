@@ -69,6 +69,33 @@ let encode (e : envelope) = Marshal.to_string e []
 let decode s : envelope option =
   try Some (Marshal.from_string s 0) with _ -> None
 
+let req_label = function
+  | Pid_alloc _ -> "pid_alloc"
+  | Pid_query _ -> "pid_query"
+  | Res_query _ -> "res_query"
+  | Signal _ -> "signal"
+  | Proc_read _ -> "proc_read"
+  | Msgq_get _ -> "msgq_get"
+  | Msgq_send _ -> "msgq_send"
+  | Msgq_recv _ -> "msgq_recv"
+  | Msgq_rmid _ -> "msgq_rmid"
+  | Sem_get _ -> "sem_get"
+  | Sem_op _ -> "sem_op"
+  | Wait_any_probe -> "wait_any_probe"
+
+let notification_label = function
+  | Exit_notify _ -> "exit_notify"
+  | Msgq_send_async _ -> "msgq_send_async"
+  | Sem_release_async _ -> "sem_release_async"
+  | Msgq_deleted _ -> "msgq_deleted"
+  | Owner_update _ -> "owner_update"
+  | Range_owned _ -> "range_owned"
+  | Msgq_persisted _ -> "msgq_persisted"
+  | Leader_hello _ -> "leader_hello"
+  | Leader_candidate _ -> "leader_candidate"
+  | Leader_elected _ -> "leader_elected"
+  | State_report _ -> "state_report"
+
 let describe = function
   | Req (n, _) -> Printf.sprintf "req#%d" n
   | Resp (n, _) -> Printf.sprintf "resp#%d" n

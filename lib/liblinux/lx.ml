@@ -35,6 +35,7 @@
     - /proc: [open "/proc/<pid>/<field>"] works locally and over RPC *)
 
 open Graphene_sim
+module Obs = Graphene_obs.Obs
 module K = Graphene_host.Kernel
 module Memory = Graphene_host.Memory
 module Stream = Graphene_host.Stream
@@ -133,6 +134,11 @@ type t = {
   mutable exit_code : int;
   mutable started_at : Time.t option;  (** first app instruction *)
   mutable syscall_count : int;
+  trace_open : (int, string * Time.t) Hashtbl.t;
+      (** host tid -> (syscall, entry time): spans opened at dispatch
+          and closed when the call resumes the thread (the calls are in
+          continuation-passing style, so a stack scope cannot pair
+          them) *)
   mutable alarm_seq : int;  (** cancels superseded alarm timers *)
   mutable umask : int;
 }
@@ -232,10 +238,27 @@ and continue lx th m ~cost =
 
 and finish lx th ?(cost = Cost.libos_call) v =
   if not lx.exited then begin
+    close_syscall_span lx th ~cost;
     match th.K.machine with
     | None -> ()
     | Some m -> continue lx th (Interp.resume m v) ~cost
   end
+
+(* Close the Liblinux span opened at [dispatch]: the interval from
+   syscall entry to the resume that ends it (PAL waits included), plus
+   the libOS-side cost charged on the way out. *)
+and close_syscall_span lx th ~cost =
+  match Hashtbl.find_opt lx.trace_open th.K.tid with
+  | None -> ()
+  | Some (name, t0) ->
+    Hashtbl.remove lx.trace_open th.K.tid;
+    let tracer = (kernel lx).K.tracer in
+    if Obs.enabled tracer then begin
+      let dur = Time.add (Time.diff (K.now (kernel lx)) t0) cost in
+      Obs.span tracer Obs.Liblinux ~name:("sys_" ^ name) ~pid:(pico lx).K.pid
+        ~tid:th.K.tid ~start:t0 ~dur ();
+      Obs.observe tracer "liblinux.syscall_ns" (float_of_int dur)
+    end
 
 let fail lx th ?cost tag = finish lx th ?cost (err tag)
 
@@ -386,6 +409,7 @@ let make ~pal ~cfg ~pid ~ppid ~pgid ~parent_addr ~exe =
     exit_code = 0;
     started_at = None;
     syscall_count = 0;
+    trace_open = Hashtbl.create 4;
     alarm_seq = 0;
     umask = 0o022 }
 
@@ -443,6 +467,13 @@ let map_libos_images lx ~app_bytes ~scratch =
 
 let rec dispatch lx th name args =
   lx.syscall_count <- lx.syscall_count + 1;
+  let tracer = (kernel lx).K.tracer in
+  if Obs.enabled tracer then begin
+    Obs.count tracer "liblinux.syscalls";
+    (* nested dispatches (writev -> write) keep the outer span *)
+    if not (Hashtbl.mem lx.trace_open th.K.tid) then
+      Hashtbl.replace lx.trace_open th.K.tid (name, K.now (kernel lx))
+  end;
   try dispatch_inner lx th name args
   with Ast.Guest_fault _ -> fail lx th "EINVAL"
 

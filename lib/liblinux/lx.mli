@@ -90,6 +90,11 @@ type t = {
   mutable exit_code : int;
   mutable started_at : Time.t option;
   mutable syscall_count : int;
+  trace_open : (int, string * Time.t) Hashtbl.t;
+      (** host tid -> (syscall, entry time): spans opened at dispatch
+          and closed when the call resumes the thread (the calls are in
+          continuation-passing style, so a stack scope cannot pair
+          them) *)
   mutable alarm_seq : int;  (** cancels superseded alarm timers *)
   mutable umask : int;
 }

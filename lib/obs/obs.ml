@@ -1,0 +1,234 @@
+open Graphene_sim
+
+type layer = Sim | Kernel | Pal | Refmon | Liblinux | Ipc
+
+let layer_name = function
+  | Sim -> "sim"
+  | Kernel -> "kernel"
+  | Pal -> "pal"
+  | Refmon -> "refmon"
+  | Liblinux -> "liblinux"
+  | Ipc -> "ipc"
+
+type arg = Aint of int | Astr of string
+
+type layer_agg = { mutable spans : int; mutable span_ns : int }
+
+type t = {
+  mutable enabled : bool;
+  buf : Buffer.t;  (** rendered trace events, comma-separated JSON *)
+  mutable n_events : int;
+  mutable proc_names : (int * string) list;  (** newest first *)
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, Stats.Histogram.t) Hashtbl.t;
+  layers : (string, layer_agg) Hashtbl.t;
+}
+
+let create () =
+  { enabled = false;
+    buf = Buffer.create 4096;
+    n_events = 0;
+    proc_names = [];
+    counters = Hashtbl.create 32;
+    hists = Hashtbl.create 32;
+    layers = Hashtbl.create 8 }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let reset t =
+  Buffer.clear t.buf;
+  t.n_events <- 0;
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.hists;
+  Hashtbl.reset t.layers
+
+let set_process_name t ~pid name =
+  t.proc_names <- (pid, name) :: List.remove_assoc pid t.proc_names
+
+(* {1 JSON rendering}
+
+   Events are rendered to the buffer as they are emitted: no
+   intermediate event structures, and the export is a concatenation —
+   trivially byte-deterministic for a deterministic run. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome-trace timestamps are microseconds; keep nanosecond precision
+   with integer arithmetic so rendering is exact and deterministic. *)
+let add_ts b ns =
+  Buffer.add_string b (string_of_int (ns / 1000));
+  Buffer.add_char b '.';
+  Buffer.add_string b (Printf.sprintf "%03d" (ns mod 1000))
+
+let add_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape k);
+      Buffer.add_string b "\":";
+      match v with
+      | Aint n -> Buffer.add_string b (string_of_int n)
+      | Astr s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"')
+    args;
+  Buffer.add_string b "}"
+
+let event_head t ~name ~cat ~ph ~pid ~tid ~ts =
+  let b = t.buf in
+  if t.n_events > 0 then Buffer.add_string b ",\n";
+  t.n_events <- t.n_events + 1;
+  Buffer.add_string b "{\"name\":\"";
+  Buffer.add_string b (escape name);
+  Buffer.add_string b "\"";
+  if cat <> "" then begin
+    Buffer.add_string b ",\"cat\":\"";
+    Buffer.add_string b cat;
+    Buffer.add_string b "\""
+  end;
+  Buffer.add_string b ",\"ph\":\"";
+  Buffer.add_string b ph;
+  Buffer.add_string b "\",\"pid\":";
+  Buffer.add_string b (string_of_int pid);
+  Buffer.add_string b ",\"tid\":";
+  Buffer.add_string b (string_of_int tid);
+  Buffer.add_string b ",\"ts\":";
+  add_ts b ts
+
+let layer_agg t layer =
+  let name = layer_name layer in
+  match Hashtbl.find_opt t.layers name with
+  | Some a -> a
+  | None ->
+    let a = { spans = 0; span_ns = 0 } in
+    Hashtbl.replace t.layers name a;
+    a
+
+let span t layer ~name ?(pid = 0) ?(tid = 0) ?(args = []) ~start ~dur () =
+  if t.enabled then begin
+    let a = layer_agg t layer in
+    a.spans <- a.spans + 1;
+    a.span_ns <- a.span_ns + dur;
+    event_head t ~name ~cat:(layer_name layer) ~ph:"X" ~pid ~tid ~ts:start;
+    Buffer.add_string t.buf ",\"dur\":";
+    add_ts t.buf dur;
+    if args <> [] then begin
+      Buffer.add_string t.buf ",\"args\":";
+      add_args t.buf args
+    end;
+    Buffer.add_string t.buf "}"
+  end
+
+let instant t layer ~name ?(pid = 0) ?(tid = 0) ?(args = []) ts =
+  if t.enabled then begin
+    event_head t ~name ~cat:(layer_name layer) ~ph:"i" ~pid ~tid ~ts;
+    Buffer.add_string t.buf ",\"s\":\"t\"";
+    if args <> [] then begin
+      Buffer.add_string t.buf ",\"args\":";
+      add_args t.buf args
+    end;
+    Buffer.add_string t.buf "}"
+  end
+
+let counter_sample t ~name ?(pid = 0) ts value =
+  if t.enabled then begin
+    event_head t ~name ~cat:"" ~ph:"C" ~pid ~tid:0 ~ts;
+    Buffer.add_string t.buf ",\"args\":";
+    add_args t.buf [ ("value", Aint value) ];
+    Buffer.add_string t.buf "}"
+  end
+
+(* {1 Aggregate metrics} *)
+
+let count t ?(n = 1) name =
+  if t.enabled then
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace t.counters name (ref n)
+
+let observe t name x =
+  if t.enabled then begin
+    let h =
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+        let h = Stats.Histogram.create () in
+        Hashtbl.replace t.hists name h;
+        h
+    in
+    Stats.Histogram.add h x
+  end
+
+(* {1 Introspection} *)
+
+let events t = t.n_events
+let counter_value t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let histogram t name = Hashtbl.find_opt t.hists name
+
+let layer_totals t =
+  Hashtbl.fold (fun name a acc -> (name, a.spans, a.span_ns) :: acc) t.layers []
+  |> List.sort compare
+
+(* {1 Exporters} *)
+
+let to_chrome_json t =
+  let b = Buffer.create (Buffer.length t.buf + 1024) in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  let procs = List.sort compare t.proc_names in
+  List.iter
+    (fun (pid, name) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}},\n"
+           pid (escape name)))
+    procs;
+  Buffer.add_buffer b t.buf;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let summary t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "== per-subsystem virtual time (spans) ==\n";
+  Buffer.add_string b (Printf.sprintf "  %-10s %8s  %s\n" "layer" "spans" "total");
+  List.iter
+    (fun (name, spans, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %8d  %s\n" name spans (Format.asprintf "%a" Time.pp ns)))
+    (layer_totals t);
+  let counters =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> List.sort compare
+  in
+  if counters <> [] then begin
+    Buffer.add_string b "== counters ==\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-32s %10d\n" k v))
+      counters
+  end;
+  let hists = Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists [] |> List.sort compare in
+  if hists <> [] then begin
+    Buffer.add_string b "== latency histograms (ns) ==\n";
+    List.iter
+      (fun (k, h) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-32s %s\n" k (Format.asprintf "%a" Stats.Histogram.pp h)))
+      hists
+  end;
+  Buffer.contents b

@@ -1,0 +1,121 @@
+(** Virtual-clock tracing and metrics.
+
+    One tracer per simulated world, owned by the host kernel and shared
+    by every layer above it. All timestamps are virtual nanoseconds
+    ({!Graphene_sim.Time.t}), so with a fixed seed the simulation is
+    deterministic and two runs produce byte-identical exports.
+
+    The tracer records three kinds of trace events — {e spans} (an
+    interval of attributed virtual time), {e instants} (a point event)
+    and {e counter samples} (a value over time) — plus two kinds of
+    aggregate-only metrics: typed {e counters} and log-scaled latency
+    {e histograms} ({!Graphene_sim.Stats.Histogram}).
+
+    Disabled (the default) the tracer is a no-op: every emit guards on
+    {!enabled} and returns immediately, so instrumented layers pay one
+    branch. Tracing is purely observational either way — it never
+    schedules events or charges virtual time, so enabling it cannot
+    change simulated behaviour.
+
+    Exporters: {!to_chrome_json} writes Chrome trace-event JSON
+    (load it in Perfetto / [about://tracing]; picoprocesses appear as
+    processes, guest threads as threads) and {!summary} renders a
+    per-subsystem plain-text report. *)
+
+(** The instrumented layer a trace event belongs to; becomes the
+    Chrome-trace category. *)
+type layer =
+  | Sim  (** the discrete-event engine *)
+  | Kernel  (** the simulated host kernel *)
+  | Pal  (** the 43-call host ABI *)
+  | Refmon  (** LSM checks / reference-monitor decisions *)
+  | Liblinux  (** Linux system-call emulation *)
+  | Ipc  (** RPC between libOS instances *)
+
+val layer_name : layer -> string
+
+(** Structured event arguments. *)
+type arg = Aint of int | Astr of string
+
+type t
+
+val create : unit -> t
+(** A fresh, disabled tracer. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Drop all recorded events and metrics (process names survive). *)
+
+(** {1 Trace events}
+
+    [pid] is the picoprocess id (0 = host-level activity), [tid] the
+    host thread id (0 = no particular thread). All fall through to
+    no-ops while the tracer is disabled. *)
+
+val set_process_name : t -> pid:int -> string -> unit
+(** Label a picoprocess in the trace viewer. Recorded even while
+    disabled (it is naming, not tracing). *)
+
+val span :
+  t ->
+  layer ->
+  name:string ->
+  ?pid:int ->
+  ?tid:int ->
+  ?args:(string * arg) list ->
+  start:Graphene_sim.Time.t ->
+  dur:Graphene_sim.Time.t ->
+  unit ->
+  unit
+(** A completed interval [start, start+dur). Also feeds the per-layer
+    span aggregates shown by {!summary}. *)
+
+val instant :
+  t ->
+  layer ->
+  name:string ->
+  ?pid:int ->
+  ?tid:int ->
+  ?args:(string * arg) list ->
+  Graphene_sim.Time.t ->
+  unit
+
+val counter_sample : t -> name:string -> ?pid:int -> Graphene_sim.Time.t -> int -> unit
+(** A Chrome "C" event: [name]'s value at a point in virtual time. *)
+
+(** {1 Aggregate metrics} *)
+
+val count : t -> ?n:int -> string -> unit
+(** Increment a typed counter (default by 1). *)
+
+val observe : t -> string -> float -> unit
+(** Feed a sample into the named log-scaled histogram (created on first
+    use). By convention values are virtual nanoseconds. *)
+
+(** {1 Introspection (tests, summaries)} *)
+
+val events : t -> int
+(** Trace events recorded so far (spans + instants + counter samples). *)
+
+val counter_value : t -> string -> int
+(** 0 if never incremented. *)
+
+val histogram : t -> string -> Graphene_sim.Stats.Histogram.t option
+val layer_totals : t -> (string * int * Graphene_sim.Time.t) list
+(** Per-layer [(name, span count, total span time)], ascending by
+    layer name. *)
+
+(** {1 Exporters} *)
+
+val to_chrome_json : t -> string
+(** The Chrome trace-event format: a JSON object with a [traceEvents]
+    array of metadata, "X" (complete), "i" (instant) and "C" (counter)
+    events. Timestamps are microseconds with nanosecond precision.
+    Byte-deterministic for a deterministic run. *)
+
+val summary : t -> string
+(** Plain-text per-subsystem report: span time by layer, counters, and
+    histogram quantiles. *)

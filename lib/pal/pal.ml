@@ -13,6 +13,7 @@
     plus ["EACCES"], ["EPIPE"], etc. *)
 
 open Graphene_sim
+module Obs = Graphene_obs.Obs
 module K = Graphene_host.Kernel
 module Stream = Graphene_host.Stream
 module Memory = Graphene_host.Memory
@@ -66,6 +67,14 @@ let host t ~name ?(args = [||]) ~cost k =
   t.call_count <- t.call_count + 1;
   let action, filter_cost = K.syscall_check t.kernel t.pico ~name ~pc:pal_pc ~args in
   let total = Time.add (Time.add filter_cost Cost.host_syscall_entry) cost in
+  K.charge_syscall_time t.kernel name total;
+  let tracer = t.kernel.K.tracer in
+  if Obs.enabled tracer then begin
+    Obs.span tracer Obs.Pal ~name ~pid:t.pico.K.pid
+      ~args:[ ("filter_ns", Obs.Aint filter_cost) ]
+      ~start:(K.now t.kernel) ~dur:total ();
+    Obs.observe tracer ("pal." ^ name ^ "_ns") (float_of_int total)
+  end;
   match action with
   | Graphene_bpf.Prog.Allow | Graphene_bpf.Prog.Trace -> K.after t.kernel total k
   | Graphene_bpf.Prog.Errno e -> K.after t.kernel total (fun () -> raise (K.Denied (string_of_int e)))
@@ -442,8 +451,12 @@ let process_create t ~exe ~sandboxed ~boot k =
           | Ok (proc_handle, parent_ep) -> k (Ok (proc_handle, parent_ep))
           | Error e -> k (Error e))
         (fun () ->
-          if not (t.kernel.K.lsm.K.check_path t.pico exe `Exec) then
-            raise (K.Denied ("EACCES exec " ^ exe));
+          if
+            not
+              (K.lsm_verdict t.kernel t.pico ~hook:"check_path"
+                 ~target:(exe ^ " (x)") ~cost:Cost.lsm_path_check
+                 (t.kernel.K.lsm.K.check_path t.pico exe `Exec))
+          then raise (K.Denied ("EACCES exec " ^ exe));
           let sandbox =
             if sandboxed then K.fresh_sandbox t.kernel else t.pico.K.sandbox
           in

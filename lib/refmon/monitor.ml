@@ -10,6 +10,7 @@
     Every denial is recorded; the isolation experiments of §6.6 assert
     on this audit log. *)
 
+module Obs = Graphene_obs.Obs
 module K = Graphene_host.Kernel
 module Lx = Graphene_liblinux.Lx
 module Seccomp = Graphene_bpf.Seccomp
@@ -35,6 +36,13 @@ let own_filter t = t.own_filter
 
 let deny t (pico : K.pico) what =
   t.violations <- { v_pid = pico.K.pid; v_sandbox = pico.K.sandbox; v_what = what } :: t.violations;
+  let tracer = t.kernel.K.tracer in
+  if Obs.enabled tracer then begin
+    Obs.count tracer "refmon.violations";
+    Obs.instant tracer Obs.Refmon ~name:"violation" ~pid:pico.K.pid
+      ~args:[ ("what", Obs.Astr what); ("sandbox", Obs.Aint pico.K.sandbox) ]
+      (K.now t.kernel)
+  end;
   false
 
 let manifest_of t sandbox =

@@ -65,6 +65,8 @@ type t = {
   mutable next_seq : int;
   mutable next_id : int;
   cancelled : (int, unit) Hashtbl.t;
+  mutable fired : int;
+  mutable fire_hook : (Time.t -> int -> unit) option;
 }
 
 let create () =
@@ -72,7 +74,9 @@ let create () =
     heap = Heap.create ();
     next_seq = 0;
     next_id = 0;
-    cancelled = Hashtbl.create 16 }
+    cancelled = Hashtbl.create 16;
+    fired = 0;
+    fire_hook = None }
 
 let now e = e.clock
 
@@ -90,10 +94,17 @@ let schedule_after e d fn = schedule_at e (Time.add e.clock d) fn
 let cancel e id = Hashtbl.replace e.cancelled id ()
 let pending e = e.heap.Heap.len
 
+let events_fired e = e.fired
+let set_fire_hook e hook = e.fire_hook <- hook
+
 let fire e ev =
   if Hashtbl.mem e.cancelled ev.id then Hashtbl.remove e.cancelled ev.id
   else begin
     e.clock <- max e.clock ev.time;
+    e.fired <- e.fired + 1;
+    (match e.fire_hook with
+    | Some hook -> hook e.clock e.heap.Heap.len
+    | None -> ());
     ev.fn ()
   end
 

@@ -47,3 +47,15 @@ val advance : t -> Time.t -> unit
 (** [advance e d] moves the clock forward by [d] without firing events
     scheduled in the skipped window (they fire on the next run). Used by
     sequential drivers that account work outside the event queue. *)
+
+(** {1 Instrumentation} *)
+
+val events_fired : t -> int
+(** Lifetime count of events dispatched (cancelled events excluded). *)
+
+val set_fire_hook : t -> (Time.t -> int -> unit) option -> unit
+(** Observe each dispatch: called with the clock and the number of
+    events still queued, just before the event's callback runs. Purely
+    observational — the hook must not perturb the simulation. The
+    tracing layer installs this; [None] (the default) costs one branch
+    per event. *)

@@ -58,3 +58,98 @@ let percentile t p =
 
 let pp fmt t =
   Format.fprintf fmt "%.3f +/- %.3f (n=%d)" (mean t) (ci95 t) (count t)
+
+let samples t = List.rev t.samples
+
+(* A bounded log-scaled histogram: bucket 0 holds [0, 1), bucket i >= 1
+   holds [base^(i-1), base^i). The top bucket absorbs everything larger,
+   so memory is fixed no matter how many samples arrive. Exact min/max
+   are kept on the side so the tails are never lost to bucketing. *)
+module Histogram = struct
+  type t = {
+    base : float;
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable min_seen : float;
+    mutable max_seen : float;
+  }
+
+  let create ?(buckets = 64) ?(base = 2.0) () =
+    if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+    if base <= 1.0 then invalid_arg "Histogram.create: base must exceed 1";
+    { base;
+      counts = Array.make buckets 0;
+      n = 0;
+      sum = 0.0;
+      min_seen = infinity;
+      max_seen = neg_infinity }
+
+  let nbuckets t = Array.length t.counts
+
+  let bucket_of t x =
+    if x < 1.0 then 0
+    else
+      let i = 1 + int_of_float (Float.floor (Float.log x /. Float.log t.base)) in
+      Stdlib.min (nbuckets t - 1) (Stdlib.max 1 i)
+
+  (* [lo, hi) bounds of bucket [i]. *)
+  let bounds t i =
+    if i = 0 then (0.0, 1.0)
+    else (t.base ** float_of_int (i - 1), t.base ** float_of_int i)
+
+  let add t x =
+    let x = Stdlib.max 0.0 x in
+    t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min_seen then t.min_seen <- x;
+    if x > t.max_seen then t.max_seen <- x
+
+  let count t = t.n
+  let total t = t.sum
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+  let min_value t = if t.n = 0 then 0.0 else t.min_seen
+  let max_value t = if t.n = 0 then 0.0 else t.max_seen
+
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets t - 1 downto 0 do
+      if t.counts.(i) > 0 then begin
+        let lo, hi = bounds t i in
+        acc := (lo, hi, t.counts.(i)) :: !acc
+      end
+    done;
+    !acc
+
+  (* The value at cumulative rank [q]: walk to the bucket holding that
+     rank and interpolate linearly inside it, clamped to the exact
+     observed extremes. *)
+  let quantile t q =
+    if t.n = 0 then invalid_arg "Histogram.quantile: no samples";
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
+    let target = q *. float_of_int t.n in
+    let rec walk i cum =
+      if i >= nbuckets t then t.max_seen
+      else
+        let c = t.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lo, hi = bounds t i in
+          let frac =
+            if c = 0 then 0.0 else (target -. cum) /. float_of_int c
+          in
+          lo +. (Stdlib.max 0.0 (Stdlib.min 1.0 frac) *. (hi -. lo))
+        end
+        else walk (i + 1) cum'
+    in
+    let v = walk 0 0.0 in
+    Stdlib.max t.min_seen (Stdlib.min t.max_seen v)
+
+  let pp fmt t =
+    if t.n = 0 then Format.fprintf fmt "(empty)"
+    else
+      Format.fprintf fmt "n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f"
+        t.n (mean t) (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
+        t.max_seen
+end

@@ -28,5 +28,42 @@ val percentile : t -> float -> float
 
 val total : t -> float
 
+val samples : t -> float list
+(** All samples, in insertion order. *)
+
 val pp : Format.formatter -> t -> unit
 (** "mean +/- ci (n=count)" *)
+
+(** Bounded log-scaled histogram: constant memory regardless of sample
+    count, used by the tracer's latency metrics and the benchmark
+    tables. Bucket 0 holds [\[0, 1)]; bucket [i >= 1] holds
+    [\[base^(i-1), base^i)]; the last bucket absorbs the rest. Exact
+    min/max are tracked on the side. *)
+module Histogram : sig
+  type t
+
+  val create : ?buckets:int -> ?base:float -> unit -> t
+  (** Default 64 buckets with base 2 — covers [0, 2^63) ns-scale
+      values. Raises [Invalid_argument] for fewer than 2 buckets or a
+      base not exceeding 1. *)
+
+  val add : t -> float -> unit
+  (** Negative samples are clamped to 0. *)
+
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t q] with [q] in [\[0,1\]]: linear interpolation inside
+      the bucket holding that rank, clamped to the observed min/max.
+      Raises [Invalid_argument] when empty or [q] is out of range. *)
+
+  val buckets : t -> (float * float * int) list
+  (** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** "n=… mean=… p50=… p90=… p99=… max=…" *)
+end

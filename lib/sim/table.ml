@@ -15,6 +15,7 @@ let create ~title ~headers =
   in
   { title; headers; aligns; rows = [] }
 
+let title t = t.title
 let set_align t aligns = t.aligns <- aligns
 
 let add_row t cells =

@@ -9,6 +9,8 @@ type t
 
 val create : title:string -> headers:string list -> t
 
+val title : t -> string
+
 val set_align : t -> align list -> unit
 (** Per-column alignment; default is Left for the first column and
     Right for the rest. *)

@@ -1,0 +1,185 @@
+(** Tests for the tracing layer: the tracer itself, the Chrome trace
+    exporter, end-to-end traces from full-world runs, determinism, and
+    the zero-overhead-when-disabled guarantee. *)
+
+module W = Graphene.World
+module K = Graphene_host.Kernel
+module Obs = Graphene_obs.Obs
+
+let case = Util.case
+let check_int = Util.check_int
+let check_bool = Util.check_bool
+let check_str = Util.check_str
+let contains = Util.contains
+
+(* {1 The tracer} *)
+
+let tracer_tests =
+  [ case "disabled tracer records nothing" (fun () ->
+        let t = Obs.create () in
+        Obs.span t Obs.Kernel ~name:"x" ~start:0 ~dur:10 ();
+        Obs.instant t Obs.Pal ~name:"y" 5;
+        Obs.counter_sample t ~name:"c" 5 1;
+        Obs.count t "k";
+        Obs.observe t "h" 42.0;
+        check_int "events" 0 (Obs.events t);
+        check_int "counter" 0 (Obs.counter_value t "k");
+        check_bool "histogram" true (Obs.histogram t "h" = None));
+    case "enabled tracer records spans, instants, counters" (fun () ->
+        let t = Obs.create () in
+        Obs.enable t;
+        Obs.span t Obs.Kernel ~name:"slice" ~pid:1 ~start:100 ~dur:50 ();
+        Obs.instant t Obs.Liblinux ~name:"tick" 120;
+        Obs.counter_sample t ~name:"depth" 130 3;
+        Obs.count t ~n:2 "k";
+        Obs.observe t "h" 42.0;
+        check_int "events" 3 (Obs.events t);
+        check_int "counter" 2 (Obs.counter_value t "k");
+        (match Obs.histogram t "h" with
+        | Some h -> check_int "hist count" 1 (Graphene_sim.Stats.Histogram.count h)
+        | None -> Alcotest.fail "histogram missing"));
+    case "layer totals aggregate span time" (fun () ->
+        let t = Obs.create () in
+        Obs.enable t;
+        Obs.span t Obs.Kernel ~name:"a" ~start:0 ~dur:10 ();
+        Obs.span t Obs.Kernel ~name:"b" ~start:10 ~dur:30 ();
+        Obs.span t Obs.Pal ~name:"c" ~start:0 ~dur:7 ();
+        Alcotest.(check (list (triple string int int)))
+          "totals"
+          [ ("kernel", 2, 40); ("pal", 1, 7) ]
+          (Obs.layer_totals t));
+    case "reset drops events but keeps process names" (fun () ->
+        let t = Obs.create () in
+        Obs.enable t;
+        Obs.set_process_name t ~pid:1 "pico 1";
+        Obs.span t Obs.Kernel ~name:"a" ~start:0 ~dur:1 ();
+        Obs.reset t;
+        check_int "events" 0 (Obs.events t);
+        check_bool "name survives" true (contains (Obs.to_chrome_json t) "pico 1")) ]
+
+(* {1 The Chrome exporter} *)
+
+let chrome_tests =
+  [ case "export is valid trace-event JSON" (fun () ->
+        let t = Obs.create () in
+        Obs.enable t;
+        Obs.set_process_name t ~pid:1 "pico 1 (/bin/hello)";
+        Obs.span t Obs.Kernel ~name:"slice" ~pid:1 ~tid:2
+          ~args:[ ("n", Obs.Aint 3); ("s", Obs.Astr "hi") ]
+          ~start:1500 ~dur:2500 ();
+        Obs.instant t Obs.Refmon ~name:"violation" 3000;
+        Obs.counter_sample t ~name:"depth" 4000 7;
+        let s = Obs.to_chrome_json t in
+        check_bool "traceEvents" true (contains s "\"traceEvents\"");
+        check_bool "complete event" true (contains s "\"ph\":\"X\"");
+        check_bool "instant event" true (contains s "\"ph\":\"i\"");
+        check_bool "counter event" true (contains s "\"ph\":\"C\"");
+        check_bool "metadata event" true (contains s "\"ph\":\"M\"");
+        check_bool "category" true (contains s "\"cat\":\"kernel\"");
+        check_bool "args" true (contains s "\"s\":\"hi\""));
+    case "timestamps are microseconds with ns precision" (fun () ->
+        let t = Obs.create () in
+        Obs.enable t;
+        Obs.span t Obs.Kernel ~name:"a" ~start:1500 ~dur:2500 ();
+        let s = Obs.to_chrome_json t in
+        (* 1500 ns = 1.500 us; 2500 ns = 2.500 us *)
+        check_bool "ts" true (contains s "\"ts\":1.500");
+        check_bool "dur" true (contains s "\"dur\":2.500"));
+    case "strings are escaped" (fun () ->
+        let t = Obs.create () in
+        Obs.enable t;
+        Obs.instant t Obs.Kernel ~name:"quote\"backslash\\" 0;
+        check_bool "escaped" true
+          (contains (Obs.to_chrome_json t) "quote\\\"backslash\\\\")) ]
+
+(* {1 End-to-end traces} *)
+
+let run_traced ?(seed = 42) ?(exe = "/bin/hello") ?(argv = []) stack =
+  let w = W.create ~seed stack in
+  Obs.enable (W.tracer w);
+  let p = W.start w ~console_hook:ignore ~exe ~argv () in
+  W.run w;
+  (w, p)
+
+let count_occurrences hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub hay i nl = needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let e2e_tests =
+  [ case "a hello run traces at least four layers" (fun () ->
+        let w, _ = run_traced W.Graphene in
+        let json = Obs.to_chrome_json (W.tracer w) in
+        List.iter
+          (fun layer ->
+            check_bool (layer ^ " present") true
+              (contains json (Printf.sprintf "\"cat\":\"%s\"" layer)))
+          [ "kernel"; "liblinux"; "pal"; "refmon" ]);
+    case "multi-process run traces the ipc layer" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/lat_fork_exit" ~argv:[ "3" ] W.Graphene in
+        let json = Obs.to_chrome_json (W.tracer w) in
+        check_bool "ipc events" true (contains json "\"cat\":\"ipc\""));
+    case "spans pair with libLinux syscalls" (fun () ->
+        let w, _ = run_traced W.Graphene in
+        let json = Obs.to_chrome_json (W.tracer w) in
+        check_bool "liblinux span" true (contains json "\"name\":\"sys_");
+        check_bool "pal open span" true (contains json "\"name\":\"open\""));
+    case "picoprocesses are named in the trace" (fun () ->
+        let w, _ = run_traced W.Graphene in
+        let json = Obs.to_chrome_json (W.tracer w) in
+        check_bool "process_name" true (contains json "\"process_name\"");
+        check_bool "names the binary" true (contains json "/bin/hello"));
+    case "summary reports every active subsystem" (fun () ->
+        let w, _ = run_traced W.Graphene in
+        let s = Obs.summary (W.tracer w) in
+        List.iter
+          (fun needle -> check_bool (needle ^ " in summary") true (contains s needle))
+          [ "kernel"; "liblinux"; "pal"; "liblinux.syscalls"; "sim.events_fired" ]) ]
+
+(* {1 Determinism and overhead} *)
+
+let det_tests =
+  [ case "same seed, byte-identical trace" (fun () ->
+        let w1, _ = run_traced ~seed:7 W.Graphene in
+        let w2, _ = run_traced ~seed:7 W.Graphene in
+        check_str "identical"
+          (Obs.to_chrome_json (W.tracer w1))
+          (Obs.to_chrome_json (W.tracer w2)));
+    case "different seeds, identical trace at zero noise" (fun () ->
+        (* noise defaults to 0, so the seed only matters when noise > 0 *)
+        let w1, _ = run_traced ~seed:1 W.Graphene in
+        let w2, _ = run_traced ~seed:2 W.Graphene in
+        check_str "identical"
+          (Obs.to_chrome_json (W.tracer w1))
+          (Obs.to_chrome_json (W.tracer w2)));
+    case "tracing does not change the simulation" (fun () ->
+        let run enable_trace =
+          let w = W.create ~seed:5 W.Graphene in
+          if enable_trace then Obs.enable (W.tracer w);
+          let p = W.start w ~console_hook:ignore ~exe:"/bin/hello" ~argv:[] () in
+          W.run w;
+          let counts =
+            Hashtbl.fold
+              (fun k v acc -> (k, v) :: acc)
+              (W.kernel w).K.syscall_counts []
+            |> List.sort compare
+          in
+          (W.now w, W.exit_code p, counts)
+        in
+        let t1, x1, c1 = run false and t2, x2, c2 = run true in
+        check_int "virtual end time" t1 t2;
+        check_int "exit code" x1 x2;
+        Alcotest.(check (list (pair string int))) "syscall counts" c1 c2);
+    case "events count excludes metadata" (fun () ->
+        let w, _ = run_traced W.Graphene in
+        let tracer = W.tracer w in
+        let json = Obs.to_chrome_json tracer in
+        let phs = count_occurrences json "\"ph\":\"" in
+        let ms = count_occurrences json "\"ph\":\"M\"" in
+        check_int "events = traceEvents - metadata" (Obs.events tracer) (phs - ms)) ]
+
+let suite = tracer_tests @ chrome_tests @ e2e_tests @ det_tests

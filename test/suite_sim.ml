@@ -183,6 +183,71 @@ let stats_tests =
         Alcotest.(check (float 0.)) "min" 1. (Stats.min_value s);
         Alcotest.(check (float 0.)) "max" 3. (Stats.max_value s)) ]
 
+let histogram_tests =
+  [ case "buckets are log-scaled" (fun () ->
+        let h = Stats.Histogram.create ~buckets:8 ~base:2.0 () in
+        List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 3.0; 3.9 ];
+        (* 0.5 -> [0,1); 1.5 -> [1,2); 3.0 and 3.9 -> [2,4) *)
+        Alcotest.(check (list (triple (float 1e-9) (float 1e-9) int)))
+          "occupied buckets"
+          [ (0.0, 1.0, 1); (1.0, 2.0, 1); (2.0, 4.0, 2) ]
+          (Stats.Histogram.buckets h));
+    case "count, total, mean, extremes are exact" (fun () ->
+        let h = Stats.Histogram.create () in
+        List.iter (Stats.Histogram.add h) [ 10.; 100.; 1000. ];
+        check_int "count" 3 (Stats.Histogram.count h);
+        Alcotest.(check (float 1e-9)) "total" 1110. (Stats.Histogram.total h);
+        Alcotest.(check (float 1e-9)) "mean" 370. (Stats.Histogram.mean h);
+        Alcotest.(check (float 1e-9)) "min" 10. (Stats.Histogram.min_value h);
+        Alcotest.(check (float 1e-9)) "max" 1000. (Stats.Histogram.max_value h));
+    case "overflow values land in the last bucket" (fun () ->
+        let h = Stats.Histogram.create ~buckets:4 ~base:2.0 () in
+        Stats.Histogram.add h 1e12;
+        (* last bucket of 4 is [4, 8) even though the sample exceeds it *)
+        Alcotest.(check int) "one bucket" 1 (List.length (Stats.Histogram.buckets h));
+        Alcotest.(check (float 1e-9)) "max still exact" 1e12
+          (Stats.Histogram.max_value h));
+    case "quantiles clamp to observed extremes" (fun () ->
+        let h = Stats.Histogram.create () in
+        List.iter (Stats.Histogram.add h) [ 5.; 5.; 5.; 5. ];
+        Alcotest.(check (float 1e-9)) "p0" 5. (Stats.Histogram.quantile h 0.);
+        Alcotest.(check (float 1e-9)) "p50" 5. (Stats.Histogram.quantile h 0.5);
+        Alcotest.(check (float 1e-9)) "p100" 5. (Stats.Histogram.quantile h 1.0));
+    case "quantile walks the cumulative counts" (fun () ->
+        let h = Stats.Histogram.create ~base:2.0 () in
+        (* 100 samples in [1,2), 100 in [64,128): the median must sit in
+           the low bucket and p90 in the high one. *)
+        for _ = 1 to 100 do Stats.Histogram.add h 1.5 done;
+        for _ = 1 to 100 do Stats.Histogram.add h 100. done;
+        Util.check_bool "p25 low" true (Stats.Histogram.quantile h 0.25 < 2.0);
+        Util.check_bool "p90 high" true (Stats.Histogram.quantile h 0.9 >= 64.0));
+    case "empty histogram" (fun () ->
+        let h = Stats.Histogram.create () in
+        check_int "count" 0 (Stats.Histogram.count h);
+        Alcotest.(check (float 0.)) "mean" 0.0 (Stats.Histogram.mean h);
+        Alcotest.check_raises "quantile"
+          (Invalid_argument "Histogram.quantile: no samples") (fun () ->
+            ignore (Stats.Histogram.quantile h 0.5)));
+    case "degenerate parameters are rejected" (fun () ->
+        Alcotest.check_raises "buckets"
+          (Invalid_argument "Histogram.create: need at least 2 buckets") (fun () ->
+            ignore (Stats.Histogram.create ~buckets:1 ()));
+        Alcotest.check_raises "base"
+          (Invalid_argument "Histogram.create: base must exceed 1") (fun () ->
+            ignore (Stats.Histogram.create ~base:1.0 ()))) ]
+
+let histogram_quantile_prop =
+  QCheck.Test.make ~name:"histogram quantiles are monotone and bounded" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 60) (float_bound_exclusive 100_000.))
+    (fun xs ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) xs;
+      let q1 = Stats.Histogram.quantile h 0.25
+      and q2 = Stats.Histogram.quantile h 0.75 in
+      q1 <= q2 +. 1e-9
+      && q1 >= Stats.Histogram.min_value h -. 1e-9
+      && q2 <= Stats.Histogram.max_value h +. 1e-9)
+
 let stats_mean_prop =
   QCheck.Test.make ~name:"mean is within [min, max]" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
@@ -247,5 +312,7 @@ let cost_tests =
         Util.check_bool "0.9-1.1s" true (t > 0.9 && t < 1.1)) ]
 
 let suite =
-  time_tests @ engine_tests @ rng_tests @ stats_tests @ table_tests @ cost_tests
-  @ List.map QCheck_alcotest.to_alcotest [ engine_order_prop; rng_bound_prop; stats_mean_prop ]
+  time_tests @ engine_tests @ rng_tests @ stats_tests @ histogram_tests @ table_tests
+  @ cost_tests
+  @ List.map QCheck_alcotest.to_alcotest
+      [ engine_order_prop; rng_bound_prop; stats_mean_prop; histogram_quantile_prop ]

@@ -13,5 +13,6 @@ let () =
       ("apps", Suite_apps.suite);
       ("baseline", Suite_baseline.suite);
       ("world", Suite_world.suite);
+      ("obs", Suite_obs.suite);
       ("vuln", Suite_vuln.suite);
       ("differential", Suite_differential.suite) ]
