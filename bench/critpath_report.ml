@@ -1,0 +1,29 @@
+(** Critical-path report for the cross-picoprocess signal workload.
+
+    Runs /bin/sigpong (fork + remote kill + wait) with tracing on and
+    prints where every virtual nanosecond of the end-to-end run went —
+    the observability counterpart of the ablation table: instead of
+    re-running with optimizations toggled, it decomposes one run into
+    (layer, segment) shares. Top segments land in the metrics registry
+    as [critpath/sigpong/<layer>.<segment>] in microseconds. *)
+
+module W = Graphene.World
+module Obs = Graphene_obs.Obs
+module Critpath = Graphene_obs.Critpath
+
+let run () =
+  let w = W.create W.Graphene in
+  Obs.enable (W.tracer w);
+  let p = W.start w ~console_hook:ignore ~exe:"/bin/sigpong" ~argv:[] () in
+  W.run w;
+  Printf.printf "/bin/sigpong on graphene: exit %d, end-to-end %s\n\n" (W.exit_code p)
+    (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
+  let entries = Critpath.analyze (W.tracer w) ~until:(W.now w) in
+  print_string (Critpath.render ~until:(W.now w) entries);
+  List.iter
+    (fun (e : Critpath.entry) ->
+      if e.cp_share >= 0.005 then
+        Harness.record ~unit:"us"
+          (Printf.sprintf "critpath/sigpong/%s.%s" e.cp_layer e.cp_name)
+          (Graphene_sim.Stats.of_list [ float_of_int e.cp_ns /. 1000. ]))
+    entries

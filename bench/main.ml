@@ -3,7 +3,7 @@
 
     Usage:
       main.exe [all|quick|table1|table4|table5|table6|table7|table8|
-                figure4|figure5|ablation|bechamel]
+                figure4|figure5|ablation|critpath|bechamel]
 
     [all] (the default) runs everything at full scale; [quick] runs
     reduced sizes. [bechamel] wall-clock-benchmarks one representative
@@ -23,7 +23,9 @@ let experiments ~full =
     ("table7", "Table 7: System V message queues", fun () -> Table7.run ~full ());
     ("figure5", "Figure 5: RPC scalability", fun () -> Figure5.run ~full ());
     ("table8", "Table 8: vulnerability analysis", fun () -> Table8.run ());
-    ("ablation", "Ablation: s4.3 coordination optimizations", fun () -> Ablation.run ()) ]
+    ("ablation", "Ablation: s4.3 coordination optimizations", fun () -> Ablation.run ());
+    ("critpath", "Critical path: cross-picoprocess signal delivery", fun () ->
+        Critpath_report.run ()) ]
 
 (* {1 Bechamel probes}
 
@@ -124,5 +126,5 @@ let () =
     | None ->
       prerr_endline
         ("unknown experiment " ^ name
-       ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation bechamel)");
+       ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath bechamel)");
       exit 2)

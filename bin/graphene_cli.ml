@@ -4,6 +4,8 @@
     graphene run [-s STACK] [-a ARG]... [--trace F] BINARY  run a guest binary
     graphene script [-s STACK] [--trace F] FILE             run a shell script file
     graphene stats [-s STACK] [-a ARG]... BINARY            run + per-subsystem report
+    graphene critpath [-s STACK] [-a ARG]... BINARY         run + critical-path breakdown
+    graphene profile [--folded F] [-s STACK] BINARY         run + guest virtual-time profile
     graphene abi                                            print the host ABI (Table 1)
     graphene filter NAME [NAME...]                          what the seccomp filter does
     graphene cves [-y YEAR]                                 the Table 8 vulnerability analysis
@@ -13,12 +15,14 @@
     standard binaries, execute, and report console output, exit code,
     virtual time, and host-syscall telemetry. [--trace] records every
     layer's spans against the virtual clock and writes Chrome
-    trace-event JSON (load it in Perfetto or about://tracing). *)
+    trace-event JSON (load it in Perfetto or about://tracing); [--trace -]
+    writes it to stdout and moves the report to stderr. *)
 
 open Cmdliner
 module W = Graphene.World
 module K = Graphene_host.Kernel
 module Obs = Graphene_obs.Obs
+module Critpath = Graphene_obs.Critpath
 
 let stack_conv =
   let parse = function
@@ -46,28 +50,36 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Record a virtual-clock trace of the run and write Chrome trace-event JSON to $(docv) (load it in Perfetto or about://tracing).")
 
-(* Returns false (with a message on stderr) if [path] is unwritable. *)
+(* "-" writes to stdout. Returns false (with a message on stderr) if
+   [path] is unwritable. *)
 let write_file path contents =
-  match open_out_bin path with
-  | oc ->
-    output_string oc contents;
-    close_out oc;
+  if path = "-" then begin
+    print_string contents;
     true
-  | exception Sys_error msg ->
-    Printf.eprintf "graphene: cannot write trace: %s\n" msg;
-    false
+  end
+  else
+    match open_out_bin path with
+    | oc ->
+      output_string oc contents;
+      close_out oc;
+      true
+    | exception Sys_error msg ->
+      Printf.eprintf "graphene: cannot write trace: %s\n" msg;
+      false
 
 let report ?(telemetry = false) ?trace w p =
-  Printf.printf "\n-- exit code: %d\n" (W.exit_code p);
-  Printf.printf "-- virtual time: %s\n"
+  (* with the trace on stdout, keep the human-readable report off it *)
+  let out = if trace = Some "-" then stderr else stdout in
+  Printf.fprintf out "\n-- exit code: %d\n" (W.exit_code p);
+  Printf.fprintf out "-- virtual time: %s\n"
     (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
-  Printf.printf "-- peak memory: %s\n"
+  Printf.fprintf out "-- peak memory: %s\n"
     (Graphene_sim.Table.cell_bytes (W.memory_footprint w));
   if telemetry then begin
-    Printf.printf "-- host syscalls (by count, with kernel-mode virtual time):\n";
+    Printf.fprintf out "-- host syscalls (by count, with kernel-mode virtual time):\n";
     List.iter
       (fun (name, n, t) ->
-        Printf.printf "   %-16s %6d  %s\n" name n
+        Printf.fprintf out "   %-16s %6d  %s\n" name n
           (Format.asprintf "%a" Graphene_sim.Time.pp t))
       (K.syscall_report (W.kernel w))
   end;
@@ -76,7 +88,8 @@ let report ?(telemetry = false) ?trace w p =
     | Some path ->
       write_file path (Obs.to_chrome_json (W.tracer w))
       && begin
-           Printf.printf "-- trace: %d events -> %s\n" (Obs.events (W.tracer w)) path;
+           Printf.fprintf out "-- trace: %d events -> %s\n" (Obs.events (W.tracer w))
+             (if path = "-" then "stdout" else path);
            true
          end
     | None -> true
@@ -134,6 +147,8 @@ let stats_cmd =
       (W.exit_code p)
       (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
     print_string (Obs.summary (W.tracer w));
+    print_string
+      (Critpath.render ~until:(W.now w) (Critpath.analyze (W.tracer w) ~until:(W.now w)));
     let trace_ok =
       match trace with
       | Some path ->
@@ -150,6 +165,67 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Run a guest binary with tracing on and print the per-subsystem report")
     Term.(const run $ stack_arg $ exe_arg $ argv_arg $ trace_arg)
+
+let critpath_cmd =
+  let run stack exe argv =
+    let w = W.create stack in
+    Obs.enable (W.tracer w);
+    let p = W.start w ~console_hook:ignore ~exe ~argv () in
+    W.run w;
+    Printf.printf "-- %s on %s: exit %d, virtual time %s\n\n" exe (W.stack_name stack)
+      (W.exit_code p)
+      (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
+    print_string
+      (Critpath.render ~until:(W.now w) (Critpath.analyze (W.tracer w) ~until:(W.now w)));
+    if W.exit_code p = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "critpath"
+       ~doc:"Run a guest binary with tracing on and break its end-to-end virtual time down by (layer, segment)")
+    Term.(const run $ stack_arg $ exe_arg $ argv_arg)
+
+let profile_cmd =
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"Write the collapsed-stack profile (one 'main;f;g <ns>' line per stack, flamegraph.pl input) to $(docv); - for stdout.")
+  in
+  let run stack exe argv folded =
+    let w = W.create stack in
+    Obs.enable (W.tracer w);
+    let p = W.start w ~console_hook:ignore ~exe ~argv () in
+    W.run w;
+    let out = if folded = Some "-" then stderr else stdout in
+    Printf.fprintf out "-- %s on %s: exit %d, virtual time %s\n\n" exe (W.stack_name stack)
+      (W.exit_code p)
+      (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
+    Printf.fprintf out "== guest profile (virtual time by function) ==\n";
+    Printf.fprintf out "  %-24s %14s %10s\n" "function" "time" "syscalls";
+    List.iter
+      (fun (fn, ns, sys) ->
+        Printf.fprintf out "  %-24s %14s %10d\n" fn
+          (Format.asprintf "%a" Graphene_sim.Time.pp ns)
+          sys)
+      (Obs.profile_functions (W.tracer w));
+    let folded_ok =
+      match folded with
+      | Some path ->
+        write_file path (Obs.folded_profile (W.tracer w))
+        && begin
+             Printf.fprintf out "-- folded stacks -> %s\n"
+               (if path = "-" then "stdout" else path);
+             true
+           end
+      | None -> true
+    in
+    if W.exit_code p = 0 && folded_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a guest binary with the virtual-time profiler on and print per-function attribution")
+    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ folded_arg)
 
 let abi_cmd =
   let run () =
@@ -227,4 +303,8 @@ let () =
     Cmd.info "graphene" ~version:Graphene.Graphene_version.version
       ~doc:"The Graphene (EuroSys 2014) reproduction toolbox"
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; script_cmd; stats_cmd; abi_cmd; filter_cmd; cves_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; script_cmd; stats_cmd; critpath_cmd; profile_cmd; abi_cmd; filter_cmd;
+            cves_cmd ]))

@@ -222,8 +222,32 @@ let wc =
                      [ str_of_int (v "words"); str " "; str_of_int (len (v "acc")); str "\n" ]) ]);
          sys "exit" [ int 0 ] ])
 
+(* Exit 0 with no output — for smoke-testing machinery (e.g. piping a
+   trace to stdout) where console output would get in the way. *)
+let true_bin = prog ~name:"/bin/true" (sys "exit" [ int 0 ])
+
+(* A two-picoprocess signal ping: the parent forks, the child installs
+   a handler and sleeps, the parent kills the child over IPC. The
+   smallest workload whose trace crosses picoprocesses — the flow-event
+   tests and the CI observability smoke step run it. *)
+let sigpong =
+  prog ~name:"/bin/sigpong"
+    ~funcs:[ func "handler" [ "sig" ] (sys "print" [ str "pong\n" ]) ]
+    (let_ "pid" (sys "fork" [])
+       (if_ (v "pid" =% int 0)
+          (seq
+             [ sys "sigaction" [ int 10; str "handler" ];
+               sys "nanosleep" [ int 5_000_000 ];
+               sys "exit" [ int 0 ] ])
+          (seq
+             [ sys "nanosleep" [ int 1_000_000 ];
+               sys "kill" [ v "pid"; int 10 ];
+               sys "wait" [];
+               sys "exit" [ int 0 ] ])))
+
 let all =
   [ ("/bin/hello", hello); ("/bin/memhog", memhog); ("/bin/echo", echo); ("/bin/wc", wc);
+    ("/bin/true", true_bin); ("/bin/sigpong", sigpong);
     ("/bin/grep", grep); ("/bin/head", head_bin);
     ("/bin/date", date); ("/bin/cat", cat); ("/bin/ls", ls); ("/bin/cp", cp);
     ("/bin/rm", rm); ("/bin/busywork", busywork) ]

@@ -14,6 +14,10 @@ type control =
    always the right one when any other frame resumes. *)
 type frame =
   | KRestore of int Env.t
+  | KReturn of int Env.t
+      (** function return: restore the caller's environment and pop the
+          call stack (KRestore without the stack pop is for Let/Match
+          scopes, which are not calls) *)
   | KLet of string * expr
   | KSet of string
   | KSeq of expr
@@ -43,6 +47,11 @@ type state = {
   kont : frame list;
   program : program;
   steps : int;
+  stack : string list;
+      (** guest call stack, innermost first; the synthetic root frame
+          ["main"] is never popped. Maintained unconditionally (not
+          gated on tracing) so traced and untraced runs execute — and
+          checkpoint — identically. *)
 }
 
 type status =
@@ -60,7 +69,8 @@ let start program ~argv =
     next_loc = 1;
     kont = [];
     program;
-    steps = 0 }
+    steps = 0;
+    stack = [ "main" ] }
 
 let lookup st x =
   match Env.find_opt x st.env with
@@ -181,7 +191,8 @@ let enter_call st fname arg_values =
     env;
     store;
     next_loc;
-    kont = KRestore saved_env :: st.kont }
+    kont = KReturn saved_env :: st.kont;
+    stack = fname :: st.stack }
 
 let step_unsafe st =
   let st = { st with steps = st.steps + 1 } in
@@ -221,6 +232,9 @@ let step_unsafe st =
       let st = { st with kont } in
       match frame with
       | KRestore env -> Running { st with env }
+      | KReturn env ->
+        Running
+          { st with env; stack = (match st.stack with _ :: (_ :: _ as r) -> r | s -> s) }
       | KLet (x, body) ->
         let env, store, next_loc = bind st x v in
         Running
@@ -309,6 +323,8 @@ let interrupt st ~func ~args =
   { st with
     control = Eval (Call (func, List.map (fun v -> Const v) args));
     kont = KResume st.control :: st.kont }
+
+let call_stack st = List.rev st.stack
 
 let program_name st = st.program.name
 let program_of_state st = st.program

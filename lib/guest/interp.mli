@@ -44,6 +44,13 @@ val interrupt : state -> func:string -> args:Ast.value list -> state
 
 val has_func : state -> string -> bool
 
+val call_stack : state -> string list
+(** The guest function call stack, outermost first, starting with the
+    synthetic root frame ["main"]; function entries are pushed by
+    [Call] (including handlers injected via {!interrupt}) and popped on
+    return. The stack is maintained unconditionally, so sampling it
+    never perturbs execution. *)
+
 val program_name : state -> string
 
 val program_of_state : state -> Ast.program

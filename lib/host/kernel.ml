@@ -368,7 +368,12 @@ let rec slice t th =
         if Obs.enabled t.tracer then begin
           Obs.span t.tracer Obs.Kernel ~name:"slice" ~pid:th.t_pico.pid ~tid:th.tid
             ~args:[ ("steps", Obs.Aint steps) ] ~start:(now t) ~dur:d ();
-          Obs.observe t.tracer "kernel.slice_ns" (float_of_int d)
+          Obs.observe t.tracer "kernel.slice_ns" (float_of_int d);
+          (* guest profiler: the charged time belongs to whatever the
+             machine's call stack is after the run *)
+          match th.machine with
+          | Some m -> Obs.profile_sample t.tracer ~stack:(Guest.Interp.call_stack m) d
+          | None -> ()
         end;
         d
       in
@@ -385,6 +390,8 @@ let rec slice t th =
       | Guest.Interp.Syscall (name, args, m') ->
         th.machine <- Some m';
         let steps = Guest.Interp.steps_executed m' - before in
+        if Obs.enabled t.tracer then
+          Obs.profile_syscall t.tracer ~stack:(Guest.Interp.call_stack m');
         (* the syscall dispatch happens after the compute leading up to
            it; the thread is not runnable while the personality works *)
         mark_not_runnable t th `Parked;

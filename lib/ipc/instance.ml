@@ -108,8 +108,8 @@ let ep_of_handle h =
 (* {1 Sending} *)
 
 (* Marshal + host write; the kernel adds the stream's one-way latency. *)
-let send_env t ep env =
-  let data = Wire.encode env in
+let send_env ?(ctx = 0) t ep env =
+  let data = Wire.encode ~ctx env in
   let dbg = Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None in
   if dbg then Printf.eprintf "[ipc %s] sending %s ep=%d t=%d\n%!" t.my_addr (Wire.describe env) ep.Stream.id (K.now (kernel t));
   (* marshal + write cost delays delivery, but the message claims its
@@ -151,11 +151,11 @@ let rec pump ?addr t ep =
       K.after (kernel t) Cost.helper_dispatch (fun () ->
           (if not t.shutdown then
              match Wire.decode msg with
-             | Some env -> handle t ep env
+             | Some (env, ctx) -> handle t ep env ~ctx
              | None -> ());
           pump ?addr t ep))
 
-and handle t ep env =
+and handle t ep env ~ctx =
   if Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None then
     Printf.eprintf "[ipc %s] handling %s t=%d shutdown=%b\n%!" t.my_addr (Wire.describe env)
       (K.now (kernel t)) t.shutdown;
@@ -168,11 +168,33 @@ and handle t ep env =
       k resp
     | None -> ())
   | Wire.Req (id, req) ->
+    let t0 = K.now (kernel t) in
     K.after (kernel t) Cost.rpc_handler (fun () ->
-        if not t.shutdown then handle_request t ep id req)
+        if not t.shutdown then begin
+          handler_trace t ~label:("rpc:" ^ Wire.req_label req) ~ctx ~t0;
+          handle_request t ep id req
+        end)
   | Wire.Oneway n ->
+    let t0 = K.now (kernel t) in
     K.after (kernel t) Cost.rpc_handler (fun () ->
-        if not t.shutdown then handle_notification t n)
+        if not t.shutdown then begin
+          handler_trace t ~label:("oneway:" ^ Wire.notification_label n) ~ctx ~t0;
+          handle_notification t n
+        end)
+
+(* Handler-side trace: a span covering the dispatch cost, plus the
+   terminating "f" of the sender's flow so the viewer draws the arrow
+   from the originating span (possibly in another picoprocess) into
+   this handler slice. Flow events bind by (name, id), so [label] must
+   be byte-identical to the sender's flow_start name. *)
+and handler_trace t ~label ~ctx ~t0 =
+  let tracer = (kernel t).K.tracer in
+  if Obs.enabled tracer then begin
+    let pid = (Pal.pico t.pal).K.pid in
+    Obs.span tracer Obs.Ipc ~name:("handle:" ^ label) ~pid ~start:t0
+      ~dur:(Time.diff (K.now (kernel t)) t0) ();
+    if ctx <> 0 then Obs.flow_end tracer ~name:label ~id:ctx ~pid t0
+  end
 
 (* {1 Client-side stream management} *)
 
@@ -221,16 +243,23 @@ and rpc_attempt t ~addr ~tries req k =
         t.rpc_sent <- t.rpc_sent + 1;
         let t0 = K.now (kernel t) in
         let tracer = (kernel t).K.tracer in
-        if Obs.enabled tracer then Obs.count tracer "ipc.rpcs";
+        let label = "rpc:" ^ Wire.req_label req in
+        let pid = (Pal.pico t.pal).K.pid in
+        (* flow id doubles as the wire trace context; 0 = untraced *)
+        let flow = if Obs.enabled tracer then Obs.fresh_flow tracer else 0 in
+        if Obs.enabled tracer then begin
+          Obs.count tracer "ipc.rpcs";
+          Obs.flow_start tracer ~name:label ~id:flow ~pid t0;
+          Obs.async_begin tracer Obs.Ipc ~name:label ~id:flow ~pid t0
+        end;
         let finish resp =
           if Obs.enabled tracer then begin
             let dur = Time.diff (K.now (kernel t)) t0 in
-            Obs.span tracer Obs.Ipc
-              ~name:("rpc:" ^ Wire.req_label req)
-              ~pid:(Pal.pico t.pal).K.pid
+            Obs.span tracer Obs.Ipc ~name:label ~pid
               ~args:[ ("peer", Obs.Astr addr) ]
               ~start:t0 ~dur ();
-            Obs.observe tracer "ipc.rpc_roundtrip_ns" (float_of_int dur)
+            Obs.async_end tracer Obs.Ipc ~name:label ~id:flow ~pid (K.now (kernel t));
+            Obs.observe tracer ("ipc.rtt." ^ Wire.req_label req) (float_of_int dur)
           end;
           if not t.cfg.Config.cache_p2p then begin
             Hashtbl.remove t.streams addr;
@@ -239,7 +268,7 @@ and rpc_attempt t ~addr ~tries req k =
           k resp
         in
         Hashtbl.replace t.pending id (Some addr, finish);
-        send_env t (ep_of_handle h) (Wire.Req (id, req)))
+        send_env ~ctx:flow t (ep_of_handle h) (Wire.Req (id, req)))
 
 and oneway t ~addr n =
   with_stream t addr (fun res ->
@@ -248,15 +277,17 @@ and oneway t ~addr n =
       | Ok h ->
         t.rpc_sent <- t.rpc_sent + 1;
         let tracer = (kernel t).K.tracer in
+        let label = "oneway:" ^ Wire.notification_label n in
+        let flow = if Obs.enabled tracer then Obs.fresh_flow tracer else 0 in
         if Obs.enabled tracer then begin
+          let pid = (Pal.pico t.pal).K.pid in
           Obs.count tracer "ipc.oneway";
-          Obs.instant tracer Obs.Ipc
-            ~name:("oneway:" ^ Wire.notification_label n)
-            ~pid:(Pal.pico t.pal).K.pid
+          Obs.instant tracer Obs.Ipc ~name:label ~pid
             ~args:[ ("peer", Obs.Astr addr) ]
-            (K.now (kernel t))
+            (K.now (kernel t));
+          Obs.flow_start tracer ~name:label ~id:flow ~pid (K.now (kernel t))
         end;
-        send_env t (ep_of_handle h) (Wire.Oneway n))
+        send_env ~ctx:flow t (ep_of_handle h) (Wire.Oneway n))
 
 (* {1 Leader-side request handling} *)
 
@@ -466,13 +497,24 @@ and owned_resources t =
    from State_report messages ("leader state can be reconstructed by
    querying each picoprocess in the sandbox"). *)
 
+and broadcast_oneway t n =
+  let tracer = (kernel t).K.tracer in
+  let label = "bcast:" ^ Wire.notification_label n in
+  let flow = if Obs.enabled tracer then Obs.fresh_flow tracer else 0 in
+  if Obs.enabled tracer then begin
+    let pid = (Pal.pico t.pal).K.pid in
+    Obs.count tracer "ipc.broadcast";
+    Obs.instant tracer Obs.Ipc ~name:label ~pid (K.now (kernel t));
+    Obs.flow_start tracer ~name:label ~id:flow ~pid (K.now (kernel t))
+  end;
+  K.broadcast_send (kernel t) (Pal.pico t.pal) (Wire.encode ~ctx:flow (Wire.Oneway n))
+
 and join_election t =
   if (not t.electing) && not t.shutdown then begin
     t.electing <- true;
     if not (List.mem (t.my_pid, t.my_addr) t.candidates) then
       t.candidates <- (t.my_pid, t.my_addr) :: t.candidates;
-    K.broadcast_send (kernel t) (Pal.pico t.pal)
-      (Wire.encode (Wire.Oneway (Wire.Leader_candidate { pid = t.my_pid; addr = t.my_addr })));
+    broadcast_oneway t (Wire.Leader_candidate { pid = t.my_pid; addr = t.my_addr });
     K.after (kernel t) (Time.us 300.) (fun () -> conclude_election t)
   end
 
@@ -494,8 +536,7 @@ and conclude_election t =
       handle_notification t
         (Wire.State_report { addr = t.my_addr; pid = t.my_pid; ranges = t.pid_pool;
                              resources = owned_resources t });
-      K.broadcast_send (kernel t) (Pal.pico t.pal)
-        (Wire.encode (Wire.Oneway (Wire.Leader_elected { pid; addr })))
+      broadcast_oneway t (Wire.Leader_elected { pid; addr })
     | _ ->
       (* wait for the winner's announcement a little longer; if it
          never comes (it also died), restart *)
@@ -603,9 +644,22 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
     | Error e -> failwith ("Instance.create: cannot create p2p server: " ^ e));
   K.broadcast_join (kernel t) (Pal.pico pal) ~handler:(fun msg ->
       match Wire.decode msg with
-      | Some (Wire.Oneway n) ->
+      | Some (Wire.Oneway n, ctx) ->
+        let t0 = K.now (kernel t) in
         K.after (kernel t) Cost.helper_dispatch (fun () ->
-            if not t.shutdown then handle_notification t n)
+            if not t.shutdown then begin
+              let tracer = (kernel t).K.tracer in
+              let label = "bcast:" ^ Wire.notification_label n in
+              if Obs.enabled tracer then begin
+                let pid = (Pal.pico pal).K.pid in
+                Obs.span tracer Obs.Ipc ~name:("handle:" ^ label) ~pid ~start:t0
+                  ~dur:(Time.diff (K.now (kernel t)) t0) ();
+                (* a broadcast fans out: each receiver is a "t" step of
+                   the sender's flow, none terminates it *)
+                if ctx <> 0 then Obs.flow_step tracer ~name:label ~id:ctx ~pid t0
+              end;
+              handle_notification t n
+            end)
       | _ -> ());
   t
 

@@ -4,7 +4,11 @@
     at message granularity. Requests carry an id; a [Oneway] envelope
     carries fire-and-forget notifications (the asynchronous-send
     optimization, §4.3). Handlers answer from local state only and
-    never issue recursive RPCs (the deadlock-avoidance rule of §4.1). *)
+    never issue recursive RPCs (the deadlock-avoidance rule of §4.1).
+
+    This interface is the only sanctioned view of the protocol:
+    marshaling is an implementation detail of {!encode}/{!decode}, and
+    handler modules must not depend on the byte layout. *)
 
 type request =
   | Pid_alloc of { count : int; requester : string }
@@ -64,51 +68,21 @@ type envelope =
   | Resp of int * response
   | Oneway of notification
 
-(* Every message carries a trace context: the flow id of the trace
-   span that caused it (0 = none).  It rides as a fixed-width 8-hex
-   header so the message length — and therefore the modeled copy cost
-   of sending it — is identical whether tracing is on or off. *)
-let ctx_width = 8
+val encode : ?ctx:int -> envelope -> string
+(** Serialize with a trace context [ctx] — the flow id of the trace
+    span that caused this message (default 0 = none). The context rides
+    as a fixed-width header, so the encoded length does not depend on
+    whether tracing is enabled: tracing cannot perturb modeled send
+    costs. *)
 
-let encode ?(ctx = 0) (e : envelope) =
-  Printf.sprintf "%08x" (ctx land 0xffff_ffff) ^ Marshal.to_string e []
+val decode : string -> (envelope * int) option
+(** Inverse of {!encode}; [None] on a corrupt message. The returned
+    context is 0 when the sender attached none. *)
 
-let decode s : (envelope * int) option =
-  if String.length s < ctx_width then None
-  else
-    try
-      let ctx = int_of_string ("0x" ^ String.sub s 0 ctx_width) in
-      Some ((Marshal.from_string s ctx_width : envelope), ctx)
-    with _ -> None
+val req_label : request -> string
+(** Stable lowercase label (["signal"], ["pid_alloc"], …) used for
+    span names and per-request-type metrics. *)
 
-let req_label = function
-  | Pid_alloc _ -> "pid_alloc"
-  | Pid_query _ -> "pid_query"
-  | Res_query _ -> "res_query"
-  | Signal _ -> "signal"
-  | Proc_read _ -> "proc_read"
-  | Msgq_get _ -> "msgq_get"
-  | Msgq_send _ -> "msgq_send"
-  | Msgq_recv _ -> "msgq_recv"
-  | Msgq_rmid _ -> "msgq_rmid"
-  | Sem_get _ -> "sem_get"
-  | Sem_op _ -> "sem_op"
-  | Wait_any_probe -> "wait_any_probe"
+val notification_label : notification -> string
 
-let notification_label = function
-  | Exit_notify _ -> "exit_notify"
-  | Msgq_send_async _ -> "msgq_send_async"
-  | Sem_release_async _ -> "sem_release_async"
-  | Msgq_deleted _ -> "msgq_deleted"
-  | Owner_update _ -> "owner_update"
-  | Range_owned _ -> "range_owned"
-  | Msgq_persisted _ -> "msgq_persisted"
-  | Leader_hello _ -> "leader_hello"
-  | Leader_candidate _ -> "leader_candidate"
-  | Leader_elected _ -> "leader_elected"
-  | State_report _ -> "state_report"
-
-let describe = function
-  | Req (n, _) -> Printf.sprintf "req#%d" n
-  | Resp (n, _) -> Printf.sprintf "resp#%d" n
-  | Oneway _ -> "oneway"
+val describe : envelope -> string

@@ -257,7 +257,7 @@ and close_syscall_span lx th ~cost =
       let dur = Time.add (Time.diff (K.now (kernel lx)) t0) cost in
       Obs.span tracer Obs.Liblinux ~name:("sys_" ^ name) ~pid:(pico lx).K.pid
         ~tid:th.K.tid ~start:t0 ~dur ();
-      Obs.observe tracer "liblinux.syscall_ns" (float_of_int dur)
+      Obs.observe tracer ("liblinux.sys." ^ name) (float_of_int dur)
     end
 
 let fail lx th ?cost tag = finish lx th ?cost (err tag)
@@ -1041,10 +1041,17 @@ and do_kill lx th target signum =
     in
     send_all targets
   end
-  else
+  else begin
+    let tracer = (kernel lx).K.tracer in
+    if Obs.enabled tracer then
+      Obs.instant tracer Obs.Liblinux ~name:"signal.remote" ~pid:(pico lx).K.pid
+        ~tid:th.K.tid
+        ~args:[ ("target", Obs.Aint target); ("signum", Obs.Aint signum) ]
+        (K.now (kernel lx));
     Ipc.send_signal (ipc lx) ~to_pid:target ~signum ~from_pid:lx.pid (function
       | Ok () -> finish lx th (vint 0)
       | Error e -> fail lx th e)
+  end
 
 (* {2 clone (threads)} *)
 
@@ -1400,7 +1407,13 @@ let boot ?(cfg = Ipc_config.default ()) ?console_hook kernel ~exe ~argv () =
   in
   lx.ipc <- Some ipc_inst;
   Ipc.set_my_pid ipc_inst lx.pid;
-  K.after kernel (Time.add Cost.picoprocess_spawn Cost.pal_load) (fun () ->
+  let boot_cost = Time.add Cost.picoprocess_spawn Cost.pal_load in
+  let tracer = kernel.K.tracer in
+  if Obs.enabled tracer then
+    Obs.span tracer Obs.Pal ~name:"boot" ~pid:pico.K.pid
+      ~args:[ ("exe", Obs.Astr exe) ]
+      ~start:(K.now kernel) ~dur:boot_cost ();
+  K.after kernel boot_cost (fun () ->
       Loader.load pal ~path:exe (function
         | Error _ -> K.pico_exit kernel pico 127
         | Ok program ->

@@ -1,0 +1,113 @@
+(* Critical-path analysis over the recorded span graph.
+
+   The simulation is single-clocked: every virtual nanosecond between
+   t=0 and the end of the run is "spent" somewhere, and the recorded
+   "X" spans say where.  Rather than chase explicit dependency edges,
+   we sweep the timeline: at each instant the most specific active span
+   (highest layer in the stack; libLinux and IPC sit above the PAL,
+   which sits above the kernel) owns that instant.  Instants covered by
+   no span are attributed to ("sim", "idle") — in a discrete-event
+   world that is RPC/stream wait and scheduler latency, which is
+   exactly what a critical-path report should surface.  The result
+   partitions the full [0, until) interval, so attribution is 100% by
+   construction and deterministic for a fixed seed. *)
+
+type entry = { cp_layer : string; cp_name : string; cp_ns : int; cp_share : float }
+
+(* More specific layers win when spans overlap: a sys_read span
+   (liblinux) encloses kernel slice spans, and the syscall is the more
+   meaningful owner of that time. *)
+let layer_priority = function
+  | "ipc" -> 6
+  | "liblinux" -> 5
+  | "pal" -> 4
+  | "refmon" -> 3
+  | "kernel" -> 2
+  | _ -> 1
+
+(* Deterministic total order for "best active span at this instant". *)
+let better (a : Obs.span_record) (b : Obs.span_record) =
+  let pa = layer_priority a.Obs.r_layer and pb = layer_priority b.Obs.r_layer in
+  if pa <> pb then pa > pb
+  else if a.r_start <> b.r_start then a.r_start > b.r_start
+  else
+    compare (a.r_name, a.r_pid, a.r_tid) (b.r_name, b.r_pid, b.r_tid) < 0
+
+let analyze t ~until =
+  let spans =
+    Obs.span_records t
+    |> List.filter_map (fun (r : Obs.span_record) ->
+           if r.Obs.r_dur <= 0 || r.r_start >= until then None
+           else
+             let stop = min until (r.r_start + r.r_dur) in
+             if stop <= max 0 r.r_start then None
+             else Some { r with r_start = max 0 r.r_start; r_dur = stop - max 0 r.r_start })
+  in
+  (* Elementary intervals: between two consecutive span boundaries the
+     active set is constant. *)
+  let bounds =
+    (0 :: until :: List.concat_map (fun r -> [ r.Obs.r_start; r.r_start + r.r_dur ]) spans)
+    |> List.sort_uniq compare
+    |> List.filter (fun b -> b >= 0 && b <= until)
+  in
+  let tally : (string * string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let attribute key ns =
+    match Hashtbl.find_opt tally key with
+    | Some r -> r := !r + ns
+    | None -> Hashtbl.replace tally key (ref ns)
+  in
+  let starts_at = Hashtbl.create 64 and ends_at = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.add starts_at r.Obs.r_start r;
+      Hashtbl.add ends_at (r.r_start + r.r_dur) r)
+    spans;
+  let active = ref [] in
+  let rec walk = function
+    | lo :: (hi :: _ as rest) ->
+      (* remove spans ending at [lo], then add spans starting at [lo] *)
+      let ending = Hashtbl.find_all ends_at lo in
+      active := List.filter (fun r -> not (List.memq r ending)) !active;
+      active := Hashtbl.find_all starts_at lo @ !active;
+      let key =
+        match !active with
+        | [] -> ("sim", "idle")
+        | first :: rest ->
+          let best = List.fold_left (fun acc r -> if better r acc then r else acc) first rest in
+          (best.Obs.r_layer, best.r_name)
+      in
+      if hi > lo then attribute key (hi - lo);
+      walk rest
+    | _ -> ()
+  in
+  walk bounds;
+  let total = max until 1 in
+  Hashtbl.fold
+    (fun (l, n) r acc ->
+      { cp_layer = l; cp_name = n; cp_ns = !r; cp_share = float_of_int !r /. float_of_int total }
+      :: acc)
+    tally []
+  |> List.sort (fun a b ->
+         match compare b.cp_ns a.cp_ns with
+         | 0 -> compare (a.cp_layer, a.cp_name) (b.cp_layer, b.cp_name)
+         | c -> c)
+
+let total_ns entries = List.fold_left (fun acc e -> acc + e.cp_ns) 0 entries
+
+let render ~until entries =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "== critical path (end-to-end virtual time by segment) ==\n";
+  Buffer.add_string b
+    (Printf.sprintf "  %-10s %-28s %14s %7s\n" "layer" "segment" "time" "share");
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %-28s %14s %6.1f%%\n" e.cp_layer e.cp_name
+           (Format.asprintf "%a" Graphene_sim.Time.pp e.cp_ns)
+           (100.0 *. e.cp_share)))
+    entries;
+  Buffer.add_string b
+    (Printf.sprintf "  %-10s %-28s %14s %6.1f%%\n" "total" ""
+       (Format.asprintf "%a" Graphene_sim.Time.pp (total_ns entries))
+       (if until <= 0 then 0.0 else 100.0 *. float_of_int (total_ns entries) /. float_of_int until));
+  Buffer.contents b

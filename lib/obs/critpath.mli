@@ -1,0 +1,29 @@
+(** Critical-path analysis of a traced run.
+
+    Sweeps the recorded span timeline and attributes every virtual
+    nanosecond of the run's end-to-end latency [0, until) to a
+    (layer, segment) pair: at each instant the most specific active
+    span owns the time (libLinux/IPC over PAL over kernel), and
+    instants no span covers — RPC wait, stream wait, scheduler
+    latency — are attributed to [("sim", "idle")]. The entries
+    partition the interval, so shares sum to 100% and the breakdown is
+    deterministic for a fixed seed. *)
+
+type entry = {
+  cp_layer : string;  (** owning layer, e.g. ["liblinux"] *)
+  cp_name : string;  (** segment, e.g. ["sys_fork"] or ["idle"] *)
+  cp_ns : int;  (** attributed virtual nanoseconds *)
+  cp_share : float;  (** [cp_ns / until] *)
+}
+
+val analyze : Obs.t -> until:Graphene_sim.Time.t -> entry list
+(** Breakdown of [0, until) (normally [until] = the world's final
+    virtual time), descending by attributed time. Requires the tracer
+    to have been enabled for the run. *)
+
+val total_ns : entry list -> int
+(** Sum of attributed time — equals [until] when spans were recorded
+    within the interval. *)
+
+val render : until:Graphene_sim.Time.t -> entry list -> string
+(** Plain-text table (layer, segment, time, share) with a total row. *)

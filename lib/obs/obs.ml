@@ -14,14 +14,30 @@ type arg = Aint of int | Astr of string
 
 type layer_agg = { mutable spans : int; mutable span_ns : int }
 
+type span_record = {
+  r_layer : string;
+  r_name : string;
+  r_pid : int;
+  r_tid : int;
+  r_start : int;
+  r_dur : int;
+}
+
 type t = {
   mutable enabled : bool;
   buf : Buffer.t;  (** rendered trace events, comma-separated JSON *)
   mutable n_events : int;
   mutable proc_names : (int * string) list;  (** newest first *)
+  mutable next_flow : int;
+  mutable records : span_record list;  (** newest first; feeds {!Critpath} *)
+  mutable flows : (string * string * int * int) list;
+      (** flow events (ph, name, id, pid), newest first — introspection only *)
   counters : (string, int ref) Hashtbl.t;
   hists : (string, Stats.Histogram.t) Hashtbl.t;
   layers : (string, layer_agg) Hashtbl.t;
+  folded : (string, int ref) Hashtbl.t;  (** ";"-joined guest stack -> ns *)
+  fn_time : (string, int ref) Hashtbl.t;  (** leaf guest function -> ns *)
+  fn_sys : (string, int ref) Hashtbl.t;  (** leaf guest function -> syscalls *)
 }
 
 let create () =
@@ -29,9 +45,15 @@ let create () =
     buf = Buffer.create 4096;
     n_events = 0;
     proc_names = [];
+    next_flow = 0;
+    records = [];
+    flows = [];
     counters = Hashtbl.create 32;
     hists = Hashtbl.create 32;
-    layers = Hashtbl.create 8 }
+    layers = Hashtbl.create 8;
+    folded = Hashtbl.create 32;
+    fn_time = Hashtbl.create 16;
+    fn_sys = Hashtbl.create 16 }
 
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
@@ -40,9 +62,15 @@ let enabled t = t.enabled
 let reset t =
   Buffer.clear t.buf;
   t.n_events <- 0;
+  t.next_flow <- 0;
+  t.records <- [];
+  t.flows <- [];
   Hashtbl.reset t.counters;
   Hashtbl.reset t.hists;
-  Hashtbl.reset t.layers
+  Hashtbl.reset t.layers;
+  Hashtbl.reset t.folded;
+  Hashtbl.reset t.fn_time;
+  Hashtbl.reset t.fn_sys
 
 let set_process_name t ~pid name =
   t.proc_names <- (pid, name) :: List.remove_assoc pid t.proc_names
@@ -127,6 +155,10 @@ let span t layer ~name ?(pid = 0) ?(tid = 0) ?(args = []) ~start ~dur () =
     let a = layer_agg t layer in
     a.spans <- a.spans + 1;
     a.span_ns <- a.span_ns + dur;
+    t.records <-
+      { r_layer = layer_name layer; r_name = name; r_pid = pid; r_tid = tid;
+        r_start = start; r_dur = dur }
+      :: t.records;
     event_head t ~name ~cat:(layer_name layer) ~ph:"X" ~pid ~tid ~ts:start;
     Buffer.add_string t.buf ",\"dur\":";
     add_ts t.buf dur;
@@ -147,6 +179,49 @@ let instant t layer ~name ?(pid = 0) ?(tid = 0) ?(args = []) ts =
     end;
     Buffer.add_string t.buf "}"
   end
+
+(* {1 Flow and async events}
+
+   Flow events ("s" start, "t" step, "f" finish) share an [id]; trace
+   viewers draw an arrow between the slices that enclose them, which is
+   how a syscall span in one picoprocess gets causally linked to the
+   RPC handler span in another. Async "b"/"e" pairs render the
+   in-flight RPC as its own nestable track. Neither kind feeds
+   {!span_records}: the interval an async pair covers is already
+   recorded by the matching "X" span, and double-counting it would skew
+   the critical path. *)
+
+let fresh_flow t =
+  t.next_flow <- t.next_flow + 1;
+  t.next_flow
+
+let flow_event t ~ph ~name ~id ?(pid = 0) ?(tid = 0) ts =
+  if t.enabled then begin
+    event_head t ~name ~cat:"flow" ~ph ~pid ~tid ~ts;
+    Buffer.add_string t.buf ",\"id\":";
+    Buffer.add_string t.buf (string_of_int id);
+    if ph = "f" then Buffer.add_string t.buf ",\"bp\":\"e\"";
+    Buffer.add_string t.buf "}";
+    t.flows <- (ph, name, id, pid) :: t.flows
+  end
+
+let flow_start t ~name ~id ?pid ?tid ts = flow_event t ~ph:"s" ~name ~id ?pid ?tid ts
+let flow_step t ~name ~id ?pid ?tid ts = flow_event t ~ph:"t" ~name ~id ?pid ?tid ts
+let flow_end t ~name ~id ?pid ?tid ts = flow_event t ~ph:"f" ~name ~id ?pid ?tid ts
+
+let async_event t layer ~ph ~name ~id ?(pid = 0) ?(tid = 0) ts =
+  if t.enabled then begin
+    event_head t ~name ~cat:(layer_name layer) ~ph ~pid ~tid ~ts;
+    Buffer.add_string t.buf ",\"id\":";
+    Buffer.add_string t.buf (string_of_int id);
+    Buffer.add_string t.buf "}"
+  end
+
+let async_begin t layer ~name ~id ?pid ?tid ts =
+  async_event t layer ~ph:"b" ~name ~id ?pid ?tid ts
+
+let async_end t layer ~name ~id ?pid ?tid ts =
+  async_event t layer ~ph:"e" ~name ~id ?pid ?tid ts
 
 let counter_sample t ~name ?(pid = 0) ts value =
   if t.enabled then begin
@@ -177,6 +252,49 @@ let observe t name x =
     Stats.Histogram.add h x
   end
 
+(* {1 Guest profiler}
+
+   The kernel samples the guest call stack on every virtual-time charge
+   and reports each syscall's issuing stack; both arrive root-first
+   (["main"; ...]). Aggregation keys are plain strings, so export is
+   the collapsed-stack flamegraph format for free. *)
+
+let bump tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace tbl key (ref n)
+
+let leaf_of stack =
+  match List.rev stack with [] -> "main" | fn :: _ -> fn
+
+let profile_sample t ~stack dur =
+  if t.enabled && dur > 0 && stack <> [] then begin
+    bump t.folded (String.concat ";" stack) dur;
+    bump t.fn_time (leaf_of stack) dur
+  end
+
+let profile_syscall t ~stack =
+  if t.enabled && stack <> [] then bump t.fn_sys (leaf_of stack) 1
+
+let folded_profile t =
+  let b = Buffer.create 256 in
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.folded []
+  |> List.sort compare
+  |> List.iter (fun (k, n) -> Buffer.add_string b (Printf.sprintf "%s %d\n" k n));
+  Buffer.contents b
+
+let profile_functions t =
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t.fn_time;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t.fn_sys;
+  Hashtbl.fold
+    (fun k () acc ->
+      let get tbl = match Hashtbl.find_opt tbl k with Some r -> !r | None -> 0 in
+      (k, get t.fn_time, get t.fn_sys) :: acc)
+    keys []
+  |> List.sort (fun (k1, n1, _) (k2, n2, _) ->
+         match compare n2 n1 with 0 -> compare k1 k2 | c -> c)
+
 (* {1 Introspection} *)
 
 let events t = t.n_events
@@ -186,6 +304,9 @@ let histogram t name = Hashtbl.find_opt t.hists name
 let layer_totals t =
   Hashtbl.fold (fun name a acc -> (name, a.spans, a.span_ns) :: acc) t.layers []
   |> List.sort compare
+
+let span_records t = List.rev t.records
+let flow_events t = List.rev t.flows
 
 (* {1 Exporters} *)
 
@@ -222,13 +343,29 @@ let summary t =
       (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-32s %10d\n" k v))
       counters
   end;
-  let hists = Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists [] |> List.sort compare in
+  let hists =
+    Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists []
+    |> List.sort (fun (k1, h1) (k2, h2) ->
+           match compare (Stats.Histogram.total h2) (Stats.Histogram.total h1) with
+           | 0 -> compare k1 k2
+           | c -> c)
+  in
   if hists <> [] then begin
-    Buffer.add_string b "== latency histograms (ns) ==\n";
+    Buffer.add_string b "== latency histograms (ns, by total time) ==\n";
     List.iter
       (fun (k, h) ->
         Buffer.add_string b
           (Printf.sprintf "  %-32s %s\n" k (Format.asprintf "%a" Stats.Histogram.pp h)))
       hists
+  end;
+  let fns = profile_functions t in
+  if fns <> [] then begin
+    Buffer.add_string b "== guest profile (virtual time by function) ==\n";
+    Buffer.add_string b (Printf.sprintf "  %-24s %14s %10s\n" "function" "time" "syscalls");
+    List.iter
+      (fun (fn, ns, sys) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-24s %14s %10d\n" fn (Format.asprintf "%a" Time.pp ns) sys))
+      fns
   end;
   Buffer.contents b

@@ -86,6 +86,51 @@ val instant :
 val counter_sample : t -> name:string -> ?pid:int -> Graphene_sim.Time.t -> int -> unit
 (** A Chrome "C" event: [name]'s value at a point in virtual time. *)
 
+(** {1 Flow and async events}
+
+    Flow events causally link slices across picoprocess timelines: emit
+    an "s" inside the originating span, a "t" or "f" inside the handler
+    span in the other process, with the same [id], and Perfetto draws
+    the arrow. Async "b"/"e" pairs (same [id]) render an in-flight RPC
+    as a nestable track. Neither feeds {!span_records} or the per-layer
+    aggregates — the covered interval is already attributed by its "X"
+    span. *)
+
+val fresh_flow : t -> int
+(** A new nonzero flow/async id, unique within this tracer. *)
+
+val flow_start :
+  t -> name:string -> id:int -> ?pid:int -> ?tid:int -> Graphene_sim.Time.t -> unit
+
+val flow_step :
+  t -> name:string -> id:int -> ?pid:int -> ?tid:int -> Graphene_sim.Time.t -> unit
+(** Mid-chain step ("t"): used at broadcast receivers, where the flow
+    fans out and no single slice terminates it. *)
+
+val flow_end :
+  t -> name:string -> id:int -> ?pid:int -> ?tid:int -> Graphene_sim.Time.t -> unit
+(** Terminating "f" (binding point "e": binds to the enclosing slice). *)
+
+val async_begin :
+  t -> layer -> name:string -> id:int -> ?pid:int -> ?tid:int -> Graphene_sim.Time.t -> unit
+
+val async_end :
+  t -> layer -> name:string -> id:int -> ?pid:int -> ?tid:int -> Graphene_sim.Time.t -> unit
+
+(** {1 Guest profiler}
+
+    The host kernel samples the guest call stack (root-first, from
+    {!Graphene_guest.Interp.call_stack}) at every virtual-time charge
+    and at every guest syscall. Aggregates are keyed by ";"-joined
+    stacks, i.e. the collapsed-stack flamegraph format. *)
+
+val profile_sample : t -> stack:string list -> Graphene_sim.Time.t -> unit
+(** Attribute [dur] virtual ns to the given stack (and its leaf
+    function). No-op when disabled, [dur = 0], or the stack is empty. *)
+
+val profile_syscall : t -> stack:string list -> unit
+(** Count one guest syscall against the stack's leaf function. *)
+
 (** {1 Aggregate metrics} *)
 
 val count : t -> ?n:int -> string -> unit
@@ -107,6 +152,33 @@ val histogram : t -> string -> Graphene_sim.Stats.Histogram.t option
 val layer_totals : t -> (string * int * Graphene_sim.Time.t) list
 (** Per-layer [(name, span count, total span time)], ascending by
     layer name. *)
+
+(** One recorded "X" span, in emission order from {!span_records};
+    the input to {!Critpath.analyze}. *)
+type span_record = {
+  r_layer : string;
+  r_name : string;
+  r_pid : int;
+  r_tid : int;
+  r_start : int;
+  r_dur : int;
+}
+
+val span_records : t -> span_record list
+(** Every span emitted so far, oldest first. *)
+
+val flow_events : t -> (string * string * int * int) list
+(** Flow events emitted so far as [(ph, name, id, pid)], oldest first
+    (["s"], ["t"] or ["f"]) — for tests. *)
+
+val folded_profile : t -> string
+(** Collapsed-stack flamegraph output: one ["main;f;g  <ns>"] line per
+    distinct guest stack, sorted, newline-terminated. Empty string if
+    nothing was sampled. *)
+
+val profile_functions : t -> (string * int * int) list
+(** Per-guest-function [(name, virtual ns, syscall count)], descending
+    by time then ascending by name. *)
 
 (** {1 Exporters} *)
 

@@ -239,6 +239,69 @@ let interrupt_tests =
         | Interp.Finished (Ast.Vint 9) -> ()
         | _ -> Alcotest.fail "new image did not run") ]
 
+let stacks = Alcotest.(check (list string))
+
+let call_stack_tests =
+  [ case "a fresh machine's stack is main" (fun () ->
+        let st = Interp.start (prog ~name:"/t" (int 1)) ~argv:[] in
+        stacks "initial" [ "main" ] (Interp.call_stack st));
+    case "calls push and returns pop" (fun () ->
+        (* suspend inside g (called from f, called from main), then
+           resume and check the frames unwound *)
+        let program =
+          prog ~name:"/t"
+            ~funcs:
+              [ func "f" [ "x" ] (call "g" [ v "x" ]);
+                func "g" [ "x" ] (sys "getpid" [] +% v "x") ]
+            (call "f" [ int 1 ])
+        in
+        let st = Interp.start program ~argv:[] in
+        (match Interp.run st ~fuel:1000 with
+        | Interp.Syscall ("getpid", [], st') ->
+          stacks "at syscall" [ "main"; "f"; "g" ] (Interp.call_stack st');
+          (match Interp.run (Interp.resume st' (Ast.Vint 41)) ~fuel:1000 with
+          | Interp.Finished (Ast.Vint 42) -> ()
+          | _ -> Alcotest.fail "bad result")
+        | _ -> Alcotest.fail "expected suspension"));
+    case "interrupt handlers appear on the stack and unwind" (fun () ->
+        (* the handler frame is pushed when the injected Call
+           dispatches, so observe the stack from inside the handler (at
+           its syscall), then check the continuation still unwinds *)
+        let program =
+          prog ~name:"/t"
+            ~funcs:[ func "h" [ "sig" ] (sys "print" [ str "x" ]) ]
+            (let_ "x" (sys "getpid" []) (v "x" +% int 1))
+        in
+        let st = Interp.start program ~argv:[] in
+        (match Interp.run st ~fuel:1000 with
+        | Interp.Syscall ("getpid", [], st') ->
+          let interrupted =
+            Interp.interrupt (Interp.resume st' (Ast.Vint 10)) ~func:"h" ~args:[ Ast.Vint 10 ]
+          in
+          (match Interp.run interrupted ~fuel:1000 with
+          | Interp.Syscall ("print", _, st'') ->
+            stacks "inside handler" [ "main"; "h" ] (Interp.call_stack st'');
+            (match Interp.run (Interp.resume st'' Ast.Vunit) ~fuel:1000 with
+            | Interp.Finished (Ast.Vint 11) -> ()
+            | _ -> Alcotest.fail "handler broke the continuation")
+          | _ -> Alcotest.fail "expected handler syscall")
+        | _ -> Alcotest.fail "expected suspension"));
+    case "let and match scopes do not disturb the stack" (fun () ->
+        let program =
+          prog ~name:"/t"
+            ~funcs:
+              [ func "f" [ "l" ]
+                  (match_list (v "l") ~nil:(sys "getpid" [])
+                     ~cons:("h", "t", let_ "y" (v "h") (call "f" [ v "t" ]))) ]
+            (call "f" [ list_ [ int 1; int 2 ] ])
+        in
+        let st = Interp.start program ~argv:[] in
+        match Interp.run st ~fuel:1000 with
+        | Interp.Syscall ("getpid", [], st') ->
+          (* two recursive calls deep, nested in match/let scopes *)
+          stacks "recursion only" [ "main"; "f"; "f"; "f" ] (Interp.call_stack st')
+        | _ -> Alcotest.fail "expected suspension") ]
+
 (* Random arithmetic expressions evaluate like OCaml. *)
 let arith_prop =
   let gen =
@@ -348,5 +411,5 @@ let edge_tests =
 
 let suite =
   arith_tests @ control_tests @ func_tests @ syscall_tests @ fork_semantics_tests
-  @ serialize_tests @ interrupt_tests @ edge_tests
+  @ serialize_tests @ interrupt_tests @ call_stack_tests @ edge_tests
   @ List.map QCheck_alcotest.to_alcotest [ arith_prop; roundtrip_prop ]

@@ -1,10 +1,12 @@
 (** Tests for the tracing layer: the tracer itself, the Chrome trace
-    exporter, end-to-end traces from full-world runs, determinism, and
-    the zero-overhead-when-disabled guarantee. *)
+    exporter, cross-picoprocess flow events, the critical-path
+    analyzer, the guest profiler, end-to-end traces from full-world
+    runs, determinism, and the zero-overhead-when-disabled guarantee. *)
 
 module W = Graphene.World
 module K = Graphene_host.Kernel
 module Obs = Graphene_obs.Obs
+module Critpath = Graphene_obs.Critpath
 
 let case = Util.case
 let check_int = Util.check_int
@@ -140,6 +142,150 @@ let e2e_tests =
           (fun needle -> check_bool (needle ^ " in summary") true (contains s needle))
           [ "kernel"; "liblinux"; "pal"; "liblinux.syscalls"; "sim.events_fired" ]) ]
 
+(* {1 Flow events (causal cross-picoprocess links)} *)
+
+let flow_tests =
+  [ case "signal delivery yields a flow crossing picoprocesses" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        let flows = Obs.flow_events (W.tracer w) in
+        check_bool "some flow recorded" true (flows <> []);
+        (* at least one flow id has its "s" and its "f"/"t" in
+           different picoprocesses: the causal arrow crosses *)
+        let crosses =
+          List.exists
+            (fun (ph, _, id, pid) ->
+              ph = "s"
+              && List.exists
+                   (fun (ph', _, id', pid') -> ph' <> "s" && id' = id && pid' <> pid)
+                   flows)
+            flows
+        in
+        check_bool "a flow links different pids" true crosses);
+    case "flow ids match across s and f" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        let flows = Obs.flow_events (W.tracer w) in
+        let sig_s =
+          List.filter_map
+            (fun (ph, name, id, _) -> if ph = "s" && name = "rpc:signal" then Some id else None)
+            flows
+        in
+        check_bool "signal rpc flow started" true (sig_s <> []);
+        List.iter
+          (fun id ->
+            check_bool
+              (Printf.sprintf "flow %d terminated by an f with the same name" id)
+              true
+              (List.exists (fun (ph, name, id', _) -> ph = "f" && name = "rpc:signal" && id' = id) flows))
+          sig_s);
+    case "flow and async events reach the JSON export" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        let json = Obs.to_chrome_json (W.tracer w) in
+        List.iter
+          (fun ph ->
+            check_bool (Printf.sprintf "ph %s present" ph) true
+              (contains json (Printf.sprintf "\"ph\":\"%s\"" ph)))
+          [ "s"; "f"; "b"; "e" ];
+        check_bool "f carries binding point" true (contains json "\"bp\":\"e\""));
+    case "same seed, byte-identical trace with flows enabled" (fun () ->
+        let w1, _ = run_traced ~seed:7 ~exe:"/bin/sigpong" W.Graphene in
+        let w2, _ = run_traced ~seed:7 ~exe:"/bin/sigpong" W.Graphene in
+        check_str "identical"
+          (Obs.to_chrome_json (W.tracer w1))
+          (Obs.to_chrome_json (W.tracer w2)));
+    case "per-request-type rtt histograms are recorded" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        check_bool "ipc.rtt.signal" true (Obs.histogram (W.tracer w) "ipc.rtt.signal" <> None)) ]
+
+(* {1 Critical path} *)
+
+let critpath_tests =
+  [ case "synthetic spans partition the interval" (fun () ->
+        let t = Obs.create () in
+        Obs.enable t;
+        (* [0,40) guest-only; [40,60) a syscall enclosing a kernel
+           slice; [60,100) uncovered -> idle *)
+        Obs.span t Obs.Kernel ~name:"slice" ~start:0 ~dur:40 ();
+        Obs.span t Obs.Liblinux ~name:"sys_read" ~start:40 ~dur:20 ();
+        Obs.span t Obs.Kernel ~name:"slice" ~start:45 ~dur:5 ();
+        let entries = Critpath.analyze t ~until:100 in
+        check_int "full attribution" 100 (Critpath.total_ns entries);
+        let find l n =
+          List.find_map
+            (fun e -> if e.Critpath.cp_layer = l && e.Critpath.cp_name = n then Some e.Critpath.cp_ns else None)
+            entries
+        in
+        check_bool "kernel slice 40" true (find "kernel" "slice" = Some 40);
+        (* the more specific liblinux span wins the overlap *)
+        check_bool "sys_read 20" true (find "liblinux" "sys_read" = Some 20);
+        check_bool "idle 40" true (find "sim" "idle" = Some 40));
+    case "a real run attributes at least 95% of end-to-end time" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        let entries = Critpath.analyze (W.tracer w) ~until:(W.now w) in
+        check_bool "entries" true (entries <> []);
+        let named =
+          List.fold_left
+            (fun acc (e : Critpath.entry) ->
+              if e.cp_layer = "sim" && e.cp_name = "idle" then acc else acc + e.cp_ns)
+            0 entries
+        in
+        (* everything is attributed; even excluding idle the named
+           segments must carry >= 95% of the run *)
+        check_int "partition" (W.now w) (Critpath.total_ns entries);
+        check_bool "named >= 95%" true
+          (float_of_int named >= 0.95 *. float_of_int (W.now w)));
+    case "critpath is deterministic" (fun () ->
+        let render () =
+          let w, _ = run_traced ~seed:7 ~exe:"/bin/sigpong" W.Graphene in
+          Critpath.render ~until:(W.now w) (Critpath.analyze (W.tracer w) ~until:(W.now w))
+        in
+        check_str "identical" (render ()) (render ())) ]
+
+(* {1 Guest profiler} *)
+
+let profile_tests =
+  [ case "folded output is collapsed-stack format" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        let folded = Obs.folded_profile (W.tracer w) in
+        check_bool "non-empty" true (folded <> "");
+        String.split_on_char '\n' folded
+        |> List.filter (fun l -> l <> "")
+        |> List.iter (fun line ->
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.fail ("no count in line: " ^ line)
+               | Some i ->
+                 let count = String.sub line (i + 1) (String.length line - i - 1) in
+                 check_bool ("count is a number: " ^ line) true
+                   (int_of_string_opt count <> None);
+                 let stack = String.sub line 0 i in
+                 check_bool ("stack starts at main: " ^ line) true
+                   (stack = "main" || String.length stack > 5 && String.sub stack 0 5 = "main;"));
+        (* the signal handler ran in the child: it must appear as a
+           frame under main *)
+        check_bool "handler frame" true (contains folded "main;handler "));
+    case "folded output is byte-deterministic" (fun () ->
+        let folded () =
+          let w, _ = run_traced ~seed:7 ~exe:"/bin/sigpong" W.Graphene in
+          Obs.folded_profile (W.tracer w)
+        in
+        check_str "identical" (folded ()) (folded ()));
+    case "per-function attribution includes syscalls" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        let fns = Obs.profile_functions (W.tracer w) in
+        let find n = List.find_opt (fun (f, _, _) -> f = n) fns in
+        (match find "main" with
+        | Some (_, ns, sys) ->
+          check_bool "main has time" true (ns > 0);
+          check_bool "main made syscalls" true (sys > 0)
+        | None -> Alcotest.fail "main missing from profile");
+        (match find "handler" with
+        | Some (_, _, sys) -> check_bool "handler made a syscall" true (sys > 0)
+        | None -> Alcotest.fail "handler missing from profile"));
+    case "summary includes the guest profile and sorts histograms" (fun () ->
+        let w, _ = run_traced ~exe:"/bin/sigpong" W.Graphene in
+        let s = Obs.summary (W.tracer w) in
+        check_bool "profile section" true (contains s "guest profile");
+        check_bool "per-syscall histograms" true (contains s "liblinux.sys.")) ]
+
 (* {1 Determinism and overhead} *)
 
 let det_tests =
@@ -174,6 +320,27 @@ let det_tests =
         check_int "virtual end time" t1 t2;
         check_int "exit code" x1 x2;
         Alcotest.(check (list (pair string int))) "syscall counts" c1 c2);
+    case "flows and profiling do not change a multi-process run" (fun () ->
+        (* sigpong exercises fork, cross-process RPC (kill), oneways
+           (exit_notify) and the guest profiler; the tracer must still
+           be purely observational *)
+        let run enable_trace =
+          let w = W.create ~seed:5 W.Graphene in
+          if enable_trace then Obs.enable (W.tracer w);
+          let p = W.start w ~console_hook:ignore ~exe:"/bin/sigpong" ~argv:[] () in
+          W.run w;
+          let counts =
+            Hashtbl.fold
+              (fun k v acc -> (k, v) :: acc)
+              (W.kernel w).K.syscall_counts []
+            |> List.sort compare
+          in
+          (W.now w, W.exit_code p, counts)
+        in
+        let t1, x1, c1 = run false and t2, x2, c2 = run true in
+        check_int "virtual end time" t1 t2;
+        check_int "exit code" x1 x2;
+        Alcotest.(check (list (pair string int))) "syscall counts" c1 c2);
     case "events count excludes metadata" (fun () ->
         let w, _ = run_traced W.Graphene in
         let tracer = W.tracer w in
@@ -182,4 +349,6 @@ let det_tests =
         let ms = count_occurrences json "\"ph\":\"M\"" in
         check_int "events = traceEvents - metadata" (Obs.events tracer) (phs - ms)) ]
 
-let suite = tracer_tests @ chrome_tests @ e2e_tests @ det_tests
+let suite =
+  tracer_tests @ chrome_tests @ e2e_tests @ flow_tests @ critpath_tests @ profile_tests
+  @ det_tests
