@@ -3,7 +3,7 @@
 
     Usage:
       main.exe [all|quick|table1|table4|table5|table6|table7|table8|
-                figure4|figure5|ablation|critpath|bechamel]
+                figure4|figure5|ablation|critpath|chaos|bechamel]
 
     [all] (the default) runs everything at full scale; [quick] runs
     reduced sizes. [bechamel] wall-clock-benchmarks one representative
@@ -25,7 +25,9 @@ let experiments ~full =
     ("table8", "Table 8: vulnerability analysis", fun () -> Table8.run ());
     ("ablation", "Ablation: s4.3 coordination optimizations", fun () -> Ablation.run ());
     ("critpath", "Critical path: cross-picoprocess signal delivery", fun () ->
-        Critpath_report.run ()) ]
+        Critpath_report.run ());
+    ("chaos", "Chaos sweep: fault injection and leader recovery", fun () ->
+        ignore (Chaos.run ~full ())) ]
 
 (* {1 Bechamel probes}
 
@@ -126,5 +128,5 @@ let () =
     | None ->
       prerr_endline
         ("unknown experiment " ^ name
-       ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath bechamel)");
+       ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos bechamel)");
       exit 2)

@@ -6,6 +6,7 @@
     graphene stats [-s STACK] [-a ARG]... BINARY            run + per-subsystem report
     graphene critpath [-s STACK] [-a ARG]... BINARY         run + critical-path breakdown
     graphene profile [--folded F] [-s STACK] BINARY         run + guest virtual-time profile
+    graphene faults [--seed N] [-n K] SPEC                  print a materialized fault plan
     graphene abi                                            print the host ABI (Table 1)
     graphene filter NAME [NAME...]                          what the seccomp filter does
     graphene cves [-y YEAR]                                 the Table 8 vulnerability analysis
@@ -43,6 +44,26 @@ let stack_arg =
 let telemetry_arg =
   Arg.(value & flag & info [ "t"; "telemetry" ] ~doc:"Print host-syscall telemetry after the run.")
 
+let seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"RNG seed for the simulated world; with $(b,--faults), also the seed the fault plan is materialized from.")
+
+let fault_spec_conv =
+  let parse s =
+    match Graphene_sim.Fault.parse_spec s with Ok v -> Ok v | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Graphene_sim.Fault.spec_to_string s))
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some fault_spec_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"Inject deterministic coordination-layer faults, e.g. $(b,drop=0.05,dup=0.02,delay=0.1:200us,kill-leader=5ms). Same $(b,--seed) and SPEC, same fault schedule.")
+
 let trace_arg =
   Arg.(
     value
@@ -66,6 +87,25 @@ let write_file path contents =
     | exception Sys_error msg ->
       Printf.eprintf "graphene: cannot write trace: %s\n" msg;
       false
+
+(* Fault-injection postmortem: what the plan actually did to this run,
+   and whether a killed leader was re-elected. *)
+let fault_report out w =
+  match K.fault_plan (W.kernel w) with
+  | None -> ()
+  | Some plan ->
+    let drops, dups, delays = Graphene_sim.Fault.injected plan in
+    Printf.fprintf out "-- faults injected: %d dropped, %d duplicated, %d delayed\n" drops dups
+      delays;
+    (match (K.fault_recovery (W.kernel w), K.leader_killed_at (W.kernel w)) with
+    | Some (killed, recovered), _ ->
+      Printf.fprintf out "-- leader killed at %s, recovered in %s\n"
+        (Format.asprintf "%a" Graphene_sim.Time.pp killed)
+        (Format.asprintf "%a" Graphene_sim.Time.pp (Graphene_sim.Time.diff recovered killed))
+    | None, Some killed ->
+      Printf.fprintf out "-- leader killed at %s, NOT recovered\n"
+        (Format.asprintf "%a" Graphene_sim.Time.pp killed)
+    | None, None -> ())
 
 let report ?(telemetry = false) ?trace w p =
   (* with the trace on stdout, keep the human-readable report off it *)
@@ -103,16 +143,19 @@ let argv_arg =
   Arg.(value & opt_all string [] & info [ "a"; "arg" ] ~docv:"ARG" ~doc:"Argument passed to the guest (repeatable).")
 
 let run_cmd =
-  let run stack exe argv telemetry trace =
-    let w = W.create stack in
+  let run stack exe argv telemetry trace seed faults =
+    let w = W.create ~seed ?faults stack in
     if trace <> None then Obs.enable (W.tracer w);
     let p = W.start w ~console_hook:print_string ~exe ~argv () in
     W.run w;
+    fault_report (if trace = Some "-" then stderr else stdout) w;
     report ~telemetry ?trace w p
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a guest binary on a simulated stack")
-    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ telemetry_arg $ trace_arg)
+    Term.(
+      const run $ stack_arg $ exe_arg $ argv_arg $ telemetry_arg $ trace_arg $ seed_arg
+      $ faults_arg)
 
 let script_cmd =
   let file_arg =
@@ -138,14 +181,15 @@ let script_cmd =
     Term.(const run $ stack_arg $ file_arg $ telemetry_arg $ trace_arg)
 
 let stats_cmd =
-  let run stack exe argv trace =
-    let w = W.create stack in
+  let run stack exe argv trace seed faults =
+    let w = W.create ~seed ?faults stack in
     Obs.enable (W.tracer w);
     let p = W.start w ~console_hook:ignore ~exe ~argv () in
     W.run w;
     Printf.printf "-- %s on %s: exit %d, virtual time %s\n\n" exe (W.stack_name stack)
       (W.exit_code p)
       (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
+    fault_report stdout w;
     print_string (Obs.summary (W.tracer w));
     print_string
       (Critpath.render ~until:(W.now w) (Critpath.analyze (W.tracer w) ~until:(W.now w)));
@@ -164,7 +208,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a guest binary with tracing on and print the per-subsystem report")
-    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ trace_arg)
+    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ trace_arg $ seed_arg $ faults_arg)
 
 let critpath_cmd =
   let run stack exe argv =
@@ -273,6 +317,25 @@ let filter_cmd =
     (Cmd.info "filter" ~doc:"Show the seccomp filter's verdicts for syscalls")
     Term.(const run $ names_arg)
 
+let faults_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some fault_spec_conv) None
+      & info [] ~docv:"SPEC" ~doc:"Fault spec, e.g. drop=0.05,dup=0.02,kill-leader=5ms.")
+  in
+  let n_arg =
+    Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"How many message verdicts to print.")
+  in
+  let run seed spec n =
+    print_string (Graphene_sim.Fault.describe (Graphene_sim.Fault.create spec ~seed) ~n);
+    0
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Print the fault plan a spec and seed materialize to, without running anything")
+    Term.(const run $ seed_arg $ spec_arg $ n_arg)
+
 let cves_cmd =
   let year_arg =
     Arg.(value & opt (some int) None & info [ "y"; "year" ] ~docv:"YEAR" ~doc:"Restrict to one year (2011-2013).")
@@ -307,4 +370,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; script_cmd; stats_cmd; critpath_cmd; profile_cmd; abi_cmd; filter_cmd;
-            cves_cmd ]))
+            faults_cmd; cves_cmd ]))

@@ -69,7 +69,7 @@ let () =
       | Ok (_lx', size) ->
         done_ := true;
         Printf.printf "  (%d bytes crossed the wire)\n" size
-      | Error e -> Printf.printf "migration failed: %s\n" e);
+      | Error e -> Printf.printf "migration failed: %s\n" (Graphene_core.Errno.to_string e));
   W.run w;
   assert !done_;
   Printf.printf "\nend-to-end migration took %s of virtual time\n"

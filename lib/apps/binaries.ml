@@ -245,9 +245,45 @@ let sigpong =
                sys "wait" [];
                sys "exit" [ int 0 ] ])))
 
+(* A three-picoprocess signal storm: the parent forks two children
+   who exchange SIGUSR1 over the coordination layer (sibling kills
+   must resolve the target PID through the leader). Because the
+   children keep issuing leader RPCs for several milliseconds, this is
+   the workload the fault-injection smoke uses: kill the leader
+   mid-storm and the survivors must elect a replacement and keep
+   signalling (docs/FAULTS.md, the chaos bench, and the CI chaos smoke
+   all run it). PIDs are deterministic — parent 1, children 2 and 3 —
+   so each child hardcodes its peer. *)
+let sigstorm =
+  let child peer =
+    seq
+      [ sys "sigaction" [ int 10; str "handler" ];
+        let_ "j" (int 0)
+          (while_
+             (v "j" <% int 8)
+             (seq
+                [ sys "nanosleep" [ int 500_000 ];
+                  (* the kill may transiently fail (EINTR/EAGAIN) while
+                     a new leader is being elected; keep storming *)
+                  sys "kill" [ int peer; int 10 ];
+                  set "j" (v "j" +% int 1) ]));
+        sys "nanosleep" [ int 1_000_000 ];
+        sys "print" [ str "storm done\n" ];
+        sys "exit" [ int 0 ] ]
+  in
+  prog ~name:"/bin/sigstorm"
+    ~funcs:[ func "handler" [ "sig" ] (sys "print" [ str "." ]) ]
+    (let_ "a" (sys "fork" [])
+       (if_ (v "a" =% int 0) (child 3)
+          (let_ "b" (sys "fork" [])
+             (if_ (v "b" =% int 0) (child 2)
+                (seq
+                   [ sys "wait" []; sys "wait" [];
+                     sys "print" [ str "parent done\n" ]; sys "exit" [ int 0 ] ])))))
+
 let all =
   [ ("/bin/hello", hello); ("/bin/memhog", memhog); ("/bin/echo", echo); ("/bin/wc", wc);
-    ("/bin/true", true_bin); ("/bin/sigpong", sigpong);
+    ("/bin/true", true_bin); ("/bin/sigpong", sigpong); ("/bin/sigstorm", sigstorm);
     ("/bin/grep", grep); ("/bin/head", head_bin);
     ("/bin/date", date); ("/bin/cat", cat); ("/bin/ls", ls); ("/bin/cp", cp);
     ("/bin/rm", rm); ("/bin/busywork", busywork) ]

@@ -21,6 +21,7 @@ module Interp = Graphene_guest.Interp
 module Loader = Graphene_liblinux.Loader
 module Signal = Graphene_liblinux.Signal
 module Errno = Graphene_liblinux.Errno
+module E = Graphene_core.Errno
 
 (* Native memory layout: tuned so "hello world" is ~352 KB resident. *)
 let app_image_bytes = 64 * 1024
@@ -261,7 +262,7 @@ and post_signal p signum =
     p.sig_pending <- p.sig_pending @ [ signum ];
     let pausers = p.pause_waiters in
     p.pause_waiters <- [];
-    List.iter (fun th -> fail p th "EINTR") pausers;
+    List.iter (fun th -> fail p th E.EINTR) pausers;
     (match p.main_thread with
     | Some th when th.K.tstate = `Runnable -> (
       match th.K.machine with
@@ -348,7 +349,7 @@ let make_proc ctx ~pid ~ppid ~pgid ~exe ~pico =
 (* {1 The dispatcher} *)
 
 let rec dispatch p th name args =
-  try dispatch_inner p th name args with Ast.Guest_fault _ -> fail p th "EINVAL"
+  try dispatch_inner p th name args with Ast.Guest_fault _ -> fail p th E.EINVAL
 
 and dispatch_inner p th name args =
   let ctx = p.ctx in
@@ -385,7 +386,7 @@ and dispatch_inner p th name args =
   | "open" -> do_open p th (abspath p (str_arg 0)) (str_arg 1)
   | "close" -> (
     match file_of_fd (int_arg 0) with
-    | None -> fail p th "EBADF"
+    | None -> fail p th E.EBADF
     | Some _ ->
       release_fd p (int_arg 0);
       finish p th ~cost:(Time.ns 120) (vint 0))
@@ -407,10 +408,10 @@ and dispatch_inner p th name args =
         | st ->
           o.pos <- st.Vfs.st_size + off;
           finish p th (vint o.pos)
-        | exception Vfs.Error e -> fail p th e)
-      | _ -> fail p th "EINVAL")
-    | Some _ -> fail p th "ESPIPE"
-    | None -> fail p th "EBADF")
+        | exception Vfs.Error e -> fail p th (E.of_string e))
+      | _ -> fail p th E.EINVAL)
+    | Some _ -> fail p th E.ESPIPE
+    | None -> fail p th E.EBADF)
   | "stat" | "access" -> (
     let path = abspath p (str_arg 0) in
     let cost = Time.add (Time.ns 700) (Time.scale Cost.path_component (float_of_int (Vfs.depth path))) in
@@ -418,41 +419,41 @@ and dispatch_inner p th name args =
     | st ->
       if name = "access" then finish p th ~cost (vint 0)
       else finish p th ~cost (Ast.Vpair (vint st.Vfs.st_size, vint (if st.Vfs.st_is_dir then 1 else 0)))
-    | exception Vfs.Error e -> fail p th e)
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "unlink" -> (
     match Vfs.unlink kern.K.fs (abspath p (str_arg 0)) with
     | () -> finish p th ~cost:Cost.host_open (vint 0)
-    | exception Vfs.Error e -> fail p th e)
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "rename" -> (
     match Vfs.rename kern.K.fs ~src:(abspath p (str_arg 0)) ~dst:(abspath p (str_arg 1)) with
     | () -> finish p th ~cost:Cost.host_open (vint 0)
-    | exception Vfs.Error e -> fail p th e)
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "mkdir" -> (
     match Vfs.mkdir_p kern.K.fs (abspath p (str_arg 0)) with
     | () -> finish p th ~cost:Cost.host_open (vint 0)
-    | exception Vfs.Error e -> fail p th e)
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "readdir" -> (
     match Vfs.readdir kern.K.fs (abspath p (str_arg 0)) with
     | names -> finish p th ~cost:(Time.us 1.0) (Ast.Vlist (List.map (fun n -> vstr n) names))
-    | exception Vfs.Error e -> fail p th e)
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "chdir" -> (
     let path = abspath p (str_arg 0) in
     match Vfs.stat kern.K.fs path with
     | { Vfs.st_is_dir = true; _ } ->
       p.cwd <- path;
       finish p th (vint 0)
-    | _ -> fail p th "ENOTDIR"
-    | exception Vfs.Error e -> fail p th e)
+    | _ -> fail p th E.ENOTDIR
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "getcwd" -> finish p th (vstr p.cwd)
   | "dup" -> (
     match file_of_fd (int_arg 0) with
-    | None -> fail p th "EBADF"
+    | None -> fail p th E.EBADF
     | Some o ->
       o.refs <- o.refs + 1;
       finish p th ~cost:(Time.ns 200) (vint (alloc_fd p o)))
   | "dup2" -> (
     match file_of_fd (int_arg 0) with
-    | None -> fail p th "EBADF"
+    | None -> fail p th E.EBADF
     | Some o ->
       let newfd = int_arg 1 in
       if newfd <> int_arg 0 then begin
@@ -467,20 +468,20 @@ and dispatch_inner p th name args =
     | f ->
       Vfs.truncate f (int_arg 1);
       finish p th ~cost:(Time.ns 600) (vint 0)
-    | exception Vfs.Error e -> fail p th e)
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "fsync" -> finish p th ~cost:(Time.us 2.0) (vint 0)
   | "fstat" -> (
     match file_of_fd (int_arg 0) with
     | Some { okind = Kfile path; _ } -> (
       match Vfs.stat kern.K.fs path with
       | st -> finish p th (Ast.Vpair (vint st.Vfs.st_size, vint (if st.Vfs.st_is_dir then 1 else 0)))
-      | exception Vfs.Error e -> fail p th e)
+      | exception Vfs.Error e -> fail p th (E.of_string e))
     | Some _ -> finish p th (Ast.Vpair (vint 0, vint 0))
-    | None -> fail p th "EBADF")
+    | None -> fail p th E.EBADF)
   | "rmdir" -> (
     match Vfs.unlink kern.K.fs (abspath p (str_arg 0)) with
     | () -> finish p th ~cost:Cost.host_open (vint 0)
-    | exception Vfs.Error e -> fail p th e)
+    | exception Vfs.Error e -> fail p th (E.of_string e))
   | "umask" ->
     let old = p.umask in
     p.umask <- int_arg 0 land 0o777;
@@ -514,17 +515,17 @@ and dispatch_inner p th name args =
             finish p th
               ~cost:(Time.add Cost.host_write_base (Cost.copy_cost (String.length data)))
               (vint (String.length data))
-          | exception Vfs.Error e -> fail p th e)
+          | exception Vfs.Error e -> fail p th (E.of_string e))
         | Kstream _ -> (
           match out_o.handle with
           | Some { K.obj = K.Hstream ep; _ } -> (
             match K.stream_send kern ep data with
             | () -> finish p th (vint (String.length data))
-            | exception K.Denied _ -> fail p th "EPIPE")
-          | _ -> fail p th "EBADF")
-        | _ -> fail p th "EBADF")
-      | exception Vfs.Error e -> fail p th e)
-    | _ -> fail p th "EBADF")
+            | exception K.Denied _ -> fail p th E.EPIPE)
+          | _ -> fail p th E.EBADF)
+        | _ -> fail p th E.EBADF)
+      | exception Vfs.Error e -> fail p th (E.of_string e))
+    | _ -> fail p th E.EBADF)
   | "alarm" ->
     let secs = int_arg 0 in
     p.alarm_seq <- p.alarm_seq + 1;
@@ -544,7 +545,7 @@ and dispatch_inner p th name args =
     | srv ->
       finish p th ~cost:(Time.add (Time.us 1.5) (net_cost ctx))
         (vint (alloc_fd p (new_ofile ~handle:(K.fresh_handle kern (K.Hserver srv)) (Klisten (int_arg 0)))))
-    | exception K.Denied e -> fail p th e)
+    | exception K.Denied e -> fail p th (E.of_string e))
   | "accept" -> (
     match file_of_fd (int_arg 0) with
     | Some { handle = Some { K.obj = K.Hserver srv; _ }; _ } ->
@@ -552,20 +553,20 @@ and dispatch_inner p th name args =
           finish p th
             ~cost:(Time.add (Time.us 1.2) (net_cost ctx))
             (vint (alloc_fd p (new_ofile ~handle:(K.fresh_handle kern (K.Hstream ep)) (Kstream { sock = true })))))
-    | _ -> fail p th "ENOTSOCK")
+    | _ -> fail p th E.ENOTSOCK)
   | "connect_tcp" ->
     K.net_connect kern p.pico ~port:(int_arg 0)
       ~ok:(fun ep ->
         finish p th
           ~cost:(Time.add (Time.us 1.5) (net_cost ctx))
           (vint (alloc_fd p (new_ofile ~handle:(K.fresh_handle kern (K.Hstream ep)) (Kstream { sock = true })))))
-      ~err:(fun e -> fail p th e)
+      ~err:(fun e -> fail p th (E.of_string e))
   | "shutdown" -> (
     match file_of_fd (int_arg 0) with
     | Some { handle = Some { K.obj = K.Hstream ep; _ }; _ } ->
       K.close_endpoint_ordered kern ep;
       finish p th (vint 0)
-    | _ -> fail p th "EBADF")
+    | _ -> fail p th E.EBADF)
   | "select" -> do_select p th (Ast.as_list (a 0))
   (* {2 Signals} *)
   | "sigaction" ->
@@ -580,7 +581,7 @@ and dispatch_inner p th name args =
     | "unblock" ->
       p.sig_blocked <- List.filter (fun s -> s <> signum) p.sig_blocked;
       finish p th (vint 0)
-    | _ -> fail p th "EINVAL")
+    | _ -> fail p th E.EINVAL)
   | "kill" ->
     let target = int_arg 0 and signum = int_arg 1 in
     if target = p.pid then begin
@@ -597,7 +598,7 @@ and dispatch_inner p th name args =
       | Some q ->
         ignore (post_signal q signum);
         finish p th ~cost:(Time.us 1.1) (vint 0)
-      | None -> fail p th "ESRCH"
+      | None -> fail p th E.ESRCH
     end
   | "pause" -> p.pause_waiters <- th :: p.pause_waiters
   (* {2 Process lifecycle} *)
@@ -614,7 +615,7 @@ and dispatch_inner p th name args =
     match Hashtbl.find_opt ctx.key_to_q key with
     | Some id -> finish p th ~cost:(Time.us 32.4) (vint id)
     | None ->
-      if not create then fail p th "ENOENT"
+      if not create then fail p th E.ENOENT
       else begin
         let id = ctx.next_rid in
         ctx.next_rid <- id + 1;
@@ -624,7 +625,7 @@ and dispatch_inner p th name args =
       end)
   | "msgsnd" -> (
     match Hashtbl.find_opt ctx.queues (int_arg 0) with
-    | None -> fail p th "EIDRM"
+    | None -> fail p th E.EIDRM
     | Some q -> (
       let data = str_arg 1 in
       match q.kq_waiters with
@@ -637,7 +638,7 @@ and dispatch_inner p th name args =
         finish p th ~cost:(Time.us 1.4) (vint 0)))
   | "msgrcv" -> (
     match Hashtbl.find_opt ctx.queues (int_arg 0) with
-    | None -> fail p th "EIDRM"
+    | None -> fail p th E.EIDRM
     | Some q -> (
       match q.kq_msgs with
       | m :: rest ->
@@ -647,7 +648,7 @@ and dispatch_inner p th name args =
   | "msgctl_rmid" -> (
     let id = int_arg 0 in
     match Hashtbl.find_opt ctx.queues id with
-    | None -> fail p th "EIDRM"
+    | None -> fail p th E.EIDRM
     | Some q ->
       Hashtbl.remove ctx.queues id;
       Hashtbl.iter
@@ -667,7 +668,7 @@ and dispatch_inner p th name args =
       finish p th ~cost:(Time.us 3.0) (vint id))
   | "semop" -> (
     match Hashtbl.find_opt ctx.sems (int_arg 0) with
-    | None -> fail p th "EIDRM"
+    | None -> fail p th E.EIDRM
     | Some s ->
       let delta = int_arg 1 in
       if delta >= 0 then begin
@@ -700,11 +701,11 @@ and dispatch_inner p th name args =
     | _ ->
       p.next_mmap <- base + (npages * Memory.page_size) + Memory.page_size;
       finish p th ~cost:(Time.ns 300) (vint base)
-    | exception Invalid_argument _ -> fail p th "ENOMEM")
+    | exception Invalid_argument _ -> fail p th E.ENOMEM)
   | "munmap" -> (
     match Memory.unmap p.pico.K.aspace ~base:(int_arg 0) with
     | () -> finish p th ~cost:(Time.ns 300) (vint 0)
-    | exception Memory.Fault _ -> fail p th "EINVAL")
+    | exception Memory.Fault _ -> fail p th E.EINVAL)
   | "brk" ->
     let target = int_arg 0 in
     if target <= p.heap_mapped then begin
@@ -719,7 +720,7 @@ and dispatch_inner p th name args =
         p.heap_mapped <- p.heap_mapped + (npages * Memory.page_size);
         p.brk <- target;
         finish p th ~cost:(Time.ns 200) (vint (K.heap_base + p.brk))
-      | exception Invalid_argument _ -> fail p th "ENOMEM")
+      | exception Invalid_argument _ -> fail p th E.ENOMEM)
     end
   | "poke" ->
     let addr = int_arg 0 and data = str_arg 1 in
@@ -736,9 +737,9 @@ and dispatch_inner p th name args =
   | "clone" -> (
     let fname = str_arg 0 in
     match th.K.machine with
-    | None -> fail p th "EINVAL"
+    | None -> fail p th E.EINVAL
     | Some m ->
-      if not (Interp.has_func m fname) then fail p th "EINVAL"
+      if not (Interp.has_func m fname) then fail p th E.EINVAL
       else begin
         let gtid = p.pid + p.next_tid_seq in
         p.next_tid_seq <- p.next_tid_seq + 1;
@@ -753,7 +754,7 @@ and dispatch_inner p th name args =
     let gtid = int_arg 0 in
     if List.mem gtid p.done_tids then finish p th (vint 0)
     else if Hashtbl.mem p.threads gtid then p.join_waiters <- (gtid, th) :: p.join_waiters
-    else fail p th "ESRCH"
+    else fail p th E.ESRCH
   | "sched_yield" -> finish p th ~cost:(Time.ns 100) (vint 0)
   (* {2 Time and misc} *)
   | "nanosleep" -> K.after kern (Time.ns (int_arg 0)) (fun () -> finish p th (vint 0))
@@ -761,8 +762,8 @@ and dispatch_inner p th name args =
   | "rand" -> finish p th (vint (Rng.int kern.K.rng (max 1 (int_arg 0))))
   | "sandbox_create" ->
     (* stock Linux has no equivalent; the nearest is ENOSYS *)
-    fail p th "ENOSYS"
-  | _ -> fail p th "ENOSYS"
+    fail p th E.ENOSYS
+  | _ -> fail p th E.ENOSYS
 
 and do_open p th path mode =
   let kern = p.ctx.kernel in
@@ -776,10 +777,10 @@ and do_open p th path mode =
     match String.split_on_char '/' path with
     | [ ""; "proc"; pid_s; field ] -> (
       match int_of_string_opt pid_s with
-      | None -> fail p th "ENOENT"
+      | None -> fail p th E.ENOENT
       | Some q_pid -> (
         match Hashtbl.find_opt p.ctx.procs q_pid with
-        | None -> fail p th "ESRCH"
+        | None -> fail p th E.ESRCH
         | Some q ->
           let content =
             match field with
@@ -789,9 +790,9 @@ and do_open p th path mode =
             | "cmdline" -> q.exe
             | _ -> ""
           in
-          if content = "" then fail p th "ENOENT"
+          if content = "" then fail p th E.ENOENT
           else finish p th ~cost:(Time.us 1.2) (vint (alloc_fd p (new_ofile (Kproc content))))))
-    | _ -> fail p th "ENOENT"
+    | _ -> fail p th E.ENOENT
   end
   else begin
     let create = mode = "w" || mode = "rw" || mode = "creat" in
@@ -809,13 +810,13 @@ and do_open p th path mode =
       let o = new_ofile (Kfile path) in
       if mode = "a" then o.pos <- Vfs.file_size f;
       finish p th ~cost (vint (alloc_fd p o))
-    | exception Vfs.Error e -> fail p th e
+    | exception Vfs.Error e -> fail p th (E.of_string e)
   end
 
 and do_read p th fd n =
   let kern = p.ctx.kernel in
   match Hashtbl.find_opt p.fds fd with
-  | None -> fail p th "EBADF"
+  | None -> fail p th E.EBADF
   | Some o -> (
     match o.okind with
     | Knull | Kconsole -> finish p th (vstr "")
@@ -832,29 +833,29 @@ and do_read p th fd n =
         let data = Vfs.read_file f ~off:o.pos ~len:n in
         o.pos <- o.pos + String.length data;
         finish p th ~cost:(Time.add Cost.host_read_base (Cost.copy_cost n)) (vstr data)
-      | exception Vfs.Error e -> fail p th e)
+      | exception Vfs.Error e -> fail p th (E.of_string e))
     | Kstream { sock } -> (
       match o.handle with
       | Some { K.obj = K.Hstream ep; _ } ->
         K.stream_recv kern ep ~max:n (fun data ->
             let cost = Time.add Cost.host_read_base (if sock then net_cost p.ctx else Time.zero) in
             finish p th ~cost (vstr data))
-      | _ -> fail p th "EBADF")
-    | Klisten _ -> fail p th "EINVAL")
+      | _ -> fail p th E.EBADF)
+    | Klisten _ -> fail p th E.EINVAL)
 
 and do_write p th fd data =
   let kern = p.ctx.kernel in
   match Hashtbl.find_opt p.fds fd with
-  | None -> fail p th "EBADF"
+  | None -> fail p th E.EBADF
   | Some o -> (
     match o.okind with
     | Knull -> finish p th ~cost:Cost.host_write_base (vint (String.length data))
-    | Kzero -> fail p th "EACCES"
+    | Kzero -> fail p th E.EACCES
     | Kconsole ->
       Buffer.add_string p.console data;
       (match p.on_console with Some f -> f data | None -> ());
       finish p th ~cost:(Time.ns 150) (vint (String.length data))
-    | Kproc _ -> fail p th "EACCES"
+    | Kproc _ -> fail p th E.EACCES
     | Kfile path -> (
       match Vfs.find_file kern.K.fs path with
       | f ->
@@ -863,7 +864,7 @@ and do_write p th fd data =
         finish p th
           ~cost:(Time.add Cost.host_write_base (Cost.copy_cost (String.length data)))
           (vint (String.length data))
-      | exception Vfs.Error e -> fail p th e)
+      | exception Vfs.Error e -> fail p th (E.of_string e))
     | Kstream { sock } -> (
       match o.handle with
       | Some { K.obj = K.Hstream ep; _ } -> (
@@ -877,9 +878,9 @@ and do_write p th fd data =
           finish p th ~cost (vint (String.length data))
         | exception K.Denied _ ->
           ignore (post_signal p Signal.sigpipe);
-          fail p th "EPIPE")
-      | _ -> fail p th "EBADF")
-    | Klisten _ -> fail p th "EINVAL")
+          fail p th E.EPIPE)
+      | _ -> fail p th E.EBADF)
+    | Klisten _ -> fail p th E.EINVAL)
 
 and do_select p th fd_values =
   let kern = p.ctx.kernel in
@@ -892,7 +893,7 @@ and do_select p th fd_values =
         | _ -> None)
       fds
   in
-  if eps = [] then fail p th "EBADF"
+  if eps = [] then fail p th E.EBADF
   else
     K.after kern Cost.select_base (fun () ->
         let completed = ref false in
@@ -925,7 +926,7 @@ and do_wait p th pid_filter =
     Hashtbl.remove p.children cpid;
     finish p th ~cost:(Time.us 0.8) (Ast.Vpair (vint cpid, vint code))
   | None ->
-    if Hashtbl.length p.children = 0 then fail p th "ECHILD"
+    if Hashtbl.length p.children = 0 then fail p th E.ECHILD
     else
       p.wait_waiters <-
         p.wait_waiters
@@ -937,7 +938,7 @@ and do_fork p th =
   let ctx = p.ctx in
   let kern = ctx.kernel in
   match th.K.machine with
-  | None -> fail p th "EINVAL"
+  | None -> fail p th E.EINVAL
   | Some m ->
     ctx.next_pid <- ctx.next_pid + 1;
     let child_pid = ctx.next_pid in
@@ -973,7 +974,7 @@ and do_fork p th =
 and do_exec p th path argv =
   let kern = p.ctx.kernel in
   match Vfs.read_string kern.K.fs path with
-  | exception Vfs.Error e -> fail p th e
+  | exception Vfs.Error e -> fail p th (E.of_string e)
   | data -> (
     match Loader.decode data with
     | Error e -> fail p th e

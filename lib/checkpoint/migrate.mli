@@ -48,13 +48,13 @@ val resume_from_file :
   path:string ->
   sandbox:int ->
   unit ->
-  (Lx.t, string) result
+  (Lx.t, Graphene_core.Errno.t) result
 
 val migrate :
   ?cfg:Graphene_ipc.Config.t ->
   ?console_hook:(string -> unit) ->
   Lx.t ->
-  k:((Lx.t * int, string) result -> unit) ->
+  k:((Lx.t * int, Graphene_core.Errno.t) result -> unit) ->
   unit
 (** Checkpoint + copy over a modeled 1 Gb link + resume in a fresh
     sandbox; continues with the new instance and the bytes moved. *)

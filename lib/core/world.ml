@@ -41,8 +41,14 @@ type t = {
 
 type proc = Pl of Lx.t | Pn of Native.proc
 
-let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) ?(cfg = Ipc_config.default ()) stack =
+let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) ?(cfg = Ipc_config.default ()) ?faults
+    stack =
   let kernel = K.create ~cores ~seed ~noise () in
+  (* the fault plan is materialized from the run seed, so the same
+     (seed, spec) pair replays the exact same failure schedule *)
+  (match faults with
+  | Some spec -> K.install_faults kernel (Graphene_sim.Fault.create ~seed spec)
+  | None -> ());
   Install.all kernel.K.fs;
   let native =
     match stack with

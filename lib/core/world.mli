@@ -28,11 +28,21 @@ type t
 type proc = Pl of Lx.t | Pn of Native.proc
 
 val create :
-  ?cores:int -> ?seed:int -> ?noise:float -> ?cfg:Graphene_ipc.Config.t -> stack -> t
+  ?cores:int ->
+  ?seed:int ->
+  ?noise:float ->
+  ?cfg:Graphene_ipc.Config.t ->
+  ?faults:Graphene_sim.Fault.spec ->
+  stack ->
+  t
 (** A fresh world: host kernel (default 4 cores), all guest binaries
     and fixtures installed, baseline context and/or reference monitor
     per the stack. [noise] adds compute-timing jitter for benchmark
-    confidence intervals (0 = fully deterministic). *)
+    confidence intervals (0 = fully deterministic). [faults]
+    materializes a deterministic fault plan from [seed] and installs it
+    into the host kernel: message drop/delay/duplication on
+    coordination streams, a crash at the Nth PAL call, a timed leader
+    kill — same seed and spec, same failure schedule. *)
 
 val kernel : t -> K.t
 val stack : t -> stack

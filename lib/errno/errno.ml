@@ -1,0 +1,119 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | ENXIO
+  | E2BIG
+  | ENOEXEC
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | ENOTBLK
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOTTY
+  | ETXTBSY
+  | EFBIG
+  | ENOSPC
+  | ESPIPE
+  | EROFS
+  | EMLINK
+  | EPIPE
+  | EDOM
+  | ERANGE
+  | EDEADLK
+  | ENAMETOOLONG
+  | ENOSYS
+  | ENOTEMPTY
+  | EIDRM
+  | EREMOTE
+  | EPROTO
+  | ENOTSOCK
+  | EADDRINUSE
+  | ECONNREFUSED
+  | ETIMEDOUT
+  | ENOTLEADER
+  | EMOVED
+  | EUNKNOWN of string
+
+let equal a b =
+  match (a, b) with
+  | EUNKNOWN x, EUNKNOWN y -> String.equal x y
+  | _ -> a = b
+
+(* One row per constructor: (constructor, tag, Linux number). EREMOTE,
+   ENOTLEADER and EMOVED keep the numbers the coordination framework
+   has always used at the guest ABI. *)
+let table =
+  [ (EPERM, "EPERM", 1); (ENOENT, "ENOENT", 2); (ESRCH, "ESRCH", 3);
+    (EINTR, "EINTR", 4); (EIO, "EIO", 5); (ENXIO, "ENXIO", 6);
+    (E2BIG, "E2BIG", 7); (ENOEXEC, "ENOEXEC", 8); (EBADF, "EBADF", 9);
+    (ECHILD, "ECHILD", 10); (EAGAIN, "EAGAIN", 11); (ENOMEM, "ENOMEM", 12);
+    (EACCES, "EACCES", 13); (EFAULT, "EFAULT", 14); (ENOTBLK, "ENOTBLK", 15);
+    (EBUSY, "EBUSY", 16); (EEXIST, "EEXIST", 17); (EXDEV, "EXDEV", 18);
+    (ENODEV, "ENODEV", 19); (ENOTDIR, "ENOTDIR", 20); (EISDIR, "EISDIR", 21);
+    (EINVAL, "EINVAL", 22); (ENFILE, "ENFILE", 23); (EMFILE, "EMFILE", 24);
+    (ENOTTY, "ENOTTY", 25); (ETXTBSY, "ETXTBSY", 26); (EFBIG, "EFBIG", 27);
+    (ENOSPC, "ENOSPC", 28); (ESPIPE, "ESPIPE", 29); (EROFS, "EROFS", 30);
+    (EMLINK, "EMLINK", 31); (EPIPE, "EPIPE", 32); (EDOM, "EDOM", 33);
+    (ERANGE, "ERANGE", 34); (EDEADLK, "EDEADLK", 35);
+    (ENAMETOOLONG, "ENAMETOOLONG", 36); (ENOSYS, "ENOSYS", 38);
+    (ENOTEMPTY, "ENOTEMPTY", 39); (EIDRM, "EIDRM", 43);
+    (EREMOTE, "EREMOTE", 66); (EPROTO, "EPROTO", 71);
+    (ENOTSOCK, "ENOTSOCK", 88); (EADDRINUSE, "EADDRINUSE", 98);
+    (ECONNREFUSED, "ECONNREFUSED", 111); (ETIMEDOUT, "ETIMEDOUT", 110);
+    (ENOTLEADER, "ENOTLEADER", 72); (EMOVED, "EMOVED", 73) ]
+
+let code = function
+  | EUNKNOWN _ -> 38 (* ENOSYS, like unknown tags always mapped *)
+  | e ->
+    let rec find = function
+      | [] -> 38
+      | (c, _, n) :: rest -> if c = e then n else find rest
+    in
+    find table
+
+let to_string = function
+  | EUNKNOWN tag -> tag
+  | e ->
+    let rec find = function
+      | [] -> "ENOSYS"
+      | (c, s, _) :: rest -> if c = e then s else find rest
+    in
+    find table
+
+let of_string tag =
+  (* host layers attach detail ("EACCES /etc/shadow", "EINVAL: bad
+     uri"); strip at the first delimiter, as Errno.code always did *)
+  let cut =
+    match (String.index_opt tag ' ', String.index_opt tag ':') with
+    | Some i, Some j -> Some (min i j)
+    | Some i, None | None, Some i -> Some i
+    | None, None -> None
+  in
+  let bare = match cut with Some i -> String.sub tag 0 i | None -> tag in
+  let rec find = function
+    | [] -> EUNKNOWN bare
+    | (c, s, _) :: rest -> if String.equal s bare then c else find rest
+  in
+  find table
+
+let of_code n = List.find_map (fun (c, _, k) -> if k = n then Some c else None) table
+
+let is_transient = function
+  | EINTR | EAGAIN | ETIMEDOUT | ECONNREFUSED | EMOVED | ENOTLEADER -> true
+  | _ -> false
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,94 @@
+(** The one typed error channel shared by every public layer.
+
+    Historically the PAL, the IPC coordination framework and libLinux
+    each passed errors as bare strings ("ENOENT", "EACCES /etc/shadow",
+    "EINVAL: bad uri"), stripped and re-parsed at every boundary. This
+    module replaces all three stringly channels with a single variant:
+    the PAL's [('a, Errno.t) result] continuations, IPC's typed
+    [R_err], and libLinux's guest-visible [Vint (-code)] encoding all
+    agree on the same constructors.
+
+    Host-internal layers (VFS, kernel LSM) still raise string-tagged
+    exceptions; {!of_string} is the conversion applied exactly once, at
+    the PAL boundary, and tolerates the historical detail suffixes
+    ("EACCES /etc/shadow" parses as {!EACCES}). *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | ENXIO
+  | E2BIG
+  | ENOEXEC
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | ENOTBLK
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOTTY
+  | ETXTBSY
+  | EFBIG
+  | ENOSPC
+  | ESPIPE
+  | EROFS
+  | EMLINK
+  | EPIPE
+  | EDOM
+  | ERANGE
+  | EDEADLK
+  | ENAMETOOLONG
+  | ENOSYS
+  | ENOTEMPTY
+  | EIDRM
+  | EREMOTE
+  | EPROTO
+  | ENOTSOCK
+  | EADDRINUSE
+  | ECONNREFUSED
+  | ETIMEDOUT
+  | ENOTLEADER
+      (** coordination: the addressed instance is not the leader
+          (Graphene-specific, encoded as 72 at the guest ABI) *)
+  | EMOVED
+      (** coordination: the resource migrated to another owner; retry
+          against the leader (Graphene-specific, encoded as 73) *)
+  | EUNKNOWN of string
+      (** a tag {!of_string} did not recognise; preserved verbatim so
+          nothing is silently swallowed (encoded as ENOSYS = 38) *)
+
+val equal : t -> t -> bool
+
+(** The Linux errno number ([EUNKNOWN _] maps to 38, ENOSYS). *)
+val code : t -> int
+
+(** The canonical tag, e.g. [to_string EACCES = "EACCES"]. *)
+val to_string : t -> string
+
+(** Parse a host-layer tag. Detail suffixes after the first [' '] or
+    [':'] are ignored ("EACCES /etc/shadow", "EINVAL: bad uri");
+    unrecognised tags become [EUNKNOWN tag]. Total inverse of
+    {!to_string}: [of_string (to_string e) = e] for detail-free [e]. *)
+val of_string : string -> t
+
+(** The constructor for a Linux errno number, if one exists. *)
+val of_code : int -> t option
+
+(** Errors that a caller should treat as transient and retry after
+    backing off: {!EINTR}, {!EAGAIN}, {!ETIMEDOUT}, {!ECONNREFUSED},
+    {!EMOVED}, {!ENOTLEADER}. *)
+val is_transient : t -> bool
+
+val pp : Format.formatter -> t -> unit

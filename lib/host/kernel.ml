@@ -137,6 +137,18 @@ type t = {
       (** multiplicative compute-timing jitter (0 = deterministic, for
           tests; benchmarks use a small value so confidence intervals
           are meaningful) *)
+  mutable fault : Fault.t option;
+      (** active fault plan; consulted by the coordination-stream and
+          broadcast injection hooks *)
+  mutable fault_leader : pico option;
+      (** the current coordination leader, as reported by the IPC layer
+          — the target of a kill-leader fault *)
+  mutable leader_killed_at : Time.t option;
+  mutable recovered_at : Time.t option;
+      (** the first post-election RPC served by the replacement leader *)
+  mutable pal_calls : int;
+      (** lifetime PAL host calls, across all picoprocesses — the
+          crash-call fault counts against this *)
 }
 
 exception Denied of string
@@ -187,7 +199,12 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
     tracer;
     images = Hashtbl.create 8;
     quantum = 4000;
-    noise }
+    noise;
+    fault = None;
+    fault_leader = None;
+    leader_killed_at = None;
+    recovered_at = None;
+    pal_calls = 0 }
 
 let now t = Engine.now t.engine
 let set_lsm t lsm =
@@ -500,6 +517,73 @@ let on_pico_exit _t pico watcher =
 (* Host-level SIGKILL: no guest-side cleanup runs. *)
 let kill_pico t pico = pico_exit t pico 137
 
+(* {1 Fault injection}
+
+   The kernel owns the injection hooks; the plan itself (rates, seed,
+   verdict sequence) lives in {!Graphene_sim.Fault}. Only traffic that
+   opts in ([~faultable:true] on [stream_send], and every broadcast
+   delivery) draws verdicts, so fork pipes, checkpoint streams and file
+   I/O are never corrupted — the paper's coordination framework is the
+   system under test. *)
+
+let fault_plan t = t.fault
+
+let fault_trace t name pid args =
+  if Obs.enabled t.tracer then begin
+    Obs.count t.tracer ("fault." ^ name);
+    Obs.instant t.tracer Obs.Kernel ~name:("fault." ^ name) ~pid ~args (now t)
+  end
+
+let note_leader t pico = t.fault_leader <- Some pico
+
+(* Called by the replacement leader when it serves its first RPC: the
+   recovery interval ends here. *)
+let note_recovery t =
+  match (t.leader_killed_at, t.recovered_at) with
+  | Some killed, None ->
+    let at = now t in
+    t.recovered_at <- Some at;
+    let delta = Time.diff at killed in
+    Obs.observe t.tracer "ipc.recovery_ns" (float_of_int delta);
+    fault_trace t "recovered" 0 [ ("recovery_ns", Obs.Aint delta) ]
+  | _ -> ()
+
+let fault_recovery t =
+  match (t.leader_killed_at, t.recovered_at) with
+  | Some k, Some r -> Some (k, r)
+  | _ -> None
+
+let leader_killed_at t = t.leader_killed_at
+
+let install_faults t plan =
+  t.fault <- Some plan;
+  match Fault.kill_leader_at plan with
+  | None -> ()
+  | Some at ->
+    ignore
+      (Engine.schedule_at t.engine at (fun () ->
+           match t.fault_leader with
+           | Some p when alive p ->
+             t.leader_killed_at <- Some (now t);
+             fault_trace t "kill_leader" p.pid [ ("victim", Obs.Aint p.pid) ];
+             kill_pico t p
+           | _ -> ()))
+
+(* The crash-at-Nth-PAL-call fault. The PAL calls this from its
+   dispatch choke point; [true] means the picoprocess was just killed
+   and the PAL must not run the continuation. *)
+let fault_pal_call t pico =
+  t.pal_calls <- t.pal_calls + 1;
+  match t.fault with
+  | None -> false
+  | Some plan -> (
+    match Fault.crash_call plan with
+    | Some n when n = t.pal_calls && alive pico ->
+      fault_trace t "crash" pico.pid [ ("pal_call", Obs.Aint n) ];
+      kill_pico t pico;
+      true
+    | _ -> false)
+
 (* {1 Streams} *)
 
 let register_endpoint _t pico ep =
@@ -552,7 +636,11 @@ let stream_accept _t srv k =
    latency. *)
 (* [extra] is send-side work (marshaling, copies) that delays delivery
    but not the write's position in the stream's FIFO order. *)
-let stream_send ?extra t ep data =
+(* [faultable] opts this send into the active fault plan (only the
+   coordination layer does); the verdict is drawn per message, in send
+   order. A duplicate occupies two FIFO slots, so reordering never
+   comes from duplication alone. *)
+let stream_send ?(extra = Time.zero) ?(faultable = false) t ep data =
   match ep.Stream.peer with
   | None -> raise (Denied "EPIPE")
   | Some peer ->
@@ -568,7 +656,22 @@ let stream_send ?extra t ep data =
               ("peer_queue_depth", Obs.Aint peer.Stream.inbox_bytes) ]
           (now t)
       end;
-      schedule_into ?extra t peer (fun () -> Stream.deliver peer data)
+      let deliver ?(extra = extra) () =
+        schedule_into ~extra t peer (fun () -> Stream.deliver peer data)
+      in
+      match t.fault with
+      | Some plan when faultable -> (
+        match Fault.message_action plan with
+        | Fault.Deliver -> deliver ()
+        | Fault.Drop -> fault_trace t "drop" ep.Stream.owner []
+        | Fault.Delay d ->
+          fault_trace t "delay" ep.Stream.owner [ ("delay_ns", Obs.Aint d) ];
+          deliver ~extra:(Time.add extra d) ()
+        | Fault.Duplicate ->
+          fault_trace t "dup" ep.Stream.owner [];
+          deliver ();
+          deliver ())
+      | _ -> deliver ()
     end
 
 let stream_send_handle t ep handle =
@@ -628,13 +731,33 @@ let broadcast_leave t pico =
   | None -> ()
 
 (* Message-granularity delivery to every member of the sender's
-   sandbox except the sender itself. *)
+   sandbox except the sender itself. Broadcasts carry only
+   coordination traffic (election, shutdown, async notifications), so
+   every per-recipient delivery is fault-eligible: one verdict per
+   (message, recipient), which lets a lossy plan partition the
+   candidate set mid-election. *)
 let broadcast_send t pico msg =
   let members = broadcast_members t pico.sandbox in
   List.iter
     (fun (p, handler) ->
-      if p != pico && alive p then
-        after t Cost.stream_oneway (fun () -> if alive p then handler msg))
+      if p != pico && alive p then begin
+        let deliver ?(d = Time.zero) () =
+          after t (Time.add Cost.stream_oneway d) (fun () -> if alive p then handler msg)
+        in
+        match t.fault with
+        | None -> deliver ()
+        | Some plan -> (
+          match Fault.message_action plan with
+          | Fault.Deliver -> deliver ()
+          | Fault.Drop -> fault_trace t "drop" pico.pid []
+          | Fault.Delay d ->
+            fault_trace t "delay" pico.pid [ ("delay_ns", Obs.Aint d) ];
+            deliver ~d ()
+          | Fault.Duplicate ->
+            fault_trace t "dup" pico.pid [];
+            deliver ();
+            deliver ())
+      end)
     !members
 
 (* {1 Sandboxes} *)

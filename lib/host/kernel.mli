@@ -129,6 +129,11 @@ type t = {
   images : (string, Memory.image) Hashtbl.t;
   mutable quantum : int;
   noise : float;
+  mutable fault : Graphene_sim.Fault.t option;
+  mutable fault_leader : pico option;
+  mutable leader_killed_at : Graphene_sim.Time.t option;
+  mutable recovered_at : Graphene_sim.Time.t option;
+  mutable pal_calls : int;
 }
 
 and gipc_payload
@@ -215,6 +220,41 @@ val on_pico_exit : t -> pico -> (int -> unit) -> unit
 val kill_pico : t -> pico -> unit
 (** Host-level SIGKILL (exit code 137); no guest cleanup. *)
 
+(** {1 Fault injection}
+
+    The kernel owns the injection hooks for a {!Graphene_sim.Fault}
+    plan: coordination stream sends marked [~faultable:true] and every
+    broadcast delivery draw one verdict each; a [crash-call] plan kills
+    the picoprocess issuing the Nth PAL call; a [kill-leader] plan
+    SIGKILLs the picoprocess most recently reported via {!note_leader}
+    at the scheduled virtual time. *)
+
+val install_faults : t -> Graphene_sim.Fault.t -> unit
+(** Activate a plan; schedules the leader-kill event if the plan has
+    one. Call before running the workload. *)
+
+val fault_plan : t -> Graphene_sim.Fault.t option
+
+val note_leader : t -> pico -> unit
+(** The IPC layer reports the current coordination leader here (at
+    bootstrap and after every election win) so a kill-leader fault
+    knows its target. *)
+
+val note_recovery : t -> unit
+(** The replacement leader reports its first served RPC here; closes
+    the recovery interval opened by the kill-leader fault and records
+    it in the ["ipc.recovery_ns"] metric. *)
+
+val fault_recovery : t -> (Graphene_sim.Time.t * Graphene_sim.Time.t) option
+(** [(killed_at, recovered_at)] once both ends of the recovery interval
+    have been observed. *)
+
+val leader_killed_at : t -> Graphene_sim.Time.t option
+
+val fault_pal_call : t -> pico -> bool
+(** Count one PAL host call; [true] means the crash-call fault just
+    killed the calling picoprocess and the caller must not continue. *)
+
 (** {1 Streams} *)
 
 val register_endpoint : t -> pico -> handle Stream.endpoint -> unit
@@ -245,9 +285,13 @@ val stream_connect :
     latency. Errors: ENOENT, ECONNREFUSED, EACCES (LSM). *)
 
 val stream_accept : t -> server -> (handle Stream.endpoint -> unit) -> unit
-val stream_send : ?extra:Graphene_sim.Time.t -> t -> handle Stream.endpoint -> string -> unit
+val stream_send :
+  ?extra:Graphene_sim.Time.t -> ?faultable:bool -> t -> handle Stream.endpoint -> string -> unit
 (** Raises {!Denied} ["EPIPE"] on a closed peer. [extra] is send-side
-    work that delays delivery but not the message's FIFO position. *)
+    work that delays delivery but not the message's FIFO position.
+    [faultable] (default [false]) opts the message into the active
+    fault plan — only the coordination layer sets it, so fork pipes,
+    checkpoint streams and file I/O are never perturbed. *)
 
 val stream_send_handle : t -> handle Stream.endpoint -> handle -> unit
 val stream_recv : t -> handle Stream.endpoint -> max:int -> (string -> unit) -> unit

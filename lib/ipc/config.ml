@@ -4,7 +4,15 @@
     optimizations; the ablation benchmark toggles them individually to
     reproduce the claimed effects (e.g. ownership migration reduced
     remote message-queue receive overhead by ~10x, and stream caching
-    turns a ~2 ms first signal into ~55 us). *)
+    turns a ~2 ms first signal into ~55 us).
+
+    The timing knobs parameterize the failure-handling machinery:
+    every delay the coordination layer waits on is named here instead
+    of hard-coded, so the chaos benchmark (and tests) can tighten or
+    stretch them. Defaults reproduce the framework's historical
+    behavior exactly. *)
+
+module Time = Graphene_sim.Time
 
 type t = {
   mutable async_send : bool;
@@ -21,6 +29,33 @@ type t = {
       (** keep point-to-point streams open between RPCs *)
   mutable cache_owners : bool;
       (** cache name-to-owner resolutions (PID maps, queue owners) *)
+  (* --- failure handling --- *)
+  mutable rpc_tries : int;
+      (** attempts per RPC before giving up (connect + response) *)
+  mutable rpc_timeout : Time.t;
+      (** how long one attempt waits for a response before
+          retransmitting (0 = never time out, the historical
+          behavior) *)
+  mutable backoff_base : Time.t;
+      (** first retransmission backoff; doubles per timeout *)
+  mutable backoff_cap : Time.t;  (** exponential backoff ceiling *)
+  mutable connect_tries : int;
+      (** rendezvous-connect attempts while the peer's server may not
+          be up yet *)
+  mutable connect_retry_delay : Time.t;  (** delay between those *)
+  mutable election_settle : Time.t;
+      (** how long a candidate waits for competing announcements before
+          concluding the election *)
+  mutable election_restart : Time.t;
+      (** how long a non-winner waits for the winner's takeover before
+          restarting the election *)
+  mutable election_retry_delay : Time.t;
+      (** delay before re-running an RPC that failed because the leader
+          died (an election is typically in flight) *)
+  mutable moved_tries : int;
+      (** retries of operations answered EMOVED / ECONNREFUSED while
+          ownership or leadership is in motion *)
+  mutable moved_retry_delay : Time.t;  (** delay between those *)
 }
 
 let default () =
@@ -29,22 +64,30 @@ let default () =
     migrate_threshold = 3;
     pid_batch = 50;
     cache_p2p = true;
-    cache_owners = true }
+    cache_owners = true;
+    rpc_tries = 3;
+    rpc_timeout = Time.ms 2.0;
+    backoff_base = Time.us 100.;
+    backoff_cap = Time.ms 1.6;
+    connect_tries = 40;
+    connect_retry_delay = Time.us 50.;
+    election_settle = Time.us 300.;
+    election_restart = Time.us 600.;
+    election_retry_delay = Time.ms 1.2;
+    moved_tries = 10;
+    moved_retry_delay = Time.us 60. }
 
 (* The starting point of §4.3's iteration: every coordination request
    is a synchronous RPC, no caching, no batching. *)
 let naive () =
-  { async_send = false;
+  { (default ()) with
+    async_send = false;
     migrate_ownership = false;
     migrate_threshold = max_int;
     pid_batch = 1;
     cache_p2p = false;
     cache_owners = false }
 
-let copy c =
-  { async_send = c.async_send;
-    migrate_ownership = c.migrate_ownership;
-    migrate_threshold = c.migrate_threshold;
-    pid_batch = c.pid_batch;
-    cache_p2p = c.cache_p2p;
-    cache_owners = c.cache_owners }
+(* a fresh record with every field copied; [with] on one field forces
+   the allocation *)
+let copy c = { c with async_send = c.async_send }

@@ -4,7 +4,15 @@
     optimizations; the ablation benchmark toggles them individually to
     reproduce the claimed effects (ownership migration bought ~10x on
     remote receives; stream caching turns a ~2 ms first signal into
-    ~55 µs; batching keeps the leader off fork's critical path). *)
+    ~55 µs; batching keeps the leader off fork's critical path).
+
+    The timing knobs name every delay the failure-handling machinery
+    waits on — RPC timeout, retransmission backoff, rendezvous retry,
+    election settle/restart — so the chaos benchmark and the fault
+    tests can tighten or stretch them without touching the framework.
+    Defaults reproduce the historical hard-coded values. *)
+
+module Time = Graphene_sim.Time
 
 type t = {
   mutable async_send : bool;
@@ -21,13 +29,43 @@ type t = {
       (** keep point-to-point streams open between RPCs *)
   mutable cache_owners : bool;
       (** cache name-to-owner resolutions (PID maps, queue owners) *)
+  mutable rpc_tries : int;
+      (** attempts per RPC before giving up (connect + response) *)
+  mutable rpc_timeout : Time.t;
+      (** how long one attempt waits for a response before
+          retransmitting the request — with the same sequence number,
+          so the handler side deduplicates. 0 disables timeouts (the
+          historical wait-forever behavior). *)
+  mutable backoff_base : Time.t;
+      (** first retransmission backoff; doubles per consecutive
+          timeout *)
+  mutable backoff_cap : Time.t;  (** exponential backoff ceiling *)
+  mutable connect_tries : int;
+      (** rendezvous-connect attempts while the peer's server may not
+          be up yet *)
+  mutable connect_retry_delay : Time.t;
+  mutable election_settle : Time.t;
+      (** how long a candidate waits for competing announcements before
+          concluding the election *)
+  mutable election_restart : Time.t;
+      (** how long a non-winner waits for the winner's takeover before
+          restarting the election *)
+  mutable election_retry_delay : Time.t;
+      (** delay before re-running an RPC that failed because the leader
+          died (an election is typically in flight) *)
+  mutable moved_tries : int;
+      (** retries of operations answered EMOVED / ECONNREFUSED while
+          ownership or leadership is in motion *)
+  mutable moved_retry_delay : Time.t;
 }
 
 val default : unit -> t
-(** Everything on: batch 50, migration threshold 3. *)
+(** Everything on: batch 50, migration threshold 3; RPC timeout 2 ms
+    with 100 µs→1.6 ms exponential backoff, 3 tries. *)
 
 val naive : unit -> t
 (** The starting point of §4.3's iteration: every coordination request
-    is a synchronous RPC, no caching, no batching, no migration. *)
+    is a synchronous RPC, no caching, no batching, no migration. The
+    failure-handling knobs keep their defaults. *)
 
 val copy : t -> t

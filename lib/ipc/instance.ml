@@ -8,23 +8,32 @@
     subdivides the PID and System V id namespaces in batches. RPC
     handlers answer strictly from local state (no recursive RPCs), and
     responses may be deferred (a receive on an empty queue answers when
-    a message arrives), which keeps the helper deadlock-free. *)
+    a message arrives), which keeps the helper deadlock-free.
+
+    Failure handling: every request carries a per-sender sequence
+    number; requests outstanding past {!Config.t.rpc_timeout} are
+    retransmitted with the same number under capped exponential
+    backoff, and {!Wire.Dedup} suppresses re-execution at the handler.
+    A dead leader is detected by connect failure, refused streams or
+    timeout, and repaired by the broadcast election of §4.2. All
+    errors are typed {!Graphene_core.Errno.t}. *)
 
 open Graphene_sim
 module Obs = Graphene_obs.Obs
 module K = Graphene_host.Kernel
 module Stream = Graphene_host.Stream
 module Pal = Graphene_pal.Pal
+module Errno = Graphene_core.Errno
 
 type callbacks = {
   deliver_signal : signum:int -> from_pid:int -> to_pid:int -> bool;
       (** [false] if the target PID is not in this thread group *)
   on_exit_notification : pid:int -> code:int -> unit;
-  proc_read : pid:int -> field:string -> (string, string) result;
+  proc_read : pid:int -> field:string -> (string, Errno.t) result;
 }
 
 type waiter =
-  | Local of ((string, string) result -> unit)
+  | Local of ((string, Errno.t) result -> unit)
   | Remote of { ep : K.handle Stream.endpoint; reqid : int; requester : string }
 
 type msgq = {
@@ -37,7 +46,7 @@ type msgq = {
 }
 
 type sem_waiter =
-  | Sem_local of ((unit, string) result -> unit)
+  | Sem_local of ((unit, Errno.t) result -> unit)
   | Sem_remote of { ep : K.handle Stream.endpoint; reqid : int; requester : string }
 
 type sem = {
@@ -71,15 +80,20 @@ type t = {
   pid_cache : (int, string) Hashtbl.t;  (** PID -> owner addr *)
   pending : (int, string option * (Wire.response -> unit)) Hashtbl.t;
   mutable next_req : int;
+  dedup : Wire.Dedup.t;  (** receiver-side duplicate suppression *)
   msgqs : (int, msgq) Hashtbl.t;  (** queues owned here *)
   sems : (int, sem) Hashtbl.t;
   deleted : (int, unit) Hashtbl.t;  (** ids known deleted *)
   mutable rpc_sent : int;  (** telemetry *)
   mutable rpc_handled : int;
+  mutable retransmits : int;
   mutable shutdown : bool;
   mutable my_pid : int;  (** guest PID, the election tie-breaker *)
   mutable electing : bool;
   mutable candidates : (int * string) list;
+  mutable elected_leader : bool;
+      (** won an election and has not yet served a request — the next
+          one served closes the recovery interval *)
 }
 
 let persist_dir = "/var/graphene/msgq"
@@ -99,15 +113,26 @@ let my_addr t = t.my_addr
 let is_leader t = t.leader <> None
 let rpc_sent t = t.rpc_sent
 let rpc_handled t = t.rpc_handled
+let retransmits t = t.retransmits
+let duplicates_suppressed t = Wire.Dedup.suppressed t.dedup
 
 let ep_of_handle h =
   match h.K.obj with
   | K.Hstream ep -> ep
   | _ -> invalid_arg "Instance: not a stream handle"
 
+(* One sequence counter numbers requests AND notifications, so
+   (my_addr, seq) is globally unique across everything we emit — the
+   receiver's dedup key. *)
+let next_seq t =
+  t.next_req <- t.next_req + 1;
+  t.next_req
+
 (* {1 Sending} *)
 
-(* Marshal + host write; the kernel adds the stream's one-way latency. *)
+(* Marshal + host write; the kernel adds the stream's one-way latency.
+   Every message sent here is coordination traffic, so it opts into the
+   active fault plan. *)
 let send_env ?(ctx = 0) t ep env =
   let data = Wire.encode ~ctx env in
   let dbg = Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None in
@@ -116,10 +141,17 @@ let send_env ?(ctx = 0) t ep env =
      place in the stream order now — an exiting peer's EOF cannot
      overtake it *)
   let cost = Time.add (Time.us 0.8) (Time.add Cost.host_write_base (Cost.copy_cost (String.length data))) in
-  (try K.stream_send ~extra:cost (kernel t) ep data
+  (try K.stream_send ~extra:cost ~faultable:true (kernel t) ep data
    with K.Denied e -> if dbg then Printf.eprintf "[ipc %s] send failed %s\n%!" t.my_addr e)
 
 let respond t ep reqid resp = send_env t ep (Wire.Resp (reqid, resp))
+
+(* A response to a request we executed (now or deferred): record it so
+   retransmissions of the same request replay it instead of
+   re-executing the handler. *)
+let respond_executed t ep ~origin ~reqid resp =
+  Wire.Dedup.finish_request t.dedup ~origin ~seq:reqid resp;
+  respond t ep reqid resp
 
 (* {1 The helper pump} *)
 
@@ -143,7 +175,7 @@ let rec pump ?addr t ep =
         List.iter
           (fun (id, k) ->
             Hashtbl.remove t.pending id;
-            k (Wire.R_err "ECONNREFUSED"))
+            k (Wire.R_err Errno.ECONNREFUSED))
           stale
       | None -> ())
     | Some msg ->
@@ -162,25 +194,40 @@ and handle t ep env ~ctx =
   t.rpc_handled <- t.rpc_handled + 1;
   match env with
   | Wire.Resp (id, resp) -> (
+    (* a duplicated or replayed response finds no pending entry and
+       falls through — client-side dedup is the pending table itself *)
     match Hashtbl.find_opt t.pending id with
     | Some (_, k) ->
       Hashtbl.remove t.pending id;
       k resp
     | None -> ())
-  | Wire.Req (id, req) ->
-    let t0 = K.now (kernel t) in
-    K.after (kernel t) Cost.rpc_handler (fun () ->
-        if not t.shutdown then begin
-          handler_trace t ~label:("rpc:" ^ Wire.req_label req) ~ctx ~t0;
-          handle_request t ep id req
-        end)
-  | Wire.Oneway n ->
-    let t0 = K.now (kernel t) in
-    K.after (kernel t) Cost.rpc_handler (fun () ->
-        if not t.shutdown then begin
-          handler_trace t ~label:("oneway:" ^ Wire.notification_label n) ~ctx ~t0;
-          handle_notification t n
-        end)
+  | Wire.Req { seq; origin; req } -> (
+    match Wire.Dedup.begin_request t.dedup ~origin ~seq with
+    | `Drop -> count_dup t
+    | `Replay resp ->
+      count_dup t;
+      respond t ep seq resp
+    | `Execute ->
+      let t0 = K.now (kernel t) in
+      K.after (kernel t) Cost.rpc_handler (fun () ->
+          if not t.shutdown then begin
+            handler_trace t ~label:("rpc:" ^ Wire.req_label req) ~ctx ~t0;
+            handle_request t ep ~origin seq req
+          end))
+  | Wire.Oneway { seq; origin; note = n } ->
+    if Wire.Dedup.seen_oneway t.dedup ~origin ~seq then count_dup t
+    else begin
+      let t0 = K.now (kernel t) in
+      K.after (kernel t) Cost.rpc_handler (fun () ->
+          if not t.shutdown then begin
+            handler_trace t ~label:("oneway:" ^ Wire.notification_label n) ~ctx ~t0;
+            handle_notification t n
+          end)
+    end
+
+and count_dup t =
+  let tracer = (kernel t).K.tracer in
+  if Obs.enabled tracer then Obs.count tracer "ipc.dups_suppressed"
 
 (* Handler-side trace: a span covering the dispatch cost, plus the
    terminating "f" of the sender's flow so the viewer draws the arrow
@@ -214,32 +261,35 @@ and with_stream t addr k =
           pump ~addr t (ep_of_handle h);
           if t.cfg.Config.cache_p2p then Hashtbl.replace t.streams addr h;
           k (Ok h)
-        | Error "ENOENT" when tries > 0 && not t.shutdown ->
-          K.after (kernel t) (Time.us 50.) (fun () -> attempt (tries - 1))
+        | Error Errno.ENOENT when tries > 0 && not t.shutdown ->
+          K.after (kernel t) t.cfg.Config.connect_retry_delay (fun () -> attempt (tries - 1))
         | Error e -> k (Error e))
     in
-    attempt 40
+    attempt t.cfg.Config.connect_tries
 
-and rpc t ~addr req k = rpc_attempt t ~addr ~tries:3 req k
+and rpc t ~addr req k = rpc_attempt t ~addr ~tries:t.cfg.Config.rpc_tries req k
 
 and rpc_attempt t ~addr ~tries req k =
   if Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None then
     Printf.eprintf "[ipc %s] rpc to %s\n%!" t.my_addr addr;
+  (* the leader died (or is unreachable): elect a replacement over the
+     broadcast stream, then retry against whoever won *)
+  let retry_after_election () =
+    join_election t;
+    K.after (kernel t) t.cfg.Config.election_retry_delay (fun () ->
+        rpc_attempt t ~addr:t.leader_addr ~tries:(tries - 1) req k)
+  in
   with_stream t addr (fun res ->
       match res with
       | Error _ when addr = t.leader_addr && tries > 0 && not t.shutdown ->
-        (* the leader is gone: elect a new one over the broadcast
-           stream, then retry against whoever won *)
-        join_election t;
-        K.after (kernel t) (Time.ms 1.2) (fun () ->
-            rpc_attempt t ~addr:t.leader_addr ~tries:(tries - 1) req k)
+        retry_after_election ()
       | Error e ->
         if Sys.getenv_opt "GRAPHENE_IPC_DEBUG" <> None then
-          Printf.eprintf "[ipc %s] connect to %s failed: %s\n%!" t.my_addr addr e;
+          Printf.eprintf "[ipc %s] connect to %s failed: %s\n%!" t.my_addr addr
+            (Errno.to_string e);
         k (Wire.R_err e)
       | Ok h ->
-        t.next_req <- t.next_req + 1;
-        let id = t.next_req in
+        let id = next_seq t in
         t.rpc_sent <- t.rpc_sent + 1;
         let t0 = K.now (kernel t) in
         let tracer = (kernel t).K.tracer in
@@ -265,10 +315,66 @@ and rpc_attempt t ~addr ~tries req k =
             Hashtbl.remove t.streams addr;
             Pal.stream_close t.pal h (fun _ -> ())
           end;
-          k resp
+          (* a transient failure of a leader RPC is grounds for an
+             election retry, not an error to the caller *)
+          match resp with
+          | Wire.R_err ((Errno.ECONNREFUSED | Errno.ETIMEDOUT | Errno.ENOTLEADER) as e)
+            when addr = t.leader_addr && tries > 0 && not t.shutdown ->
+            ignore e;
+            retry_after_election ()
+          | resp -> k resp
+        in
+        let env = Wire.Req { seq = id; origin = t.my_addr; req } in
+        let resend () =
+          match Hashtbl.find_opt t.streams addr with
+          | Some h' -> send_env ~ctx:flow t (ep_of_handle h') env
+          | None -> send_env ~ctx:flow t (ep_of_handle h) env
         in
         Hashtbl.replace t.pending id (Some addr, finish);
-        send_env ~ctx:flow t (ep_of_handle h) (Wire.Req (id, req)))
+        send_env ~ctx:flow t (ep_of_handle h) env;
+        arm_timeout t ~id ~req ~resend)
+
+(* Per-request timeout: while (id) is still pending after rpc_timeout
+   (+ backoff), retransmit with the same sequence number — the handler
+   side deduplicates, so retries are idempotent. Requests that may
+   legitimately block server-side (queue receives, semaphore acquires)
+   are never failed by the timer: they get their [rpc_tries]
+   retransmissions against message loss and then wait, bounded, so a
+   quiescent-but-blocked workload still lets the engine go idle. *)
+and arm_timeout t ~id ~req ~resend =
+  let cfg = t.cfg in
+  if cfg.Config.rpc_timeout > 0 then begin
+    let may_block =
+      match req with
+      | Wire.Msgq_recv _ -> true
+      | Wire.Sem_op { delta; _ } -> delta < 0
+      | _ -> false
+    in
+    let tracer = (kernel t).K.tracer in
+    let rec arm n backoff =
+      K.after (kernel t) (Time.add cfg.Config.rpc_timeout backoff) (fun () ->
+          if Hashtbl.mem t.pending id && not t.shutdown then begin
+            if n < cfg.Config.rpc_tries then begin
+              t.retransmits <- t.retransmits + 1;
+              if Obs.enabled tracer then Obs.count tracer "ipc.retransmits";
+              resend ();
+              let doubled = Time.add backoff backoff in
+              let base = cfg.Config.backoff_base in
+              let next = if doubled = 0 then base else min doubled cfg.Config.backoff_cap in
+              arm (n + 1) next
+            end
+            else if not may_block then begin
+              (match Hashtbl.find_opt t.pending id with
+              | Some (_, finish) ->
+                Hashtbl.remove t.pending id;
+                if Obs.enabled tracer then Obs.count tracer "ipc.timeouts";
+                finish (Wire.R_err Errno.ETIMEDOUT)
+              | None -> ())
+            end
+          end)
+    in
+    arm 1 Time.zero
+  end
 
 and oneway t ~addr n =
   with_stream t addr (fun res ->
@@ -287,17 +393,24 @@ and oneway t ~addr n =
             (K.now (kernel t));
           Obs.flow_start tracer ~name:label ~id:flow ~pid (K.now (kernel t))
         end;
-        send_env ~ctx:flow t (ep_of_handle h) (Wire.Oneway n))
+        send_env ~ctx:flow t (ep_of_handle h)
+          (Wire.Oneway { seq = next_seq t; origin = t.my_addr; note = n }))
 
 (* {1 Leader-side request handling} *)
 
 and leader_must t f =
   match t.leader with
   | Some ls -> f ls
-  | None -> Wire.R_err "ENOTLEADER"
+  | None -> Wire.R_err Errno.ENOTLEADER
 
-and handle_request t ep reqid req =
-  let reply r = respond t ep reqid r in
+and handle_request t ep ~origin reqid req =
+  (* a freshly elected leader serving its first request closes the
+     recovery interval the kill-leader fault opened *)
+  if t.elected_leader then begin
+    t.elected_leader <- false;
+    K.note_recovery (kernel t)
+  end;
+  let reply r = respond_executed t ep ~origin ~reqid r in
   match req with
   | Wire.Pid_alloc { count; requester } ->
     reply
@@ -326,7 +439,7 @@ and handle_request t ep reqid req =
                created = false }))
   | Wire.Signal { to_pid; signum; from_pid } ->
     if t.callbacks.deliver_signal ~signum ~from_pid ~to_pid then reply Wire.R_unit
-    else reply (Wire.R_err "ESRCH")
+    else reply (Wire.R_err Errno.ESRCH)
   | Wire.Proc_read { pid; field } -> (
     match t.callbacks.proc_read ~pid ~field with
     | Ok s -> reply (Wire.R_str s)
@@ -340,7 +453,7 @@ and handle_request t ep reqid req =
              Wire.R_resource
                { id; owner; persisted = Hashtbl.mem ls.res_persisted id; created = false }
            | None ->
-             if not create then Wire.R_err "ENOENT"
+             if not create then Wire.R_err Errno.ENOENT
              else begin
                let id = ls.next_rid in
                ls.next_rid <- id + 1;
@@ -364,13 +477,13 @@ and handle_request t ep reqid req =
              Wire.R_resource { id; owner = requester; persisted = false; created = true }))
   | Wire.Msgq_send { id; data } -> (
     match Hashtbl.find_opt t.msgqs id with
-    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then "EIDRM" else "EMOVED"))
+    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then Errno.EIDRM else Errno.EMOVED))
     | Some q ->
       enqueue t q data;
       reply Wire.R_unit)
   | Wire.Msgq_recv { id; requester } -> (
     match Hashtbl.find_opt t.msgqs id with
-    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then "EIDRM" else "EMOVED"))
+    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then Errno.EIDRM else Errno.EMOVED))
     | Some q ->
       note_accessor q requester;
       let n = 1 + Option.value ~default:0 (Hashtbl.find_opt q.recv_stats requester) in
@@ -396,13 +509,13 @@ and handle_request t ep reqid req =
       end)
   | Wire.Msgq_rmid { id } -> (
     match Hashtbl.find_opt t.msgqs id with
-    | None -> reply (Wire.R_err "EMOVED")
+    | None -> reply (Wire.R_err Errno.EMOVED)
     | Some q ->
       delete_queue t q;
       reply Wire.R_unit)
   | Wire.Sem_op { id; delta; requester } -> (
     match Hashtbl.find_opt t.sems id with
-    | None -> reply (Wire.R_err "EMOVED")
+    | None -> reply (Wire.R_err Errno.EMOVED)
     | Some s ->
       if delta >= 0 then begin
         sem_release t s delta;
@@ -465,10 +578,24 @@ and handle_notification t n =
   | Wire.Leader_candidate { pid; addr } ->
     if not (List.mem (pid, addr) t.candidates) then t.candidates <- (pid, addr) :: t.candidates;
     if not t.electing then join_election t
-  | Wire.Leader_elected { pid = _; addr } ->
-    t.electing <- false;
-    t.candidates <- [];
-    if addr <> t.my_addr then begin
+  | Wire.Leader_elected { pid; addr } ->
+    if addr = t.my_addr then begin
+      t.electing <- false;
+      t.candidates <- []
+    end
+    else if is_leader t && t.my_pid < pid then
+      (* diverged candidate sets (message loss) produced a second,
+         higher-PID winner: reassert — lowest PID wins *)
+      broadcast_oneway t (Wire.Leader_elected { pid = t.my_pid; addr = t.my_addr })
+    else begin
+      (* if we also claimed leadership from a diverged candidate set,
+         the lower PID wins and we demote ourselves *)
+      if is_leader t && t.my_pid > pid then begin
+        t.leader <- None;
+        t.elected_leader <- false
+      end;
+      t.electing <- false;
+      t.candidates <- [];
       t.leader_addr <- addr;
       (* help the new leader rebuild its tables *)
       oneway t ~addr (Wire.State_report { addr = t.my_addr; pid = t.my_pid;
@@ -490,12 +617,15 @@ and owned_resources t =
 
 (* {1 Leader recovery (paper §4.2, "Leader Recovery")}
 
-   On detecting the leader's death (a failed connect), members run a
-   simple consensus over the broadcast stream: every reachable member
-   announces its candidacy and, after a settling window, the lowest
-   process ID wins. The new leader reconstructs the namespace tables
-   from State_report messages ("leader state can be reconstructed by
-   querying each picoprocess in the sandbox"). *)
+   On detecting the leader's death (a failed connect, a refused
+   stream, or a timed-out request), members run a simple consensus
+   over the broadcast stream: every reachable member announces its
+   candidacy and, after a settling window, the lowest process ID wins.
+   The new leader reconstructs the namespace tables from State_report
+   messages ("leader state can be reconstructed by querying each
+   picoprocess in the sandbox"). Under message loss the candidate sets
+   can diverge; competing Leader_elected announcements converge on the
+   lowest PID (see {!handle_notification}). *)
 
 and broadcast_oneway t n =
   let tracer = (kernel t).K.tracer in
@@ -507,7 +637,8 @@ and broadcast_oneway t n =
     Obs.instant tracer Obs.Ipc ~name:label ~pid (K.now (kernel t));
     Obs.flow_start tracer ~name:label ~id:flow ~pid (K.now (kernel t))
   end;
-  K.broadcast_send (kernel t) (Pal.pico t.pal) (Wire.encode ~ctx:flow (Wire.Oneway n))
+  K.broadcast_send (kernel t) (Pal.pico t.pal)
+    (Wire.encode ~ctx:flow (Wire.Oneway { seq = next_seq t; origin = t.my_addr; note = n }))
 
 and join_election t =
   if (not t.electing) && not t.shutdown then begin
@@ -515,7 +646,7 @@ and join_election t =
     if not (List.mem (t.my_pid, t.my_addr) t.candidates) then
       t.candidates <- (t.my_pid, t.my_addr) :: t.candidates;
     broadcast_oneway t (Wire.Leader_candidate { pid = t.my_pid; addr = t.my_addr });
-    K.after (kernel t) (Time.us 300.) (fun () -> conclude_election t)
+    K.after (kernel t) t.cfg.Config.election_settle (fun () -> conclude_election t)
   end
 
 and conclude_election t =
@@ -532,6 +663,8 @@ and conclude_election t =
       t.candidates <- [];
       t.leader <- Some (fresh_leader ~first_pid:(t.my_pid + 1000));
       t.leader_addr <- t.my_addr;
+      t.elected_leader <- true;
+      K.note_leader (kernel t) (Pal.pico t.pal);
       (* adopt our own state directly *)
       handle_notification t
         (Wire.State_report { addr = t.my_addr; pid = t.my_pid; ranges = t.pid_pool;
@@ -539,8 +672,9 @@ and conclude_election t =
       broadcast_oneway t (Wire.Leader_elected { pid; addr })
     | _ ->
       (* wait for the winner's announcement a little longer; if it
-         never comes (it also died), restart *)
-      K.after (kernel t) (Time.us 600.) (fun () ->
+         never comes (it also died, or its candidacy was dropped on the
+         wire), restart with a fresh candidacy broadcast *)
+      K.after (kernel t) t.cfg.Config.election_restart (fun () ->
           if t.electing then begin
             t.electing <- false;
             t.candidates <- [];
@@ -566,7 +700,8 @@ and enqueue t q data =
     q.rwaiters <- rest;
     (match w with
     | Local k -> k (Ok data)
-    | Remote { ep; reqid; _ } -> respond t ep reqid (Wire.R_msg { data }))
+    | Remote { ep; reqid; requester } ->
+      respond_executed t ep ~origin:requester ~reqid (Wire.R_msg { data }))
 
 and delete_queue t q =
   Hashtbl.remove t.msgqs q.mq_id;
@@ -574,8 +709,9 @@ and delete_queue t q =
   List.iter
     (fun w ->
       match w with
-      | Local k -> k (Error "EIDRM")
-      | Remote { ep; reqid; _ } -> respond t ep reqid (Wire.R_err "EIDRM"))
+      | Local k -> k (Error Errno.EIDRM)
+      | Remote { ep; reqid; requester } ->
+        respond_executed t ep ~origin:requester ~reqid (Wire.R_err Errno.EIDRM))
     q.rwaiters;
   q.rwaiters <- [];
   List.iter (fun addr -> oneway t ~addr (Wire.Msgq_deleted { id = q.mq_id })) q.accessors;
@@ -598,7 +734,8 @@ and sem_release t s delta =
         s.count <- s.count - 1;
         (match w with
         | Sem_local k -> k (Ok ())
-        | Sem_remote { ep; reqid; _ } -> respond t ep reqid Wire.R_unit);
+        | Sem_remote { ep; reqid; requester } ->
+          respond_executed t ep ~origin:requester ~reqid Wire.R_unit);
         wake ()
   in
   wake ()
@@ -619,16 +756,20 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       pid_cache = Hashtbl.create 16;
       pending = Hashtbl.create 8;
       next_req = 0;
+      dedup = Wire.Dedup.create ();
       msgqs = Hashtbl.create 8;
       sems = Hashtbl.create 8;
       deleted = Hashtbl.create 8;
       rpc_sent = 0;
       rpc_handled = 0;
+      retransmits = 0;
       shutdown = false;
       my_pid = first_pid - 1;
       electing = false;
-      candidates = [] }
+      candidates = [];
+      elected_leader = false }
   in
+  if make_leader then K.note_leader (kernel t) (Pal.pico pal);
   (* the p2p rendezvous server every other instance connects to *)
   Pal.stream_open pal ("pipe.srv:pico." ^ my_addr) ~write:true ~create:true (function
     | Ok server ->
@@ -641,25 +782,29 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
             | Error _ -> ())
       in
       accept_loop ()
-    | Error e -> failwith ("Instance.create: cannot create p2p server: " ^ e));
+    | Error e ->
+      failwith ("Instance.create: cannot create p2p server: " ^ Errno.to_string e));
   K.broadcast_join (kernel t) (Pal.pico pal) ~handler:(fun msg ->
       match Wire.decode msg with
-      | Some (Wire.Oneway n, ctx) ->
-        let t0 = K.now (kernel t) in
-        K.after (kernel t) Cost.helper_dispatch (fun () ->
-            if not t.shutdown then begin
-              let tracer = (kernel t).K.tracer in
-              let label = "bcast:" ^ Wire.notification_label n in
-              if Obs.enabled tracer then begin
-                let pid = (Pal.pico pal).K.pid in
-                Obs.span tracer Obs.Ipc ~name:("handle:" ^ label) ~pid ~start:t0
-                  ~dur:(Time.diff (K.now (kernel t)) t0) ();
-                (* a broadcast fans out: each receiver is a "t" step of
-                   the sender's flow, none terminates it *)
-                if ctx <> 0 then Obs.flow_step tracer ~name:label ~id:ctx ~pid t0
-              end;
-              handle_notification t n
-            end)
+      | Some (Wire.Oneway { seq; origin; note = n }, ctx) ->
+        if Wire.Dedup.seen_oneway t.dedup ~origin ~seq then count_dup t
+        else begin
+          let t0 = K.now (kernel t) in
+          K.after (kernel t) Cost.helper_dispatch (fun () ->
+              if not t.shutdown then begin
+                let tracer = (kernel t).K.tracer in
+                let label = "bcast:" ^ Wire.notification_label n in
+                if Obs.enabled tracer then begin
+                  let pid = (Pal.pico pal).K.pid in
+                  Obs.span tracer Obs.Ipc ~name:("handle:" ^ label) ~pid ~start:t0
+                    ~dur:(Time.diff (K.now (kernel t)) t0) ();
+                  (* a broadcast fans out: each receiver is a "t" step of
+                     the sender's flow, none terminates it *)
+                  if ctx <> 0 then Obs.flow_step tracer ~name:label ~id:ctx ~pid t0
+                end;
+                handle_notification t n
+              end)
+        end
       | _ -> ());
   t
 
@@ -695,7 +840,7 @@ let rec alloc_pid t k =
             t.pid_pool <- t.pid_pool @ [ (lo, hi) ];
             alloc_pid t k
           | Wire.R_err e -> k (Error e)
-          | _ -> k (Error "EPROTO"))
+          | _ -> k (Error Errno.EPROTO))
 
 (* Carve off half of the local pool for a forked child, so the child
    can itself fork without consulting the leader. *)
@@ -743,18 +888,18 @@ let resolve_pid t pid k =
 
 let send_signal t ~to_pid ~signum ~from_pid k =
   resolve_pid t to_pid (function
-    | None -> k (Error "ESRCH")
+    | None -> k (Error Errno.ESRCH)
     | Some addr ->
       if addr = t.my_addr then
         if t.callbacks.deliver_signal ~signum ~from_pid ~to_pid then k (Ok ())
-        else k (Error "ESRCH")
+        else k (Error Errno.ESRCH)
       else
         rpc t ~addr (Wire.Signal { to_pid; signum; from_pid }) (function
           | Wire.R_unit -> k (Ok ())
           | Wire.R_err e ->
             Hashtbl.remove t.pid_cache to_pid;
             k (Error e)
-          | _ -> k (Error "EPROTO")))
+          | _ -> k (Error Errno.EPROTO)))
 
 (* {1 Exit notification and /proc} *)
 
@@ -764,14 +909,14 @@ let notify_exit t ~parent_addr ~pid ~code =
 
 let read_proc t ~pid ~field k =
   resolve_pid t pid (function
-    | None -> k (Error "ESRCH")
+    | None -> k (Error Errno.ESRCH)
     | Some addr ->
       if addr = t.my_addr then k (t.callbacks.proc_read ~pid ~field)
       else
         rpc t ~addr (Wire.Proc_read { pid; field }) (function
           | Wire.R_str s -> k (Ok s)
           | Wire.R_err e -> k (Error e)
-          | _ -> k (Error "EPROTO")))
+          | _ -> k (Error Errno.EPROTO)))
 
 (* {1 System V message queues} *)
 
@@ -817,7 +962,7 @@ let msgq_get_meta t ~key ~create k =
              Hashtbl.mem ls.res_persisted id,
              false ))
     | None ->
-      if not create then k (Error "ENOENT")
+      if not create then k (Error Errno.ENOENT)
       else begin
         let id = ls.next_rid in
         ls.next_rid <- id + 1;
@@ -830,7 +975,7 @@ let msgq_get_meta t ~key ~create k =
       (function
       | Wire.R_resource { id; owner; persisted; created } -> k (Ok (id, owner, persisted, created))
       | Wire.R_err e -> k (Error e)
-      | _ -> k (Error "EPROTO"))
+      | _ -> k (Error Errno.EPROTO))
 
 (* [k (Ok (id, created))]: [created] distinguishes queue creation from
    lookup, which have very different costs (Table 7). *)
@@ -875,17 +1020,18 @@ let resolve_resource t id k =
 let with_retry t ~id op k =
   let rec attempt tries =
     op (function
-      | Error ("EMOVED" | "ECONNREFUSED") when tries > 0 && not t.shutdown ->
+      | Error e
+        when Errno.(equal e EMOVED || equal e ECONNREFUSED) && tries > 0 && not t.shutdown ->
         Hashtbl.remove t.owner_cache id;
-        K.after (kernel t) (Time.us 60.) (fun () -> attempt (tries - 1))
+        K.after (kernel t) t.cfg.Config.moved_retry_delay (fun () -> attempt (tries - 1))
       | r -> k r)
   in
-  attempt 10
+  attempt t.cfg.Config.moved_tries
 
 let rec msgsnd t ~id ~data k = with_retry t ~id (msgsnd_once t ~id ~data) k
 
 and msgsnd_once t ~id ~data k =
-  if Hashtbl.mem t.deleted id then k (Error "EIDRM")
+  if Hashtbl.mem t.deleted id then k (Error Errno.EIDRM)
   else
     match Hashtbl.find_opt t.msgqs id with
     | Some q ->
@@ -898,10 +1044,10 @@ and msgsnd_once t ~id ~data k =
             load_persistent_queue t ~id ~key:0 (function
               | Ok () -> msgsnd_once t ~id ~data k
               | Error e -> k (Error e))
-          | None -> k (Error "EIDRM")
+          | None -> k (Error Errno.EIDRM)
           | Some addr when addr = t.my_addr ->
             (* stale: we are recorded owner but have no queue (deleted) *)
-            k (Error "EIDRM")
+            k (Error Errno.EIDRM)
           | Some addr ->
             if t.cfg.Config.async_send && Hashtbl.mem t.streams addr then begin
               (* the existence and location are known and the stream is
@@ -917,12 +1063,12 @@ and msgsnd_once t ~id ~data k =
               rpc t ~addr (Wire.Msgq_send { id; data }) (function
                 | Wire.R_unit -> k (Ok ())
                 | Wire.R_err e -> k (Error e)
-                | _ -> k (Error "EPROTO")))
+                | _ -> k (Error Errno.EPROTO)))
 
 let rec msgrcv t ~id k = with_retry t ~id (msgrcv_once t ~id) k
 
 and msgrcv_once t ~id k =
-  if Hashtbl.mem t.deleted id then k (Error "EIDRM")
+  if Hashtbl.mem t.deleted id then k (Error Errno.EIDRM)
   else
     match Hashtbl.find_opt t.msgqs id with
     | Some q -> (
@@ -938,8 +1084,8 @@ and msgrcv_once t ~id k =
             load_persistent_queue t ~id ~key:0 (function
               | Ok () -> msgrcv_once t ~id k
               | Error e -> k (Error e))
-          | None -> k (Error "EIDRM")
-          | Some addr when addr = t.my_addr -> k (Error "EIDRM")
+          | None -> k (Error Errno.EIDRM)
+          | Some addr when addr = t.my_addr -> k (Error Errno.EIDRM)
           | Some addr ->
             rpc t ~addr (Wire.Msgq_recv { id; requester = t.my_addr }) (function
               | Wire.R_msg { data } -> k (Ok data)
@@ -953,7 +1099,7 @@ and msgrcv_once t ~id k =
                 | Some m -> k (Ok m)
                 | None -> msgrcv_once t ~id k)
               | Wire.R_err e -> k (Error e)
-              | _ -> k (Error "EPROTO")))
+              | _ -> k (Error Errno.EPROTO)))
 
 let msgrm t ~id k =
   match Hashtbl.find_opt t.msgqs id with
@@ -963,12 +1109,12 @@ let msgrm t ~id k =
   | None ->
     resolve_resource t id (fun (owner, _persisted) ->
         match owner with
-        | None -> k (Error "EIDRM")
+        | None -> k (Error Errno.EIDRM)
         | Some addr ->
           rpc t ~addr (Wire.Msgq_rmid { id }) (function
             | Wire.R_unit -> k (Ok ())
             | Wire.R_err e -> k (Error e)
-            | _ -> k (Error "EPROTO")))
+            | _ -> k (Error Errno.EPROTO)))
 
 (* On exit, owned queues with contents survive as files ("a common
    file naming scheme to serialize message queues to disk"). *)
@@ -1021,7 +1167,7 @@ let semget t ~key ~init k =
         if t.cfg.Config.cache_owners && owner <> "" then Hashtbl.replace t.owner_cache id owner;
         k (Ok (id, created))
       | Wire.R_err e -> k (Error e)
-      | _ -> k (Error "EPROTO"))
+      | _ -> k (Error Errno.EPROTO))
 
 let rec semop t ~id ~delta k = with_retry t ~id (semop_once t ~id ~delta) k
 
@@ -1040,8 +1186,8 @@ and semop_once t ~id ~delta k =
   | None ->
     resolve_resource t id (fun (owner, _persisted) ->
         match owner with
-        | None -> k (Error "EIDRM")
-        | Some addr when addr = t.my_addr -> k (Error "EIDRM")
+        | None -> k (Error Errno.EIDRM)
+        | Some addr when addr = t.my_addr -> k (Error Errno.EIDRM)
         | Some addr when delta >= 0 && t.cfg.Config.async_send && Hashtbl.mem t.streams addr ->
           (* a release cannot fail once the semaphore's location is
              known: fire and forget, like asynchronous queue sends *)
@@ -1056,7 +1202,7 @@ and semop_once t ~id ~delta k =
               notify_leader_owner t `Sem id t.my_addr;
               k (Ok ())
             | Wire.R_err e -> k (Error e)
-            | _ -> k (Error "EPROTO")))
+            | _ -> k (Error Errno.EPROTO)))
 
 (* {1 Fork support} *)
 

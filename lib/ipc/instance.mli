@@ -16,16 +16,26 @@
     user, and queue persistence across non-concurrent processes. Also
     implements the paper's sketched leader recovery: on a dead leader,
     members elect the lowest PID over the broadcast stream and the new
-    leader reconstructs its tables from member reports. *)
+    leader reconstructs its tables from member reports.
+
+    Failure handling (the chaos-testing surface): requests carry
+    per-sender sequence numbers and are retransmitted with capped
+    exponential backoff after {!Config.t.rpc_timeout}; receivers
+    deduplicate via {!Wire.Dedup}, so retries are idempotent; RPCs
+    against a dead leader trigger re-election and are retried against
+    the winner. All errors are typed {!Graphene_core.Errno.t} — the
+    transient ones ({!Graphene_core.Errno.is_transient}) are the ones
+    libLinux maps to EINTR/EAGAIN retries rather than failures. *)
 
 module K = Graphene_host.Kernel
 module Pal = Graphene_pal.Pal
+module Errno = Graphene_core.Errno
 
 type callbacks = {
   deliver_signal : signum:int -> from_pid:int -> to_pid:int -> bool;
       (** [false] if the target PID is not in this thread group *)
   on_exit_notification : pid:int -> code:int -> unit;
-  proc_read : pid:int -> field:string -> (string, string) result;
+  proc_read : pid:int -> field:string -> (string, Errno.t) result;
       (** serve /proc reads for this instance's PIDs *)
 }
 
@@ -50,9 +60,16 @@ val set_my_pid : t -> int -> unit
 val rpc_sent : t -> int
 val rpc_handled : t -> int
 
+val retransmits : t -> int
+(** Requests this instance re-sent after a timeout. *)
+
+val duplicates_suppressed : t -> int
+(** Incoming duplicates (retransmissions, fault-injected copies) this
+    instance's {!Wire.Dedup} swallowed. *)
+
 (** {1 PID namespace (Table 2: Fork)} *)
 
-val alloc_pid : t -> ((int, string) result -> unit) -> unit
+val alloc_pid : t -> ((int, Errno.t) result -> unit) -> unit
 (** From the local pool; refills from the leader in batches of
     {!Config.t.pid_batch}. *)
 
@@ -69,32 +86,32 @@ val resolve_pid : t -> int -> (string option -> unit) -> unit
 (** PID to instance address, through the cache or the leader. *)
 
 val send_signal :
-  t -> to_pid:int -> signum:int -> from_pid:int -> ((unit, string) result -> unit) -> unit
+  t -> to_pid:int -> signum:int -> from_pid:int -> ((unit, Errno.t) result -> unit) -> unit
 
 (** {1 Exit notification and /proc} *)
 
 val notify_exit : t -> parent_addr:string -> pid:int -> code:int -> unit
-val read_proc : t -> pid:int -> field:string -> ((string, string) result -> unit) -> unit
+val read_proc : t -> pid:int -> field:string -> ((string, Errno.t) result -> unit) -> unit
 
 (** {1 System V message queues} *)
 
-val msgget : t -> key:int -> create:bool -> ((int * bool, string) result -> unit) -> unit
+val msgget : t -> key:int -> create:bool -> ((int * bool, Errno.t) result -> unit) -> unit
 (** Continues with (id, created) — creation and lookup have very
     different costs (Table 7). *)
 
-val msgsnd : t -> id:int -> data:string -> ((unit, string) result -> unit) -> unit
-val msgrcv : t -> id:int -> ((string, string) result -> unit) -> unit
+val msgsnd : t -> id:int -> data:string -> ((unit, Errno.t) result -> unit) -> unit
+val msgrcv : t -> id:int -> ((string, Errno.t) result -> unit) -> unit
 (** Blocking; may migrate ownership here after repeated receives. *)
 
-val msgrm : t -> id:int -> ((unit, string) result -> unit) -> unit
+val msgrm : t -> id:int -> ((unit, Errno.t) result -> unit) -> unit
 val persist_owned_queues : t -> unit
 (** At exit: owned queues with contents serialize to
     [/var/graphene/msgq/<id>] and reload on the next msgget (§4.2). *)
 
 (** {1 System V semaphores} *)
 
-val semget : t -> key:int -> init:int -> ((int * bool, string) result -> unit) -> unit
-val semop : t -> id:int -> delta:int -> ((unit, string) result -> unit) -> unit
+val semget : t -> key:int -> init:int -> ((int * bool, Errno.t) result -> unit) -> unit
+val semop : t -> id:int -> delta:int -> ((unit, Errno.t) result -> unit) -> unit
 (** Negative [delta] acquires (blocking), positive releases (async to
     a known remote owner). *)
 

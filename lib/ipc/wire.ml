@@ -4,7 +4,12 @@
     at message granularity. Requests carry an id; a [Oneway] envelope
     carries fire-and-forget notifications (the asynchronous-send
     optimization, §4.3). Handlers answer from local state only and
-    never issue recursive RPCs (the deadlock-avoidance rule of §4.1). *)
+    never issue recursive RPCs (the deadlock-avoidance rule of §4.1).
+
+    Requests and notifications additionally carry the sender's
+    rendezvous address and a per-sender sequence number, so receivers
+    can recognize retransmissions and duplicated deliveries: see
+    {!Dedup}. Errors travel as typed {!Graphene_core.Errno.t}. *)
 
 type request =
   | Pid_alloc of { count : int; requester : string }
@@ -57,12 +62,14 @@ type response =
           the answer to the receive that triggered migration, [contents]
           the remaining queue *)
   | R_sem_migrate of { count : int }  (** semaphore ownership grant *)
-  | R_err of string
+  | R_err of Graphene_core.Errno.t
 
 type envelope =
-  | Req of int * request
+  | Req of { seq : int; origin : string; req : request }
+      (** [seq] is unique per [origin]; a retransmission reuses the
+          original [seq], which is what makes retries idempotent *)
   | Resp of int * response
-  | Oneway of notification
+  | Oneway of { seq : int; origin : string; note : notification }
 
 (* Every message carries a trace context: the flow id of the trace
    span that caused it (0 = none).  It rides as a fixed-width 8-hex
@@ -109,6 +116,65 @@ let notification_label = function
   | State_report _ -> "state_report"
 
 let describe = function
-  | Req (n, _) -> Printf.sprintf "req#%d" n
+  | Req { seq; origin; _ } -> Printf.sprintf "req#%d from %s" seq origin
   | Resp (n, _) -> Printf.sprintf "resp#%d" n
-  | Oneway _ -> "oneway"
+  | Oneway { seq; origin; _ } -> Printf.sprintf "oneway#%d from %s" seq origin
+
+(* {1 Receiver-side duplicate suppression}
+
+   One instance per receiver. The (origin, seq) pair identifies a
+   logical message across retransmissions and fault-injected
+   duplication; the cache is bounded FIFO, sized far above any
+   plausible retransmission window. *)
+
+module Dedup = struct
+  type entry = In_flight | Done of response
+
+  type t = {
+    tbl : (string * int, entry) Hashtbl.t;
+    order : (string * int) Queue.t;
+    capacity : int;
+    mutable suppressed : int;
+  }
+
+  let create ?(capacity = 512) () =
+    { tbl = Hashtbl.create 64; order = Queue.create (); capacity; suppressed = 0 }
+
+  let remember t key entry =
+    if not (Hashtbl.mem t.tbl key) then begin
+      Queue.push key t.order;
+      if Queue.length t.order > t.capacity then
+        Hashtbl.remove t.tbl (Queue.pop t.order)
+    end;
+    Hashtbl.replace t.tbl key entry
+
+  let begin_request t ~origin ~seq =
+    let key = (origin, seq) in
+    match Hashtbl.find_opt t.tbl key with
+    | None ->
+      remember t key In_flight;
+      `Execute
+    | Some In_flight ->
+      (* the first delivery is still being handled; its response will
+         reach the origin, so this copy can vanish *)
+      t.suppressed <- t.suppressed + 1;
+      `Drop
+    | Some (Done resp) ->
+      t.suppressed <- t.suppressed + 1;
+      `Replay resp
+
+  let finish_request t ~origin ~seq resp = remember t (origin, seq) (Done resp)
+
+  let seen_oneway t ~origin ~seq =
+    let key = (origin, seq) in
+    if Hashtbl.mem t.tbl key then begin
+      t.suppressed <- t.suppressed + 1;
+      true
+    end
+    else begin
+      remember t key In_flight;
+      false
+    end
+
+  let suppressed t = t.suppressed
+end

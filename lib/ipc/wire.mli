@@ -6,6 +6,12 @@
     optimization, §4.3). Handlers answer from local state only and
     never issue recursive RPCs (the deadlock-avoidance rule of §4.1).
 
+    Requests and notifications carry the sender's rendezvous address
+    plus a per-sender sequence number; a retransmitted request reuses
+    its original sequence number, so {!Dedup} can make retried RPCs
+    idempotent at the handler. Errors travel as typed
+    {!Graphene_core.Errno.t}.
+
     This interface is the only sanctioned view of the protocol:
     marshaling is an implementation detail of {!encode}/{!decode}, and
     handler modules must not depend on the byte layout. *)
@@ -61,12 +67,14 @@ type response =
           the answer to the receive that triggered migration, [contents]
           the remaining queue *)
   | R_sem_migrate of { count : int }  (** semaphore ownership grant *)
-  | R_err of string
+  | R_err of Graphene_core.Errno.t
 
 type envelope =
-  | Req of int * request
+  | Req of { seq : int; origin : string; req : request }
+      (** [seq] is unique per [origin]; a retransmission reuses the
+          original [seq], which is what makes retries idempotent *)
   | Resp of int * response
-  | Oneway of notification
+  | Oneway of { seq : int; origin : string; note : notification }
 
 val encode : ?ctx:int -> envelope -> string
 (** Serialize with a trace context [ctx] — the flow id of the trace
@@ -86,3 +94,32 @@ val req_label : request -> string
 val notification_label : notification -> string
 
 val describe : envelope -> string
+
+(** Receiver-side duplicate suppression: one instance per receiver,
+    keyed by (origin, seq). Makes request handling exactly-once in
+    effect under retransmission and fault-injected duplication — a
+    replayed request is answered from the cached response without
+    re-executing the handler. *)
+module Dedup : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Bounded FIFO cache; [capacity] (default 512) is the number of
+      remembered (origin, seq) keys. *)
+
+  val begin_request : t -> origin:string -> seq:int -> [ `Execute | `Drop | `Replay of response ]
+  (** First sighting: [`Execute] (and the key is marked in flight).
+      Duplicate while the original is still being handled: [`Drop] —
+      the original's response is on its way. Duplicate of a completed
+      request: [`Replay r] with the cached response. *)
+
+  val finish_request : t -> origin:string -> seq:int -> response -> unit
+  (** Record the response sent for (origin, seq), enabling replays. *)
+
+  val seen_oneway : t -> origin:string -> seq:int -> bool
+  (** [true] if this notification was already delivered (drop it);
+      marks it seen otherwise. *)
+
+  val suppressed : t -> int
+  (** How many duplicates this receiver has suppressed. *)
+end

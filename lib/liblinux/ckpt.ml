@@ -43,11 +43,11 @@ let magic = "GRCKPT1\n"
 
 let to_bytes t = magic ^ Marshal.to_string t []
 
-let of_bytes s : (t, string) result =
+let of_bytes s : (t, Graphene_core.Errno.t) result =
   let m = String.length magic in
-  if String.length s < m || String.sub s 0 m <> magic then Error "ENOEXEC"
+  if String.length s < m || String.sub s 0 m <> magic then Error Graphene_core.Errno.ENOEXEC
   else
-    try Ok (Marshal.from_string s m) with _ -> Error "EINVAL"
+    try Ok (Marshal.from_string s m) with _ -> Error Graphene_core.Errno.EINVAL
 
 let size t = String.length (to_bytes t)
 

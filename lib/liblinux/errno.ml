@@ -1,37 +1,12 @@
 (** Errno encoding at the guest ABI.
 
     Failing guest system calls return [Vint (-code)], like Linux. The
-    string tags used by the host layers ("ENOENT", "EACCES", ...) map
-    onto the usual numbers here. *)
+    typed {!Graphene_core.Errno.t} values produced by the host layers
+    map onto the usual numbers through the shared table. *)
 
-let table =
-  [ ("EPERM", 1); ("ENOENT", 2); ("ESRCH", 3); ("EINTR", 4); ("EIO", 5);
-    ("ENXIO", 6); ("E2BIG", 7); ("ENOEXEC", 8); ("EBADF", 9); ("ECHILD", 10);
-    ("EAGAIN", 11); ("ENOMEM", 12); ("EACCES", 13); ("EFAULT", 14);
-    ("ENOTBLK", 15); ("EBUSY", 16); ("EEXIST", 17); ("EXDEV", 18);
-    ("ENODEV", 19); ("ENOTDIR", 20); ("EISDIR", 21); ("EINVAL", 22);
-    ("ENFILE", 23); ("EMFILE", 24); ("ENOTTY", 25); ("ETXTBSY", 26);
-    ("EFBIG", 27); ("ENOSPC", 28); ("ESPIPE", 29); ("EROFS", 30);
-    ("EMLINK", 31); ("EPIPE", 32); ("EDOM", 33); ("ERANGE", 34);
-    ("EDEADLK", 35); ("ENAMETOOLONG", 36); ("ENOSYS", 38);
-    ("ENOTEMPTY", 39); ("EIDRM", 43); ("EPROTO", 71); ("ENOTSOCK", 88);
-    ("EADDRINUSE", 98); ("ECONNREFUSED", 111); ("EREMOTE", 66);
-    ("ENOTLEADER", 72); ("EMOVED", 73) ]
+module E = Graphene_core.Errno
 
-let code tag =
-  (* host layers sometimes attach detail ("EACCES /etc/shadow",
-     "EINVAL:bad uri"); strip at the first delimiter *)
-  let cut =
-    match (String.index_opt tag ' ', String.index_opt tag ':') with
-    | Some i, Some j -> Some (min i j)
-    | Some i, None | None, Some i -> Some i
-    | None, None -> None
-  in
-  let tag = match cut with Some i -> String.sub tag 0 i | None -> tag in
-  match List.assoc_opt tag table with Some n -> n | None -> 38 (* ENOSYS *)
-
-let name n = List.find_map (fun (s, c) -> if c = n then Some s else None) table
-
-let to_value tag = Graphene_guest.Ast.Vint (-code tag)
-
+let code = E.code
+let name n = Option.map E.to_string (E.of_code n)
+let to_value e = Graphene_guest.Ast.Vint (-code e)
 let is_error = function Graphene_guest.Ast.Vint n -> n < 0 | _ -> false

@@ -1,0 +1,20 @@
+(** Errno encoding at the guest ABI.
+
+    Failing guest system calls return [Vint (-code)], like Linux.
+    Numbering comes from the shared {!Graphene_core.Errno} table, so a
+    guest that checks for [-11] sees EAGAIN whichever layer produced
+    it. *)
+
+val code : Graphene_core.Errno.t -> int
+(** The positive errno number (e.g. [code EAGAIN = 11]). *)
+
+val name : int -> string option
+(** Inverse lookup: the symbolic tag for a number, if the table knows
+    it. *)
+
+val to_value : Graphene_core.Errno.t -> Graphene_guest.Ast.value
+(** [Vint (-code e)] — the value a failing system call returns to the
+    guest. *)
+
+val is_error : Graphene_guest.Ast.value -> bool
+(** [true] iff the value is a negative integer, i.e. an errno return. *)

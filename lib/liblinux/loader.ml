@@ -13,11 +13,11 @@ let magic = "GRBIN1\n"
 
 let encode (p : Ast.program) = magic ^ Marshal.to_string p []
 
-let decode s : (Ast.program, string) result =
+let decode s : (Ast.program, Graphene_core.Errno.t) result =
   let m = String.length magic in
-  if String.length s < m || String.sub s 0 m <> magic then Error "ENOEXEC"
+  if String.length s < m || String.sub s 0 m <> magic then Error Graphene_core.Errno.ENOEXEC
   else
-    try Ok (Marshal.from_string s m) with _ -> Error "ENOEXEC"
+    try Ok (Marshal.from_string s m) with _ -> Error Graphene_core.Errno.ENOEXEC
 
 (* Host-side installation: how test setups and the launcher place
    binaries into the image, like building a chroot. *)

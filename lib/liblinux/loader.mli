@@ -1,0 +1,22 @@
+(** Guest binary format and loading.
+
+    "Binaries" are guest programs ({!Graphene_guest.Ast.program})
+    marshaled into ordinary files of the host file system, so exec goes
+    through the PAL (and therefore the seccomp filter and the reference
+    monitor's path policy) like any other file access. *)
+
+val encode : Graphene_guest.Ast.program -> string
+
+val decode : string -> (Graphene_guest.Ast.program, Graphene_core.Errno.t) result
+(** [Error ENOEXEC] on a missing magic header or a corrupt image. *)
+
+val install : Graphene_host.Vfs.t -> path:string -> Graphene_guest.Ast.program -> unit
+(** Host-side installation: how test setups and the launcher place
+    binaries into the image, like building a chroot. *)
+
+val load :
+  Graphene_pal.Pal.t ->
+  path:string ->
+  ((Graphene_guest.Ast.program, Graphene_core.Errno.t) result -> unit) ->
+  unit
+(** Guest-side load through the PAL: exec's read of the new image. *)

@@ -46,6 +46,7 @@ module Ast = Graphene_guest.Ast
 module Interp = Graphene_guest.Interp
 module Ipc = Graphene_ipc.Instance
 module Ipc_config = Graphene_ipc.Config
+module E = Graphene_core.Errno
 
 (* {1 Memory model constants}
 
@@ -262,6 +263,27 @@ and close_syscall_span lx th ~cost =
 
 let fail lx th ?cost tag = finish lx th ?cost (err tag)
 
+(* Transient coordination failures — a timed-out RPC, a dead leader
+   caught mid-election, an ownership move that never settled — get a
+   few bounded libOS-side retries and then surface to the guest as
+   EINTR (timeouts) or EAGAIN (resource churn), the way a signal
+   interrupts a slow system call. The guest retries; it never hangs on
+   a coordination-layer fault. *)
+let ipc_sys_retries = 2
+let ipc_sys_retry_delay = Time.us 300.
+
+let with_ipc lx th op k =
+  let rec attempt tries =
+    op (fun r ->
+        match r with
+        | Error e when E.is_transient e && not lx.exited ->
+          if tries > 0 then
+            K.after (kernel lx) ipc_sys_retry_delay (fun () -> attempt (tries - 1))
+          else fail lx th (if E.equal e E.ETIMEDOUT then E.EINTR else E.EAGAIN)
+        | r -> k r)
+  in
+  attempt ipc_sys_retries
+
 (* A signal arrived (locally or by RPC). SIGKILL is never deferred;
    other signals are marked pending and, if the main thread is running
    a CPU loop, injected at the next interpreter step via the machine
@@ -278,7 +300,7 @@ let post_signal lx signum =
     (* wake pause()rs: they return -EINTR, handlers run on the way out *)
     let pausers = lx.pause_waiters in
     lx.pause_waiters <- [];
-    List.iter (fun th -> fail lx th "EINTR") pausers;
+    List.iter (fun th -> fail lx th E.EINTR) pausers;
     (* a CPU-spinning thread never reaches a syscall boundary:
        interrupt it through the PAL's exception upcall
        (DkThreadInterrupt -> the handler we registered at boot) *)
@@ -323,7 +345,7 @@ let render_proc_local lx ~field =
               Printf.sprintf "%08x-%08x\n" (Memory.region_base r)
                 (Memory.region_base r + (Memory.region_npages r * Memory.page_size)))
             regions))
-  | _ -> Error "ENOENT"
+  | _ -> Error E.ENOENT
 
 let parse_proc_path path =
   match String.split_on_char '/' path with
@@ -369,7 +391,7 @@ let do_wait lx th pid_filter =
     Hashtbl.remove lx.children cpid;
     finish lx th ~cost:(Time.us 1.0) (Ast.Vpair (vint cpid, vint code))
   | None ->
-    if Hashtbl.length lx.children = 0 then fail lx th "ECHILD"
+    if Hashtbl.length lx.children = 0 then fail lx th E.ECHILD
     else
       lx.wait_waiters <-
         lx.wait_waiters
@@ -420,7 +442,7 @@ let callbacks_of lx =
     on_exit_notification = (fun ~pid ~code -> mark_zombie lx pid code);
     proc_read =
       (fun ~pid ~field ->
-        if pid = lx.pid then render_proc_local lx ~field else Error "ESRCH") }
+        if pid = lx.pid then render_proc_local lx ~field else Error E.ESRCH) }
 
 (* Map the shared libOS + libc images and the private data/stack
    regions into a fresh picoprocess. A restored child already holds the
@@ -475,7 +497,7 @@ let rec dispatch lx th name args =
       Hashtbl.replace lx.trace_open th.K.tid (name, K.now (kernel lx))
   end;
   try dispatch_inner lx th name args
-  with Ast.Guest_fault _ -> fail lx th "EINVAL"
+  with Ast.Guest_fault _ -> fail lx th E.EINVAL
 
 and dispatch_inner lx th name args =
   let a n = List.nth args n in
@@ -510,7 +532,7 @@ and dispatch_inner lx th name args =
   | "open" -> do_open lx th (abspath lx (str_arg 0)) (str_arg 1)
   | "close" -> (
     match get_fd lx (int_arg 0) with
-    | None -> fail lx th "EBADF"
+    | None -> fail lx th E.EBADF
     | Some e ->
       Hashtbl.remove lx.fds (int_arg 0);
       (match e.fh with
@@ -535,9 +557,9 @@ and dispatch_inner lx th name args =
             f.pos <- attrs.Pal.size + off;
             finish lx th (vint f.pos)
           | Error e -> fail lx th e)
-      | _ -> fail lx th "EINVAL")
-    | Some _ -> fail lx th "ESPIPE"
-    | None -> fail lx th "EBADF")
+      | _ -> fail lx th E.EINVAL)
+    | Some _ -> fail lx th E.ESPIPE
+    | None -> fail lx th E.EBADF)
   | "stat" ->
     Pal.stream_attributes_query lx.pal ("file:" ^ abspath lx (str_arg 0)) (function
       | Ok attrs ->
@@ -581,14 +603,14 @@ and dispatch_inner lx th name args =
           lx.cwd <- path;
           finish lx th (vint 0)
         end
-        else fail lx th "ENOTDIR"
+        else fail lx th E.ENOTDIR
       | Error e -> fail lx th e)
   | "getcwd" -> finish lx th (vstr lx.cwd)
   | "dup2" -> (
     (* replace [newfd] with a copy of [oldfd]; the shell uses it to
        wire pipeline ends onto stdin/stdout before exec *)
     match get_fd lx (int_arg 0) with
-    | None -> fail lx th "EBADF"
+    | None -> fail lx th E.EBADF
     | Some e ->
       let newfd = int_arg 1 in
       (match get_fd lx newfd with
@@ -611,7 +633,7 @@ and dispatch_inner lx th name args =
       finish lx th ~cost:(Time.ns 220) (vint newfd))
   | "dup" -> (
     match get_fd lx (int_arg 0) with
-    | None -> fail lx th "EBADF"
+    | None -> fail lx th E.EBADF
     | Some e ->
       (match e.fh with
       | Some { K.obj = K.Hstream ep; _ } ->
@@ -643,7 +665,7 @@ and dispatch_inner lx th name args =
           finish lx th (Ast.Vpair (vint attrs.Pal.size, vint (if attrs.Pal.is_dir then 1 else 0)))
         | Error e -> fail lx th e)
     | Some _ -> finish lx th (Ast.Vpair (vint 0, vint 0))
-    | None -> fail lx th "EBADF")
+    | None -> fail lx th E.EBADF)
   | "rmdir" ->
     Pal.stream_delete lx.pal ("dir:" ^ abspath lx (str_arg 0)) (function
       | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
@@ -689,8 +711,8 @@ and dispatch_inner lx th name args =
             Pal.stream_write lx.pal outh ~off:0 data (function
               | Ok m -> finish lx th (vint m)
               | Error e -> fail lx th e)
-          | _ -> fail lx th "EBADF")))
-    | _ -> fail lx th "EBADF")
+          | _ -> fail lx th E.EBADF)))
+    | _ -> fail lx th E.EBADF)
   | "alarm" ->
     (* SIGALRM after n seconds; alarm 0 cancels; returns 0 (the
        remaining-time report is not modeled) *)
@@ -707,7 +729,7 @@ and dispatch_inner lx th name args =
     | Some { fh = Some h; _ } ->
       Pal.stream_flush lx.pal h (fun _ -> finish lx th (vint 0))
     | Some _ -> finish lx th (vint 0)
-    | None -> fail lx th "EBADF")
+    | None -> fail lx th E.EBADF)
   | "pipe" ->
     Pal.pipe_pair lx.pal (function
       | Error e -> fail lx th e
@@ -730,7 +752,7 @@ and dispatch_inner lx th name args =
           finish lx th ~cost:(Time.us 1.0)
             (vint (alloc_fd lx { fh = Some conn; kind = Kstream { sock = true }; cloexec = false }))
         | Error e -> fail lx th e)
-    | _ -> fail lx th "ENOTSOCK")
+    | _ -> fail lx th E.ENOTSOCK)
   | "connect_tcp" ->
     Pal.stream_open lx.pal (Printf.sprintf "tcp:%d" (int_arg 0)) ~write:true ~create:false
       (function
@@ -741,7 +763,7 @@ and dispatch_inner lx th name args =
   | "shutdown" -> (
     match get_fd lx (int_arg 0) with
     | Some { fh = Some h; _ } -> Pal.stream_close lx.pal h (fun _ -> finish lx th (vint 0))
-    | _ -> fail lx th "EBADF")
+    | _ -> fail lx th E.EBADF)
   | "select" -> do_select lx th (Ast.as_list (a 0))
   (* {2 Signals} *)
   | "sigaction" ->
@@ -756,7 +778,7 @@ and dispatch_inner lx th name args =
     | "unblock" ->
       lx.sig_blocked <- List.filter (fun s -> s <> signum) lx.sig_blocked;
       finish lx th (vint 0)
-    | _ -> fail lx th "EINVAL")
+    | _ -> fail lx th E.EINVAL)
   | "kill" -> do_kill lx th (int_arg 0) (int_arg 1)
   | "pause" -> lx.pause_waiters <- th :: lx.pause_waiters
   (* {2 Process lifecycle} *)
@@ -770,29 +792,29 @@ and dispatch_inner lx th name args =
     do_wait lx th (if p = -1 then None else Some p)
   (* {2 System V IPC} *)
   | "msgget" ->
-    Ipc.msgget (ipc lx) ~key:(int_arg 0) ~create:(int_arg 1 <> 0) (function
+    with_ipc lx th (Ipc.msgget (ipc lx) ~key:(int_arg 0) ~create:(int_arg 1 <> 0)) (function
       | Ok (id, created) ->
         finish lx th ~cost:(if created then queue_create_cost else queue_lookup_cost) (vint id)
       | Error e -> fail lx th e)
   | "msgsnd" ->
-    Ipc.msgsnd (ipc lx) ~id:(int_arg 0) ~data:(str_arg 1) (function
+    with_ipc lx th (Ipc.msgsnd (ipc lx) ~id:(int_arg 0) ~data:(str_arg 1)) (function
       | Ok () -> finish lx th ~cost:queue_lock_cost (vint 0)
       | Error e -> fail lx th e)
   | "msgrcv" ->
-    Ipc.msgrcv (ipc lx) ~id:(int_arg 0) (function
+    with_ipc lx th (Ipc.msgrcv (ipc lx) ~id:(int_arg 0)) (function
       | Ok data -> finish lx th ~cost:(Time.us 1.8) (vstr data)
       | Error e -> fail lx th e)
   | "msgctl_rmid" ->
-    Ipc.msgrm (ipc lx) ~id:(int_arg 0) (function
+    with_ipc lx th (Ipc.msgrm (ipc lx) ~id:(int_arg 0)) (function
       | Ok () -> finish lx th ~cost:queue_lock_cost (vint 0)
       | Error e -> fail lx th e)
   | "semget" ->
-    Ipc.semget (ipc lx) ~key:(int_arg 0) ~init:(int_arg 1) (function
+    with_ipc lx th (Ipc.semget (ipc lx) ~key:(int_arg 0) ~init:(int_arg 1)) (function
       | Ok (id, created) ->
         finish lx th ~cost:(if created then queue_create_cost else queue_lookup_cost) (vint id)
       | Error e -> fail lx th e)
   | "semop" ->
-    Ipc.semop (ipc lx) ~id:(int_arg 0) ~delta:(int_arg 1) (function
+    with_ipc lx th (Ipc.semop (ipc lx) ~id:(int_arg 0) ~delta:(int_arg 1)) (function
       | Ok () -> finish lx th ~cost:(Time.us 1.5) (vint 0)
       | Error e -> fail lx th e)
   (* {2 Memory} *)
@@ -841,7 +863,7 @@ and dispatch_inner lx th name args =
     if List.mem gtid lx.done_tids then finish lx th (vint 0)
     else if Hashtbl.mem lx.threads gtid then
       lx.join_waiters <- (gtid, th) :: lx.join_waiters
-    else fail lx th "ESRCH"
+    else fail lx th E.ESRCH
   | "sched_yield" -> Pal.thread_yield lx.pal (fun _ -> finish lx th (vint 0))
   (* {2 Time and misc} *)
   | "nanosleep" ->
@@ -862,7 +884,7 @@ and dispatch_inner lx th name args =
         Ipc.become_isolated (ipc lx) ~first_pid:(lx.pid + 1);
         finish lx th ~cost:(Time.us 10.) (vint new_sandbox)
       | Error e -> fail lx th e)
-  | _ -> fail lx th "ENOSYS"
+  | _ -> fail lx th E.ENOSYS
 
 (* {2 open} *)
 
@@ -878,7 +900,7 @@ and do_open lx th path mode =
        host's /proc (that is the Memento-style side channel the
        isolation evaluation probes) *)
     match parse_proc_path path with
-    | None -> fail lx th "ENOENT"
+    | None -> fail lx th E.ENOENT
     | Some (p, field) ->
       if p = lx.pid then begin
         match render_proc_local lx ~field with
@@ -916,7 +938,7 @@ and do_open lx th path mode =
 
 and do_read lx th fd n =
   match get_fd lx fd with
-  | None -> fail lx th "EBADF"
+  | None -> fail lx th E.EBADF
   | Some e -> (
     match e.kind with
     | Knull | Kconsole -> finish lx th (vstr "")
@@ -933,7 +955,7 @@ and do_read lx th fd n =
       finish lx th ~cost:(Time.us 0.5) (vstr s)
     | Kfile f -> (
       match e.fh with
-      | None -> fail lx th "EBADF"
+      | None -> fail lx th E.EBADF
       | Some h ->
         Pal.stream_read lx.pal h ~off:f.pos ~max:n (function
           | Ok data ->
@@ -942,7 +964,7 @@ and do_read lx th fd n =
           | Error err -> fail lx th err))
     | Kstream { sock } -> (
       match e.fh with
-      | None -> fail lx th "EBADF"
+      | None -> fail lx th E.EBADF
       | Some h ->
         Pal.stream_read lx.pal h ~off:0 ~max:n (function
           | Ok data ->
@@ -952,11 +974,11 @@ and do_read lx th fd n =
             let cost = Time.add rm (if sock then Time.ns 530 else Time.ns 30) in
             finish lx th ~cost (vstr data)
           | Error err -> fail lx th err))
-    | Klisten _ -> fail lx th "EINVAL")
+    | Klisten _ -> fail lx th E.EINVAL)
 
 and do_write lx th fd data =
   match get_fd lx fd with
-  | None -> fail lx th "EBADF"
+  | None -> fail lx th E.EBADF
   | Some e -> (
     match e.kind with
     | Knull ->
@@ -964,15 +986,15 @@ and do_write lx th fd data =
       finish lx th
         ~cost:(Time.add Cost.host_syscall_entry Cost.host_write_base)
         (vint (String.length data))
-    | Kzero -> fail lx th "EACCES"
+    | Kzero -> fail lx th E.EACCES
     | Kconsole ->
       Buffer.add_string lx.console data;
       (match lx.on_console with Some f -> f data | None -> ());
       finish lx th ~cost:(Time.ns 150) (vint (String.length data))
-    | Kproc _ -> fail lx th "EACCES"
+    | Kproc _ -> fail lx th E.EACCES
     | Kfile f -> (
       match e.fh with
-      | None -> fail lx th "EBADF"
+      | None -> fail lx th E.EBADF
       | Some h ->
         Pal.stream_write lx.pal h ~off:f.pos data (function
           | Ok n ->
@@ -981,7 +1003,7 @@ and do_write lx th fd data =
           | Error err -> fail lx th err))
     | Kstream { sock } -> (
       match e.fh with
-      | None -> fail lx th "EBADF"
+      | None -> fail lx th E.EBADF
       | Some h ->
         Pal.stream_write lx.pal h ~off:0 data (function
           | Ok n ->
@@ -991,7 +1013,7 @@ and do_write lx th fd data =
             let cost = Time.add rm (if sock then sock_overhead_roundtrip else Time.ns 30) in
             finish lx th ~cost (vint n)
           | Error err -> fail lx th err))
-    | Klisten _ -> fail lx th "EINVAL")
+    | Klisten _ -> fail lx th E.EINVAL)
 
 (* {2 select} *)
 
@@ -1005,7 +1027,7 @@ and do_select lx th fd_values =
         | _ -> None)
       fds
   in
-  if handles = [] then fail lx th "EBADF"
+  if handles = [] then fail lx th E.EBADF
   else begin
     let cost =
       Time.add Cost.select_pal_translation
@@ -1048,7 +1070,7 @@ and do_kill lx th target signum =
         ~tid:th.K.tid
         ~args:[ ("target", Obs.Aint target); ("signum", Obs.Aint signum) ]
         (K.now (kernel lx));
-    Ipc.send_signal (ipc lx) ~to_pid:target ~signum ~from_pid:lx.pid (function
+    with_ipc lx th (Ipc.send_signal (ipc lx) ~to_pid:target ~signum ~from_pid:lx.pid) (function
       | Ok () -> finish lx th (vint 0)
       | Error e -> fail lx th e)
   end
@@ -1057,9 +1079,9 @@ and do_kill lx th target signum =
 
 and do_clone lx th fname arg =
   match th.K.machine with
-  | None -> fail lx th "EINVAL"
+  | None -> fail lx th E.EINVAL
   | Some m ->
-    if not (Interp.has_func m fname) then fail lx th "EINVAL"
+    if not (Interp.has_func m fname) then fail lx th E.EINVAL
     else begin
       (* a new machine entering at [fname], sharing this libOS instance
          (address space, fd table, signal handlers) *)
@@ -1150,7 +1172,7 @@ and build_ckpt lx ~child_pid ~machine ~heap_pages =
 
 and do_fork lx th =
   match th.K.machine with
-  | None -> fail lx th "EINVAL"
+  | None -> fail lx th E.EINVAL
   | Some m ->
     Ipc.alloc_pid (ipc lx) (function
       | Error e -> fail lx th e

@@ -1,0 +1,35 @@
+(** The host-ABI inventory — Table 1 of the paper.
+
+    43 functions: 33 adopted from Drawbridge, 10 added by Graphene.
+    {!Pal} implements exactly these; a unit test asserts the class
+    counts match the table. *)
+
+type origin = Drawbridge | Graphene
+
+type cls =
+  | Memory
+  | Scheduling
+  | Files_and_streams
+  | Process
+  | Misc
+  | Segments
+  | Exceptions
+  | Streams_extra
+  | Bulk_ipc
+  | Sandboxes
+
+val cls_to_string : cls -> string
+
+val table : (string * cls * origin) list
+(** Every ABI function as [(Dk-name, class, origin)], in Table 1
+    order. *)
+
+val count : int
+(** [List.length table] = 43. *)
+
+val of_origin : origin -> (string * cls * origin) list
+val of_class : cls -> (string * cls * origin) list
+
+val class_counts : origin -> (cls * int) list
+(** Per-class function counts for one origin, in first-appearance
+    order — what the ABI unit test checks against the paper's table. *)

@@ -9,8 +9,9 @@
     All calls are in continuation-passing style: the continuation fires
     after the call's virtual-time cost has elapsed, so concurrent
     picoprocesses interleave correctly. Results are [('a, errno)
-    result]; errnos are the string tags of {!Graphene_host.Vfs.Error}
-    plus ["EACCES"], ["EPIPE"], etc. *)
+    result] with [errno = Graphene_core.Errno.t]; host-internal string
+    tags ({!Graphene_host.Vfs.Error}, {!Graphene_host.Kernel.Denied})
+    are converted exactly once, here at the PAL boundary. *)
 
 open Graphene_sim
 module Obs = Graphene_obs.Obs
@@ -21,8 +22,9 @@ module Sync = Graphene_host.Sync
 module Vfs = Graphene_host.Vfs
 module Ast = Graphene_guest.Ast
 module Interp = Graphene_guest.Interp
+module Errno = Graphene_core.Errno
 
-type errno = string
+type errno = Errno.t
 
 type exception_info =
   | Div_zero
@@ -65,6 +67,11 @@ exception Pal_killed
    the filter, charge entry + filter + [cost], then continue. *)
 let host t ~name ?(args = [||]) ~cost k =
   t.call_count <- t.call_count + 1;
+  if K.fault_pal_call t.kernel t.pico then
+    (* crash-call fault: the kernel just killed this picoprocess; the
+       call never completes and the continuation must not run *)
+    ()
+  else begin
   let action, filter_cost = K.syscall_check t.kernel t.pico ~name ~pc:pal_pc ~args in
   let total = Time.add (Time.add filter_cost Cost.host_syscall_entry) cost in
   K.charge_syscall_time t.kernel name total;
@@ -85,18 +92,30 @@ let host t ~name ?(args = [||]) ~cost k =
   | Graphene_bpf.Prog.Kill ->
     K.kill_pico t.kernel t.pico;
     raise Pal_killed
+  end
 
 (* LSM cost applies only when a real reference monitor installed one. *)
 let lsm_cost t c = if K.lsm_active t.kernel then c else Time.zero
 
-(* Convert kernel/VFS exceptions into Error results. *)
+(* A seccomp Errno action carries a raw number; LSM denials carry a
+   string tag, possibly with detail ("EACCES /etc/shadow"). *)
+let errno_of_denied e =
+  match int_of_string_opt e with
+  | Some n -> (
+    match Errno.of_code n with
+    | Some c -> c
+    | None -> Errno.EUNKNOWN e)
+  | None -> Errno.of_string e
+
+(* Convert kernel/VFS exceptions into typed Error results — the single
+   point where host-internal string tags become {!Errno.t}. *)
 let guard k f =
   match f () with
   | v -> k (Ok v)
-  | exception Vfs.Error e -> k (Error e)
-  | exception K.Denied e -> k (Error e)
-  | exception Memory.Fault _ -> k (Error "EFAULT")
-  | exception Invalid_argument m -> k (Error ("EINVAL:" ^ m))
+  | exception Vfs.Error e -> k (Error (Errno.of_string e))
+  | exception K.Denied e -> k (Error (errno_of_denied e))
+  | exception Memory.Fault _ -> k (Error Errno.EFAULT)
+  | exception Invalid_argument _ -> k (Error Errno.EINVAL)
 
 (* {1 Memory} *)
 
@@ -130,7 +149,7 @@ let virtual_memory_protect t ~addr ~npages ~perm k =
 
 let thread_create t machine k =
   match t.thread_service with
-  | None -> k (Error "EINVAL:no thread service registered")
+  | None -> k (Error Errno.EINVAL)
   | Some service ->
     host t ~name:"clone" ~cost:(Time.us 15.) (fun () ->
         guard k (fun () -> K.spawn_thread t.kernel t.pico machine ~service))
@@ -159,12 +178,12 @@ let notification_event_create t ~auto_reset k =
 let event_set t h k =
   match h.K.obj with
   | K.Hevent ev -> host t ~name:"futex" ~cost:(Time.ns 60) (fun () -> Sync.event_set ev; k (Ok ()))
-  | _ -> k (Error "EINVAL:not an event")
+  | _ -> k (Error Errno.EINVAL)
 
 let event_clear t h k =
   match h.K.obj with
   | K.Hevent ev -> host t ~name:"futex" ~cost:(Time.ns 60) (fun () -> Sync.event_clear ev; k (Ok ()))
-  | _ -> k (Error "EINVAL:not an event")
+  | _ -> k (Error Errno.EINVAL)
 
 let mutex_create t k =
   host t ~name:"futex" ~cost:(Time.ns 80) (fun () ->
@@ -174,7 +193,7 @@ let mutex_unlock t h k =
   match h.K.obj with
   | K.Hmutex mu ->
     host t ~name:"futex" ~cost:(Time.ns 60) (fun () -> Sync.mutex_unlock mu; k (Ok ()))
-  | _ -> k (Error "EINVAL:not a mutex")
+  | _ -> k (Error Errno.EINVAL)
 
 let semaphore_create t ~count k =
   host t ~name:"futex" ~cost:(Time.ns 80) (fun () ->
@@ -184,14 +203,14 @@ let semaphore_release t h k =
   match h.K.obj with
   | K.Hsema sem ->
     host t ~name:"futex" ~cost:(Time.ns 60) (fun () -> Sync.semaphore_release sem; k (Ok ()))
-  | _ -> k (Error "EINVAL:not a semaphore")
+  | _ -> k (Error Errno.EINVAL)
 
 (* Wait until any of [handles] is ready; continue with its index.
    Waitable objects: events, mutexes (lock), semaphores (acquire),
    process handles (exit) and stream handles (readable / EOF). A
    completed wait retracts grants it won from the other objects. *)
 let objects_wait_any t handles k =
-  if handles = [] then k (Error "EINVAL:empty wait set")
+  if handles = [] then k (Error Errno.EINVAL)
   else begin
     host t ~name:"futex" ~cost:(Time.ns 120) (fun () ->
         let completed = ref false in
@@ -252,7 +271,7 @@ type uri =
 
 let parse_uri s =
   match String.index_opt s ':' with
-  | None -> Error "EINVAL:bad uri"
+  | None -> Error Errno.EINVAL
   | Some i -> (
     let scheme = String.sub s 0 i in
     let rest = String.sub s (i + 1) (String.length s - i - 1) in
@@ -264,12 +283,12 @@ let parse_uri s =
     | "tcp.srv" -> (
       match int_of_string_opt rest with
       | Some p -> Ok (Utcp_srv p)
-      | None -> Error "EINVAL:bad port")
+      | None -> Error Errno.EINVAL)
     | "tcp" -> (
       match int_of_string_opt rest with
       | Some p -> Ok (Utcp p)
-      | None -> Error "EINVAL:bad port")
-    | _ -> Error ("EINVAL:unknown scheme " ^ scheme))
+      | None -> Error Errno.EINVAL)
+    | _ -> Error Errno.EINVAL)
 
 let register_stream t ep = K.register_endpoint t.kernel t.pico ep
 
@@ -302,7 +321,7 @@ let stream_open t uri ~write ~create k =
           ~ok:(fun ep ->
             register_stream t ep;
             k (Ok (K.fresh_handle t.kernel (K.Hstream ep))))
-          ~err:(fun e -> k (Error e)))
+          ~err:(fun e -> k (Error (Errno.of_string e))))
   | Ok (Utcp_srv port) ->
     let cost = Time.add (Time.us 1.5) (lsm_cost t Cost.lsm_socket_check) in
     host t ~name:"bind" ~cost (fun () ->
@@ -315,7 +334,7 @@ let stream_open t uri ~write ~create k =
           ~ok:(fun ep ->
             register_stream t ep;
             k (Ok (K.fresh_handle t.kernel (K.Hstream ep))))
-          ~err:(fun e -> k (Error e)))
+          ~err:(fun e -> k (Error (Errno.of_string e))))
 
 let stream_read t h ~off ~max k =
   match h.K.obj with
@@ -328,7 +347,7 @@ let stream_read t h ~off ~max k =
   | K.Hstream ep ->
     host t ~name:"read" ~cost:Cost.host_read_base (fun () ->
         K.stream_recv t.kernel ep ~max (fun data -> k (Ok data)))
-  | _ -> k (Error "EBADF")
+  | _ -> k (Error Errno.EBADF)
 
 let stream_write t h ~off data k =
   match h.K.obj with
@@ -344,7 +363,7 @@ let stream_write t h ~off data k =
         guard k (fun () ->
             K.stream_send t.kernel ep data;
             String.length data))
-  | _ -> k (Error "EBADF")
+  | _ -> k (Error Errno.EBADF)
 
 let stream_close t h k =
   host t ~name:"close" ~cost:(Time.ns 120) (fun () ->
@@ -362,7 +381,7 @@ let stream_delete t uri k =
     let cost = Time.add Cost.host_open (lsm_cost t Cost.lsm_path_check) in
     host t ~name:"unlink" ~cost (fun () ->
         guard k (fun () -> K.fs_unlink t.kernel t.pico path))
-  | Ok _ -> k (Error "EINVAL:not a file uri")
+  | Ok _ -> k (Error Errno.EINVAL)
   | Error e -> k (Error e)
 
 let stream_set_length t h n k =
@@ -370,7 +389,7 @@ let stream_set_length t h n k =
   | K.Hfile { file; _ } ->
     host t ~name:"ftruncate" ~cost:(Time.ns 600) (fun () ->
         guard k (fun () -> Vfs.truncate file n))
-  | _ -> k (Error "EBADF")
+  | _ -> k (Error Errno.EBADF)
 
 type stream_attrs = { size : int; is_dir : bool }
 
@@ -387,7 +406,7 @@ let stream_attributes_query t uri k =
         guard k (fun () ->
             let st = K.fs_stat t.kernel t.pico path in
             { size = st.Vfs.st_size; is_dir = st.Vfs.st_is_dir }))
-  | Ok _ -> k (Error "EINVAL:not a file uri")
+  | Ok _ -> k (Error Errno.EINVAL)
   | Error e -> k (Error e)
 
 let stream_get_name t h k =
@@ -397,7 +416,7 @@ let stream_get_name t h k =
       | K.Hdir path -> k (Ok ("dir:" ^ path))
       | K.Hserver srv -> k (Ok srv.K.srv_name)
       | K.Hstream _ -> k (Ok "pipe:<anonymous>")
-      | _ -> k (Error "EBADF"))
+      | _ -> k (Error Errno.EBADF))
 
 let stream_wait_for_client t h k =
   match h.K.obj with
@@ -406,7 +425,7 @@ let stream_wait_for_client t h k =
         K.stream_accept t.kernel srv (fun ep ->
             register_stream t ep;
             k (Ok (K.fresh_handle t.kernel (K.Hstream ep)))))
-  | _ -> k (Error "EBADF")
+  | _ -> k (Error Errno.EBADF)
 
 let directory_create t uri k =
   match parse_uri uri with
@@ -414,7 +433,7 @@ let directory_create t uri k =
     let cost = Time.add Cost.host_open (lsm_cost t Cost.lsm_path_check) in
     host t ~name:"mkdir" ~cost (fun () ->
         guard k (fun () -> K.fs_mkdir t.kernel t.pico path))
-  | Ok _ -> k (Error "EINVAL:not a dir uri")
+  | Ok _ -> k (Error Errno.EINVAL)
   | Error e -> k (Error e)
 
 let directory_list t h k =
@@ -422,7 +441,7 @@ let directory_list t h k =
   | K.Hdir path ->
     host t ~name:"getdents" ~cost:(Time.us 1.0) (fun () ->
         guard k (fun () -> K.fs_readdir t.kernel t.pico path))
-  | _ -> k (Error "ENOTDIR")
+  | _ -> k (Error Errno.ENOTDIR)
 
 (* An anonymous connected pipe pair inside one picoprocess — the
    DkStreamOpen("pipe:") fast path the Linux PAL builds on socketpair. *)
@@ -518,7 +537,7 @@ let stream_send_handle t stream_h payload k =
   | K.Hstream ep ->
     host t ~name:"sendto" ~cost:(Time.us 1.5) (fun () ->
         guard k (fun () -> K.stream_send_handle t.kernel ep payload))
-  | _ -> k (Error "EBADF")
+  | _ -> k (Error Errno.EBADF)
 
 let stream_receive_handle t stream_h k =
   match stream_h.K.obj with
@@ -531,8 +550,8 @@ let stream_receive_handle t stream_h k =
             | K.Hstream ep' -> K.register_endpoint t.kernel t.pico ep'
             | _ -> ());
             k (Ok h)
-          | None -> k (Error "EPIPE")))
-  | _ -> k (Error "EBADF")
+          | None -> k (Error Errno.EPIPE)))
+  | _ -> k (Error Errno.EBADF)
 
 let stream_change_name t ~src ~dst k =
   match (parse_uri src, parse_uri dst) with
@@ -541,7 +560,7 @@ let stream_change_name t ~src ~dst k =
     host t ~name:"rename" ~cost (fun () ->
         guard k (fun () -> K.fs_rename t.kernel t.pico ~src:s ~dst:d))
   | Error e, _ | _, Error e -> k (Error e)
-  | _ -> k (Error "EINVAL:not file uris")
+  | _ -> k (Error Errno.EINVAL)
 
 let physical_memory_channel t k =
   host t ~name:"open" ~cost:(Time.us 2.0) (fun () ->

@@ -8,8 +8,9 @@
 
     All calls are continuation-passing: the continuation fires after
     the call's virtual-time cost has elapsed. Results are
-    [('a, errno) result] with errno tags like ["ENOENT"], ["EACCES"],
-    ["EPIPE"]. *)
+    [('a, errno) result] with [errno = Graphene_core.Errno.t]; the PAL
+    boundary is where host-internal string tags become typed, exactly
+    once. *)
 
 module K = Graphene_host.Kernel
 module Stream = Graphene_host.Stream
@@ -18,8 +19,9 @@ module Sync = Graphene_host.Sync
 module Vfs = Graphene_host.Vfs
 module Ast = Graphene_guest.Ast
 module Interp = Graphene_guest.Interp
+module Errno = Graphene_core.Errno
 
-type errno = string
+type errno = Errno.t
 
 type exception_info =
   | Div_zero

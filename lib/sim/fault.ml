@@ -1,0 +1,181 @@
+type spec = {
+  drop : float;
+  dup : float;
+  delay_p : float;
+  delay_max : Time.t;
+  crash_call : int option;
+  kill_leader_at : Time.t option;
+}
+
+let none =
+  { drop = 0.0;
+    dup = 0.0;
+    delay_p = 0.0;
+    delay_max = Time.zero;
+    crash_call = None;
+    kill_leader_at = None }
+
+(* "200us", "5ms", "1500ns", "0.2s" -> virtual nanoseconds *)
+let parse_duration s =
+  let suffixed suffix =
+    let n = String.length s and k = String.length suffix in
+    if n > k && String.sub s (n - k) k = suffix then
+      float_of_string_opt (String.sub s 0 (n - k))
+    else None
+  in
+  (* "ns" before "s": both end in 's' *)
+  match suffixed "ns" with
+  | Some v -> Some (Time.ns (int_of_float v))
+  | None -> (
+    match suffixed "us" with
+    | Some v -> Some (Time.us v)
+    | None -> (
+      match suffixed "ms" with
+      | Some v -> Some (Time.ms v)
+      | None -> (
+        match suffixed "s" with
+        | Some v -> Some (Time.s v)
+        | None -> None)))
+
+let parse_prob s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> Some p
+  | _ -> None
+
+let parse_spec str =
+  let str = String.trim str in
+  if str = "" || str = "none" then Ok none
+  else begin
+    let parts = String.split_on_char ',' str in
+    let rec loop spec = function
+      | [] -> Ok spec
+      | part :: rest -> (
+        let part = String.trim part in
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "fault spec: %S is not key=value" part)
+        | Some i -> (
+          let key = String.sub part 0 i in
+          let value = String.sub part (i + 1) (String.length part - i - 1) in
+          match key with
+          | "drop" -> (
+            match parse_prob value with
+            | Some p -> loop { spec with drop = p } rest
+            | None -> Error (Printf.sprintf "fault spec: bad probability %S" value))
+          | "dup" -> (
+            match parse_prob value with
+            | Some p -> loop { spec with dup = p } rest
+            | None -> Error (Printf.sprintf "fault spec: bad probability %S" value))
+          | "delay" -> (
+            (* P:DURATION *)
+            match String.index_opt value ':' with
+            | None -> Error "fault spec: delay takes P:DURATION (e.g. 0.1:200us)"
+            | Some j -> (
+              let p = String.sub value 0 j in
+              let d = String.sub value (j + 1) (String.length value - j - 1) in
+              match (parse_prob p, parse_duration d) with
+              | Some p, Some d when d > 0 -> loop { spec with delay_p = p; delay_max = d } rest
+              | _ -> Error (Printf.sprintf "fault spec: bad delay %S" value)))
+          | "crash-call" -> (
+            match int_of_string_opt value with
+            | Some n when n > 0 -> loop { spec with crash_call = Some n } rest
+            | _ -> Error (Printf.sprintf "fault spec: bad call number %S" value))
+          | "kill-leader" -> (
+            match parse_duration value with
+            | Some at -> loop { spec with kill_leader_at = Some at } rest
+            | None -> Error (Printf.sprintf "fault spec: bad time %S" value))
+          | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key)))
+    in
+    let r = loop none parts in
+    match r with
+    | Ok spec when spec.drop +. spec.dup +. spec.delay_p > 1.0 ->
+      Error "fault spec: drop + dup + delay probabilities exceed 1"
+    | r -> r
+  end
+
+let spec_to_string s =
+  let parts = ref [] in
+  let add p = parts := p :: !parts in
+  (match s.kill_leader_at with
+  | Some at -> add (Printf.sprintf "kill-leader=%dns" at)
+  | None -> ());
+  (match s.crash_call with
+  | Some n -> add (Printf.sprintf "crash-call=%d" n)
+  | None -> ());
+  if s.delay_p > 0.0 then add (Printf.sprintf "delay=%g:%dns" s.delay_p s.delay_max);
+  if s.dup > 0.0 then add (Printf.sprintf "dup=%g" s.dup);
+  if s.drop > 0.0 then add (Printf.sprintf "drop=%g" s.drop);
+  match !parts with [] -> "none" | ps -> String.concat "," ps
+
+type action = Deliver | Drop | Delay of Time.t | Duplicate
+
+type t = {
+  f_spec : spec;
+  f_seed : int;
+  rng : Rng.t;
+  mutable drops : int;
+  mutable dups : int;
+  mutable delays : int;
+}
+
+let create f_spec ~seed =
+  (* a private generator: drawing fault verdicts must not perturb any
+     other seeded component of the run *)
+  { f_spec; f_seed = seed; rng = Rng.create ~seed; drops = 0; dups = 0; delays = 0 }
+
+let spec t = t.f_spec
+let seed t = t.f_seed
+
+let message_action t =
+  let s = t.f_spec in
+  if s.drop = 0.0 && s.dup = 0.0 && s.delay_p = 0.0 then Deliver
+  else begin
+    (* two draws per message regardless of the verdict, so the verdict
+       sequence for one rate is a prefix-stable function of the seed *)
+    let u = Rng.float t.rng 1.0 in
+    let d = Rng.float t.rng 1.0 in
+    if u < s.drop then begin
+      t.drops <- t.drops + 1;
+      Drop
+    end
+    else if u < s.drop +. s.dup then begin
+      t.dups <- t.dups + 1;
+      Duplicate
+    end
+    else if u < s.drop +. s.dup +. s.delay_p then begin
+      t.delays <- t.delays + 1;
+      Delay (max (Time.ns 1) (Time.scale t.f_spec.delay_max d))
+    end
+    else Deliver
+  end
+
+let crash_call t = t.f_spec.crash_call
+let kill_leader_at t = t.f_spec.kill_leader_at
+let injected t = (t.drops, t.dups, t.delays)
+
+let describe t ~n =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "fault plan: seed %d, spec %s\n" t.f_seed (spec_to_string t.f_spec);
+  (match t.f_spec.kill_leader_at with
+  | Some at ->
+    Printf.bprintf b "  kill current leader at %s\n" (Format.asprintf "%a" Time.pp at)
+  | None -> ());
+  (match t.f_spec.crash_call with
+  | Some c -> Printf.bprintf b "  crash the picoprocess issuing PAL call #%d\n" c
+  | None -> ());
+  if t.f_spec.drop = 0.0 && t.f_spec.dup = 0.0 && t.f_spec.delay_p = 0.0 then
+    Buffer.add_string b "  message faults: none\n"
+  else begin
+    Printf.bprintf b "  verdicts for the first %d coordination messages:\n" n;
+    let probe = create t.f_spec ~seed:t.f_seed in
+    for i = 1 to n do
+      let verdict =
+        match message_action probe with
+        | Deliver -> "deliver"
+        | Drop -> "DROP"
+        | Duplicate -> "DUPLICATE"
+        | Delay d -> Printf.sprintf "DELAY %s" (Format.asprintf "%a" Time.pp d)
+      in
+      Printf.bprintf b "    #%-4d %s\n" i verdict
+    done
+  end;
+  Buffer.contents b

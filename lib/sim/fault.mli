@@ -1,0 +1,75 @@
+(** Deterministic fault plans for the coordination layer.
+
+    A {!spec} declares fault {e rates} (message drop / duplication /
+    delay probabilities, a PAL-call crash point, a leader-kill time); a
+    plan materializes the spec against one RNG seed into the exact,
+    replayable schedule of injected faults. The host kernel consults
+    the plan from its injection hooks: coordination stream messages and
+    broadcast deliveries draw one {!action} each, in arrival order, so
+    the same seed and spec always produce the same fault schedule —
+    [graphene faults] prints it without running anything.
+
+    Everything is charged on the virtual clock: a delayed message is
+    re-scheduled later, a dropped one simply never delivers, and a
+    duplicate delivers twice. Faults never consume the kernel's own
+    RNG, so enabling a plan cannot perturb the unfaulted parts of a
+    run. *)
+
+type spec = {
+  drop : float;  (** P(drop) per coordination message *)
+  dup : float;  (** P(duplicate delivery) per message *)
+  delay_p : float;  (** P(extra delay) per message *)
+  delay_max : Time.t;  (** delays are uniform in (0, delay_max] *)
+  crash_call : int option;
+      (** crash the picoprocess issuing the Nth PAL call (1-based,
+          counted across all picoprocesses) *)
+  kill_leader_at : Time.t option;
+      (** SIGKILL the current coordination leader at this virtual time *)
+}
+
+val none : spec
+(** All rates zero, no crash, no kill. *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse the CLI fault-spec syntax: comma-separated [key=value] with
+    keys [drop], [dup], [delay] (as [P:DURATION], e.g. [0.1:200us]),
+    [crash-call] and [kill-leader] (a duration: virtual time since
+    boot). Durations take ns/us/ms/s suffixes. Example:
+    ["drop=0.05,dup=0.02,delay=0.1:200us,kill-leader=5ms"]. *)
+
+val spec_to_string : spec -> string
+(** Canonical round-trippable rendering of a spec
+    ([parse_spec (spec_to_string s) = Ok s] up to float formatting). *)
+
+(** The verdict for one coordination message, in arrival order. *)
+type action =
+  | Deliver
+  | Drop
+  | Delay of Time.t  (** deliver after this much extra latency *)
+  | Duplicate  (** deliver twice *)
+
+type t
+
+val create : spec -> seed:int -> t
+(** Materialize [spec] against [seed]. The plan owns a private RNG
+    derived from [seed] alone. *)
+
+val spec : t -> spec
+val seed : t -> int
+
+val message_action : t -> action
+(** Draw the verdict for the next coordination message. Consumes the
+    plan's RNG: the i-th call (for a given spec and seed) always
+    returns the same verdict. *)
+
+val crash_call : t -> int option
+val kill_leader_at : t -> Time.t option
+
+val injected : t -> int * int * int
+(** Running totals of (drops, duplicates, delays) drawn so far. *)
+
+val describe : t -> n:int -> string
+(** The materialized plan for this spec and seed, without running
+    anything: the scheduled crash/kill events plus the verdicts of the
+    first [n] messages. Rendering uses a fresh RNG, so describing a
+    plan does not advance it. *)

@@ -68,7 +68,7 @@ let tests =
         let record = Migrate.checkpoint lx in
         match Ckpt.of_bytes (Ckpt.to_bytes record) with
         | Ok r -> check_int "pid" record.Ckpt.c_pid r.Ckpt.c_pid
-        | Error e -> Alcotest.failf "round trip: %s" e);
+        | Error e -> Alcotest.failf "round trip: %s" (Graphene_core.Errno.to_string e));
     case "of_bytes rejects garbage" (fun () ->
         match Ckpt.of_bytes "garbage" with
         | Error _ -> ()
@@ -83,7 +83,7 @@ let tests =
             | Ok (_pico, size) ->
               check_bool "bytes crossed the wire" true (size > 4096);
               finished := true
-            | Error e -> Alcotest.failf "migrate: %s" e);
+            | Error e -> Alcotest.failf "migrate: %s" (Graphene_core.Errno.to_string e));
         W.run w;
         check_bool "migration completed" true !finished;
         check_bool "resumed on the target" true (Util.contains (Buffer.contents agg) "counter=42"));

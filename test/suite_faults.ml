@@ -1,0 +1,140 @@
+(** Deterministic fault injection: plan materialization, wire-level
+    dedup, and the coordination layer's recovery paths under seeded
+    message loss, duplication, and leader kill (docs/FAULTS.md). *)
+
+open Util
+module Fault = Graphene_sim.Fault
+module Wire = Graphene_ipc.Wire
+
+let storm_spec =
+  { Fault.none with
+    Fault.drop = 0.08;
+    dup = 0.05;
+    delay_p = 0.1;
+    delay_max = T.us 150.;
+    kill_leader_at = Some (T.ms 2.0) }
+
+(* {1 Plan materialization} *)
+
+let spec_of_string s =
+  match Fault.parse_spec s with Ok s -> s | Error e -> Alcotest.failf "parse_spec: %s" e
+
+let test_spec_roundtrip () =
+  let s = spec_of_string "drop=0.05,dup=0.02,delay=0.1:200us,crash-call=500,kill-leader=5ms" in
+  (match Fault.parse_spec (Fault.spec_to_string s) with
+  | Ok s' -> check_bool "roundtrip" true (s = s')
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  (match Fault.parse_spec "drop=1.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rate > 1 accepted");
+  match Fault.parse_spec "bogus=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+
+let actions plan n = List.init n (fun _ -> Fault.message_action plan)
+
+let test_plan_determinism () =
+  let mk () = Fault.create storm_spec ~seed:123 in
+  check_bool "same seed, same verdicts" true (actions (mk ()) 200 = actions (mk ()) 200);
+  let other = Fault.create storm_spec ~seed:124 in
+  check_bool "different seed, different verdicts" false
+    (actions (mk ()) 200 = actions other 200)
+
+let test_describe_does_not_advance () =
+  let plan = Fault.create storm_spec ~seed:9 in
+  let d1 = Fault.describe plan ~n:16 in
+  let fresh = Fault.create storm_spec ~seed:9 in
+  check_bool "probe RNG is private" true (actions plan 50 = actions fresh 50);
+  check_str "describe is stable" d1 (Fault.describe fresh ~n:16)
+
+(* {1 Wire-level request dedup} *)
+
+let test_dedup_replay () =
+  let d = Wire.Dedup.create () in
+  (match Wire.Dedup.begin_request d ~origin:"s1" ~seq:7 with
+  | `Execute -> ()
+  | _ -> Alcotest.fail "first sighting must execute");
+  (* retransmission arriving while the original is still in flight *)
+  (match Wire.Dedup.begin_request d ~origin:"s1" ~seq:7 with
+  | `Drop -> ()
+  | _ -> Alcotest.fail "in-flight duplicate must drop");
+  Wire.Dedup.finish_request d ~origin:"s1" ~seq:7 Wire.R_unit;
+  (* retransmission after completion replays the cached response *)
+  (match Wire.Dedup.begin_request d ~origin:"s1" ~seq:7 with
+  | `Replay Wire.R_unit -> ()
+  | _ -> Alcotest.fail "completed duplicate must replay");
+  (* same seq from another origin is a distinct request *)
+  (match Wire.Dedup.begin_request d ~origin:"s2" ~seq:7 with
+  | `Execute -> ()
+  | _ -> Alcotest.fail "other origin must execute");
+  check_int "suppressed" 2 (Wire.Dedup.suppressed d)
+
+let test_dedup_oneway () =
+  let d = Wire.Dedup.create () in
+  check_bool "first" false (Wire.Dedup.seen_oneway d ~origin:"a" ~seq:1);
+  check_bool "dup" true (Wire.Dedup.seen_oneway d ~origin:"a" ~seq:1);
+  check_bool "other seq" false (Wire.Dedup.seen_oneway d ~origin:"a" ~seq:2)
+
+(* {1 End-to-end recovery} *)
+
+let storm_done r = contains (r.out ()) "storm done\nstorm done"
+
+let test_leader_kill_recovery () =
+  (* kill the leader mid-storm: the children must elect a replacement
+     and still complete their signal exchange *)
+  let spec = { Fault.none with Fault.kill_leader_at = Some (T.ms 2.0) } in
+  let r = run_on ~seed:42 ~faults:spec ~exe:"/bin/sigstorm" ~argv:[] () in
+  check_bool "both children completed" true (storm_done r);
+  match K.fault_recovery (W.kernel r.w) with
+  | Some (killed, recovered) ->
+    check_bool "recovery after kill" true (T.diff recovered killed > 0)
+  | None -> Alcotest.fail "no replacement leader served an RPC"
+
+let test_election_under_loss () =
+  (* leader kill plus message loss and duplication: candidacy and
+     Leader_elected broadcasts are themselves fault-eligible, so this
+     exercises re-election under churn *)
+  let r = run_on ~seed:7 ~faults:storm_spec ~exe:"/bin/sigstorm" ~argv:[] () in
+  check_bool "both children completed" true (storm_done r);
+  check_bool "recovered" true (K.fault_recovery (W.kernel r.w) <> None)
+
+let test_emoved_retry_under_loss () =
+  (* queue migration (EMOVED) with lossy coordination streams: the
+     first remote receive migrates the queue, later operations chase
+     it; drops and dups must not lose or double-apply messages *)
+  let spec =
+    { Fault.none with Fault.drop = 0.06; dup = 0.04; delay_p = 0.1; delay_max = T.us 120. }
+  in
+  let r = run_on ~seed:11 ~faults:spec ~exe:"/bin/sysv_interproc" ~argv:[ "3" ] () in
+  expect_exit r
+
+let stats_fingerprint r =
+  let k = W.kernel r.w in
+  let injected =
+    match K.fault_plan k with Some p -> Fault.injected p | None -> (0, 0, 0)
+  in
+  (r.out (), W.now r.w, injected, K.fault_recovery k)
+
+let test_same_seed_same_stats () =
+  let go () = run_on ~seed:7 ~faults:storm_spec ~exe:"/bin/sigstorm" ~argv:[] () in
+  check_bool "identical console, clock, injections, recovery" true
+    (stats_fingerprint (go ()) = stats_fingerprint (go ()))
+
+let test_crash_call () =
+  (* crash at the Nth PAL call kills exactly one picoprocess but the
+     run still drains *)
+  let spec = { Fault.none with Fault.crash_call = Some 40 } in
+  let r = run_on ~seed:42 ~faults:spec ~exe:"/bin/sigstorm" ~argv:[] () in
+  ignore r
+
+let suite =
+  [ case "fault spec round-trips" test_spec_roundtrip;
+    case "plan is deterministic per seed" test_plan_determinism;
+    case "describe does not advance the plan" test_describe_does_not_advance;
+    case "dedup replays completed requests" test_dedup_replay;
+    case "dedup drops repeated oneways" test_dedup_oneway;
+    case "leader kill: election and recovery" test_leader_kill_recovery;
+    case "election survives message loss" test_election_under_loss;
+    case "EMOVED retry under loss" test_emoved_retry_under_loss;
+    case "same seed, same final stats" test_same_seed_same_stats;
+    case "crash at Nth PAL call drains" test_crash_call ]

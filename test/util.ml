@@ -20,8 +20,13 @@ let case name f = Alcotest.test_case name `Quick f
 type run = { w : W.t; p : W.proc; out : unit -> string }
 
 (* Run a guest program to completion on a given stack. *)
-let run_on ?(stack = W.Graphene) ?console_hook ?cfg ?(setup = fun _ -> ()) ~exe ~argv () =
-  let w = match cfg with Some cfg -> W.create ~cfg stack | None -> W.create stack in
+let run_on ?(stack = W.Graphene) ?console_hook ?seed ?faults ?cfg ?(setup = fun _ -> ())
+    ~exe ~argv () =
+  let w =
+    match cfg with
+    | Some cfg -> W.create ?seed ?faults ~cfg stack
+    | None -> W.create ?seed ?faults stack
+  in
   setup w;
   let agg = Buffer.create 256 in
   let hook s =
@@ -33,13 +38,13 @@ let run_on ?(stack = W.Graphene) ?console_hook ?cfg ?(setup = fun _ -> ()) ~exe 
   { w; p; out = (fun () -> Buffer.contents agg) }
 
 (* Install an ad-hoc program and run it. *)
-let run_prog ?(stack = W.Graphene) ?cfg ?(path = "/bin/testprog") ?(argv = [])
+let run_prog ?(stack = W.Graphene) ?seed ?faults ?cfg ?(path = "/bin/testprog") ?(argv = [])
     ?(setup = fun _ -> ()) prog =
   let setup w =
     Loader.install (W.kernel w).K.fs ~path prog;
     setup w
   in
-  run_on ~stack ?cfg ~setup ~exe:path ~argv ()
+  run_on ~stack ?seed ?faults ?cfg ~setup ~exe:path ~argv ()
 
 (* Assert the initial process exited with [code]. *)
 let expect_exit ?(code = 0) r =
