@@ -78,11 +78,12 @@ let write_metrics ~mode =
 
 (* Run [f] against [n] fresh worlds of [stack]; collect its float
    result into stats. [name] also records the result in the metrics
-   registry, suffixed by the stack. *)
-let trials ?(n = default_trials) ?name ?unit ~stack f =
+   registry, suffixed by the stack. [cfg] overrides the coordination
+   config (the cache ablation runs the same trials uncached). *)
+let trials ?(n = default_trials) ?name ?unit ?cfg ~stack f =
   let s = Stats.create () in
   for seed = 1 to n do
-    let w = W.create ~seed:(seed * 7919) ~noise stack in
+    let w = W.create ~seed:(seed * 7919) ~noise ?cfg stack in
     Stats.add s (f w)
   done;
   (match name with
@@ -119,17 +120,28 @@ let phase_us ~exe ~iters ~phase w =
   | Some ns -> ns /. 1000.
   | None -> failwith (exe ^ ": missing phase " ^ phase)
 
-(* Throughput (MB/s) of a web server under ApacheBench-style load. *)
-let web_throughput ~exe ~argv ~ready ~requests ~concurrency w =
+(* Throughput (MB/s) of a web server under ApacheBench-style load.
+   [warmup] unmeasured requests run first at the same concurrency, so
+   server-side caches (worker pools, the VFS dcache, refmon decisions)
+   reach steady state before the measured span starts — ApacheBench's
+   own methodology, and what keeps the per-trial numbers tight. *)
+let web_throughput ?(warmup = 0) ~exe ~argv ~ready ~requests ~concurrency w =
   let client = W.client_pico w in
   let result = ref None in
   let started = ref false in
+  let measured () =
+    ignore
+      (Apps.Loadgen.run (W.kernel w) ~client ~port:8080 ~path:"/index.html" ~requests
+         ~concurrency (fun st -> result := Some st))
+  in
   let hook s =
     if (not !started) && Util_contains.contains s ready then begin
       started := true;
-      ignore
-        (Apps.Loadgen.run (W.kernel w) ~client ~port:8080 ~path:"/index.html" ~requests
-           ~concurrency (fun st -> result := Some st))
+      if warmup > 0 then
+        ignore
+          (Apps.Loadgen.run (W.kernel w) ~client ~port:8080 ~path:"/index.html"
+             ~requests:warmup ~concurrency (fun _ -> measured ()))
+      else measured ()
     end
   in
   ignore (W.start w ~console_hook:hook ~exe ~argv ());

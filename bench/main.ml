@@ -3,7 +3,7 @@
 
     Usage:
       main.exe [all|quick|table1|table4|table5|table6|table7|table8|
-                figure4|figure5|ablation|critpath|chaos|bechamel]
+                figure4|figure5|ablation|critpath|chaos|cache|bechamel]
 
     [all] (the default) runs everything at full scale; [quick] runs
     reduced sizes. [bechamel] wall-clock-benchmarks one representative
@@ -13,6 +13,10 @@ let header title =
   Printf.printf "==============================================================\n";
   Printf.printf "%s\n" title;
   Printf.printf "==============================================================\n%!"
+
+(* Set when the cache ablation's self-checks fail; the exit code flips
+   only after metrics are written, so the failing run is inspectable. *)
+let cache_gate_failed = ref false
 
 let experiments ~full =
   [ ("table1", "Table 1: host ABI inventory", fun () -> Table1.run ());
@@ -27,7 +31,9 @@ let experiments ~full =
     ("critpath", "Critical path: cross-picoprocess signal delivery", fun () ->
         Critpath_report.run ());
     ("chaos", "Chaos sweep: fault injection and leader recovery", fun () ->
-        ignore (Chaos.run ~full ())) ]
+        ignore (Chaos.run ~full ()));
+    ("cache", "Cache ablation: fast-path caches on/off, hit rates", fun () ->
+        if not (Cache.run ~full ()) then cache_gate_failed := true) ]
 
 (* {1 Bechamel probes}
 
@@ -117,16 +123,18 @@ let () =
         header title;
         f ())
       (experiments ~full);
-    Harness.write_metrics ~mode
+    Harness.write_metrics ~mode;
+    if !cache_gate_failed then exit 1
   | "bechamel" -> Bech.run ()
   | name -> (
     match List.find_opt (fun (n, _, _) -> n = name) (experiments ~full:true) with
     | Some (_, title, f) ->
       header title;
       f ();
-      Harness.write_metrics ~mode
+      Harness.write_metrics ~mode;
+      if !cache_gate_failed then exit 1
     | None ->
       prerr_endline
         ("unknown experiment " ^ name
-       ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos bechamel)");
+       ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache bechamel)");
       exit 2)

@@ -29,8 +29,13 @@ let script_time script w =
   let t0 = match W.started_at p with Some t -> t | None -> failwith "never started" in
   Graphene_sim.Time.to_s (Graphene_sim.Time.diff (W.now w) t0)
 
+(* A deterministic warmup pass (5% of the measured load, at least 100
+   requests) precedes measurement, so the first trials don't pay the
+   server's cold caches — this is what tightened the quick-mode apache
+   confidence intervals. *)
 let throughput ~exe ~argv ~ready ~concurrency ~requests w =
-  Harness.web_throughput ~exe ~argv ~ready ~requests ~concurrency w
+  let warmup = max 100 (requests / 20) in
+  Harness.web_throughput ~warmup ~exe ~argv ~ready ~requests ~concurrency w
 
 let time_rows ~trials rows table =
   List.iter
@@ -75,8 +80,10 @@ let run ?(full = true) () =
     (fun (label, exe, argv, ready) ->
       List.iter
         (fun conc ->
+          (* web rows keep 4 trials even in quick mode: at 2 the apache
+             ci95 was ~65% of the mean, drowning the signal *)
           let m stack =
-            Harness.trials ~n:(if full then 4 else 2)
+            Harness.trials ~n:4
               ~name:(Printf.sprintf "table5/%s_%dconc" label conc)
               ~unit:"MB/s" ~stack
               (throughput ~exe ~argv ~ready ~concurrency:conc ~requests)

@@ -180,6 +180,42 @@ let script_cmd =
     (Cmd.info "script" ~doc:"Run a shell script under the guest /bin/sh")
     Term.(const run $ stack_arg $ file_arg $ telemetry_arg $ trace_arg)
 
+(* The caches section of `graphene stats`: hit/miss/eviction/
+   invalidation counts and the hit rate of every fast-path cache
+   (negative dcache answers count as hits — they answer without
+   walking; lease expirations count as invalidations). Caches the run
+   never touched are omitted. *)
+let cache_report w =
+  let c name = Obs.counter_value (W.tracer w) name in
+  let rows =
+    [ ("vfs.dcache", c "vfs.dcache.hit" + c "vfs.dcache.neg_hit", c "vfs.dcache.miss",
+       c "vfs.dcache.evict", c "vfs.dcache.invalidate");
+      ("refmon.cache", c "refmon.cache.hit", c "refmon.cache.miss", c "refmon.cache.evict",
+       c "refmon.cache.invalidate");
+      ("liblinux.handle_cache", c "liblinux.handle_cache.hit", c "liblinux.handle_cache.miss",
+       c "liblinux.handle_cache.evict", c "liblinux.handle_cache.invalidate");
+      ("ipc.lease.owner", c "ipc.lease.owner.hit", c "ipc.lease.owner.miss",
+       c "ipc.lease.owner.evict",
+       c "ipc.lease.owner.invalidate" + c "ipc.lease.owner.expire");
+      ("ipc.lease.pid", c "ipc.lease.pid.hit", c "ipc.lease.pid.miss", c "ipc.lease.pid.evict",
+       c "ipc.lease.pid.invalidate" + c "ipc.lease.pid.expire") ]
+  in
+  let touched = List.filter (fun (_, h, m, e, i) -> h + m + e + i > 0) rows in
+  if touched <> [] then begin
+    Printf.printf "== caches ==\n";
+    Printf.printf "  %-24s %10s %10s %8s %8s %9s\n" "cache" "hits" "misses" "evict" "inval"
+      "hit rate";
+    List.iter
+      (fun (name, h, m, e, i) ->
+        let rate = if h + m = 0 then 0. else 100. *. float_of_int h /. float_of_int (h + m) in
+        Printf.printf "  %-24s %10d %10d %8d %8d %8.1f%%\n" name h m e i rate)
+      touched;
+    let co = c "ipc.coalesced" in
+    if co > 0 then
+      Printf.printf "  coalesced notifications: %d (batches: %d)\n" co (c "ipc.batches");
+    print_newline ()
+  end
+
 let stats_cmd =
   let run stack exe argv trace seed faults =
     let w = W.create ~seed ?faults stack in
@@ -191,6 +227,7 @@ let stats_cmd =
       (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
     fault_report stdout w;
     print_string (Obs.summary (W.tracer w));
+    cache_report w;
     print_string
       (Critpath.render ~until:(W.now w) (Critpath.analyze (W.tracer w) ~until:(W.now w)));
     let trace_ok =

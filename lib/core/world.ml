@@ -50,6 +50,10 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) ?(cfg = Ipc_config.default (
   | Some spec -> K.install_faults kernel (Graphene_sim.Fault.create ~seed spec)
   | None -> ());
   Install.all kernel.K.fs;
+  (* fast-path caches come up from the run's config, after install-time
+     churn, so cache-off runs reproduce the pre-cache walks exactly *)
+  Graphene_host.Vfs.configure_dcache kernel.K.fs ~enabled:cfg.Ipc_config.dcache
+    ~capacity:cfg.Ipc_config.dcache_capacity;
   let native =
     match stack with
     | Linux -> Some (Native.create kernel)
@@ -57,6 +61,11 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) ?(cfg = Ipc_config.default (
     | Graphene | Graphene_rm -> None
   in
   let monitor = match stack with Graphene_rm -> Some (Monitor.install kernel) | _ -> None in
+  (match monitor with
+  | Some mon ->
+    Monitor.configure_cache mon ~enabled:cfg.Ipc_config.refmon_cache
+      ~capacity:cfg.Ipc_config.refmon_cache_capacity
+  | None -> ());
   { kernel; stack; native; monitor; cfg }
 
 let kernel t = t.kernel

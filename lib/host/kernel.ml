@@ -95,6 +95,9 @@ and thread_service = {
 
 and lsm = {
   check_path : pico -> string -> [ `Read | `Write | `Exec ] -> bool;
+  probe_path : pico -> string -> [ `Read | `Write | `Exec ] -> bool;
+      (** pure probe: is the verdict for this triple already memoized?
+          Used for cost composition only — never decides access. *)
   check_net : pico -> addr:string -> port:int -> [ `Bind | `Connect ] -> bool;
   check_stream_connect : pico -> server -> bool;
   check_gipc : src:pico -> dst:pico -> bool;
@@ -158,6 +161,7 @@ exception Killed_by_seccomp of string
 
 let permissive_lsm =
   { check_path = (fun _ _ _ -> true);
+    probe_path = (fun _ _ _ -> false);
     check_net = (fun _ ~addr:_ ~port:_ _ -> true);
     check_stream_connect = (fun _ _ -> true);
     check_gipc = (fun ~src:_ ~dst:_ -> true);
@@ -177,9 +181,13 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
            if Engine.events_fired engine mod 64 = 0 then
              Obs.counter_sample tracer ~name:"sim.pending_events" clock pending
          end));
+  let fs = Vfs.create () in
+  (* dcache counters flow through the world's tracer like every other
+     layer's; the hook stays a no-op while tracing is off *)
+  Vfs.set_dcache_hook fs (fun name -> if Obs.enabled tracer then Obs.count tracer name);
   { engine;
     rng = Rng.create ~seed;
-    fs = Vfs.create ();
+    fs;
     alloc = Memory.make_allocator ();
     cores;
     picos = [];
@@ -846,10 +854,16 @@ let gipc_recv t pico ~token =
 (* Path-touching operations go through the LSM; these are the host
    syscalls the filter marks [Trace]. *)
 let check_path_traced t pico path access =
+  (* probe before the check fills the memo: a cached decision shows up
+     in the trace at its cheap cost, a cold one at the full walk *)
+  let cost =
+    if t.lsm_active && t.lsm.probe_path pico path access then Cost.refmon_cache_hit
+    else Cost.lsm_path_check
+  in
   lsm_verdict t pico ~hook:"check_path"
     ~target:
       (path ^ " (" ^ (match access with `Read -> "r" | `Write -> "w" | `Exec -> "x") ^ ")")
-    ~cost:Cost.lsm_path_check
+    ~cost
     (t.lsm.check_path pico path access)
 
 let fs_open t pico path ~write ~create =

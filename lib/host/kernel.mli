@@ -98,6 +98,11 @@ and thread_service = {
 
 and lsm = {
   check_path : pico -> string -> [ `Read | `Write | `Exec ] -> bool;
+  probe_path : pico -> string -> [ `Read | `Write | `Exec ] -> bool;
+      (** pure probe: is the verdict for this triple already memoized in
+          the monitor's decision cache? Used by the PAL to charge the
+          cache-hit cost instead of the full manifest walk; never
+          decides access. *)
   check_net : pico -> addr:string -> port:int -> [ `Bind | `Connect ] -> bool;
   check_stream_connect : pico -> server -> bool;
   check_gipc : src:pico -> dst:pico -> bool;

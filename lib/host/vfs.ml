@@ -11,7 +11,37 @@ type file = { mutable data : bytes; mutable size : int }
 
 type node = File of file | Dir of (string, node) Hashtbl.t
 
-type t = { root : node }
+(* {1 Dentry cache}
+
+   Bounded memo of path resolutions, positive and negative. Nodes are
+   cached by reference, so in-place content changes stay visible; only
+   namespace mutations (unlink, rename, create) invalidate. Disabled
+   until configured — the simulated host boots without it, and the
+   world enables it from the run's config so cache-off ablations
+   reproduce the pre-cache walk exactly. *)
+
+type dentry = Present of node | Absent
+
+type dcache_stats = {
+  mutable hits : int;
+  mutable neg_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type dcache = {
+  mutable enabled : bool;
+  mutable capacity : int;
+  tbl : (string, dentry) Hashtbl.t;
+  order : string Queue.t;  (** insertion order; oldest evicts first *)
+  stats : dcache_stats;
+  mutable on_event : string -> unit;  (** counter hook (graphene.obs) *)
+}
+
+type dprobe = Dhit | Dneg_hit | Dmiss
+
+type t = { root : node; dcache : dcache }
 
 type stat = { st_size : int; st_is_dir : bool }
 
@@ -21,7 +51,34 @@ exception Error of string
 
 let err tag = raise (Error tag)
 
-let create () = { root = Dir (Hashtbl.create 16) }
+let create () =
+  { root = Dir (Hashtbl.create 16);
+    dcache =
+      { enabled = false;
+        capacity = 1024;
+        tbl = Hashtbl.create 64;
+        order = Queue.create ();
+        stats = { hits = 0; neg_hits = 0; misses = 0; evictions = 0; invalidations = 0 };
+        on_event = ignore } }
+
+let dcache_flush t =
+  Hashtbl.reset t.dcache.tbl;
+  Queue.clear t.dcache.order
+
+let configure_dcache t ~enabled ~capacity =
+  t.dcache.enabled <- enabled;
+  t.dcache.capacity <- max 1 capacity;
+  if not enabled then dcache_flush t
+
+let set_dcache_hook t f = t.dcache.on_event <- f
+
+let dcache_stats t =
+  let s = t.dcache.stats in
+  { hits = s.hits;
+    neg_hits = s.neg_hits;
+    misses = s.misses;
+    evictions = s.evictions;
+    invalidations = s.invalidations }
 
 (* Normalize an absolute path to its component list. "/a/../b" -> ["b"]. *)
 let components path =
@@ -47,7 +104,92 @@ let rec walk node = function
       | Some child -> walk child rest
       | None -> None))
 
-let lookup t path = walk t.root (components path)
+(* Oldest live entry goes; keys already invalidated are skipped (their
+   queue slots are left behind rather than compacted eagerly). *)
+let dc_evict t =
+  let d = t.dcache in
+  let rec pop () =
+    if not (Queue.is_empty d.order) then begin
+      let k = Queue.pop d.order in
+      if Hashtbl.mem d.tbl k then begin
+        Hashtbl.remove d.tbl k;
+        d.stats.evictions <- d.stats.evictions + 1;
+        d.on_event "vfs.dcache.evict"
+      end
+      else pop ()
+    end
+  in
+  pop ()
+
+let dc_fill t key entry =
+  let d = t.dcache in
+  if not (Hashtbl.mem d.tbl key) then begin
+    if Hashtbl.length d.tbl >= d.capacity then dc_evict t;
+    Queue.push key d.order
+  end;
+  Hashtbl.replace d.tbl key entry
+
+let dc_invalidate_exact t key =
+  let d = t.dcache in
+  if d.enabled && Hashtbl.mem d.tbl key then begin
+    Hashtbl.remove d.tbl key;
+    d.stats.invalidations <- d.stats.invalidations + 1;
+    d.on_event "vfs.dcache.invalidate"
+  end
+
+(* Drop [key] and everything under it: a rename or unlink changes what
+   every descendant path resolves to. *)
+let dc_invalidate_subtree t key =
+  let d = t.dcache in
+  if d.enabled then begin
+    let prefix = if key = "/" then "/" else key ^ "/" in
+    let doomed =
+      Hashtbl.fold
+        (fun k _ acc ->
+          if k = key || String.starts_with ~prefix k then k :: acc else acc)
+        d.tbl []
+    in
+    List.iter
+      (fun k ->
+        Hashtbl.remove d.tbl k;
+        d.stats.invalidations <- d.stats.invalidations + 1;
+        d.on_event "vfs.dcache.invalidate")
+      doomed
+  end
+
+let lookup t path =
+  let d = t.dcache in
+  if not d.enabled then walk t.root (components path)
+  else begin
+    let key = normalize path in
+    match Hashtbl.find_opt d.tbl key with
+    | Some (Present node) ->
+      d.stats.hits <- d.stats.hits + 1;
+      d.on_event "vfs.dcache.hit";
+      Some node
+    | Some Absent ->
+      d.stats.neg_hits <- d.stats.neg_hits + 1;
+      d.on_event "vfs.dcache.neg_hit";
+      None
+    | None ->
+      d.stats.misses <- d.stats.misses + 1;
+      d.on_event "vfs.dcache.miss";
+      let r = walk t.root (components path) in
+      dc_fill t key (match r with Some n -> Present n | None -> Absent);
+      r
+  end
+
+(* Pure probe for cost composition in the PAL: does not fill, count,
+   or touch eviction order. *)
+let dcache_probe t path =
+  let d = t.dcache in
+  if not d.enabled then Dmiss
+  else
+    match Hashtbl.find_opt d.tbl (normalize path) with
+    | Some (Present _) -> Dhit
+    | Some Absent -> Dneg_hit
+    | None -> Dmiss
+
 let exists t path = lookup t path <> None
 
 (* The directory that should contain the last component of [path],
@@ -64,7 +206,9 @@ let parent_of t path =
 let mkdir t path =
   let entries, name = parent_of t path in
   if Hashtbl.mem entries name then err "EEXIST";
-  Hashtbl.replace entries name (Dir (Hashtbl.create 8))
+  Hashtbl.replace entries name (Dir (Hashtbl.create 8));
+  (* a cached negative entry for this path is now wrong *)
+  dc_invalidate_exact t (normalize path)
 
 let rec mkdir_p t path =
   match lookup t path with
@@ -82,7 +226,7 @@ let create_file t path =
   let entries, name = parent_of t path in
   match Hashtbl.find_opt entries name with
   | Some (File f) ->
-    (* truncate, like O_CREAT|O_TRUNC *)
+    (* truncate, like O_CREAT|O_TRUNC; same object, cache stays valid *)
     f.data <- Bytes.empty;
     f.size <- 0;
     f
@@ -90,6 +234,7 @@ let create_file t path =
   | None ->
     let f = { data = Bytes.empty; size = 0 } in
     Hashtbl.replace entries name (File f);
+    dc_invalidate_exact t (normalize path);
     f
 
 let find_file t path =
@@ -135,10 +280,11 @@ let truncate f n =
 
 let unlink t path =
   let entries, name = parent_of t path in
-  match Hashtbl.find_opt entries name with
+  (match Hashtbl.find_opt entries name with
   | Some (File _) -> Hashtbl.remove entries name
   | Some (Dir d) -> if Hashtbl.length d = 0 then Hashtbl.remove entries name else err "ENOTEMPTY"
-  | None -> err "ENOENT"
+  | None -> err "ENOENT");
+  dc_invalidate_subtree t (normalize path)
 
 let rename t ~src ~dst =
   let src_entries, src_name = parent_of t src in
@@ -150,7 +296,11 @@ let rename t ~src ~dst =
     | Some (Dir d) when Hashtbl.length d > 0 -> err "ENOTEMPTY"
     | _ -> ());
     Hashtbl.remove src_entries src_name;
-    Hashtbl.replace dst_entries dst_name node
+    Hashtbl.replace dst_entries dst_name node;
+    (* both subtrees resolve differently now: src is gone, dst holds
+       the moved node (and its descendants) *)
+    dc_invalidate_subtree t (normalize src);
+    dc_invalidate_subtree t (normalize dst)
 
 let readdir t path =
   match lookup t path with

@@ -22,6 +22,42 @@ val normalize : string -> string
 (** Canonical absolute form; raises [Error "EINVAL"] on relative
     paths. *)
 
+(** {1 Dentry cache}
+
+    A bounded memo of path resolutions, positive (path → node) and
+    negative (path → ENOENT), keyed by canonical path. Namespace
+    mutations invalidate: unlink and rename drop the affected subtree,
+    mkdir and file creation drop the stale negative entry. Off until
+    {!configure_dcache} enables it, so the walk-every-time behavior is
+    the default (docs/PERF.md). *)
+
+type dcache_stats = {
+  mutable hits : int;
+  mutable neg_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type dprobe = Dhit | Dneg_hit | Dmiss
+
+val configure_dcache : t -> enabled:bool -> capacity:int -> unit
+(** Turn the cache on or off and bound it; disabling flushes. *)
+
+val set_dcache_hook : t -> (string -> unit) -> unit
+(** Counter hook: called with "vfs.dcache.hit" / "neg_hit" / "miss" /
+    "evict" / "invalidate" as they happen (the kernel routes these to
+    graphene.obs). *)
+
+val dcache_probe : t -> string -> dprobe
+(** Pure probe for cost composition: would this lookup hit? Does not
+    fill the cache, count, or disturb eviction order. *)
+
+val dcache_stats : t -> dcache_stats
+(** A snapshot copy of the counters. *)
+
+val dcache_flush : t -> unit
+
 val depth : string -> int
 (** Number of path components after normalization. *)
 

@@ -56,6 +56,26 @@ type t = {
       (** retries of operations answered EMOVED / ECONNREFUSED while
           ownership or leadership is in motion *)
   mutable moved_retry_delay : Time.t;  (** delay between those *)
+  (* --- fast-path caches (PR 4) --- *)
+  mutable dcache : bool;  (** host VFS dentry cache *)
+  mutable dcache_capacity : int;
+  mutable refmon_cache : bool;
+      (** reference-monitor decision cache per (sandbox, class, path) *)
+  mutable refmon_cache_capacity : int;
+  mutable handle_cache : bool;
+      (** libOS fast path for repeat opens of the same canonical path *)
+  mutable handle_cache_capacity : int;
+  mutable lease_ttl : Time.t;
+      (** validity of an owner/pid lease from the moment it is cached;
+          0 = leases never expire (pure invalidation-driven) *)
+  mutable lease_capacity : int;
+      (** bound on each owner/pid lease cache; oldest entries evict *)
+  mutable coalesce : bool;
+      (** merge back-to-back async releases / exit notifications to the
+          same peer into one wire message *)
+  mutable coalesce_window : Time.t;
+      (** how long after an async notification follow-ups to the same
+          peer are batched instead of sent individually *)
 }
 
 let default () =
@@ -75,7 +95,19 @@ let default () =
     election_restart = Time.us 600.;
     election_retry_delay = Time.ms 1.2;
     moved_tries = 10;
-    moved_retry_delay = Time.us 60. }
+    moved_retry_delay = Time.us 60.;
+    dcache = true;
+    dcache_capacity = 1024;
+    refmon_cache = true;
+    refmon_cache_capacity = 512;
+    handle_cache = true;
+    handle_cache_capacity = 256;
+    lease_ttl = Time.ms 50.;
+    lease_capacity = 512;
+    coalesce = true;
+    (* wide enough that a guest-paced release burst (~1.5-2 us apart)
+       lands several notes per window; well under any RPC timeout *)
+    coalesce_window = Time.us 5.0 }
 
 (* The starting point of §4.3's iteration: every coordination request
    is a synchronous RPC, no caching, no batching. *)
@@ -86,7 +118,22 @@ let naive () =
     migrate_threshold = max_int;
     pid_batch = 1;
     cache_p2p = false;
-    cache_owners = false }
+    cache_owners = false;
+    dcache = false;
+    refmon_cache = false;
+    handle_cache = false;
+    coalesce = false }
+
+(* Only the PR-4 fast-path caches off: the pre-caching behavior every
+   cache-on run must beat (the A side of the bench-cache ablation). *)
+let uncached () =
+  { (default ()) with
+    dcache = false;
+    refmon_cache = false;
+    handle_cache = false;
+    lease_ttl = Time.zero;
+    lease_capacity = max_int;
+    coalesce = false }
 
 (* a fresh record with every field copied; [with] on one field forces
    the allocation *)

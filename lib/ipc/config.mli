@@ -57,6 +57,32 @@ type t = {
       (** retries of operations answered EMOVED / ECONNREFUSED while
           ownership or leadership is in motion *)
   mutable moved_retry_delay : Time.t;
+  mutable dcache : bool;
+      (** host VFS dentry cache: positive and negative lookups answered
+          from a bounded hash table, invalidated on unlink / rename /
+          create (docs/PERF.md) *)
+  mutable dcache_capacity : int;  (** entry bound; oldest evict *)
+  mutable refmon_cache : bool;
+      (** reference-monitor decision cache: memoized allow/deny per
+          (sandbox, rule class, canonical path), flushed by manifest
+          epoch bumps *)
+  mutable refmon_cache_capacity : int;
+  mutable handle_cache : bool;
+      (** libOS fast path: repeat opens of the same canonical path skip
+          the duplicated path resolution *)
+  mutable handle_cache_capacity : int;
+  mutable lease_ttl : Time.t;
+      (** validity of a cached owner/pid resolution (a lease) from the
+          moment it is cached; 0 = never expires, the historical
+          invalidation-only behavior *)
+  mutable lease_capacity : int;
+      (** bound on each owner/pid lease cache; oldest entries evict *)
+  mutable coalesce : bool;
+      (** merge back-to-back async releases / exit notifications to the
+          same peer into one wire message *)
+  mutable coalesce_window : Time.t;
+      (** how long after an async notification later ones to the same
+          peer keep batching instead of going out individually *)
 }
 
 val default : unit -> t
@@ -65,7 +91,13 @@ val default : unit -> t
 
 val naive : unit -> t
 (** The starting point of §4.3's iteration: every coordination request
-    is a synchronous RPC, no caching, no batching, no migration. The
-    failure-handling knobs keep their defaults. *)
+    is a synchronous RPC, no caching, no batching, no migration — and
+    none of the fast-path caches. The failure-handling knobs keep
+    their defaults. *)
+
+val uncached : unit -> t
+(** Defaults with only the fast-path caches (dcache, refmon decision
+    cache, handle fast path, TTL leases, coalescing) disabled: the
+    pre-caching behavior the bench-cache ablation compares against. *)
 
 val copy : t -> t

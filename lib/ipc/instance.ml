@@ -76,8 +76,11 @@ type t = {
   mutable leader : leader_state option;
   mutable pid_pool : (int * int) list;  (** owned ranges, allocated from front *)
   streams : (string, K.handle) Hashtbl.t;
-  owner_cache : (int, string) Hashtbl.t;  (** SysV id -> owner addr *)
-  pid_cache : (int, string) Hashtbl.t;  (** PID -> owner addr *)
+  owner_cache : Lease.t;  (** SysV id -> owner addr, TTL-leased *)
+  pid_cache : Lease.t;  (** PID -> owner addr, TTL-leased *)
+  coalesce_buf : (string, Wire.notification list ref) Hashtbl.t;
+      (** peer addr -> notifications buffered while that peer's
+          coalescing window is open (newest first) *)
   pending : (int, string option * (Wire.response -> unit)) Hashtbl.t;
   mutable next_req : int;
   dedup : Wire.Dedup.t;  (** receiver-side duplicate suppression *)
@@ -109,6 +112,26 @@ let fresh_leader ~first_pid =
     res_persisted = Hashtbl.create 16 }
 
 let kernel t = Pal.kernel t.pal
+let vnow t = K.now (kernel t)
+
+let obs_count t name =
+  let tracer = (kernel t).K.tracer in
+  if Obs.enabled tracer then Obs.count tracer name
+
+(* Lease lookups gate on the owner-caching knob, so with caching off
+   the lease layer neither answers nor counts. *)
+let lease_find t lease key =
+  if t.cfg.Config.cache_owners then Lease.find lease ~now:(vnow t) key else None
+
+let lease_put t lease key v =
+  if t.cfg.Config.cache_owners then Lease.put lease ~now:(vnow t) key v
+
+(* Re-election moved authority: every lease may now point at a demoted
+   or dead peer, so both name caches flush wholesale. *)
+let flush_leases t =
+  Lease.flush t.owner_cache;
+  Lease.flush t.pid_cache
+
 let my_addr t = t.my_addr
 let is_leader t = t.leader <> None
 let rpc_sent t = t.rpc_sent
@@ -376,7 +399,40 @@ and arm_timeout t ~id ~req ~resend =
     arm 1 Time.zero
   end
 
+(* Send coalescing (loss-tolerant classes only): the first notification
+   of a burst to a peer goes out immediately and opens that peer's
+   coalescing window; followers arriving within the window buffer and
+   leave as one [Wire.Batch] wire message when it closes. Only
+   semaphore releases and exit notifications coalesce — both tolerate
+   loss (waiter-timeout retry, synthesized exit events), so a dropped
+   batch is recovered exactly like a dropped singleton. Async queue
+   sends never coalesce: Table 7 measures their one-way latency. *)
 and oneway t ~addr n =
+  match n with
+  | (Wire.Sem_release_async _ | Wire.Exit_notify _) when t.cfg.Config.coalesce ->
+    (match Hashtbl.find_opt t.coalesce_buf addr with
+    | Some buf ->
+      buf := n :: !buf;
+      obs_count t "ipc.coalesced"
+    | None ->
+      oneway_now t ~addr n;
+      Hashtbl.replace t.coalesce_buf addr (ref []);
+      K.after (kernel t) t.cfg.Config.coalesce_window (fun () -> flush_coalesced t ~addr))
+  | _ -> oneway_now t ~addr n
+
+and flush_coalesced t ~addr =
+  match Hashtbl.find_opt t.coalesce_buf addr with
+  | None -> ()
+  | Some buf ->
+    Hashtbl.remove t.coalesce_buf addr;
+    (match List.rev !buf with
+    | [] -> ()
+    | [ n ] -> oneway_now t ~addr n
+    | notes ->
+      obs_count t "ipc.batches";
+      oneway_now t ~addr (Wire.Batch notes))
+
+and oneway_now t ~addr n =
   with_stream t addr (fun res ->
       match res with
       | Error _ -> ()
@@ -554,9 +610,12 @@ and handle_notification t n =
     | Some s -> sem_release t s delta
     | None -> () (* racing with migration: the release is retried by
                     the waiter timeout path, like dropped queue sends *))
+  | Wire.Batch notes ->
+    (* a coalesced burst: apply in send order *)
+    List.iter (fun n -> handle_notification t n) notes
   | Wire.Msgq_deleted { id } ->
     Hashtbl.replace t.deleted id ();
-    Hashtbl.remove t.owner_cache id
+    Lease.remove t.owner_cache id
   | Wire.Owner_update { resource = _; id; addr } -> (
     match t.leader with
     | Some ls ->
@@ -597,6 +656,9 @@ and handle_notification t n =
       t.electing <- false;
       t.candidates <- [];
       t.leader_addr <- addr;
+      (* leadership moved: any cached resolution may point at the dead
+         leader's world, and a stale lease must never misroute a signal *)
+      flush_leases t;
       (* help the new leader rebuild its tables *)
       oneway t ~addr (Wire.State_report { addr = t.my_addr; pid = t.my_pid;
                                           ranges = t.pid_pool;
@@ -664,6 +726,7 @@ and conclude_election t =
       t.leader <- Some (fresh_leader ~first_pid:(t.my_pid + 1000));
       t.leader_addr <- t.my_addr;
       t.elected_leader <- true;
+      flush_leases t;
       K.note_leader (kernel t) (Pal.pico t.pal);
       (* adopt our own state directly *)
       handle_notification t
@@ -752,8 +815,13 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       leader = (if make_leader then Some (fresh_leader ~first_pid) else None);
       pid_pool = [];
       streams = Hashtbl.create 8;
-      owner_cache = Hashtbl.create 16;
-      pid_cache = Hashtbl.create 16;
+      owner_cache =
+        Lease.create ~name:"ipc.lease.owner" ~capacity:cfg.Config.lease_capacity
+          ~ttl:cfg.Config.lease_ttl;
+      pid_cache =
+        Lease.create ~name:"ipc.lease.pid" ~capacity:cfg.Config.lease_capacity
+          ~ttl:cfg.Config.lease_ttl;
+      coalesce_buf = Hashtbl.create 4;
       pending = Hashtbl.create 8;
       next_req = 0;
       dedup = Wire.Dedup.create ();
@@ -769,6 +837,8 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       candidates = [];
       elected_leader = false }
   in
+  Lease.set_hook t.owner_cache (obs_count t);
+  Lease.set_hook t.pid_cache (obs_count t);
   if make_leader then K.note_leader (kernel t) (Pal.pico pal);
   (* the p2p rendezvous server every other instance connects to *)
   Pal.stream_open pal ("pipe.srv:pico." ^ my_addr) ~write:true ~create:true (function
@@ -808,7 +878,13 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       | _ -> ());
   t
 
-let shutdown t = t.shutdown <- true
+(* Drain every open coalescing window before going quiet: a buffered
+   exit notification must not die with the instance (the kernel's
+   synthesized exit event would cover it, but slower). *)
+let shutdown t =
+  let addrs = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.coalesce_buf [] in
+  List.iter (fun addr -> flush_coalesced t ~addr) addrs;
+  t.shutdown <- true
 
 (* {1 PID namespace} *)
 
@@ -870,9 +946,11 @@ let register_pid_owner t ~pid ~addr =
 (* {1 Signals} *)
 
 let resolve_pid t pid k =
-  match Hashtbl.find_opt t.pid_cache pid with
-  | Some addr when t.cfg.Config.cache_owners -> k (Some addr)
-  | _ -> (
+  match lease_find t t.pid_cache pid with
+  | Some addr ->
+    (* a valid lease answers locally for one hash-probe's worth of time *)
+    K.after (kernel t) Cost.lease_probe (fun () -> k (Some addr))
+  | None -> (
     match t.leader with
     | Some ls ->
       k
@@ -882,7 +960,7 @@ let resolve_pid t pid k =
     | None ->
       rpc t ~addr:t.leader_addr (Wire.Pid_query { pid }) (function
         | Wire.R_owner { addr = Some addr } ->
-          if t.cfg.Config.cache_owners then Hashtbl.replace t.pid_cache pid addr;
+          lease_put t t.pid_cache pid addr;
           k (Some addr)
         | _ -> k None))
 
@@ -897,7 +975,7 @@ let send_signal t ~to_pid ~signum ~from_pid k =
         rpc t ~addr (Wire.Signal { to_pid; signum; from_pid }) (function
           | Wire.R_unit -> k (Ok ())
           | Wire.R_err e ->
-            Hashtbl.remove t.pid_cache to_pid;
+            Lease.remove t.pid_cache to_pid;
             k (Error e)
           | _ -> k (Error Errno.EPROTO)))
 
@@ -947,7 +1025,7 @@ let load_persistent_queue t ~id ~key k =
           let q = new_local_queue t ~id ~key in
           q.contents <- contents;
           notify_leader_owner t `Msgq id t.my_addr;
-          Hashtbl.remove t.owner_cache id;
+          Lease.remove t.owner_cache id;
           k (Ok ())))
 
 let msgq_get_meta t ~key ~create k =
@@ -990,8 +1068,7 @@ let msgget t ~key ~create k =
       else begin
         if owner = t.my_addr && not (Hashtbl.mem t.msgqs id) then
           ignore (new_local_queue t ~id ~key);
-        if t.cfg.Config.cache_owners && owner <> "" then
-          Hashtbl.replace t.owner_cache id owner;
+        if owner <> "" then lease_put t t.owner_cache id owner;
         k (Ok (id, created))
       end)
 
@@ -999,9 +1076,9 @@ let msgget t ~key ~create k =
    the owner; persistence is always re-checked at the leader when the
    owner is unknown or unreachable. *)
 let resolve_resource t id k =
-  match Hashtbl.find_opt t.owner_cache id with
-  | Some addr when t.cfg.Config.cache_owners -> k (Some addr, false)
-  | _ -> (
+  match lease_find t t.owner_cache id with
+  | Some addr -> K.after (kernel t) Cost.lease_probe (fun () -> k (Some addr, false))
+  | None -> (
     match t.leader with
     | Some ls -> k (Hashtbl.find_opt ls.res_owner id, Hashtbl.mem ls.res_persisted id)
     | None ->
@@ -1009,8 +1086,8 @@ let resolve_resource t id k =
         | Wire.R_resource { owner; persisted; _ } ->
           let owner = if owner = "" then None else Some owner in
           (match owner with
-          | Some addr when t.cfg.Config.cache_owners -> Hashtbl.replace t.owner_cache id addr
-          | _ -> ());
+          | Some addr -> lease_put t t.owner_cache id addr
+          | None -> ());
           k (owner, persisted)
         | _ -> k (None, false)))
 
@@ -1022,7 +1099,7 @@ let with_retry t ~id op k =
     op (function
       | Error e
         when Errno.(equal e EMOVED || equal e ECONNREFUSED) && tries > 0 && not t.shutdown ->
-        Hashtbl.remove t.owner_cache id;
+        Lease.remove t.owner_cache id;
         K.after (kernel t) t.cfg.Config.moved_retry_delay (fun () -> attempt (tries - 1))
       | r -> k r)
   in
@@ -1093,7 +1170,7 @@ and msgrcv_once t ~id k =
                 (* we are the owner now *)
                 let q = new_local_queue t ~id ~key:0 in
                 q.contents <- contents;
-                Hashtbl.remove t.owner_cache id;
+                Lease.remove t.owner_cache id;
                 notify_leader_owner t `Msgq id t.my_addr;
                 (match data with
                 | Some m -> k (Ok m)
@@ -1164,7 +1241,7 @@ let semget t ~key ~init k =
       | Wire.R_resource { id; owner; created; _ } ->
         if owner = t.my_addr && not (Hashtbl.mem t.sems id) then
           ignore (new_local_sem t ~id ~key ~count:init);
-        if t.cfg.Config.cache_owners && owner <> "" then Hashtbl.replace t.owner_cache id owner;
+        if owner <> "" then lease_put t t.owner_cache id owner;
         k (Ok (id, created))
       | Wire.R_err e -> k (Error e)
       | _ -> k (Error Errno.EPROTO))
@@ -1198,7 +1275,7 @@ and semop_once t ~id ~delta k =
             | Wire.R_unit -> k (Ok ())
             | Wire.R_sem_migrate { count } ->
               ignore (new_local_sem t ~id ~key:0 ~count);
-              Hashtbl.remove t.owner_cache id;
+              Lease.remove t.owner_cache id;
               notify_leader_owner t `Sem id t.my_addr;
               k (Ok ())
             | Wire.R_err e -> k (Error e)
@@ -1217,16 +1294,17 @@ type inherited = {
 let snapshot_for_child t =
   { i_leader_addr = t.leader_addr;
     i_pid_range = donate_pid_range t;
-    i_owner_cache = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.owner_cache [];
-    i_pid_cache = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pid_cache [] }
+    i_owner_cache = Lease.to_alist t.owner_cache;
+    i_pid_cache = Lease.to_alist t.pid_cache }
 
 let restore_inherited t (i : inherited) =
   t.leader_addr <- i.i_leader_addr;
   (match i.i_pid_range with
   | Some r -> adopt_pid_range t r ~announce:true
   | None -> ());
-  List.iter (fun (k, v) -> Hashtbl.replace t.owner_cache k v) i.i_owner_cache;
-  List.iter (fun (k, v) -> Hashtbl.replace t.pid_cache k v) i.i_pid_cache
+  (* inherited resolutions lease afresh from the child's clock *)
+  Lease.of_alist t.owner_cache ~now:(vnow t) i.i_owner_cache;
+  Lease.of_alist t.pid_cache ~now:(vnow t) i.i_pid_cache
 
 (* {1 Sandbox split} *)
 
@@ -1236,8 +1314,8 @@ let restore_inherited t (i : inherited) =
 let become_isolated t ~first_pid =
   t.leader <- Some (fresh_leader ~first_pid);
   t.leader_addr <- t.my_addr;
-  Hashtbl.reset t.owner_cache;
-  Hashtbl.reset t.pid_cache;
+  flush_leases t;
+  Hashtbl.reset t.coalesce_buf;
   Hashtbl.reset t.streams;
   Hashtbl.reset t.pending
 

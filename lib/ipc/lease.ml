@@ -1,0 +1,115 @@
+(** Bounded name-resolution lease cache.
+
+    The coordination layer caches name-to-owner resolutions (pid → home
+    address, resource id → owner address). Historically these were
+    plain unbounded hash tables invalidated only by EMOVED answers and
+    explicit deletions; a lease adds two guards on top:
+
+    - a {e bound}: at [capacity] entries the oldest insertion evicts,
+      so a long-lived instance cannot grow its maps without limit;
+    - a {e TTL}: each entry expires [ttl] after it was cached (virtual
+      time), so even a missed invalidation heals itself. [ttl] = 0
+      disables expiry — the historical invalidation-only behavior.
+
+    Re-election flushes everything: leadership moved, so any lease may
+    now point at a dead or demoted peer (docs/FAULTS.md). *)
+
+module Time = Graphene_sim.Time
+
+type entry = { value : string; cached_at : Time.t }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable expirations : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  name : string;  (** counter prefix, e.g. "ipc.lease.owner" *)
+  mutable capacity : int;
+  mutable ttl : Time.t;
+  tbl : (int, entry) Hashtbl.t;
+  order : int Queue.t;  (** insertion order; oldest evicts first *)
+  stats : stats;
+  mutable on_event : string -> unit;
+}
+
+let create ~name ~capacity ~ttl =
+  { name;
+    capacity = max 1 capacity;
+    ttl;
+    tbl = Hashtbl.create 32;
+    order = Queue.create ();
+    stats = { hits = 0; misses = 0; expirations = 0; evictions = 0; invalidations = 0 };
+    on_event = ignore }
+
+let set_hook t f = t.on_event <- f
+let count t what = t.on_event (t.name ^ "." ^ what)
+let length t = Hashtbl.length t.tbl
+let stats t = t.stats
+
+let expired t ~now e = t.ttl > Time.zero && Time.diff now e.cached_at > t.ttl
+
+(* Lookup with lease semantics: an expired entry answers as a miss and
+   is dropped on the spot. *)
+let find t ~now key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e when not (expired t ~now e) ->
+    t.stats.hits <- t.stats.hits + 1;
+    count t "hit";
+    Some e.value
+  | Some _ ->
+    Hashtbl.remove t.tbl key;
+    t.stats.expirations <- t.stats.expirations + 1;
+    count t "expire";
+    t.stats.misses <- t.stats.misses + 1;
+    count t "miss";
+    None
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    count t "miss";
+    None
+
+let rec evict_oldest t =
+  if not (Queue.is_empty t.order) then begin
+    let k = Queue.pop t.order in
+    if Hashtbl.mem t.tbl k then begin
+      Hashtbl.remove t.tbl k;
+      t.stats.evictions <- t.stats.evictions + 1;
+      count t "evict"
+    end
+    else evict_oldest t
+  end
+
+let put t ~now key value =
+  if not (Hashtbl.mem t.tbl key) then begin
+    if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
+    Queue.push key t.order
+  end;
+  Hashtbl.replace t.tbl key { value; cached_at = now }
+
+(* Targeted invalidation: EMOVED, deletion, a failed signal send. *)
+let remove t key =
+  if Hashtbl.mem t.tbl key then begin
+    Hashtbl.remove t.tbl key;
+    t.stats.invalidations <- t.stats.invalidations + 1;
+    count t "invalidate"
+  end
+
+(* Wholesale invalidation: re-election, sandbox isolation. *)
+let flush t =
+  let n = Hashtbl.length t.tbl in
+  if n > 0 then begin
+    t.stats.invalidations <- t.stats.invalidations + n;
+    for _ = 1 to n do
+      count t "invalidate"
+    done
+  end;
+  Hashtbl.reset t.tbl;
+  Queue.clear t.order
+
+let to_alist t = Hashtbl.fold (fun k e acc -> (k, e.value) :: acc) t.tbl []
+
+let of_alist t ~now entries = List.iter (fun (k, v) -> put t ~now k v) entries

@@ -1,0 +1,43 @@
+(** Bounded name-resolution lease cache: a hash map with insertion-order
+    eviction at [capacity] and per-entry expiry [ttl] after caching
+    (virtual time; 0 = never — the historical invalidation-only
+    behavior). Targeted invalidation ({!remove}) serves the existing
+    EMOVED/deletion machinery; {!flush} serves re-election, after which
+    any lease may point at a demoted peer (docs/PERF.md,
+    docs/FAULTS.md). *)
+
+module Time = Graphene_sim.Time
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable expirations : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type t
+
+val create : name:string -> capacity:int -> ttl:Time.t -> t
+(** [name] prefixes the emitted counters ("<name>.hit", ".miss",
+    ".expire", ".evict", ".invalidate"). *)
+
+val set_hook : t -> (string -> unit) -> unit
+(** Counter hook (the instance routes these to graphene.obs). *)
+
+val find : t -> now:Time.t -> int -> string option
+(** An expired entry answers as a miss and is dropped on the spot. *)
+
+val put : t -> now:Time.t -> int -> string -> unit
+(** Insert or refresh; refreshing restarts the lease clock. *)
+
+val remove : t -> int -> unit
+val flush : t -> unit
+val length : t -> int
+val stats : t -> stats
+
+val to_alist : t -> (int * string) list
+(** Snapshot for fork inheritance (order unspecified). *)
+
+val of_alist : t -> now:Time.t -> (int * string) list -> unit
+(** Replay a snapshot; entries lease from [now] in the child. *)

@@ -48,6 +48,10 @@ type notification =
   | State_report of { addr : string; pid : int; ranges : (int * int) list; resources : int list }
       (** each member reports its slice of the namespace so the new
           leader can reconstruct its tables *)
+  | Batch of notification list
+      (** back-to-back loss-tolerant notifications to one peer,
+          coalesced into a single wire message; the receiver applies
+          them in order *)
 
 type response =
   | R_unit
@@ -114,6 +118,7 @@ let notification_label = function
   | Leader_candidate _ -> "leader_candidate"
   | Leader_elected _ -> "leader_elected"
   | State_report _ -> "state_report"
+  | Batch _ -> "batch"
 
 let describe = function
   | Req { seq; origin; _ } -> Printf.sprintf "req#%d from %s" seq origin

@@ -53,6 +53,13 @@ type notification =
   | State_report of { addr : string; pid : int; ranges : (int * int) list; resources : int list }
       (** each member reports its slice of the namespace so the new
           leader can reconstruct its tables *)
+  | Batch of notification list
+      (** back-to-back loss-tolerant notifications to one peer,
+          coalesced into a single wire message within
+          {!Config.t.coalesce_window}; the receiver applies them in
+          order. Only loss-tolerant classes (semaphore releases, exit
+          notifications) ride in batches, so a dropped batch is
+          recovered the same way a dropped singleton is. *)
 
 type response =
   | R_unit

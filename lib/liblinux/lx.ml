@@ -142,6 +142,11 @@ type t = {
           them) *)
   mutable alarm_seq : int;  (** cancels superseded alarm timers *)
   mutable umask : int;
+  path_cache : (string, unit) Hashtbl.t;
+      (** canonical paths this libOS resolved before: a warm repeat
+          open/stat reuses the cached dentry + decision and skips the
+          duplicated path resolution (gated by [cfg.handle_cache]) *)
+  path_order : string Queue.t;  (** insertion order; oldest evicts *)
 }
 
 let kernel lx = Pal.kernel lx.pal
@@ -262,6 +267,50 @@ and close_syscall_span lx th ~cost =
     end
 
 let fail lx th ?cost tag = finish lx th ?cost (err tag)
+
+(* {1 libOS handle fast path}
+
+   [path_hit_cost] is called on the success path of open/stat/access:
+   a path resolved before (and not invalidated since) charges the fast
+   cost, a cold one charges the full duplicated resolution and fills
+   the cache. Only successful resolutions fill — there is no handle to
+   reuse for a path that failed to open. *)
+
+let lx_count lx name =
+  let tracer = (kernel lx).K.tracer in
+  if Obs.enabled tracer then Obs.count tracer name
+
+let path_hit_cost lx path =
+  if not lx.cfg.Ipc_config.handle_cache then Cost.libos_path_resolution
+  else if Hashtbl.mem lx.path_cache path then begin
+    lx_count lx "liblinux.handle_cache.hit";
+    Cost.libos_path_fast
+  end
+  else begin
+    lx_count lx "liblinux.handle_cache.miss";
+    if Hashtbl.length lx.path_cache >= max 1 lx.cfg.Ipc_config.handle_cache_capacity then begin
+      let rec evict () =
+        if not (Queue.is_empty lx.path_order) then begin
+          let k = Queue.pop lx.path_order in
+          if Hashtbl.mem lx.path_cache k then begin
+            Hashtbl.remove lx.path_cache k;
+            lx_count lx "liblinux.handle_cache.evict"
+          end
+          else evict ()
+        end
+      in
+      evict ()
+    end;
+    Hashtbl.replace lx.path_cache path ();
+    Queue.push path lx.path_order;
+    Cost.libos_path_resolution
+  end
+
+let path_cache_invalidate lx path =
+  if Hashtbl.mem lx.path_cache path then begin
+    Hashtbl.remove lx.path_cache path;
+    lx_count lx "liblinux.handle_cache.invalidate"
+  end
 
 (* Transient coordination failures — a timed-out RPC, a dead leader
    caught mid-election, an ownership move that never settled — get a
@@ -433,7 +482,9 @@ let make ~pal ~cfg ~pid ~ppid ~pgid ~parent_addr ~exe =
     syscall_count = 0;
     trace_open = Hashtbl.create 4;
     alarm_seq = 0;
-    umask = 0o022 }
+    umask = 0o022;
+    path_cache = Hashtbl.create 32;
+    path_order = Queue.create () }
 
 let callbacks_of lx =
   { Ipc.deliver_signal =
@@ -561,25 +612,31 @@ and dispatch_inner lx th name args =
     | Some _ -> fail lx th E.ESPIPE
     | None -> fail lx th E.EBADF)
   | "stat" ->
-    Pal.stream_attributes_query lx.pal ("file:" ^ abspath lx (str_arg 0)) (function
+    let path = abspath lx (str_arg 0) in
+    Pal.stream_attributes_query lx.pal ("file:" ^ path) (function
       | Ok attrs ->
-        finish lx th ~cost:Cost.libos_path_resolution
+        finish lx th ~cost:(path_hit_cost lx path)
           (Ast.Vpair (vint attrs.Pal.size, vint (if attrs.Pal.is_dir then 1 else 0)))
       | Error e -> fail lx th e)
   | "access" ->
-    Pal.stream_attributes_query lx.pal ("file:" ^ abspath lx (str_arg 0)) (function
-      | Ok _ -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+    let path = abspath lx (str_arg 0) in
+    Pal.stream_attributes_query lx.pal ("file:" ^ path) (function
+      | Ok _ -> finish lx th ~cost:(path_hit_cost lx path) (vint 0)
       | Error e -> fail lx th e)
   | "unlink" ->
-    Pal.stream_delete lx.pal ("file:" ^ abspath lx (str_arg 0)) (function
-      | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+    let path = abspath lx (str_arg 0) in
+    Pal.stream_delete lx.pal ("file:" ^ path) (function
+      | Ok () ->
+        path_cache_invalidate lx path;
+        finish lx th ~cost:Cost.libos_path_resolution (vint 0)
       | Error e -> fail lx th e)
   | "rename" ->
-    Pal.stream_change_name lx.pal
-      ~src:("file:" ^ abspath lx (str_arg 0))
-      ~dst:("file:" ^ abspath lx (str_arg 1))
-      (function
-      | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+    let src = abspath lx (str_arg 0) and dst = abspath lx (str_arg 1) in
+    Pal.stream_change_name lx.pal ~src:("file:" ^ src) ~dst:("file:" ^ dst) (function
+      | Ok () ->
+        path_cache_invalidate lx src;
+        path_cache_invalidate lx dst;
+        finish lx th ~cost:Cost.libos_path_resolution (vint 0)
       | Error e -> fail lx th e)
   | "mkdir" ->
     Pal.directory_create lx.pal ("dir:" ^ abspath lx (str_arg 0)) (function
@@ -667,8 +724,11 @@ and dispatch_inner lx th name args =
     | Some _ -> finish lx th (Ast.Vpair (vint 0, vint 0))
     | None -> fail lx th E.EBADF)
   | "rmdir" ->
-    Pal.stream_delete lx.pal ("dir:" ^ abspath lx (str_arg 0)) (function
-      | Ok () -> finish lx th ~cost:Cost.libos_path_resolution (vint 0)
+    let path = abspath lx (str_arg 0) in
+    Pal.stream_delete lx.pal ("dir:" ^ path) (function
+      | Ok () ->
+        path_cache_invalidate lx path;
+        finish lx th ~cost:Cost.libos_path_resolution (vint 0)
       | Error e -> fail lx th e)
   | "umask" ->
     let old = lx.umask in
@@ -922,7 +982,7 @@ and do_open lx th path mode =
     (* O_APPEND positions at the end; others at 0 *)
     let after_open h pos =
       let fd = alloc_fd lx { fh = Some h; kind = Kfile { path; pos }; cloexec = false } in
-      finish lx th ~cost:Cost.libos_path_resolution (vint fd)
+      finish lx th ~cost:(path_hit_cost lx path) (vint fd)
     in
     Pal.stream_open lx.pal ("file:" ^ path) ~write ~create:(create && mode <> "a") (function
       | Error e -> fail lx th e

@@ -97,6 +97,24 @@ let host t ~name ?(args = [||]) ~cost k =
 (* LSM cost applies only when a real reference monitor installed one. *)
 let lsm_cost t c = if K.lsm_active t.kernel then c else Time.zero
 
+(* Path-walk cost leg: a dcache hit (positive or negative) replaces the
+   per-component walk with one hash probe. The probe is pure — the real
+   lookup inside the host call does the filling and counting. *)
+let walk_cost t path =
+  match Vfs.dcache_probe t.kernel.K.fs path with
+  | Vfs.Dhit -> Cost.dcache_hit
+  | Vfs.Dneg_hit -> Cost.dcache_neg_hit
+  | Vfs.Dmiss -> Time.scale Cost.path_component (float_of_int (Vfs.depth path))
+
+(* LSM path-check cost leg: shrinks to the memoized-decision cost when
+   the monitor's decision cache already holds this (sandbox, access,
+   path) verdict. *)
+let path_check_cost t path access =
+  if not (K.lsm_active t.kernel) then Time.zero
+  else if t.kernel.K.lsm.K.probe_path t.pico (Vfs.normalize path) access then
+    Cost.refmon_cache_hit
+  else Cost.lsm_path_check
+
 (* A seccomp Errno action carries a raw number; LSM denials carry a
    string tag, possibly with detail ("EACCES /etc/shadow"). *)
 let errno_of_denied e =
@@ -296,11 +314,9 @@ let stream_open t uri ~write ~create k =
   match parse_uri uri with
   | Error e -> k (Error e)
   | Ok (Ufile path) ->
+    let access = if write || create then `Write else `Read in
     let cost =
-      Time.add Cost.host_open
-        (Time.add
-           (Time.scale Cost.path_component (float_of_int (Vfs.depth path)))
-           (lsm_cost t Cost.lsm_path_check))
+      Time.add Cost.host_open (Time.add (walk_cost t path) (path_check_cost t path access))
     in
     host t ~name:"open" ~cost (fun () ->
         guard k (fun () -> K.fs_open t.kernel t.pico path ~write ~create))
@@ -398,9 +414,7 @@ let stream_attributes_query t uri k =
   | Ok (Ufile path) | Ok (Udir path) ->
     let cost =
       Time.add (Time.ns 700)
-        (Time.add
-           (Time.scale Cost.path_component (float_of_int (Vfs.depth path)))
-           (lsm_cost t Cost.lsm_path_check))
+        (Time.add (walk_cost t path) (path_check_cost t path `Read))
     in
     host t ~name:"stat" ~cost (fun () ->
         guard k (fun () ->

@@ -22,17 +22,85 @@ type violation = {
   v_what : string;
 }
 
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+(* Decision-cache key: which sandbox asked, for what access class, on
+   which canonical path. The value carries the sandbox's manifest epoch
+   at fill time; a bumped epoch makes every entry for that sandbox
+   stale without walking the table. Only allows are memoized — every
+   denial must land in the audit log (§6.6 asserts on it). *)
 type t = {
   kernel : K.t;
   sandboxes : (int, Manifest.t) Hashtbl.t;
   mutable violations : violation list;
   own_filter : Graphene_bpf.Prog.t;
   mutable launches : int;
+  mutable cache_enabled : bool;
+  mutable cache_capacity : int;
+  decisions : (int * char * string, int * bool) Hashtbl.t;
+  dec_order : (int * char * string) Queue.t;
+  epochs : (int, int) Hashtbl.t;  (** sandbox -> manifest epoch *)
+  dec_stats : cache_stats;
 }
 
 let violations t = List.rev t.violations
 let clear_violations t = t.violations <- []
 let own_filter t = t.own_filter
+
+let cache_count t name =
+  let tracer = t.kernel.K.tracer in
+  if Obs.enabled tracer then Obs.count tracer name
+
+let epoch_of t sandbox = Option.value ~default:0 (Hashtbl.find_opt t.epochs sandbox)
+
+let sandbox_epoch t ~sandbox = epoch_of t sandbox
+
+(* The manifest view of [sandbox] changed: every memoized decision for
+   it is stale from this instant. *)
+let bump_epoch t sandbox =
+  Hashtbl.replace t.epochs sandbox (epoch_of t sandbox + 1);
+  t.dec_stats.invalidations <- t.dec_stats.invalidations + 1;
+  cache_count t "refmon.cache.invalidate"
+
+let dec_evict t =
+  let rec pop () =
+    if not (Queue.is_empty t.dec_order) then begin
+      let k = Queue.pop t.dec_order in
+      if Hashtbl.mem t.decisions k then begin
+        Hashtbl.remove t.decisions k;
+        t.dec_stats.evictions <- t.dec_stats.evictions + 1;
+        cache_count t "refmon.cache.evict"
+      end
+      else pop ()
+    end
+  in
+  pop ()
+
+let dec_fill t key v =
+  if not (Hashtbl.mem t.decisions key) then begin
+    if Hashtbl.length t.decisions >= t.cache_capacity then dec_evict t;
+    Queue.push key t.dec_order
+  end;
+  Hashtbl.replace t.decisions key v
+
+let configure_cache t ~enabled ~capacity =
+  t.cache_enabled <- enabled;
+  t.cache_capacity <- max 1 capacity;
+  if not enabled then begin
+    Hashtbl.reset t.decisions;
+    Queue.clear t.dec_order
+  end
+
+let cache_stats t =
+  let s = t.dec_stats in
+  { hits = s.hits; misses = s.misses; evictions = s.evictions; invalidations = s.invalidations }
+
+let access_char = function `Read -> 'r' | `Write -> 'w' | `Exec -> 'x'
 
 let deny t (pico : K.pico) what =
   t.violations <- { v_pid = pico.K.pid; v_sandbox = pico.K.sandbox; v_what = what } :: t.violations;
@@ -50,13 +118,39 @@ let manifest_of t sandbox =
 
 (* {1 LSM hooks} *)
 
+let check_path_slow t pico path access =
+  let m = manifest_of t (pico : K.pico).K.sandbox in
+  Manifest.allows_path m path access
+  || deny t pico
+       (Printf.sprintf "path %s (%c)" path (access_char access))
+
 let lsm_of t =
   { K.check_path =
       (fun pico path access ->
-        let m = manifest_of t pico.K.sandbox in
-        Manifest.allows_path m path access
-        || deny t pico (Printf.sprintf "path %s (%s)" path
-              (match access with `Read -> "r" | `Write -> "w" | `Exec -> "x")));
+        if not t.cache_enabled then check_path_slow t pico path access
+        else begin
+          let sandbox = pico.K.sandbox in
+          let key = (sandbox, access_char access, path) in
+          let epoch = epoch_of t sandbox in
+          match Hashtbl.find_opt t.decisions key with
+          | Some (e, true) when e = epoch ->
+            t.dec_stats.hits <- t.dec_stats.hits + 1;
+            cache_count t "refmon.cache.hit";
+            true
+          | _ ->
+            t.dec_stats.misses <- t.dec_stats.misses + 1;
+            cache_count t "refmon.cache.miss";
+            let v = check_path_slow t pico path access in
+            if v then dec_fill t key (epoch, true);
+            v
+        end);
+    probe_path =
+      (fun pico path access ->
+        t.cache_enabled
+        &&
+        match Hashtbl.find_opt t.decisions (pico.K.sandbox, access_char access, path) with
+        | Some (e, true) -> e = epoch_of t pico.K.sandbox
+        | _ -> false);
     check_net =
       (fun pico ~addr:_ ~port dir ->
         let m = manifest_of t pico.K.sandbox in
@@ -85,7 +179,8 @@ let lsm_of t =
            subset of the view it left; it can never grow *)
         let old = manifest_of t old_sandbox in
         let narrowed = if paths = [] then old else Manifest.narrow_to_paths old paths in
-        Hashtbl.replace t.sandboxes pico.K.sandbox narrowed) }
+        Hashtbl.replace t.sandboxes pico.K.sandbox narrowed;
+        bump_epoch t pico.K.sandbox) }
 
 let install kernel =
   let t =
@@ -93,7 +188,13 @@ let install kernel =
       sandboxes = Hashtbl.create 8;
       violations = [];
       own_filter = Seccomp.monitor_filter ();
-      launches = 0 }
+      launches = 0;
+      cache_enabled = false;
+      cache_capacity = 512;
+      decisions = Hashtbl.create 64;
+      dec_order = Queue.create ();
+      epochs = Hashtbl.create 8;
+      dec_stats = { hits = 0; misses = 0; evictions = 0; invalidations = 0 } }
   in
   K.set_lsm kernel (lsm_of t);
   t
@@ -109,10 +210,13 @@ let launch ?(cfg = Ipc_config.default ()) ?console_hook t ~manifest ~exe ~argv (
   (* policy load + manifest parse happen before the app runs *)
   let lx = Lx.boot ~cfg ?console_hook t.kernel ~exe ~argv () in
   Hashtbl.replace t.sandboxes (Lx.pico lx).K.sandbox manifest;
+  bump_epoch t (Lx.pico lx).K.sandbox;
   lx
 
 (* Children launched into a separate sandbox (the picoprocess-creation
    flag of §3) may be given a subset manifest. *)
-let bind_sandbox t ~sandbox ~manifest = Hashtbl.replace t.sandboxes sandbox manifest
+let bind_sandbox t ~sandbox ~manifest =
+  Hashtbl.replace t.sandboxes sandbox manifest;
+  bump_epoch t sandbox
 
 let sandbox_manifest t ~sandbox = Hashtbl.find_opt t.sandboxes sandbox

@@ -21,6 +21,32 @@ val install : K.t -> t
 (** Install the LSM hooks into the kernel. From this point every
     traced host call is policy-checked (and pays the LSM costs). *)
 
+(** {1 Decision cache}
+
+    A bounded memo of allow verdicts per (sandbox, access class,
+    canonical path). Invalidation is epoch-based: any change to a
+    sandbox's manifest view (launch, {!bind_sandbox}, a sandbox split)
+    bumps that sandbox's epoch and makes its entries stale at once.
+    Denials are never cached — every one must reach the audit log.
+    Off until configured (docs/PERF.md). *)
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+val configure_cache : t -> enabled:bool -> capacity:int -> unit
+(** Enable/disable and bound the decision cache; disabling flushes. *)
+
+val cache_stats : t -> cache_stats
+(** A snapshot copy of the counters ([invalidations] counts epoch
+    bumps). *)
+
+val sandbox_epoch : t -> sandbox:int -> int
+(** The sandbox's current manifest epoch (0 until first bound). *)
+
 val launch :
   ?cfg:Graphene_ipc.Config.t ->
   ?console_hook:(string -> unit) ->

@@ -13,8 +13,13 @@ let byte_copy = 0.05
 let copy_cost n = Time.ns (int_of_float (Float.round (byte_copy *. float_of_int n)))
 let host_open = Time.ns 600
 let path_component = Time.ns 120
+let dcache_hit = Time.ns 40
+let dcache_neg_hit = Time.ns 35
 let libos_path_resolution = Time.ns 2_680
+let libos_path_fast = Time.ns 350
 let lsm_path_check = Time.ns 1_560
+let refmon_cache_hit = Time.ns 60
+let lease_probe = Time.ns 25
 let lsm_socket_check = Time.ns 660
 let lsm_sock_op_check = Time.ns 165
 let lsm_fd_check = Time.ns 420

@@ -61,13 +61,37 @@ val host_open : Time.t
 val path_component : Time.t
 (** Per-component path walk in the host VFS. [structural] *)
 
+val dcache_hit : Time.t
+(** Host VFS dentry-cache hit: one hash probe replaces the
+    per-component walk when the path was resolved before and no
+    mutation invalidated it. [structural; cf. Linux dcache, where a
+    cached lookup is tens of ns regardless of depth] *)
+
+val dcache_neg_hit : Time.t
+(** Negative dcache hit: a remembered ENOENT answered from the cache
+    without walking to the missing component. [structural] *)
+
 val libos_path_resolution : Time.t
 (** libLinux-side path handling that duplicates host VFS effort
     (Graphene open/close 3.53 us vs 850 ns native). [structural] *)
 
+val libos_path_fast : Time.t
+(** libLinux path handling when the canonical path is in the libOS
+    handle cache: canonicalization + one table probe instead of the
+    full duplicated resolution. [structural] *)
+
 val lsm_path_check : Time.t
 (** AppArmor-LSM manifest check on open/exec (Graphene+RM open/close
     5.09 us vs 3.53 us). [structural] *)
+
+val refmon_cache_hit : Time.t
+(** Reference-monitor decision-cache hit: the memoized allow/deny for
+    (sandbox, rule-class, canonical path) replaces the full manifest
+    walk while the sandbox's manifest epoch is unchanged. [structural] *)
+
+val lease_probe : Time.t
+(** Probing a bounded owner/pid lease cache in the coordination layer
+    (hash lookup + TTL comparison). [structural] *)
 
 val lsm_socket_check : Time.t
 (** Reference-monitor check on socket/bind/connect (AF_UNIX +RM 6.37 us

@@ -1,0 +1,159 @@
+(** The fast-path caches (docs/PERF.md): coherence of the VFS dcache
+    under namespace mutations, epoch-based flushing of reference-monitor
+    decisions, determinism of the cache counters, and the cache-off
+    ablation reproducing the pre-caching behavior. *)
+
+open Util
+module Vfs = Graphene_host.Vfs
+module Manifest = Graphene_refmon.Manifest
+module Monitor = Graphene_refmon.Monitor
+module Obs = Graphene_obs.Obs
+module Config = Graphene_ipc.Config
+
+(* {1 VFS dcache coherence} *)
+
+let mk_vfs () =
+  let fs = Vfs.create () in
+  Vfs.configure_dcache fs ~enabled:true ~capacity:64;
+  fs
+
+let test_dcache_unlink_invalidates () =
+  let fs = mk_vfs () in
+  Vfs.write_string fs "/d/a" "one";
+  check_bool "resolves" true (Vfs.exists fs "/d/a");
+  check_bool "cached after walk" true (Vfs.dcache_probe fs "/d/a" = Vfs.Dhit);
+  Vfs.unlink fs "/d/a";
+  (* the stale positive entry must not answer *)
+  check_bool "no stale hit" false (Vfs.exists fs "/d/a");
+  let s = Vfs.dcache_stats fs in
+  check_bool "counted invalidation" true (s.Vfs.invalidations > 0)
+
+let test_dcache_rename_invalidates_subtree () =
+  let fs = mk_vfs () in
+  Vfs.write_string fs "/src/deep/f" "payload";
+  check_str "warm read" "payload" (Vfs.read_string fs "/src/deep/f");
+  check_bool "descendant cached" true (Vfs.dcache_probe fs "/src/deep/f" = Vfs.Dhit);
+  Vfs.rename fs ~src:"/src" ~dst:"/dst";
+  check_bool "old name gone" false (Vfs.exists fs "/src/deep/f");
+  check_str "new name resolves" "payload" (Vfs.read_string fs "/dst/deep/f")
+
+let test_dcache_creation_drops_negative () =
+  let fs = mk_vfs () in
+  Vfs.mkdir_p fs "/d";
+  check_bool "absent" false (Vfs.exists fs "/d/later");
+  check_bool "negative cached" true (Vfs.dcache_probe fs "/d/later" = Vfs.Dneg_hit);
+  Vfs.write_string fs "/d/later" "now";
+  (* the negative entry must not shadow the new file *)
+  check_str "resolves after create" "now" (Vfs.read_string fs "/d/later")
+
+let test_dcache_capacity_bounds () =
+  let fs = Vfs.create () in
+  Vfs.configure_dcache fs ~enabled:true ~capacity:8;
+  for i = 1 to 32 do
+    Vfs.write_string fs (Printf.sprintf "/many/f%d" i) "x";
+    ignore (Vfs.exists fs (Printf.sprintf "/many/f%d" i))
+  done;
+  let s = Vfs.dcache_stats fs in
+  check_bool "evicted under pressure" true (s.Vfs.evictions > 0);
+  (* every path still resolves correctly regardless of what evicted *)
+  for i = 1 to 32 do
+    check_bool "still resolves" true (Vfs.exists fs (Printf.sprintf "/many/f%d" i))
+  done
+
+(* {1 Reference-monitor decision cache} *)
+
+let manifest_of s =
+  match Manifest.parse s with Ok m -> m | Error e -> Alcotest.failf "manifest: %s" e
+
+let test_refmon_epoch_flush () =
+  let k = K.create () in
+  let mon = Monitor.install k in
+  Monitor.configure_cache mon ~enabled:true ~capacity:64;
+  let sbx = K.fresh_sandbox k in
+  let pico = K.spawn k ~sandbox:sbx ~exe:"/bin/x" () in
+  Monitor.bind_sandbox mon ~sandbox:sbx ~manifest:(manifest_of "fs.allow r /lib\n");
+  let e0 = Monitor.sandbox_epoch mon ~sandbox:sbx in
+  check_bool "allowed (fills)" true (k.K.lsm.K.check_path pico "/lib/libc.so" `Read);
+  check_bool "allowed (cached)" true (k.K.lsm.K.check_path pico "/lib/libc.so" `Read);
+  let s = Monitor.cache_stats mon in
+  check_bool "second check hit" true (s.Monitor.hits > 0);
+  (* rebinding the sandbox to a narrower view bumps the epoch; the
+     cached allow must not survive it *)
+  Monitor.bind_sandbox mon ~sandbox:sbx ~manifest:(manifest_of "fs.allow r /data\n");
+  check_bool "epoch bumped" true (Monitor.sandbox_epoch mon ~sandbox:sbx > e0);
+  check_bool "no stale allow" false (k.K.lsm.K.check_path pico "/lib/libc.so" `Read);
+  let s' = Monitor.cache_stats mon in
+  check_bool "counted invalidation" true (s'.Monitor.invalidations > 0)
+
+let test_refmon_denials_uncached () =
+  let k = K.create () in
+  let mon = Monitor.install k in
+  Monitor.configure_cache mon ~enabled:true ~capacity:64;
+  let sbx = K.fresh_sandbox k in
+  let pico = K.spawn k ~sandbox:sbx ~exe:"/bin/x" () in
+  Monitor.bind_sandbox mon ~sandbox:sbx ~manifest:(manifest_of "fs.allow r /lib\n");
+  check_bool "denied" false (k.K.lsm.K.check_path pico "/etc/shadow" `Read);
+  check_bool "denied again" false (k.K.lsm.K.check_path pico "/etc/shadow" `Read);
+  (* every denial reaches the audit log — none is served from cache *)
+  check_int "both denials audited" 2 (List.length (Monitor.violations mon))
+
+(* {1 Determinism and the cache-off ablation} *)
+
+let cache_counters =
+  [ "vfs.dcache.hit"; "vfs.dcache.neg_hit"; "vfs.dcache.miss"; "vfs.dcache.evict";
+    "vfs.dcache.invalidate"; "refmon.cache.hit"; "refmon.cache.miss";
+    "liblinux.handle_cache.hit"; "liblinux.handle_cache.miss"; "ipc.lease.owner.hit";
+    "ipc.lease.owner.miss"; "ipc.lease.pid.hit"; "ipc.lease.pid.miss"; "ipc.coalesced";
+    "ipc.batches" ]
+
+let instrumented ?cfg ~exe ~argv () =
+  let r =
+    run_on ~stack:W.Graphene_rm ~seed:11 ?cfg
+      ~setup:(fun w -> Obs.enable (W.tracer w))
+      ~exe ~argv ()
+  in
+  let counters = List.map (Obs.counter_value (W.tracer r.w)) cache_counters in
+  (r, counters)
+
+let test_same_seed_same_counters () =
+  let go () =
+    let r, counters = instrumented ~exe:"/bin/lat_openclose" ~argv:[ "50" ] () in
+    (r.out (), W.now r.w, counters)
+  in
+  check_bool "identical console, clock and cache counters" true (go () = go ())
+
+let test_cache_off_is_inert () =
+  let r, counters =
+    instrumented ~cfg:(Config.uncached ()) ~exe:"/bin/lat_openclose" ~argv:[ "50" ] ()
+  in
+  expect_exit r;
+  (* pre-PR behavior: with the path caches disabled nothing fills,
+     hits, evicts or invalidates — their counters stay silent. The
+     lease machinery stays live under [uncached] (its probe cost is
+     charged symmetrically in the ablation), so only exempt it. *)
+  List.iter2
+    (fun name v ->
+      if v <> 0 && not (Util.contains name "ipc.lease") then
+        Alcotest.failf "cache counter %s = %d with caches off" name v)
+    cache_counters counters
+
+let test_caches_speed_up_openclose () =
+  let finish ?cfg () =
+    let r, _ = instrumented ?cfg ~exe:"/bin/lat_openclose" ~argv:[ "200" ] () in
+    expect_exit r;
+    W.now r.w
+  in
+  let t_on = finish () in
+  let t_off = finish ~cfg:(Config.uncached ()) () in
+  check_bool "caches-on finishes sooner" true (T.diff t_off t_on > 0)
+
+let suite =
+  [ case "dcache: unlink invalidates" test_dcache_unlink_invalidates;
+    case "dcache: rename invalidates the subtree" test_dcache_rename_invalidates_subtree;
+    case "dcache: creation drops the negative entry" test_dcache_creation_drops_negative;
+    case "dcache: capacity bound evicts, never corrupts" test_dcache_capacity_bounds;
+    case "refmon: manifest rebind flushes decisions" test_refmon_epoch_flush;
+    case "refmon: denials are never cached" test_refmon_denials_uncached;
+    case "same seed, same cache counters" test_same_seed_same_counters;
+    case "cache-off runs leave the counters silent" test_cache_off_is_inert;
+    case "caches shorten the open/close run" test_caches_speed_up_openclose ]

@@ -90,6 +90,26 @@ let test_leader_kill_recovery () =
     check_bool "recovery after kill" true (T.diff recovered killed > 0)
   | None -> Alcotest.fail "no replacement leader served an RPC"
 
+let test_leader_kill_flushes_leases () =
+  (* the storm fills pid leases (children signal each other by PID);
+     killing the leader forces a re-election, which must flush every
+     lease — a stale lease pointing at the dead leader would misroute
+     the post-election signals and the storm would hang *)
+  let spec = { Fault.none with Fault.kill_leader_at = Some (T.ms 2.0) } in
+  let obs = ref None in
+  let r =
+    run_on ~seed:42 ~faults:spec
+      ~setup:(fun w ->
+        Graphene_obs.Obs.enable (W.tracer w);
+        obs := Some (W.tracer w))
+      ~exe:"/bin/sigstorm" ~argv:[] ()
+  in
+  check_bool "storm completed across the re-election" true (storm_done r);
+  let tracer = Option.get !obs in
+  let c name = Graphene_obs.Obs.counter_value tracer name in
+  check_bool "leases were invalidated by the re-election" true
+    (c "ipc.lease.pid.invalidate" + c "ipc.lease.owner.invalidate" > 0)
+
 let test_election_under_loss () =
   (* leader kill plus message loss and duplication: candidacy and
      Leader_elected broadcasts are themselves fault-eligible, so this
@@ -134,6 +154,7 @@ let suite =
     case "dedup replays completed requests" test_dedup_replay;
     case "dedup drops repeated oneways" test_dedup_oneway;
     case "leader kill: election and recovery" test_leader_kill_recovery;
+    case "leader kill: leases flushed, signals still route" test_leader_kill_flushes_leases;
     case "election survives message loss" test_election_under_loss;
     case "EMOVED retry under loss" test_emoved_retry_under_loss;
     case "same seed, same final stats" test_same_seed_same_stats;

@@ -14,6 +14,7 @@ let () =
       ("apps", Suite_apps.suite);
       ("baseline", Suite_baseline.suite);
       ("world", Suite_world.suite);
+      ("cache", Suite_cache.suite);
       ("obs", Suite_obs.suite);
       ("vuln", Suite_vuln.suite);
       ("differential", Suite_differential.suite) ]
