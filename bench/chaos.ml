@@ -15,10 +15,19 @@
       served RPC (the [ipc.recovery_ns] observation)
 
     A run that neither completes nor recovers counts as [unrecovered];
-    the CI chaos smoke fails if any appear at the fixed seed set. *)
+    the CI chaos smoke fails if any appear at the fixed seed set.
+
+    Every run also records with the audit plane enabled, so the online
+    invariant monitors (docs/AUDIT.md) check each coordination event as
+    it happens: faults may delay recovery, but they must never produce
+    a double owner, a cross-sandbox delivery, a stale-lease use or an
+    epoch rollback. The sweep reports the violation count and the CI
+    audit smoke requires it to be zero. *)
 
 module W = Graphene.World
 module K = Graphene_host.Kernel
+module Audit = Graphene_obs.Audit
+module Invariant = Graphene_obs.Invariant
 module T = Graphene_sim.Time
 module Stats = Graphene_sim.Stats
 module Table = Graphene_sim.Table
@@ -49,10 +58,13 @@ type outcome = {
   drops : int;
   dups : int;
   delays : int;
+  checked : int;  (** audit events the invariant monitors examined *)
+  violations : int;  (** invariant violations — must stay zero *)
 }
 
 let storm_run ~seed spec =
   let w = W.create ~seed ~faults:spec W.Graphene in
+  Audit.enable (W.audit w);
   let buf = Buffer.create 256 in
   ignore (W.start w ~console_hook:(Buffer.add_string buf) ~exe:"/bin/sigstorm" ~argv:[] ());
   W.run w;
@@ -65,7 +77,12 @@ let storm_run ~seed spec =
   let drops, dups, delays =
     match K.fault_plan (W.kernel w) with Some p -> Fault.injected p | None -> (0, 0, 0)
   in
-  { completed; recovery_ns; drops; dups; delays }
+  let inv = W.invariants w in
+  (if Invariant.total inv > 0 then
+     (* keep the evidence: which property broke, at which event *)
+     prerr_string (Invariant.summary inv));
+  { completed; recovery_ns; drops; dups; delays;
+    checked = Invariant.checked inv; violations = Invariant.total inv }
 
 let rates = [ 0.0; 0.05; 0.15 ]
 let seeds ~full = List.init (if full then 10 else 4) (fun i -> 7 + (13 * i))
@@ -76,9 +93,11 @@ let run ?(full = true) () =
     Table.create ~title:"Chaos sweep: /bin/sigstorm, leader killed at 2 ms"
       ~headers:
         [ "fault rate"; "runs"; "completed"; "recovered"; "recovery (ms)"; "drops"; "dups";
-          "delays" ]
+          "delays"; "audited"; "violations" ]
   in
   let unrecovered_total = ref 0 in
+  let violations_total = ref 0 in
+  let checked_total = ref 0 in
   List.iter
     (fun rate ->
       let spec = spec_for rate in
@@ -102,15 +121,23 @@ let run ?(full = true) () =
                (Stats.ci95 rec_stats /. 1e6));
           string_of_int (sum (fun o -> o.drops));
           string_of_int (sum (fun o -> o.dups));
-          string_of_int (sum (fun o -> o.delays)) ];
+          string_of_int (sum (fun o -> o.delays));
+          string_of_int (sum (fun o -> o.checked));
+          string_of_int (sum (fun o -> o.violations)) ];
+      violations_total := !violations_total + sum (fun o -> o.violations);
+      checked_total := !checked_total + sum (fun o -> o.checked);
       let tag = Printf.sprintf "%.2f" rate in
       if recovered <> [] then
         Harness.record ~unit:"ns" ("chaos.recovery_ns.rate" ^ tag) rec_stats;
       Harness.record ("chaos.completed.rate" ^ tag)
         (Stats.of_list (List.map (fun o -> if o.completed then 1.0 else 0.0) outs));
       Harness.record ("chaos.unrecovered.rate" ^ tag)
-        (Stats.of_list [ float_of_int unrecovered ]))
+        (Stats.of_list [ float_of_int unrecovered ]);
+      Harness.record ("chaos.invariant_violations.rate" ^ tag)
+        (Stats.of_list (List.map (fun o -> float_of_int o.violations) outs)))
     rates;
   Table.print tbl;
-  Printf.printf "\nunrecovered runs: %d\n%!" !unrecovered_total;
+  Printf.printf "\nunrecovered runs: %d\n" !unrecovered_total;
+  Printf.printf "invariant violations: %d (over %d audited events)\n%!" !violations_total
+    !checked_total;
   !unrecovered_total

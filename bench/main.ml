@@ -4,10 +4,17 @@
     Usage:
       main.exe [all|quick|table1|table4|table5|table6|table7|table8|
                 figure4|figure5|ablation|critpath|chaos|cache|bechamel]
+               [--baseline FILE]
+      main.exe regress BASELINE FRESH
 
     [all] (the default) runs everything at full scale; [quick] runs
     reduced sizes. [bechamel] wall-clock-benchmarks one representative
-    probe per table through Bechamel, as a harness self-measurement. *)
+    probe per table through Bechamel, as a harness self-measurement.
+
+    [--baseline FILE] compares the metrics the run just wrote against a
+    committed BENCH_*.json baseline (see {!Regress}) and exits nonzero
+    if any drift past tolerance — the CI regression gate. [regress]
+    runs only that comparison, between two already-written files. *)
 
 let header title =
   Printf.printf "==============================================================\n";
@@ -111,30 +118,51 @@ module Bech = struct
       tests
 end
 
+(* After metrics land in BENCH_<mode>.json, gate them against the
+   requested baseline; the exit code folds in the cache ablation's
+   self-checks so either failure fails the run. *)
+let finish ~mode ~baseline =
+  Harness.write_metrics ~mode;
+  let regress_failed =
+    match baseline with
+    | None -> false
+    | Some file -> not (Regress.check ~baseline:file ~fresh:("BENCH_" ^ mode ^ ".json"))
+  in
+  if !cache_gate_failed || regress_failed then exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let mode = match args with [] -> "all" | m :: _ -> m in
-  Printf.printf "graphene-bench %s — mode: %s\n\n%!" Graphene.Graphene_version.version mode;
-  match mode with
-  | "all" | "quick" ->
-    let full = mode = "all" in
-    List.iter
-      (fun (_, title, f) ->
+  match args with
+  | [ "regress"; baseline; fresh ] -> exit (if Regress.check ~baseline ~fresh then 0 else 1)
+  | _ ->
+    let rec split mode baseline = function
+      | [] -> (mode, baseline)
+      | "--baseline" :: file :: rest -> split mode (Some file) rest
+      | "--baseline" :: [] ->
+        prerr_endline "--baseline needs a file argument";
+        exit 2
+      | m :: rest -> split m baseline rest
+    in
+    let mode, baseline = split "all" None args in
+    Printf.printf "graphene-bench %s — mode: %s\n\n%!" Graphene.Graphene_version.version mode;
+    (match mode with
+    | "all" | "quick" ->
+      let full = mode = "all" in
+      List.iter
+        (fun (_, title, f) ->
+          header title;
+          f ())
+        (experiments ~full);
+      finish ~mode ~baseline
+    | "bechamel" -> Bech.run ()
+    | name -> (
+      match List.find_opt (fun (n, _, _) -> n = name) (experiments ~full:true) with
+      | Some (_, title, f) ->
         header title;
-        f ())
-      (experiments ~full);
-    Harness.write_metrics ~mode;
-    if !cache_gate_failed then exit 1
-  | "bechamel" -> Bech.run ()
-  | name -> (
-    match List.find_opt (fun (n, _, _) -> n = name) (experiments ~full:true) with
-    | Some (_, title, f) ->
-      header title;
-      f ();
-      Harness.write_metrics ~mode;
-      if !cache_gate_failed then exit 1
-    | None ->
-      prerr_endline
-        ("unknown experiment " ^ name
-       ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache bechamel)");
-      exit 2)
+        f ();
+        finish ~mode ~baseline
+      | None ->
+        prerr_endline
+          ("unknown experiment " ^ name
+         ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache bechamel)");
+        exit 2))

@@ -6,6 +6,8 @@
     graphene stats [-s STACK] [-a ARG]... BINARY            run + per-subsystem report
     graphene critpath [-s STACK] [-a ARG]... BINARY         run + critical-path breakdown
     graphene profile [--folded F] [-s STACK] BINARY         run + guest virtual-time profile
+    graphene audit [--pid N] [-c CAT] [--since NS] BINARY   run + security-audit JSONL
+    graphene top [--at NS] [-s STACK] BINARY                run + coordination snapshot
     graphene faults [--seed N] [-n K] SPEC                  print a materialized fault plan
     graphene abi                                            print the host ABI (Table 1)
     graphene filter NAME [NAME...]                          what the seccomp filter does
@@ -23,6 +25,8 @@ open Cmdliner
 module W = Graphene.World
 module K = Graphene_host.Kernel
 module Obs = Graphene_obs.Obs
+module Audit = Graphene_obs.Audit
+module Invariant = Graphene_obs.Invariant
 module Critpath = Graphene_obs.Critpath
 
 let stack_conv =
@@ -216,10 +220,28 @@ let cache_report w =
     print_newline ()
   end
 
+(* The audit section of `graphene stats`: per-category event counts
+   and the invariant monitors' verdict. All counts are derived from
+   the deterministic virtual clock, so the section is byte-identical
+   across same-seed runs. *)
+let audit_report w =
+  let a = W.audit w in
+  let inv = W.invariants w in
+  Printf.printf "== audit ==\n";
+  List.iter
+    (fun (cat, n) -> Printf.printf "  %-12s %8d\n" cat n)
+    (Audit.category_counts a);
+  Printf.printf "  events: %d (dropped: %d)\n" (Audit.events a) (Audit.dropped a);
+  Printf.printf "  invariants: %d events checked, %d violations\n" (Invariant.checked inv)
+    (Invariant.total inv);
+  print_string (Invariant.summary inv);
+  print_newline ()
+
 let stats_cmd =
   let run stack exe argv trace seed faults =
     let w = W.create ~seed ?faults stack in
     Obs.enable (W.tracer w);
+    Audit.enable (W.audit w);
     let p = W.start w ~console_hook:ignore ~exe ~argv () in
     W.run w;
     Printf.printf "-- %s on %s: exit %d, virtual time %s\n\n" exe (W.stack_name stack)
@@ -228,6 +250,7 @@ let stats_cmd =
     fault_report stdout w;
     print_string (Obs.summary (W.tracer w));
     cache_report w;
+    audit_report w;
     print_string
       (Critpath.render ~until:(W.now w) (Critpath.analyze (W.tracer w) ~until:(W.now w)));
     let trace_ok =
@@ -307,6 +330,96 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:"Run a guest binary with the virtual-time profiler on and print per-function attribution")
     Term.(const run $ stack_arg $ exe_arg $ argv_arg $ folded_arg)
+
+let audit_cmd =
+  let cat_conv =
+    let parse s =
+      match Audit.category_of_string s with
+      | Some c -> Ok c
+      | None ->
+        Error (`Msg ("unknown category " ^ s ^ " (refmon|sandbox|lease|election|fault|migration)"))
+    in
+    Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Audit.category_name c))
+  in
+  let pid_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pid" ] ~docv:"PID" ~doc:"Only events of this host picoprocess.")
+  in
+  let cat_arg =
+    Arg.(
+      value
+      & opt (some cat_conv) None
+      & info [ "c"; "category" ] ~docv:"CAT"
+          ~doc:"Only events of one category: refmon, sandbox, lease, election, fault, migration.")
+  in
+  let since_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "since" ] ~docv:"NS" ~doc:"Only events at or after this virtual nanosecond.")
+  in
+  let until_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "until" ] ~docv:"NS" ~doc:"Only events at or before this virtual nanosecond.")
+  in
+  let run stack exe argv seed faults pid cat since until =
+    let w = W.create ~seed ?faults stack in
+    Audit.enable (W.audit w);
+    let p = W.start w ~console_hook:ignore ~exe ~argv () in
+    W.run w;
+    print_string (Audit.to_jsonl ?pid ?cat ?since ?until (W.audit w));
+    if Invariant.total (W.invariants w) > 0 then begin
+      Printf.eprintf "graphene: %d invariant violation(s):\n%s"
+        (Invariant.total (W.invariants w))
+        (Invariant.summary (W.invariants w));
+      1
+    end
+    else if W.exit_code p = 0 then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run a guest binary with the security-audit log on and print it as JSONL (one event per line, merged across picoprocesses by virtual time). Exits nonzero if an online invariant monitor fired.")
+    Term.(
+      const run $ stack_arg $ exe_arg $ argv_arg $ seed_arg $ faults_arg $ pid_arg $ cat_arg
+      $ since_arg $ until_arg)
+
+let top_cmd =
+  let at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"NS"
+          ~doc:"Capture the snapshot at this virtual nanosecond instead of at the end of the run.")
+  in
+  let run stack exe argv seed faults at =
+    let w = W.create ~seed ?faults stack in
+    let captured = ref None in
+    (match at with
+    | Some ns ->
+      K.after (W.kernel w) ns (fun () ->
+          captured := Some (K.introspection_report (W.kernel w)))
+    | None -> ());
+    let p = W.start w ~console_hook:ignore ~exe ~argv () in
+    W.run w;
+    let at_ns, snap =
+      match (at, !captured) with
+      | Some ns, Some s -> (ns, s)
+      | _ -> (W.now w, K.introspection_report (W.kernel w))
+    in
+    Printf.printf "-- %s on %s: coordination state at %s\n" exe (W.stack_name stack)
+      (Format.asprintf "%a" Graphene_sim.Time.pp at_ns);
+    print_string (if snap = "" then "(no libOS instances registered)\n" else snap);
+    if W.exit_code p = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Run a guest binary and dump every libOS instance's live coordination state (leadership, epochs, lease tables with TTLs, dedup occupancy, namespace ownership) at a virtual instant.")
+    Term.(const run $ stack_arg $ exe_arg $ argv_arg $ seed_arg $ faults_arg $ at_arg)
 
 let abi_cmd =
   let run () =
@@ -406,5 +519,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; script_cmd; stats_cmd; critpath_cmd; profile_cmd; abi_cmd; filter_cmd;
-            faults_cmd; cves_cmd ]))
+          [ run_cmd; script_cmd; stats_cmd; critpath_cmd; profile_cmd; audit_cmd; top_cmd;
+            abi_cmd; filter_cmd; faults_cmd; cves_cmd ]))

@@ -72,6 +72,8 @@ let kernel t = t.kernel
 let stack t = t.stack
 let monitor t = t.monitor
 let tracer t = t.kernel.K.tracer
+let audit t = t.kernel.K.audit
+let invariants t = t.kernel.K.invariants
 
 let default_manifest =
   (* the benchmark manifest: the usual chroot view of a server image *)

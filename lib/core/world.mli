@@ -52,6 +52,15 @@ val tracer : t -> Graphene_obs.Obs.t
 (** The world's tracer (disabled by default); enable it before [run]
     to record spans from every layer. *)
 
+val audit : t -> Graphene_obs.Audit.t
+(** The world's security-audit log (disabled by default); enable it
+    before [run] to record refmon decisions, sandbox transitions,
+    lease lifecycle, elections, faults and ownership migrations. *)
+
+val invariants : t -> Graphene_obs.Invariant.t
+(** The online invariant monitors attached to {!audit}; they check
+    every audit event at emission (docs/AUDIT.md). *)
+
 val default_manifest : Manifest.t
 (** The benchmark manifest: a server-image chroot view. *)
 

@@ -15,6 +15,8 @@
 
 open Graphene_sim
 module Obs = Graphene_obs.Obs
+module Audit = Graphene_obs.Audit
+module Invariant = Graphene_obs.Invariant
 
 module Bpf = struct
   module Prog = Graphene_bpf.Prog
@@ -133,6 +135,13 @@ type t = {
   syscall_times : (string, Time.t) Hashtbl.t;
       (** total kernel-mode virtual time charged per host syscall *)
   tracer : Obs.t;
+  audit : Audit.t;
+  invariants : Invariant.t;
+      (** online monitors over [audit]; attached at creation, inert
+          while auditing is disabled *)
+  mutable introspectors : (int * (unit -> string)) list;
+      (** per-pid live-state snapshot renderers, registered by the IPC
+          layer; the source of [graphene top] *)
   images : (string, Memory.image) Hashtbl.t;
       (** page-cache-style shared code images *)
   mutable quantum : int;  (** interpreter steps per scheduling slice *)
@@ -169,6 +178,11 @@ let permissive_lsm =
 
 let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
   let tracer = Obs.create () in
+  let audit = Audit.create () in
+  let invariants = Invariant.create () in
+  (* always attached: observers only fire from emits, which guard on
+     [Audit.enabled], so this costs nothing while auditing is off *)
+  Invariant.attach invariants audit;
   let engine = Engine.create () in
   (* Event-dispatch instrumentation: lifetime counter plus a sampled
      queue-depth track. Purely observational; one branch when tracing
@@ -205,6 +219,9 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
     syscall_counts = Hashtbl.create 64;
     syscall_times = Hashtbl.create 64;
     tracer;
+    audit;
+    invariants;
+    introspectors = [];
     images = Hashtbl.create 8;
     quantum = 4000;
     noise;
@@ -220,6 +237,19 @@ let set_lsm t lsm =
   t.lsm_active <- true
 
 let lsm_active t = t.lsm_active
+
+(* One branch while auditing is off, like every tracer emit. *)
+let audit_emit t cat ~action ?(pid = 0) ?(args = []) () =
+  if Audit.enabled t.audit then Audit.emit t.audit cat ~action ~pid ~args (Engine.now t.engine)
+
+let register_introspector t ~pid f =
+  t.introspectors <- (pid, f) :: List.filter (fun (p, _) -> p <> pid) t.introspectors
+
+let introspection_report t =
+  List.sort (fun (a, _) (b, _) -> compare a b) t.introspectors
+  |> List.map (fun (_, f) -> f ())
+  |> String.concat ""
+
 let after t cost fn = ignore (Engine.schedule_after t.engine cost fn)
 let run_until_idle t = Engine.run_until_idle t.engine
 
@@ -348,6 +378,9 @@ let spawn t ?parent ?(with_pal = true) ~sandbox ~exe () =
   t.picos <- pico :: t.picos;
   Obs.set_process_name t.tracer ~pid:pico.pid
     (Printf.sprintf "pico %d (%s) sandbox %d" pico.pid exe sandbox);
+  audit_emit t Audit.Sandbox ~action:"spawn" ~pid:pico.pid
+    ~args:[ ("exe", Obs.Astr exe); ("sandbox", Obs.Aint sandbox) ]
+    ();
   pico
 
 let install_filter _t pico filter =
@@ -540,7 +573,8 @@ let fault_trace t name pid args =
   if Obs.enabled t.tracer then begin
     Obs.count t.tracer ("fault." ^ name);
     Obs.instant t.tracer Obs.Kernel ~name:("fault." ^ name) ~pid ~args (now t)
-  end
+  end;
+  audit_emit t Audit.Fault ~action:name ~pid ~args ()
 
 let note_leader t pico = t.fault_leader <- Some pico
 
@@ -750,7 +784,18 @@ let broadcast_send t pico msg =
     (fun (p, handler) ->
       if p != pico && alive p then begin
         let deliver ?(d = Time.zero) () =
-          after t (Time.add Cost.stream_oneway d) (fun () -> if alive p then handler msg)
+          after t (Time.add Cost.stream_oneway d) (fun () ->
+              if alive p then begin
+                (* sandboxes read at delivery time: a message still in
+                   flight when a recipient isolates is a real bridge,
+                   and the confinement monitor must see it as one *)
+                audit_emit t Audit.Sandbox ~action:"deliver" ~pid:p.pid
+                  ~args:
+                    [ ("src_sandbox", Obs.Aint pico.sandbox);
+                      ("dst_sandbox", Obs.Aint p.sandbox) ]
+                  ();
+                handler msg
+              end)
         in
         match t.fault with
         | None -> deliver ()
@@ -803,6 +848,10 @@ let sandbox_split t pico ~keep =
           ("moved", Obs.Aint (List.length moving)) ]
       (now t)
   end;
+  audit_emit t Audit.Sandbox ~action:"split" ~pid:pico.pid
+    ~args:
+      [ ("new_sandbox", Obs.Aint new_sandbox); ("moved", Obs.Aint (List.length moving)) ]
+    ();
   new_sandbox
 
 (* {1 Bulk IPC (gipc kernel module)} *)

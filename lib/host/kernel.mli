@@ -131,6 +131,11 @@ type t = {
   syscall_times : (string, Graphene_sim.Time.t) Hashtbl.t;
       (** total kernel-mode virtual time charged per host syscall *)
   tracer : Graphene_obs.Obs.t;
+  audit : Graphene_obs.Audit.t;
+  invariants : Graphene_obs.Invariant.t;
+      (** online monitors over [audit]; attached at creation, inert
+          while auditing is disabled *)
+  mutable introspectors : (int * (unit -> string)) list;
   images : (string, Memory.image) Hashtbl.t;
   mutable quantum : int;
   noise : float;
@@ -171,6 +176,30 @@ val set_lsm : t -> lsm -> unit
     in the PAL. *)
 
 val lsm_active : t -> bool
+
+(** {1 Audit and introspection}
+
+    The kernel owns the world's audit log (like its tracer) and the
+    invariant monitors attached to it. Layers emit through
+    {!audit_emit}, which stamps the current virtual time and is one
+    branch while auditing is disabled. *)
+
+val audit_emit :
+  t ->
+  Graphene_obs.Audit.category ->
+  action:string ->
+  ?pid:int ->
+  ?args:(string * Graphene_obs.Obs.arg) list ->
+  unit ->
+  unit
+
+val register_introspector : t -> pid:int -> (unit -> string) -> unit
+(** Register (or replace) the live-state snapshot renderer for a
+    picoprocess; the IPC layer registers one per libOS instance. *)
+
+val introspection_report : t -> string
+(** Concatenate every registered snapshot, ascending by pid — the body
+    of [graphene top]. *)
 
 (** {1 Picoprocesses} *)
 

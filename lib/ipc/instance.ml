@@ -20,6 +20,7 @@
 
 open Graphene_sim
 module Obs = Graphene_obs.Obs
+module Audit = Graphene_obs.Audit
 module K = Graphene_host.Kernel
 module Stream = Graphene_host.Stream
 module Pal = Graphene_pal.Pal
@@ -97,6 +98,10 @@ type t = {
   mutable elected_leader : bool;
       (** won an election and has not yet served a request — the next
           one served closes the recovery interval *)
+  mutable epoch : int;
+      (** election epoch: a winner announces its epoch + 1, adopters
+          take the max of theirs and the announcement's — monotone per
+          instance by construction, and the audit plane asserts it *)
 }
 
 let persist_dir = "/var/graphene/msgq"
@@ -117,6 +122,20 @@ let vnow t = K.now (kernel t)
 let obs_count t name =
   let tracer = (kernel t).K.tracer in
   if Obs.enabled tracer then Obs.count tracer name
+
+(* Audit events are attributed to the host picoprocess, like trace
+   events. *)
+let audit t cat ~action args =
+  K.audit_emit (kernel t) cat ~action ~pid:(Pal.pico t.pal).K.pid ~args ()
+
+(* An ownership transition of a SysV resource: the single-owner
+   invariant is checked over exactly these events. *)
+let audit_ownership t verb res id =
+  audit t Audit.Migration ~action:verb
+    [ ("res", Obs.Astr (Printf.sprintf "%s:%d" res id)); ("addr", Obs.Astr t.my_addr) ]
+
+let audit_epoch t =
+  audit t Audit.Election ~action:"epoch" [ ("epoch", Obs.Aint t.epoch) ]
 
 (* Lease lookups gate on the owner-caching knob, so with caching off
    the lease layer neither answers nor counts. *)
@@ -553,6 +572,7 @@ and handle_request t ep ~origin reqid req =
           match q.contents with [] -> (None, []) | m :: rest -> (Some m, rest)
         in
         Hashtbl.remove t.msgqs id;
+        audit_ownership t "disown" "msgq" id;
         notify_leader_owner t `Msgq id requester;
         reply (Wire.R_msg_migrate { data; contents = rest })
       end
@@ -587,6 +607,7 @@ and handle_request t ep ~origin reqid req =
           (* the acquire succeeds and the semaphore moves to the
              frequent acquirer *)
           Hashtbl.remove t.sems id;
+          audit_ownership t "disown" "sem" id;
           notify_leader_owner t `Sem id requester;
           reply (Wire.R_sem_migrate { count = s.count - 1 })
         end
@@ -637,7 +658,7 @@ and handle_notification t n =
   | Wire.Leader_candidate { pid; addr } ->
     if not (List.mem (pid, addr) t.candidates) then t.candidates <- (pid, addr) :: t.candidates;
     if not t.electing then join_election t
-  | Wire.Leader_elected { pid; addr } ->
+  | Wire.Leader_elected { pid; addr; epoch } ->
     if addr = t.my_addr then begin
       t.electing <- false;
       t.candidates <- []
@@ -645,7 +666,8 @@ and handle_notification t n =
     else if is_leader t && t.my_pid < pid then
       (* diverged candidate sets (message loss) produced a second,
          higher-PID winner: reassert — lowest PID wins *)
-      broadcast_oneway t (Wire.Leader_elected { pid = t.my_pid; addr = t.my_addr })
+      broadcast_oneway t
+        (Wire.Leader_elected { pid = t.my_pid; addr = t.my_addr; epoch = t.epoch })
     else begin
       (* if we also claimed leadership from a diverged candidate set,
          the lower PID wins and we demote ourselves *)
@@ -656,6 +678,12 @@ and handle_notification t n =
       t.electing <- false;
       t.candidates <- [];
       t.leader_addr <- addr;
+      (* adopt the announcement's epoch; max with ours so a delayed
+         duplicate of an old announcement can never move us backwards *)
+      t.epoch <- max t.epoch epoch;
+      audit_epoch t;
+      audit t Audit.Election ~action:"adopt"
+        [ ("leader", Obs.Astr addr); ("leader_pid", Obs.Aint pid) ];
       (* leadership moved: any cached resolution may point at the dead
          leader's world, and a stale lease must never misroute a signal *)
       flush_leases t;
@@ -707,6 +735,7 @@ and join_election t =
     t.electing <- true;
     if not (List.mem (t.my_pid, t.my_addr) t.candidates) then
       t.candidates <- (t.my_pid, t.my_addr) :: t.candidates;
+    audit t Audit.Election ~action:"candidate" [ ("pid", Obs.Aint t.my_pid) ];
     broadcast_oneway t (Wire.Leader_candidate { pid = t.my_pid; addr = t.my_addr });
     K.after (kernel t) t.cfg.Config.election_settle (fun () -> conclude_election t)
   end
@@ -726,13 +755,16 @@ and conclude_election t =
       t.leader <- Some (fresh_leader ~first_pid:(t.my_pid + 1000));
       t.leader_addr <- t.my_addr;
       t.elected_leader <- true;
+      t.epoch <- t.epoch + 1;
+      audit_epoch t;
+      audit t Audit.Election ~action:"elected" [ ("pid", Obs.Aint pid) ];
       flush_leases t;
       K.note_leader (kernel t) (Pal.pico t.pal);
       (* adopt our own state directly *)
       handle_notification t
         (Wire.State_report { addr = t.my_addr; pid = t.my_pid; ranges = t.pid_pool;
                              resources = owned_resources t });
-      broadcast_oneway t (Wire.Leader_elected { pid; addr })
+      broadcast_oneway t (Wire.Leader_elected { pid; addr; epoch = t.epoch })
     | _ ->
       (* wait for the winner's announcement a little longer; if it
          never comes (it also died, or its candidacy was dropped on the
@@ -768,6 +800,7 @@ and enqueue t q data =
 
 and delete_queue t q =
   Hashtbl.remove t.msgqs q.mq_id;
+  audit_ownership t "disown" "msgq" q.mq_id;
   Hashtbl.replace t.deleted q.mq_id ();
   List.iter
     (fun w ->
@@ -803,6 +836,60 @@ and sem_release t s delta =
   in
   wake ()
 
+(* {1 Introspection (graphene top)} *)
+
+(* A live snapshot of this instance's coordination state, rendered at
+   whatever virtual instant it is asked for. Pure observation. *)
+let snapshot t =
+  let b = Buffer.create 512 in
+  let pico = Pal.pico t.pal in
+  let now = vnow t in
+  Buffer.add_string b
+    (Printf.sprintf "instance %s (host pid %d, guest pid %d, sandbox %d)%s\n" t.my_addr
+       pico.K.pid t.my_pid pico.K.sandbox
+       (if is_leader t then " [leader]" else ""));
+  Buffer.add_string b
+    (Printf.sprintf "  leader %s  epoch %d  rpc %d sent / %d handled  dedup %d keys / %d suppressed\n"
+       t.leader_addr t.epoch t.rpc_sent t.rpc_handled (Wire.Dedup.length t.dedup)
+       (Wire.Dedup.suppressed t.dedup));
+  Buffer.add_string b
+    (Printf.sprintf "  pid pool: %s\n"
+       (if t.pid_pool = [] then "-"
+        else
+          String.concat ", "
+            (List.map (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi) t.pid_pool)));
+  let lease_table name lease =
+    Buffer.add_string b (Printf.sprintf "  %s leases (%d):\n" name (Lease.length lease));
+    List.iter
+      (fun (k, v, remaining) ->
+        Buffer.add_string b
+          (Printf.sprintf "    %d -> %s  ttl %s\n" k v
+             (if remaining < 0 then "inf" else Printf.sprintf "%dns" remaining)))
+      (Lease.entries lease ~now)
+  in
+  lease_table "owner" t.owner_cache;
+  lease_table "pid" t.pid_cache;
+  let ids tbl = Hashtbl.fold (fun id _ acc -> id :: acc) tbl [] |> List.sort compare in
+  Buffer.add_string b
+    (Printf.sprintf "  owned: msgq [%s]  sem [%s]\n"
+       (String.concat ", " (List.map string_of_int (ids t.msgqs)))
+       (String.concat ", " (List.map string_of_int (ids t.sems))));
+  (match t.leader with
+  | None -> ()
+  | Some ls ->
+    Buffer.add_string b
+      (Printf.sprintf "  namespace (leader view): next pid %d, next rid %d\n" ls.next_pid
+         ls.next_rid);
+    List.iter
+      (fun (lo, hi, addr) ->
+        Buffer.add_string b (Printf.sprintf "    pids %d-%d @ %s\n" lo hi addr))
+      (List.sort compare ls.pid_owners);
+    Hashtbl.fold (fun id addr acc -> (id, addr) :: acc) ls.res_owner []
+    |> List.sort compare
+    |> List.iter (fun (id, addr) ->
+           Buffer.add_string b (Printf.sprintf "    resource %d @ %s\n" id addr)));
+  Buffer.contents b
+
 (* {1 Construction} *)
 
 let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
@@ -835,10 +922,20 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       my_pid = first_pid - 1;
       electing = false;
       candidates = [];
-      elected_leader = false }
+      elected_leader = false;
+      epoch = 0 }
   in
   Lease.set_hook t.owner_cache (obs_count t);
   Lease.set_hook t.pid_cache (obs_count t);
+  (* lease lifecycle into the audit plane, attributed to this instance *)
+  let lease_audit cache ~action ~key =
+    audit t Audit.Lease ~action
+      (("cache", Obs.Astr cache)
+      :: (match key with Some k -> [ ("key", Obs.Aint k) ] | None -> []))
+  in
+  Lease.set_audit_hook t.owner_cache (lease_audit "owner");
+  Lease.set_audit_hook t.pid_cache (lease_audit "pid");
+  K.register_introspector (kernel t) ~pid:(Pal.pico pal).K.pid (fun () -> snapshot t);
   if make_leader then K.note_leader (kernel t) (Pal.pico pal);
   (* the p2p rendezvous server every other instance connects to *)
   Pal.stream_open pal ("pipe.srv:pico." ^ my_addr) ~write:true ~create:true (function
@@ -1008,6 +1105,7 @@ let new_local_queue t ~id ~key =
       accessors = [] }
   in
   Hashtbl.replace t.msgqs id q;
+  audit_ownership t "own" "msgq" id;
   q
 
 (* Load a queue another (exited) owner serialized to disk, becoming
@@ -1214,7 +1312,8 @@ let persist_owned_queues t =
             | None -> oneway t ~addr:t.leader_addr (Wire.Msgq_persisted { id = q.mq_id }))
           | Error _ -> ())
       end;
-      Hashtbl.remove t.msgqs q.mq_id)
+      Hashtbl.remove t.msgqs q.mq_id;
+      audit_ownership t "disown" "msgq" q.mq_id)
     owned
 
 (* {1 System V semaphores} *)
@@ -1222,6 +1321,7 @@ let persist_owned_queues t =
 let new_local_sem t ~id ~key ~count =
   let s = { sm_id = id; sm_key = key; count; swaiters = []; acq_stats = Hashtbl.create 4 } in
   Hashtbl.replace t.sems id s;
+  audit_ownership t "own" "sem" id;
   s
 
 let semget t ~key ~init k =
@@ -1314,6 +1414,8 @@ let restore_inherited t (i : inherited) =
 let become_isolated t ~first_pid =
   t.leader <- Some (fresh_leader ~first_pid);
   t.leader_addr <- t.my_addr;
+  audit t Audit.Sandbox ~action:"isolate"
+    [ ("sandbox", Obs.Aint (Pal.pico t.pal).K.sandbox) ];
   flush_leases t;
   Hashtbl.reset t.coalesce_buf;
   Hashtbl.reset t.streams;
@@ -1325,3 +1427,4 @@ let become_isolated t ~first_pid =
 let ping t ~addr k = rpc t ~addr Wire.Wait_any_probe (fun _ -> k ())
 
 let set_my_pid t pid = t.my_pid <- pid
+let election_epoch t = t.epoch

@@ -67,6 +67,19 @@ val duplicates_suppressed : t -> int
 (** Incoming duplicates (retransmissions, fault-injected copies) this
     instance's {!Wire.Dedup} swallowed. *)
 
+val election_epoch : t -> int
+(** The election epoch this instance currently holds: 0 until a
+    re-election, then the winner's announced epoch (monotone — the
+    audit plane's epoch-monotonicity invariant). *)
+
+val snapshot : t -> string
+(** A human-readable dump of this instance's live coordination state
+    at the current virtual instant: leadership and epoch, owner/PID
+    lease tables with remaining TTLs, dedup occupancy, owned SysV
+    resources, and (on the leader) per-namespace ownership. Also
+    registered with the kernel as this picoprocess's introspector —
+    the body of [graphene top]. *)
+
 (** {1 PID namespace (Table 2: Fork)} *)
 
 val alloc_pid : t -> ((int, Errno.t) result -> unit) -> unit

@@ -34,6 +34,9 @@ type t = {
   order : int Queue.t;  (** insertion order; oldest evicts first *)
   stats : stats;
   mutable on_event : string -> unit;
+  mutable on_audit : action:string -> key:int option -> unit;
+      (** lease-lifecycle hook (the instance routes these to the audit
+          log with its own pid); [key = None] only for "flush" *)
 }
 
 let create ~name ~capacity ~ttl =
@@ -43,10 +46,13 @@ let create ~name ~capacity ~ttl =
     tbl = Hashtbl.create 32;
     order = Queue.create ();
     stats = { hits = 0; misses = 0; expirations = 0; evictions = 0; invalidations = 0 };
-    on_event = ignore }
+    on_event = ignore;
+    on_audit = (fun ~action:_ ~key:_ -> ()) }
 
 let set_hook t f = t.on_event <- f
+let set_audit_hook t f = t.on_audit <- f
 let count t what = t.on_event (t.name ^ "." ^ what)
+let audit t action key = t.on_audit ~action ~key:(Some key)
 let length t = Hashtbl.length t.tbl
 let stats t = t.stats
 
@@ -59,11 +65,13 @@ let find t ~now key =
   | Some e when not (expired t ~now e) ->
     t.stats.hits <- t.stats.hits + 1;
     count t "hit";
+    audit t "use" key;
     Some e.value
   | Some _ ->
     Hashtbl.remove t.tbl key;
     t.stats.expirations <- t.stats.expirations + 1;
     count t "expire";
+    audit t "expire" key;
     t.stats.misses <- t.stats.misses + 1;
     count t "miss";
     None
@@ -78,7 +86,8 @@ let rec evict_oldest t =
     if Hashtbl.mem t.tbl k then begin
       Hashtbl.remove t.tbl k;
       t.stats.evictions <- t.stats.evictions + 1;
-      count t "evict"
+      count t "evict";
+      audit t "evict" k
     end
     else evict_oldest t
   end
@@ -88,14 +97,16 @@ let put t ~now key value =
     if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
     Queue.push key t.order
   end;
-  Hashtbl.replace t.tbl key { value; cached_at = now }
+  Hashtbl.replace t.tbl key { value; cached_at = now };
+  audit t "acquire" key
 
 (* Targeted invalidation: EMOVED, deletion, a failed signal send. *)
 let remove t key =
   if Hashtbl.mem t.tbl key then begin
     Hashtbl.remove t.tbl key;
     t.stats.invalidations <- t.stats.invalidations + 1;
-    count t "invalidate"
+    count t "invalidate";
+    audit t "invalidate" key
   end
 
 (* Wholesale invalidation: re-election, sandbox isolation. *)
@@ -105,11 +116,26 @@ let flush t =
     t.stats.invalidations <- t.stats.invalidations + n;
     for _ = 1 to n do
       count t "invalidate"
-    done
+    done;
+    (* one event for the whole flush; the invariant monitor kills
+       every live lease of this cache wholesale *)
+    t.on_audit ~action:"flush" ~key:None
   end;
   Hashtbl.reset t.tbl;
   Queue.clear t.order
 
 let to_alist t = Hashtbl.fold (fun k e acc -> (k, e.value) :: acc) t.tbl []
+
+(* TTL-aware snapshot for [graphene top]: (key, value, remaining ns;
+   -1 = no expiry), ascending by key. *)
+let entries t ~now =
+  Hashtbl.fold
+    (fun k e acc ->
+      let remaining =
+        if t.ttl > Time.zero then max 0 (t.ttl - Time.diff now e.cached_at) else -1
+      in
+      (k, e.value, remaining) :: acc)
+    t.tbl []
+  |> List.sort compare
 
 let of_alist t ~now entries = List.iter (fun (k, v) -> put t ~now k v) entries

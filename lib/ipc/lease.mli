@@ -25,6 +25,12 @@ val create : name:string -> capacity:int -> ttl:Time.t -> t
 val set_hook : t -> (string -> unit) -> unit
 (** Counter hook (the instance routes these to graphene.obs). *)
 
+val set_audit_hook : t -> (action:string -> key:int option -> unit) -> unit
+(** Lease-lifecycle hook: ["acquire"], ["use"] (a hit), ["expire"],
+    ["evict"], ["invalidate"], each with its key, and ["flush"] (one
+    event, [key = None]). The instance routes these to the audit log
+    with its own pid. *)
+
 val find : t -> now:Time.t -> int -> string option
 (** An expired entry answers as a miss and is dropped on the spot. *)
 
@@ -38,6 +44,11 @@ val stats : t -> stats
 
 val to_alist : t -> (int * string) list
 (** Snapshot for fork inheritance (order unspecified). *)
+
+val entries : t -> now:Time.t -> (int * string * int) list
+(** TTL-aware snapshot for [graphene top]: [(key, value, remaining
+    virtual ns; -1 = no expiry)], ascending by key. Pure observation —
+    expired-but-unreaped entries report 0 and stay put. *)
 
 val of_alist : t -> now:Time.t -> (int * string) list -> unit
 (** Replay a snapshot; entries lease from [now] in the child. *)

@@ -44,7 +44,7 @@ type notification =
   | Leader_candidate of { pid : int; addr : string }
       (** leader-recovery election over the broadcast stream (§4.2):
           candidates announce; lowest PID wins *)
-  | Leader_elected of { pid : int; addr : string }
+  | Leader_elected of { pid : int; addr : string; epoch : int }
   | State_report of { addr : string; pid : int; ranges : (int * int) list; resources : int list }
       (** each member reports its slice of the namespace so the new
           leader can reconstruct its tables *)
@@ -182,4 +182,5 @@ module Dedup = struct
     end
 
   let suppressed t = t.suppressed
+  let length t = Hashtbl.length t.tbl
 end

@@ -49,7 +49,10 @@ type notification =
   | Leader_candidate of { pid : int; addr : string }
       (** leader-recovery election over the broadcast stream (§4.2):
           candidates announce; lowest PID wins *)
-  | Leader_elected of { pid : int; addr : string }
+  | Leader_elected of { pid : int; addr : string; epoch : int }
+      (** [epoch] strictly increases across re-elections; adopters take
+          the max of theirs and the announcement's, so the epoch each
+          instance holds is monotone (the audit plane asserts it) *)
   | State_report of { addr : string; pid : int; ranges : (int * int) list; resources : int list }
       (** each member reports its slice of the namespace so the new
           leader can reconstruct its tables *)
@@ -129,4 +132,7 @@ module Dedup : sig
 
   val suppressed : t -> int
   (** How many duplicates this receiver has suppressed. *)
+
+  val length : t -> int
+  (** Current occupancy (remembered keys), for [graphene top]. *)
 end

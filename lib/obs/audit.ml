@@ -1,0 +1,133 @@
+type category = Refmon | Sandbox | Lease | Election | Fault | Migration
+
+let category_name = function
+  | Refmon -> "refmon"
+  | Sandbox -> "sandbox"
+  | Lease -> "lease"
+  | Election -> "election"
+  | Fault -> "fault"
+  | Migration -> "migration"
+
+let category_of_string = function
+  | "refmon" -> Some Refmon
+  | "sandbox" -> Some Sandbox
+  | "lease" -> Some Lease
+  | "election" -> Some Election
+  | "fault" -> Some Fault
+  | "migration" -> Some Migration
+  | _ -> None
+
+type event = {
+  e_seq : int;
+  e_at : Graphene_sim.Time.t;
+  e_pid : int;
+  e_cat : category;
+  e_action : string;
+  e_args : (string * Obs.arg) list;
+}
+
+(* Per-picoprocess bounded ring: a queue (oldest at the front) so the
+   drop-oldest bound is O(1) per emit. *)
+type ring = { ring : event Queue.t; mutable r_dropped : int }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  rings : (int, ring) Hashtbl.t;  (** pid -> its ring *)
+  cat_totals : (string, int ref) Hashtbl.t;
+  mutable next_seq : int;
+  mutable observers : (event -> unit) list;  (** reverse attach order *)
+}
+
+let create ?(capacity = 8192) () =
+  { enabled = false;
+    capacity = max 1 capacity;
+    rings = Hashtbl.create 8;
+    cat_totals = Hashtbl.create 8;
+    next_seq = 0;
+    observers = [] }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let reset t =
+  Hashtbl.reset t.rings;
+  Hashtbl.reset t.cat_totals;
+  t.next_seq <- 0
+
+let add_observer t f = t.observers <- f :: t.observers
+
+let ring_of t pid =
+  match Hashtbl.find_opt t.rings pid with
+  | Some r -> r
+  | None ->
+    let r = { ring = Queue.create (); r_dropped = 0 } in
+    Hashtbl.replace t.rings pid r;
+    r
+
+let emit t cat ~action ?(pid = 0) ?(args = []) at =
+  if t.enabled then begin
+    t.next_seq <- t.next_seq + 1;
+    let e = { e_seq = t.next_seq; e_at = at; e_pid = pid; e_cat = cat; e_action = action;
+              e_args = args }
+    in
+    (match Hashtbl.find_opt t.cat_totals (category_name cat) with
+    | Some r -> incr r
+    | None -> Hashtbl.replace t.cat_totals (category_name cat) (ref 1));
+    (* observers see every event, before the ring bound applies *)
+    List.iter (fun f -> f e) t.observers;
+    let r = ring_of t pid in
+    Queue.push e r.ring;
+    if Queue.length r.ring > t.capacity then begin
+      ignore (Queue.pop r.ring);
+      r.r_dropped <- r.r_dropped + 1
+    end
+  end
+
+(* {1 Introspection} *)
+
+let events t = t.next_seq
+let dropped t = Hashtbl.fold (fun _ r acc -> acc + r.r_dropped) t.rings 0
+
+let category_counts t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.cat_totals [] |> List.sort compare
+
+(* Merge the rings by (virtual time, sequence). Virtual time is
+   monotone along emission order, so the sequence number alone is a
+   valid total order; sorting by the pair keeps that explicit. *)
+let recorded t =
+  Hashtbl.fold (fun _ r acc -> Queue.fold (fun acc e -> e :: acc) acc r.ring) t.rings []
+  |> List.sort (fun a b ->
+         match compare a.e_at b.e_at with 0 -> compare a.e_seq b.e_seq | c -> c)
+
+(* {1 Export} *)
+
+let add_event_json b e =
+  Buffer.add_string b "{\"t\":";
+  Buffer.add_string b (string_of_int e.e_at);
+  Buffer.add_string b ",\"seq\":";
+  Buffer.add_string b (string_of_int e.e_seq);
+  Buffer.add_string b ",\"pid\":";
+  Buffer.add_string b (string_of_int e.e_pid);
+  Buffer.add_string b ",\"cat\":\"";
+  Buffer.add_string b (category_name e.e_cat);
+  Buffer.add_string b "\",\"action\":\"";
+  Buffer.add_string b (Obs.escape e.e_action);
+  Buffer.add_string b "\"";
+  if e.e_args <> [] then begin
+    Buffer.add_string b ",\"args\":";
+    Obs.add_args b e.e_args
+  end;
+  Buffer.add_string b "}\n"
+
+let to_jsonl ?pid ?cat ?since ?until t =
+  let keep e =
+    (match pid with Some p -> e.e_pid = p | None -> true)
+    && (match cat with Some c -> e.e_cat = c | None -> true)
+    && (match since with Some s -> e.e_at >= s | None -> true)
+    && match until with Some u -> e.e_at <= u | None -> true
+  in
+  let b = Buffer.create 4096 in
+  List.iter (fun e -> if keep e then add_event_json b e) (recorded t);
+  Buffer.contents b

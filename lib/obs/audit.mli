@@ -1,0 +1,107 @@
+(** The security-audit plane: a deterministic, virtual-time-ordered
+    structured event log.
+
+    The third pillar of graphene.obs, next to tracing ({!Obs}) and the
+    guest profiler. Where the tracer records {e performance} (spans,
+    counters), the audit log records {e security- and
+    coordination-relevant decisions}: reference-monitor allows and
+    denials with their manifest-rule provenance, sandbox creation and
+    isolation transitions, lease lifecycle, leader elections, injected
+    faults, and ownership migrations.
+
+    One audit log per simulated world, owned by the host kernel and
+    shared by every layer above it, exactly like the tracer. Disabled
+    (the default) it is a no-op: every emit guards on {!enabled}, so
+    instrumented layers pay one branch. Auditing is purely
+    observational — it never schedules events or charges virtual time,
+    so enabling it cannot change simulated behaviour, and with a fixed
+    seed two runs export byte-identical JSONL.
+
+    Events are recorded into bounded per-picoprocess rings (oldest
+    events drop first, counted); {!to_jsonl} merges the rings by
+    (virtual time, emission sequence) into one totally-ordered stream.
+    Online consumers ({!Invariant}) attach as observers and see every
+    event at emission, before any ring bound applies. *)
+
+(** What subsystem/concern an event belongs to. *)
+type category =
+  | Refmon  (** reference-monitor allow/deny decisions *)
+  | Sandbox  (** sandbox create/split/isolate, broadcast deliveries *)
+  | Lease  (** name-resolution lease lifecycle *)
+  | Election  (** leader elections and adoptions *)
+  | Fault  (** injected faults and recovery *)
+  | Migration  (** SysV resource ownership transitions *)
+
+val category_name : category -> string
+val category_of_string : string -> category option
+
+(** One recorded event. [at] is virtual nanoseconds; [seq] is the
+    global emission sequence number, which breaks same-instant ties
+    deterministically. *)
+type event = {
+  e_seq : int;
+  e_at : Graphene_sim.Time.t;
+  e_pid : int;
+  e_cat : category;
+  e_action : string;
+  e_args : (string * Obs.arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, disabled audit log. [capacity] bounds each picoprocess's
+    ring (default 8192 events); the oldest events of a full ring drop
+    first and are counted in {!dropped}. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Drop all recorded events and counts (observers survive). *)
+
+val emit :
+  t ->
+  category ->
+  action:string ->
+  ?pid:int ->
+  ?args:(string * Obs.arg) list ->
+  Graphene_sim.Time.t ->
+  unit
+(** Record one event ([pid] 0 = host-level activity). No-op while
+    disabled. Observers run synchronously, before the ring bound. *)
+
+val add_observer : t -> (event -> unit) -> unit
+(** Called for every emitted event while the log is enabled. *)
+
+(** {1 Introspection} *)
+
+val events : t -> int
+(** Events emitted so far (including any that later dropped). *)
+
+val dropped : t -> int
+(** Events lost to ring bounds. *)
+
+val category_counts : t -> (string * int) list
+(** Per-category running totals, ascending by name; categories never
+    emitted are omitted. *)
+
+val recorded : t -> event list
+(** Every event still held in the rings, merged by (virtual time,
+    sequence) — the stream {!to_jsonl} renders. *)
+
+(** {1 Export} *)
+
+val to_jsonl :
+  ?pid:int ->
+  ?cat:category ->
+  ?since:Graphene_sim.Time.t ->
+  ?until:Graphene_sim.Time.t ->
+  t ->
+  string
+(** One JSON object per line, merged across picoprocesses by (virtual
+    time, sequence): [{"t":..,"seq":..,"pid":..,"cat":"..",
+    "action":"..","args":{..}}]. Filters are conjunctive; [since] and
+    [until] are inclusive virtual-ns bounds. Byte-deterministic for a
+    deterministic run. *)

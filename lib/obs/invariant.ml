@@ -1,0 +1,142 @@
+type violation = {
+  v_at : Graphene_sim.Time.t;
+  v_pid : int;
+  v_invariant : string;
+  v_what : string;
+}
+
+type t = {
+  mutable violations : violation list;  (** newest first *)
+  mutable n_violations : int;
+  mutable checked : int;
+  owners : (string, string) Hashtbl.t;  (** resource key -> owner addr *)
+  valid_leases : (int * string * int, unit) Hashtbl.t;  (** (pid, cache, key) live *)
+  dead_leases : (int * string * int, unit) Hashtbl.t;  (** killed, not re-acquired *)
+  epochs : (int, int) Hashtbl.t;  (** pid -> last adopted election epoch *)
+}
+
+let create () =
+  { violations = [];
+    n_violations = 0;
+    checked = 0;
+    owners = Hashtbl.create 16;
+    valid_leases = Hashtbl.create 64;
+    dead_leases = Hashtbl.create 64;
+    epochs = Hashtbl.create 8 }
+
+let checked t = t.checked
+let violations t = List.rev t.violations
+let total t = t.n_violations
+
+let record t (e : Audit.event) ~invariant ~what =
+  t.violations <-
+    { v_at = e.Audit.e_at; v_pid = e.Audit.e_pid; v_invariant = invariant; v_what = what }
+    :: t.violations;
+  t.n_violations <- t.n_violations + 1
+
+let int_arg e name =
+  List.find_map
+    (fun (k, v) -> match v with Obs.Aint n when k = name -> Some n | _ -> None)
+    e.Audit.e_args
+
+let str_arg e name =
+  List.find_map
+    (fun (k, v) -> match v with Obs.Astr s when k = name -> Some s | _ -> None)
+    e.Audit.e_args
+
+(* {1 The monitors} *)
+
+(* Single-owner: an "own" of a resource someone else still owns is a
+   violation; ownership legally moves only through the previous owner's
+   "disown" (migration grant, deletion, persistence to disk). *)
+let check_ownership t e =
+  match (str_arg e "res", str_arg e "addr") with
+  | Some res, Some addr -> (
+    match e.Audit.e_action with
+    | "own" -> (
+      match Hashtbl.find_opt t.owners res with
+      | Some prev when prev <> addr ->
+        record t e ~invariant:"single-owner"
+          ~what:(Printf.sprintf "%s owned by %s, re-owned by %s" res prev addr)
+      | _ -> Hashtbl.replace t.owners res addr)
+    | "disown" -> if Hashtbl.find_opt t.owners res = Some addr then Hashtbl.remove t.owners res
+    | _ -> ())
+  | _ -> ()
+
+(* Sandbox confinement: broadcast traffic must never bridge sandboxes. *)
+let check_delivery t e =
+  if e.Audit.e_action = "deliver" then
+    match (int_arg e "src_sandbox", int_arg e "dst_sandbox") with
+    | Some src, Some dst when src <> dst ->
+      record t e ~invariant:"sandbox-confinement"
+        ~what:(Printf.sprintf "delivery from sandbox %d into sandbox %d" src dst)
+    | _ -> ()
+
+(* Lease validity: a "use" (cache hit) of an entry that was
+   invalidated, expired, evicted or flushed and never re-acquired. A
+   key the monitor has never seen acquired is ignored — only a
+   confirmed-dead lease answering is a violation. *)
+let check_lease t e =
+  match str_arg e "cache" with
+  | None -> ()
+  | Some cache -> (
+    let pid = e.Audit.e_pid in
+    match (e.Audit.e_action, int_arg e "key") with
+    | "acquire", Some key ->
+      Hashtbl.replace t.valid_leases (pid, cache, key) ();
+      Hashtbl.remove t.dead_leases (pid, cache, key)
+    | ("invalidate" | "expire" | "evict"), Some key ->
+      if Hashtbl.mem t.valid_leases (pid, cache, key) then begin
+        Hashtbl.remove t.valid_leases (pid, cache, key);
+        Hashtbl.replace t.dead_leases (pid, cache, key) ()
+      end
+    | "flush", _ ->
+      let mine =
+        Hashtbl.fold
+          (fun ((p, c, _) as k) () acc -> if p = pid && c = cache then k :: acc else acc)
+          t.valid_leases []
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove t.valid_leases k;
+          Hashtbl.replace t.dead_leases k ())
+        mine
+    | "use", Some key ->
+      if Hashtbl.mem t.dead_leases (pid, cache, key) then
+        record t e ~invariant:"lease-validity"
+          ~what:(Printf.sprintf "stale %s lease for key %d answered" cache key)
+    | _ -> ())
+
+(* Epoch monotonicity: the election epoch an instance adopts (its own
+   win, or a Leader_elected it accepts) never goes backwards. *)
+let check_epoch t e =
+  if e.Audit.e_action = "epoch" then
+    match int_arg e "epoch" with
+    | Some epoch -> (
+      let pid = e.Audit.e_pid in
+      match Hashtbl.find_opt t.epochs pid with
+      | Some prev when epoch < prev ->
+        record t e ~invariant:"epoch-monotonicity"
+          ~what:(Printf.sprintf "pid %d adopted epoch %d after %d" pid epoch prev)
+      | _ -> Hashtbl.replace t.epochs pid epoch)
+    | None -> ()
+
+let check t (e : Audit.event) =
+  t.checked <- t.checked + 1;
+  match e.Audit.e_cat with
+  | Audit.Migration -> check_ownership t e
+  | Audit.Sandbox -> check_delivery t e
+  | Audit.Lease -> check_lease t e
+  | Audit.Election -> check_epoch t e
+  | Audit.Refmon | Audit.Fault -> ()
+
+let attach t audit = Audit.add_observer audit (check t)
+
+let summary t =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "  [%s] pid %d at %d: %s\n" v.v_invariant v.v_pid v.v_at v.v_what))
+    (violations t);
+  Buffer.contents b

@@ -1,0 +1,48 @@
+(** Online invariant monitors over the audit stream.
+
+    Attached to an {!Audit} log as an observer, a monitor checks every
+    event at emission against the coordination layer's safety
+    properties (docs/AUDIT.md catalogues them):
+
+    - {e single-owner}: each SysV resource has at most one owning
+      instance at any virtual instant ("own" without an intervening
+      "disown" by the previous owner is a violation);
+    - {e sandbox-confinement}: no broadcast message is delivered across
+      sandbox boundaries ("deliver" with differing source and
+      destination sandboxes);
+    - {e lease-validity}: no lease answers after it was invalidated,
+      expired, evicted or flushed without being re-acquired ("use"
+      after the entry died);
+    - {e epoch-monotonicity}: the election epoch each instance adopts
+      never decreases.
+
+    Violations are counted and kept with their triggering event; the
+    whole chaos suite asserts the count stays zero, and [graphene
+    stats] reports it. Monitoring is pure observation: it never mutates
+    the world, so an attached monitor cannot change a run. *)
+
+type violation = {
+  v_at : Graphene_sim.Time.t;
+  v_pid : int;
+  v_invariant : string;  (** which property broke *)
+  v_what : string;  (** human-readable description *)
+}
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Audit.t -> unit
+(** Observe every subsequent event of the audit log. *)
+
+val checked : t -> int
+(** Events inspected so far. *)
+
+val violations : t -> violation list
+(** Oldest first. *)
+
+val total : t -> int
+(** [List.length (violations t)], O(1). *)
+
+val summary : t -> string
+(** One line per violation, or [""] when clean. *)

@@ -37,6 +37,12 @@ val layer_name : layer -> string
 (** Structured event arguments. *)
 type arg = Aint of int | Astr of string
 
+val escape : string -> string
+(** JSON string-body escaping, shared by every graphene.obs exporter. *)
+
+val add_args : Buffer.t -> (string * arg) list -> unit
+(** Render an argument list as a JSON object into [b]. *)
+
 type t
 
 val create : unit -> t

@@ -60,6 +60,41 @@ let allows_path t path access =
       (fun r -> r.access = Read_write && path_under ~prefix:r.prefix path)
       t.fs_rules
 
+(* {1 Rule provenance}
+
+   The same first-match walks as [allows_path]/[allows_net], but
+   returning the concrete-syntax rendering of the rule that granted
+   access — the provenance the audit log attaches to every allow. *)
+
+let render_fs_rule (r : fs_rule) =
+  Printf.sprintf "fs.allow %s %s"
+    (match r.access with Read_only -> "r" | Read_write -> "rw")
+    r.prefix
+
+let matching_rule t path access =
+  let fs ok =
+    Option.map render_fs_rule
+      (List.find_opt (fun r -> ok r && path_under ~prefix:r.prefix path) t.fs_rules)
+  in
+  match access with
+  | `Exec -> (
+    match List.find_opt (fun prefix -> path_under ~prefix path) t.exec_prefixes with
+    | Some p -> Some ("fs.exec " ^ p)
+    | None -> fs (fun _ -> true))
+  | `Read -> fs (fun _ -> true)
+  | `Write -> fs (fun r -> r.access = Read_write)
+
+let matching_net_rule t ~port dir =
+  let dir = match dir with `Bind -> Bind | `Connect -> Connect in
+  Option.map
+    (fun r ->
+      Printf.sprintf "net.%s %d-%d"
+        (match r.dir with Bind -> "bind" | Connect -> "connect")
+        r.port_lo r.port_hi)
+    (List.find_opt
+       (fun r -> r.dir = dir && port >= r.port_lo && port <= r.port_hi)
+       t.net_rules)
+
 let allows_net t ~port dir =
   let dir = match dir with `Bind -> Bind | `Connect -> Connect in
   List.exists (fun r -> r.dir = dir && port >= r.port_lo && port <= r.port_hi) t.net_rules

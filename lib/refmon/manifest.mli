@@ -37,6 +37,14 @@ val path_under : prefix:string -> string -> bool
 val allows_path : t -> string -> [ `Read | `Write | `Exec ] -> bool
 val allows_net : t -> port:int -> [ `Bind | `Connect ] -> bool
 
+val matching_rule : t -> string -> [ `Read | `Write | `Exec ] -> string option
+(** The concrete-syntax rendering of the first rule that grants the
+    access (e.g. ["fs.allow rw /tmp"], ["fs.exec /bin"]), or [None]
+    when denied. Agrees with {!allows_path}: [Some _] iff allowed. *)
+
+val matching_net_rule : t -> port:int -> [ `Bind | `Connect ] -> string option
+(** Same, for network rules (e.g. ["net.bind 8000-8100"]). *)
+
 val subset : child:t -> parent:t -> bool
 (** A child may be given a subset of its parent's view, never new
     regions of the host file system and never write access a read-only

@@ -11,6 +11,7 @@
     on this audit log. *)
 
 module Obs = Graphene_obs.Obs
+module Audit = Graphene_obs.Audit
 module K = Graphene_host.Kernel
 module Lx = Graphene_liblinux.Lx
 module Seccomp = Graphene_bpf.Seccomp
@@ -31,8 +32,10 @@ type cache_stats = {
 
 (* Decision-cache key: which sandbox asked, for what access class, on
    which canonical path. The value carries the sandbox's manifest epoch
-   at fill time; a bumped epoch makes every entry for that sandbox
-   stale without walking the table. Only allows are memoized — every
+   at fill time plus the manifest rule that granted access — a bumped
+   epoch makes every entry for that sandbox stale without walking the
+   table, and a cache hit can still attribute its allow to the
+   original rule in the audit log. Only allows are memoized — every
    denial must land in the audit log (§6.6 asserts on it). *)
 type t = {
   kernel : K.t;
@@ -42,7 +45,7 @@ type t = {
   mutable launches : int;
   mutable cache_enabled : bool;
   mutable cache_capacity : int;
-  decisions : (int * char * string, int * bool) Hashtbl.t;
+  decisions : (int * char * string, int * string) Hashtbl.t;
   dec_order : (int * char * string) Queue.t;
   epochs : (int, int) Hashtbl.t;  (** sandbox -> manifest epoch *)
   dec_stats : cache_stats;
@@ -111,18 +114,45 @@ let deny t (pico : K.pico) what =
       ~args:[ ("what", Obs.Astr what); ("sandbox", Obs.Aint pico.K.sandbox) ]
       (K.now t.kernel)
   end;
+  (* the one denial choke point: every refusal reaches the audit log,
+     cached or not (denials are never cached) *)
+  K.audit_emit t.kernel Audit.Refmon ~action:"deny" ~pid:pico.K.pid
+    ~args:[ ("what", Obs.Astr what); ("sandbox", Obs.Aint pico.K.sandbox) ]
+    ();
   false
+
+(* An allow with its manifest-rule provenance; [cached] marks verdicts
+   answered from the decision cache (attributed to the rule that
+   filled the entry). *)
+let audit_allow t (pico : K.pico) ~target ~rule ~cached =
+  K.audit_emit t.kernel Audit.Refmon ~action:"allow" ~pid:pico.K.pid
+    ~args:
+      [ ("target", Obs.Astr target);
+        ("rule", Obs.Astr rule);
+        ("sandbox", Obs.Aint pico.K.sandbox);
+        ("cached", Obs.Aint (if cached then 1 else 0)) ]
+    ()
 
 let manifest_of t sandbox =
   Option.value ~default:Manifest.empty (Hashtbl.find_opt t.sandboxes sandbox)
 
 (* {1 LSM hooks} *)
 
-let check_path_slow t pico path access =
+let path_target path access = Printf.sprintf "%s (%c)" path (access_char access)
+
+(* Full manifest walk; returns the granting rule so the caller can
+   memoize it. *)
+let check_path_rule t pico path access =
   let m = manifest_of t (pico : K.pico).K.sandbox in
-  Manifest.allows_path m path access
-  || deny t pico
-       (Printf.sprintf "path %s (%c)" path (access_char access))
+  match Manifest.matching_rule m path access with
+  | Some rule ->
+    audit_allow t pico ~target:(path_target path access) ~rule ~cached:false;
+    Some rule
+  | None ->
+    ignore (deny t pico (Printf.sprintf "path %s (%c)" path (access_char access)));
+    None
+
+let check_path_slow t pico path access = check_path_rule t pico path access <> None
 
 let lsm_of t =
   { K.check_path =
@@ -133,31 +163,42 @@ let lsm_of t =
           let key = (sandbox, access_char access, path) in
           let epoch = epoch_of t sandbox in
           match Hashtbl.find_opt t.decisions key with
-          | Some (e, true) when e = epoch ->
+          | Some (e, rule) when e = epoch ->
             t.dec_stats.hits <- t.dec_stats.hits + 1;
             cache_count t "refmon.cache.hit";
+            audit_allow t pico ~target:(path_target path access) ~rule ~cached:true;
             true
-          | _ ->
+          | _ -> (
             t.dec_stats.misses <- t.dec_stats.misses + 1;
             cache_count t "refmon.cache.miss";
-            let v = check_path_slow t pico path access in
-            if v then dec_fill t key (epoch, true);
-            v
+            match check_path_rule t pico path access with
+            | Some rule ->
+              dec_fill t key (epoch, rule);
+              true
+            | None -> false)
         end);
     probe_path =
       (fun pico path access ->
         t.cache_enabled
         &&
         match Hashtbl.find_opt t.decisions (pico.K.sandbox, access_char access, path) with
-        | Some (e, true) -> e = epoch_of t pico.K.sandbox
+        | Some (e, _) -> e = epoch_of t pico.K.sandbox
         | _ -> false);
     check_net =
       (fun pico ~addr:_ ~port dir ->
         let m = manifest_of t pico.K.sandbox in
-        Manifest.allows_net m ~port dir
-        || deny t pico
-             (Printf.sprintf "net port %d (%s)" port
-                (match dir with `Bind -> "bind" | `Connect -> "connect")));
+        match Manifest.matching_net_rule m ~port dir with
+        | Some rule ->
+          audit_allow t pico
+            ~target:
+              (Printf.sprintf "port %d (%s)" port
+                 (match dir with `Bind -> "bind" | `Connect -> "connect"))
+            ~rule ~cached:false;
+          true
+        | None ->
+          deny t pico
+            (Printf.sprintf "net port %d (%s)" port
+               (match dir with `Bind -> "bind" | `Connect -> "connect")));
     check_stream_connect =
       (fun pico srv ->
         (* pipe-style byte streams may not bridge sandboxes; TCP

@@ -16,5 +16,6 @@ let () =
       ("world", Suite_world.suite);
       ("cache", Suite_cache.suite);
       ("obs", Suite_obs.suite);
+      ("audit", Suite_audit.suite);
       ("vuln", Suite_vuln.suite);
       ("differential", Suite_differential.suite) ]
