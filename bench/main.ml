@@ -3,7 +3,7 @@
 
     Usage:
       main.exe [all|quick|table1|table4|table5|table6|table7|table8|
-                figure4|figure5|ablation|critpath|chaos|cache|bechamel]
+                figure4|figure5|ablation|critpath|chaos|cache|contend|bechamel]
                [--baseline FILE]
       main.exe regress BASELINE FRESH
 
@@ -40,7 +40,9 @@ let experiments ~full =
     ("chaos", "Chaos sweep: fault injection and leader recovery", fun () ->
         ignore (Chaos.run ~full ()));
     ("cache", "Cache ablation: fast-path caches on/off, hit rates", fun () ->
-        if not (Cache.run ~full ()) then cache_gate_failed := true) ]
+        if not (Cache.run ~full ()) then cache_gate_failed := true);
+    ("contend", "Contention sweep: wait attribution, leader share, convoys", fun () ->
+        if not (Contend.run ~full ()) then cache_gate_failed := true) ]
 
 (* {1 Bechamel probes}
 
@@ -164,5 +166,5 @@ let () =
       | None ->
         prerr_endline
           ("unknown experiment " ^ name
-         ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache bechamel)");
+         ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache contend bechamel)");
         exit 2))

@@ -206,7 +206,11 @@ let load path =
 
 let default_tolerance = 0.25
 
-let exact_prefixes = [ "chaos.unrecovered"; "chaos.completed"; "chaos.invariant" ]
+let exact_prefixes =
+  [ "chaos.unrecovered"; "chaos.completed"; "chaos.invariant";
+    (* contention self-gates: unattributed blocked time and report
+       determinism are virtual-clock-exact — any drift is a bug *)
+    "contend.unattributed"; "contend.deterministic" ]
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix

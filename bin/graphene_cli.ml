@@ -8,6 +8,7 @@
     graphene profile [--folded F] [-s STACK] BINARY         run + guest virtual-time profile
     graphene audit [--pid N] [-c CAT] [--since NS] BINARY   run + security-audit JSONL
     graphene top [--at NS] [-s STACK] BINARY                run + coordination snapshot
+    graphene contend [--dot F] [-n K] [-s STACK] BINARY     run + contention breakdown
     graphene faults [--seed N] [-n K] SPEC                  print a materialized fault plan
     graphene abi                                            print the host ABI (Table 1)
     graphene filter NAME [NAME...]                          what the seccomp filter does
@@ -28,6 +29,7 @@ module Obs = Graphene_obs.Obs
 module Audit = Graphene_obs.Audit
 module Invariant = Graphene_obs.Invariant
 module Critpath = Graphene_obs.Critpath
+module Contend = Graphene_obs.Contend
 
 let stack_conv =
   let parse = function
@@ -235,6 +237,10 @@ let audit_report w =
   Printf.printf "  invariants: %d events checked, %d violations\n" (Invariant.checked inv)
     (Invariant.total inv);
   print_string (Invariant.summary inv);
+  if Invariant.advisories_total inv > 0 then begin
+    Printf.printf "  advisories: %d (non-fatal)\n" (Invariant.advisories_total inv);
+    print_string (Invariant.advisory_summary inv)
+  end;
   print_newline ()
 
 let stats_cmd =
@@ -242,6 +248,7 @@ let stats_cmd =
     let w = W.create ~seed ?faults stack in
     Obs.enable (W.tracer w);
     Audit.enable (W.audit w);
+    Contend.enable (W.contend w);
     let p = W.start w ~console_hook:ignore ~exe ~argv () in
     W.run w;
     Printf.printf "-- %s on %s: exit %d, virtual time %s\n\n" exe (W.stack_name stack)
@@ -251,6 +258,8 @@ let stats_cmd =
     print_string (Obs.summary (W.tracer w));
     cache_report w;
     audit_report w;
+    print_string (Contend.summary (W.contend w));
+    print_newline ();
     print_string
       (Critpath.render ~until:(W.now w) (Critpath.analyze (W.tracer w) ~until:(W.now w)));
     let trace_ok =
@@ -337,7 +346,10 @@ let audit_cmd =
       match Audit.category_of_string s with
       | Some c -> Ok c
       | None ->
-        Error (`Msg ("unknown category " ^ s ^ " (refmon|sandbox|lease|election|fault|migration)"))
+        Error
+          (`Msg
+            ("unknown category " ^ s
+           ^ " (refmon|sandbox|lease|election|fault|migration|contention)"))
     in
     Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Audit.category_name c))
   in
@@ -352,7 +364,7 @@ let audit_cmd =
       value
       & opt (some cat_conv) None
       & info [ "c"; "category" ] ~docv:"CAT"
-          ~doc:"Only events of one category: refmon, sandbox, lease, election, fault, migration.")
+          ~doc:"Only events of one category: refmon, sandbox, lease, election, fault, migration, contention.")
   in
   let since_arg =
     Arg.(
@@ -364,7 +376,8 @@ let audit_cmd =
     Arg.(
       value
       & opt (some int) None
-      & info [ "until" ] ~docv:"NS" ~doc:"Only events at or before this virtual nanosecond.")
+      & info [ "until" ] ~docv:"NS"
+          ~doc:"Only events strictly before this virtual nanosecond. Together with $(b,--since) (inclusive) this selects the half-open window [since, until), so adjacent windows tile the timeline without double counting.")
   in
   let run stack exe argv seed faults pid cat since until =
     let w = W.create ~seed ?faults stack in
@@ -420,6 +433,57 @@ let top_cmd =
     (Cmd.info "top"
        ~doc:"Run a guest binary and dump every libOS instance's live coordination state (leadership, epochs, lease tables with TTLs, dedup occupancy, namespace ownership) at a virtual instant.")
     Term.(const run $ stack_arg $ exe_arg $ argv_arg $ seed_arg $ faults_arg $ at_arg)
+
+let contend_cmd =
+  let n_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "n" ] ~docv:"K" ~doc:"How many resources to break down (hottest first).")
+  in
+  let timeline_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "timeline" ] ~docv:"K"
+          ~doc:"How many recent waiter timeline entries to print per resource.")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the wait-for graph (waiter pid -> resource -> holder pid) as Graphviz DOT to $(docv); - for stdout. Render with dot -Tsvg.")
+  in
+  let run stack exe argv seed faults n timeline dot =
+    let w = W.create ~seed ?faults stack in
+    Contend.enable (W.contend w);
+    let p = W.start w ~console_hook:ignore ~exe ~argv () in
+    W.run w;
+    let out = if dot = Some "-" then stderr else stdout in
+    Printf.fprintf out "-- %s on %s: exit %d, virtual time %s\n\n" exe (W.stack_name stack)
+      (W.exit_code p)
+      (Format.asprintf "%a" Graphene_sim.Time.pp (W.now w));
+    output_string out (Contend.report ~n ~timeline (W.contend w));
+    let dot_ok =
+      match dot with
+      | Some path ->
+        write_file path (Contend.to_dot (W.contend w))
+        && begin
+             Printf.fprintf out "-- wait-for graph -> %s\n"
+               (if path = "-" then "stdout" else path);
+             true
+           end
+      | None -> true
+    in
+    if W.exit_code p = 0 && dot_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "contend"
+       ~doc:"Run a guest binary with the contention plane on and print per-resource wait accounting (who blocked, on what, for how long, behind whom), queue depths, handler occupancy, and any convoy/wait-chain advisories. $(b,--dot) exports the wait-for graph.")
+    Term.(
+      const run $ stack_arg $ exe_arg $ argv_arg $ seed_arg $ faults_arg $ n_arg
+      $ timeline_arg $ dot_arg)
 
 let abi_cmd =
   let run () =
@@ -520,4 +584,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; script_cmd; stats_cmd; critpath_cmd; profile_cmd; audit_cmd; top_cmd;
-            abi_cmd; filter_cmd; faults_cmd; cves_cmd ]))
+            contend_cmd; abi_cmd; filter_cmd; faults_cmd; cves_cmd ]))

@@ -74,6 +74,7 @@ let monitor t = t.monitor
 let tracer t = t.kernel.K.tracer
 let audit t = t.kernel.K.audit
 let invariants t = t.kernel.K.invariants
+let contend t = t.kernel.K.contend
 
 let default_manifest =
   (* the benchmark manifest: the usual chroot view of a server image *)

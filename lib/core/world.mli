@@ -61,6 +61,11 @@ val invariants : t -> Graphene_obs.Invariant.t
 (** The online invariant monitors attached to {!audit}; they check
     every audit event at emission (docs/AUDIT.md). *)
 
+val contend : t -> Graphene_obs.Contend.t
+(** The world's contention-accounting plane (disabled by default);
+    enable it before [run] to record per-resource blocking edges,
+    queue depths and the wait-for graph (docs/CONTENTION.md). *)
+
 val default_manifest : Manifest.t
 (** The benchmark manifest: a server-image chroot view. *)
 

@@ -17,6 +17,7 @@ open Graphene_sim
 module Obs = Graphene_obs.Obs
 module Audit = Graphene_obs.Audit
 module Invariant = Graphene_obs.Invariant
+module Contend = Graphene_obs.Contend
 
 module Bpf = struct
   module Prog = Graphene_bpf.Prog
@@ -139,6 +140,9 @@ type t = {
   invariants : Invariant.t;
       (** online monitors over [audit]; attached at creation, inert
           while auditing is disabled *)
+  contend : Contend.t;
+      (** contention accounting (per-resource waits, wait-for graph);
+          its detector advisories route into [invariants] and [audit] *)
   mutable introspectors : (int * (unit -> string)) list;
       (** per-pid live-state snapshot renderers, registered by the IPC
           layer; the source of [graphene top] *)
@@ -183,7 +187,19 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
   (* always attached: observers only fire from emits, which guard on
      [Audit.enabled], so this costs nothing while auditing is off *)
   Invariant.attach invariants audit;
+  let contend = Contend.create () in
   let engine = Engine.create () in
+  (* contention advisories (convoys, wait chains) land in the invariant
+     registry as advisories — never violations — and in the audit log
+     under the Contention category, with full provenance *)
+  Contend.on_advisory contend (fun a ->
+      Invariant.advise invariants ~at:a.Contend.a_at ~pid:a.Contend.a_pid
+        ~kind:a.Contend.a_kind ~what:a.Contend.a_what;
+      if Audit.enabled audit then
+        Audit.emit audit Audit.Contention ~action:a.Contend.a_kind ~pid:a.Contend.a_pid
+          ~args:
+            [ ("resource", Obs.Astr a.Contend.a_resource); ("what", Obs.Astr a.Contend.a_what) ]
+          a.Contend.a_at);
   (* Event-dispatch instrumentation: lifetime counter plus a sampled
      queue-depth track. Purely observational; one branch when tracing
      is off. *)
@@ -221,6 +237,7 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
     tracer;
     audit;
     invariants;
+    contend;
     introspectors = [];
     images = Hashtbl.create 8;
     quantum = 4000;
@@ -576,7 +593,9 @@ let fault_trace t name pid args =
   end;
   audit_emit t Audit.Fault ~action:name ~pid ~args ()
 
-let note_leader t pico = t.fault_leader <- Some pico
+let note_leader t pico =
+  t.fault_leader <- Some pico;
+  Contend.note_leader t.contend pico.pid
 
 (* Called by the replacement leader when it serves its first RPC: the
    recovery interval ends here. *)
@@ -698,8 +717,11 @@ let stream_send ?(extra = Time.zero) ?(faultable = false) t ep data =
               ("peer_queue_depth", Obs.Aint peer.Stream.inbox_bytes) ]
           (now t)
       end;
+      (* the stamp is the actual delivery instant (read at fire time),
+         so receivers can compute true time-in-queue even for delayed
+         or duplicated deliveries *)
       let deliver ?(extra = extra) () =
-        schedule_into ~extra t peer (fun () -> Stream.deliver peer data)
+        schedule_into ~extra t peer (fun () -> Stream.deliver ~at:(now t) peer data)
       in
       match t.fault with
       | Some plan when faultable -> (
@@ -739,12 +761,21 @@ let rec stream_recv t ep ~max k =
   else if Stream.at_eof ep || Stream.is_closed ep then k ""
   else Stream.on_activity ep (fun () -> stream_recv t ep ~max k)
 
-let rec stream_recv_msg _t ep k =
+let rec stream_recv_msg t ep k =
   match Stream.read_message ep with
-  | Some msg -> k (Some msg)
+  | Some msg ->
+    if Obs.enabled t.tracer then begin
+      let queued = max 0 (Time.diff (now t) (Stream.last_stamp ep)) in
+      Obs.observe t.tracer "kernel.stream_queue_ns" (float_of_int queued);
+      Obs.instant t.tracer Obs.Kernel ~name:"stream.recv_msg" ~pid:ep.Stream.owner
+        ~args:
+          [ ("queued_ns", Obs.Aint queued); ("depth", Obs.Aint (Stream.inbox_msgs ep)) ]
+        (now t)
+    end;
+    k (Some msg)
   | None ->
     if Stream.at_eof ep || Stream.is_closed ep then k None
-    else Stream.on_activity ep (fun () -> stream_recv_msg _t ep k)
+    else Stream.on_activity ep (fun () -> stream_recv_msg t ep k)
 
 let rec stream_recv_handle _t ep k =
   match Stream.take_oob ep with

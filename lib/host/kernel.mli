@@ -135,6 +135,11 @@ type t = {
   invariants : Graphene_obs.Invariant.t;
       (** online monitors over [audit]; attached at creation, inert
           while auditing is disabled *)
+  contend : Graphene_obs.Contend.t;
+      (** contention accounting (per-resource waits, queue depths,
+          wait-for graph); its detector advisories route into
+          [invariants] (as advisories, never violations) and [audit]
+          under the [Contention] category *)
   mutable introspectors : (int * (unit -> string)) list;
   images : (string, Memory.image) Hashtbl.t;
   mutable quantum : int;

@@ -14,6 +14,10 @@ type 'a endpoint = {
   mutable owner : int;  (** picoprocess id holding this endpoint *)
   mutable peer : 'a endpoint option;
   inbox : string Queue.t;
+  stamps : int Queue.t;
+      (** delivery times (virtual ns), one per inbox chunk, kept in
+          lockstep so receivers can compute time-in-queue *)
+  mutable last_stamp : int;  (** delivery time of the chunk last read *)
   mutable inbox_offset : int;  (** read offset into the head chunk *)
   mutable inbox_bytes : int;
   oob : 'a Queue.t;  (** out-of-band payloads (passed handles) *)
@@ -38,6 +42,8 @@ let make_endpoint ~owner =
     owner;
     peer = None;
     inbox = Queue.create ();
+    stamps = Queue.create ();
+    last_stamp = 0;
     inbox_offset = 0;
     inbox_bytes = 0;
     oob = Queue.create ();
@@ -64,10 +70,11 @@ let on_activity ep f = ep.notify <- f :: ep.notify
 
 (* Deposit [data] into [ep]'s inbox (the kernel calls this after the
    stream's one-way latency has elapsed). *)
-let deliver ep data =
+let deliver ?(at = 0) ep data =
   if not ep.closed then begin
     if String.length data > 0 then begin
       Queue.push data ep.inbox;
+      Queue.push at ep.stamps;
       ep.inbox_bytes <- ep.inbox_bytes + String.length data;
       ep.total_in <- ep.total_in + String.length data
     end;
@@ -81,6 +88,8 @@ let deliver_oob ep payload =
   end
 
 let available ep = ep.inbox_bytes
+let inbox_msgs ep = Queue.length ep.inbox
+let last_stamp ep = ep.last_stamp
 let has_oob ep = not (Queue.is_empty ep.oob)
 
 let take_oob ep = if Queue.is_empty ep.oob then None else Some (Queue.pop ep.oob)
@@ -99,6 +108,7 @@ let read ep ~max =
         ep.inbox_bytes <- ep.inbox_bytes - take;
         if take = avail then begin
           ignore (Queue.pop ep.inbox);
+          if not (Queue.is_empty ep.stamps) then ep.last_stamp <- Queue.pop ep.stamps;
           ep.inbox_offset <- 0
         end
         else ep.inbox_offset <- ep.inbox_offset + take;
@@ -116,6 +126,7 @@ let read_message ep =
   if Queue.is_empty ep.inbox then None
   else begin
     let chunk = Queue.pop ep.inbox in
+    if not (Queue.is_empty ep.stamps) then ep.last_stamp <- Queue.pop ep.stamps;
     let msg =
       if ep.inbox_offset = 0 then chunk
       else String.sub chunk ep.inbox_offset (String.length chunk - ep.inbox_offset)

@@ -15,6 +15,10 @@ type 'a endpoint = {
   mutable owner : int;  (** picoprocess id holding this endpoint *)
   mutable peer : 'a endpoint option;
   inbox : string Queue.t;
+  stamps : int Queue.t;
+      (** delivery times (virtual ns), one per inbox chunk, kept in
+          lockstep so receivers can compute time-in-queue *)
+  mutable last_stamp : int;
   mutable inbox_offset : int;
   mutable inbox_bytes : int;
   oob : 'a Queue.t;
@@ -33,9 +37,11 @@ val make_endpoint : owner:int -> 'a endpoint
 val pipe : owner_a:int -> owner_b:int -> 'a endpoint * 'a endpoint
 (** A connected pair. *)
 
-val deliver : 'a endpoint -> string -> unit
+val deliver : ?at:int -> 'a endpoint -> string -> unit
 (** Deposit bytes into the endpoint's inbox and fire its notify
-    callbacks. Dropped silently if the endpoint is closed. *)
+    callbacks. Dropped silently if the endpoint is closed. [at] (the
+    virtual delivery time, default 0) stamps the chunk so receivers can
+    compute time-in-queue; see {!last_stamp}. *)
 
 val deliver_oob : 'a endpoint -> 'a -> unit
 (** Deposit an out-of-band payload (a passed handle). *)
@@ -46,6 +52,13 @@ val on_activity : 'a endpoint -> (unit -> unit) -> unit
 
 val available : 'a endpoint -> int
 (** Bytes ready to read. *)
+
+val inbox_msgs : 'a endpoint -> int
+(** Delivered chunks not yet read — the queue depth in messages. *)
+
+val last_stamp : 'a endpoint -> int
+(** Delivery stamp of the chunk most recently consumed by {!read} or
+    {!read_message} (0 until a stamped chunk has been read). *)
 
 val read : 'a endpoint -> max:int -> string
 (** Up to [max] buffered bytes; [""] iff the inbox is empty. *)

@@ -25,6 +25,7 @@ module K = Graphene_host.Kernel
 module Stream = Graphene_host.Stream
 module Pal = Graphene_pal.Pal
 module Errno = Graphene_core.Errno
+module Contend = Graphene_obs.Contend
 
 type callbacks = {
   deliver_signal : signum:int -> from_pid:int -> to_pid:int -> bool;
@@ -145,6 +146,37 @@ let lease_find t lease key =
 let lease_put t lease key v =
   if t.cfg.Config.cache_owners then Lease.put lease ~now:(vnow t) key v
 
+(* {1 Contention accounting}
+
+   Every blocking edge this layer creates — an RPC in flight, a
+   semantic SysV wait, a retry backoff, an election settling — is
+   reported to the kernel's contention plane under a stable resource
+   key (docs/CONTENTION.md). All recorders are one branch while the
+   plane is disabled. *)
+
+let contend t = (kernel t).K.contend
+let host_pid t = (Pal.pico t.pal).K.pid
+let sysv_res kind id = Printf.sprintf "sysv.wait.%s:%d" kind id
+
+(* Wait-for edges need a holder pid. Addresses resolve through the
+   registry instances populate at creation; our own address yields no
+   holder (a self-edge would read as a cycle). *)
+let holder_of_addr t addr =
+  if addr = t.my_addr then None else Contend.pid_of_addr (contend t) addr
+
+(* The holder of a SysV resource, best effort and purely
+   observational: a locally-owned resource has no foreign holder, an
+   unexpired owner lease names one, and otherwise the holder is
+   unknown (the leader will arbitrate). Uses [Lease.peek] so the
+   lookup never perturbs the lease lifecycle the audit plane checks. *)
+let holder_of_resource t id =
+  if Hashtbl.mem t.sems id || Hashtbl.mem t.msgqs id then None
+  else if not t.cfg.Config.cache_owners then None
+  else
+    match Lease.peek t.owner_cache ~now:(vnow t) id with
+    | Some a -> holder_of_addr t a
+    | None -> None
+
 (* Re-election moved authority: every lease may now point at a demoted
    or dead peer, so both name caches flush wholesale. *)
 let flush_leases t =
@@ -221,6 +253,16 @@ let rec pump ?addr t ep =
           stale
       | None -> ())
     | Some msg ->
+      (* helper occupancy, queue side: how long the message sat
+         delivered-but-unread (the stream stamps each chunk with its
+         delivery instant), and how deep the mailbox still is *)
+      let cd = contend t in
+      if Contend.enabled cd then begin
+        let res = "ipc.helper:" ^ string_of_int (host_pid t) in
+        let queued = max 0 (Time.diff (K.now (kernel t)) (Stream.last_stamp ep)) in
+        Contend.service cd ~resource:res ~queue_ns:queued ~service_ns:Time.zero;
+        Contend.queue_sample cd ~resource:res ~depth:(Stream.inbox_msgs ep)
+      end;
       (* helper wakeup + decode *)
       K.after (kernel t) Cost.helper_dispatch (fun () ->
           (if not t.shutdown then
@@ -283,7 +325,15 @@ and handler_trace t ~label ~ctx ~t0 =
     Obs.span tracer Obs.Ipc ~name:("handle:" ^ label) ~pid ~start:t0
       ~dur:(Time.diff (K.now (kernel t)) t0) ();
     if ctx <> 0 then Obs.flow_end tracer ~name:label ~id:ctx ~pid t0
-  end
+  end;
+  (* helper occupancy, service side: pairs with the queue-side record
+     in [pump] to give utilization (service/elapsed) vs saturation *)
+  let cd = contend t in
+  if Contend.enabled cd then
+    Contend.service cd
+      ~resource:("ipc.helper:" ^ string_of_int (host_pid t))
+      ~queue_ns:Time.zero
+      ~service_ns:(max 0 (Time.diff (K.now (kernel t)) t0))
 
 (* {1 Client-side stream management} *)
 
@@ -344,7 +394,33 @@ and rpc_attempt t ~addr ~tries req k =
           Obs.flow_start tracer ~name:label ~id:flow ~pid t0;
           Obs.async_begin tracer Obs.Ipc ~name:label ~id:flow ~pid t0
         end;
+        let cd = contend t in
+        (* the in-flight request window, sampled at issue and completion *)
+        let mailbox = "ipc.mailbox:" ^ string_of_int pid in
+        Contend.queue_sample cd ~resource:mailbox ~depth:(Hashtbl.length t.pending + 1);
+        (* a request that may legitimately block server-side (queue
+           receive, semaphore acquire) is accounted by its semantic
+           wrapper under sysv.wait.* — recording the RPC too would tell
+           the same blocked nanoseconds twice under two names *)
+        let semantic_block =
+          match req with
+          | Wire.Msgq_recv _ -> true
+          | Wire.Sem_op { delta; _ } -> delta < 0
+          | _ -> false
+        in
+        let wtok =
+          if Contend.enabled cd && not semantic_block then
+            Some
+              (Contend.wait_start cd ~pid
+                 ~resource:("ipc.wait." ^ Wire.req_label req)
+                 ?holder:(holder_of_addr t addr) t0)
+          else None
+        in
         let finish resp =
+          (match wtok with
+          | Some tok -> Contend.wait_end cd tok (K.now (kernel t))
+          | None -> ());
+          Contend.queue_sample cd ~resource:mailbox ~depth:(Hashtbl.length t.pending);
           if Obs.enabled tracer then begin
             let dur = Time.diff (K.now (kernel t)) t0 in
             Obs.span tracer Obs.Ipc ~name:label ~pid
@@ -581,7 +657,10 @@ and handle_request t ep ~origin reqid req =
         | m :: rest ->
           q.contents <- rest;
           reply (Wire.R_msg { data = m })
-        | [] -> q.rwaiters <- q.rwaiters @ [ Remote { ep; reqid; requester } ]
+        | [] ->
+          q.rwaiters <- q.rwaiters @ [ Remote { ep; reqid; requester } ];
+          Contend.queue_sample (contend t) ~resource:(sysv_res "msgq" id)
+            ~depth:(List.length q.rwaiters)
       end)
   | Wire.Msgq_rmid { id } -> (
     match Hashtbl.find_opt t.msgqs id with
@@ -615,7 +694,11 @@ and handle_request t ep ~origin reqid req =
           s.count <- s.count - 1;
           reply Wire.R_unit
         end
-        else s.swaiters <- s.swaiters @ [ Sem_remote { ep; reqid; requester } ]
+        else begin
+          s.swaiters <- s.swaiters @ [ Sem_remote { ep; reqid; requester } ];
+          Contend.queue_sample (contend t) ~resource:(sysv_res "sem" id)
+            ~depth:(List.length s.swaiters)
+        end
       end)
   | Wire.Wait_any_probe -> reply Wire.R_unit
 
@@ -737,7 +820,12 @@ and join_election t =
       t.candidates <- (t.my_pid, t.my_addr) :: t.candidates;
     audit t Audit.Election ~action:"candidate" [ ("pid", Obs.Aint t.my_pid) ];
     broadcast_oneway t (Wire.Leader_candidate { pid = t.my_pid; addr = t.my_addr });
-    K.after (kernel t) t.cfg.Config.election_settle (fun () -> conclude_election t)
+    let t0 = vnow t in
+    K.after (kernel t) t.cfg.Config.election_settle (fun () ->
+        (* the settle window is dead time every participant pays *)
+        Contend.record_wait (contend t) ~pid:(host_pid t)
+          ~resource:"ipc.wait.election:settle" ~start:t0 (vnow t);
+        conclude_election t)
   end
 
 and conclude_election t =
@@ -793,6 +881,8 @@ and enqueue t q data =
   | [] -> q.contents <- q.contents @ [ data ]
   | w :: rest ->
     q.rwaiters <- rest;
+    Contend.queue_sample (contend t) ~resource:(sysv_res "msgq" q.mq_id)
+      ~depth:(List.length rest);
     (match w with
     | Local k -> k (Ok data)
     | Remote { ep; reqid; requester } ->
@@ -821,6 +911,7 @@ and delete_queue t q =
 
 and sem_release t s delta =
   s.count <- s.count + delta;
+  let woke = ref false in
   let rec wake () =
     if s.count > 0 then
       match s.swaiters with
@@ -828,13 +919,17 @@ and sem_release t s delta =
       | w :: rest ->
         s.swaiters <- rest;
         s.count <- s.count - 1;
+        woke := true;
         (match w with
         | Sem_local k -> k (Ok ())
         | Sem_remote { ep; reqid; requester } ->
           respond_executed t ep ~origin:requester ~reqid Wire.R_unit);
         wake ()
   in
-  wake ()
+  wake ();
+  if !woke then
+    Contend.queue_sample (contend t) ~resource:(sysv_res "sem" s.sm_id)
+      ~depth:(List.length s.swaiters)
 
 (* {1 Introspection (graphene top)} *)
 
@@ -936,6 +1031,9 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
   Lease.set_audit_hook t.owner_cache (lease_audit "owner");
   Lease.set_audit_hook t.pid_cache (lease_audit "pid");
   K.register_introspector (kernel t) ~pid:(Pal.pico pal).K.pid (fun () -> snapshot t);
+  (* identity for the wait-for graph: waits name their holder by wire
+     address; this registry turns it back into a host pid *)
+  Contend.register_addr (kernel t).K.contend ~addr:my_addr ~pid:(Pal.pico pal).K.pid;
   if make_leader then K.note_leader (kernel t) (Pal.pico pal);
   (* the p2p rendezvous server every other instance connects to *)
   Pal.stream_open pal ("pipe.srv:pico." ^ my_addr) ~write:true ~create:true (function
@@ -1055,11 +1153,15 @@ let resolve_pid t pid k =
            (fun (lo, hi, addr) -> if pid >= lo && pid <= hi then Some addr else None)
            ls.pid_owners)
     | None ->
-      rpc t ~addr:t.leader_addr (Wire.Pid_query { pid }) (function
-        | Wire.R_owner { addr = Some addr } ->
-          lease_put t t.pid_cache pid addr;
-          k (Some addr)
-        | _ -> k None))
+      let t0 = vnow t in
+      rpc t ~addr:t.leader_addr (Wire.Pid_query { pid }) (fun resp ->
+          if t.cfg.Config.cache_owners then
+            Lease.note_stall t.pid_cache (max 0 (Time.diff (vnow t) t0));
+          match resp with
+          | Wire.R_owner { addr = Some addr } ->
+            lease_put t t.pid_cache pid addr;
+            k (Some addr)
+          | _ -> k None))
 
 let send_signal t ~to_pid ~signum ~from_pid k =
   resolve_pid t to_pid (function
@@ -1180,14 +1282,23 @@ let resolve_resource t id k =
     match t.leader with
     | Some ls -> k (Hashtbl.find_opt ls.res_owner id, Hashtbl.mem ls.res_persisted id)
     | None ->
-      rpc t ~addr:t.leader_addr (Wire.Res_query { id }) (function
-        | Wire.R_resource { owner; persisted; _ } ->
-          let owner = if owner = "" then None else Some owner in
-          (match owner with
-          | Some addr -> lease_put t t.owner_cache id addr
-          | None -> ());
-          k (owner, persisted)
-        | _ -> k (None, false)))
+      (* a lease miss turned into a blocking round trip: account the
+         stall against the cache that failed to answer *)
+      let t0 = vnow t in
+      let stalled () =
+        if t.cfg.Config.cache_owners then
+          Lease.note_stall t.owner_cache (max 0 (Time.diff (vnow t) t0))
+      in
+      rpc t ~addr:t.leader_addr (Wire.Res_query { id }) (fun resp ->
+          stalled ();
+          match resp with
+          | Wire.R_resource { owner; persisted; _ } ->
+            let owner = if owner = "" then None else Some owner in
+            (match owner with
+            | Some addr -> lease_put t t.owner_cache id addr
+            | None -> ());
+            k (owner, persisted)
+          | _ -> k (None, false)))
 
 (* Retry an operation whose owner moved, died, or persisted: drop the
    cached owner, give in-flight leader updates a moment to land, and
@@ -1198,7 +1309,13 @@ let with_retry t ~id op k =
       | Error e
         when Errno.(equal e EMOVED || equal e ECONNREFUSED) && tries > 0 && not t.shutdown ->
         Lease.remove t.owner_cache id;
-        K.after (kernel t) t.cfg.Config.moved_retry_delay (fun () -> attempt (tries - 1))
+        let t0 = vnow t in
+        K.after (kernel t) t.cfg.Config.moved_retry_delay (fun () ->
+            (* the backoff is blocked time charged to the retry path,
+               not to the resource that moved *)
+            Contend.record_wait (contend t) ~pid:(host_pid t) ~resource:"ipc.wait.retry"
+              ~start:t0 (vnow t);
+            attempt (tries - 1))
       | r -> k r)
   in
   attempt t.cfg.Config.moved_tries
@@ -1240,7 +1357,23 @@ and msgsnd_once t ~id ~data k =
                 | Wire.R_err e -> k (Error e)
                 | _ -> k (Error Errno.EPROTO)))
 
-let rec msgrcv t ~id k = with_retry t ~id (msgrcv_once t ~id) k
+(* The semantic wait: from msgrcv issue to message in hand, whether
+   the block happened locally (empty queue, Local waiter) or at the
+   remote owner (deferred R_msg). The inner RPC skips its own wait
+   record for may-block requests, so this edge is counted exactly
+   once, under the queue's name. *)
+let rec msgrcv t ~id k =
+  let cd = contend t in
+  if Contend.enabled cd then begin
+    let tok =
+      Contend.wait_start cd ~pid:(host_pid t) ~resource:(sysv_res "msgq" id)
+        ?holder:(holder_of_resource t id) (vnow t)
+    in
+    with_retry t ~id (msgrcv_once t ~id) (fun r ->
+        Contend.wait_end cd tok (vnow t);
+        k r)
+  end
+  else with_retry t ~id (msgrcv_once t ~id) k
 
 and msgrcv_once t ~id k =
   if Hashtbl.mem t.deleted id then k (Error Errno.EIDRM)
@@ -1251,7 +1384,10 @@ and msgrcv_once t ~id k =
       | m :: rest ->
         q.contents <- rest;
         k (Ok m)
-      | [] -> q.rwaiters <- q.rwaiters @ [ Local k ])
+      | [] ->
+        q.rwaiters <- q.rwaiters @ [ Local k ];
+        Contend.queue_sample (contend t) ~resource:(sysv_res "msgq" id)
+          ~depth:(List.length q.rwaiters))
     | None ->
       resolve_resource t id (fun (owner, persisted) ->
           match owner with
@@ -1346,7 +1482,21 @@ let semget t ~key ~init k =
       | Wire.R_err e -> k (Error e)
       | _ -> k (Error Errno.EPROTO))
 
-let rec semop t ~id ~delta k = with_retry t ~id (semop_once t ~id ~delta) k
+(* Same shape as [msgrcv]: an acquire ([delta < 0]) is the blocking
+   edge, charged to the semaphore whether it blocks locally or at the
+   remote owner. Releases never block and are not recorded. *)
+let rec semop t ~id ~delta k =
+  let cd = contend t in
+  if delta < 0 && Contend.enabled cd then begin
+    let tok =
+      Contend.wait_start cd ~pid:(host_pid t) ~resource:(sysv_res "sem" id)
+        ?holder:(holder_of_resource t id) (vnow t)
+    in
+    with_retry t ~id (semop_once t ~id ~delta) (fun r ->
+        Contend.wait_end cd tok (vnow t);
+        k r)
+  end
+  else with_retry t ~id (semop_once t ~id ~delta) k
 
 and semop_once t ~id ~delta k =
   match Hashtbl.find_opt t.sems id with
@@ -1359,7 +1509,11 @@ and semop_once t ~id ~delta k =
       s.count <- s.count - 1;
       k (Ok ())
     end
-    else s.swaiters <- s.swaiters @ [ Sem_local k ]
+    else begin
+      s.swaiters <- s.swaiters @ [ Sem_local k ];
+      Contend.queue_sample (contend t) ~resource:(sysv_res "sem" id)
+        ~depth:(List.length s.swaiters)
+    end
   | None ->
     resolve_resource t id (fun (owner, _persisted) ->
         match owner with

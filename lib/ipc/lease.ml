@@ -24,6 +24,10 @@ type stats = {
   mutable expirations : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable stalls : int;
+      (** misses that turned into a blocking round trip (the caller
+          reports them via {!note_stall}) *)
+  mutable stall_ns : Time.t;  (** total virtual time lost to those stalls *)
 }
 
 type t = {
@@ -45,7 +49,9 @@ let create ~name ~capacity ~ttl =
     ttl;
     tbl = Hashtbl.create 32;
     order = Queue.create ();
-    stats = { hits = 0; misses = 0; expirations = 0; evictions = 0; invalidations = 0 };
+    stats =
+      { hits = 0; misses = 0; expirations = 0; evictions = 0; invalidations = 0; stalls = 0;
+        stall_ns = Time.zero };
     on_event = ignore;
     on_audit = (fun ~action:_ ~key:_ -> ()) }
 
@@ -57,6 +63,21 @@ let length t = Hashtbl.length t.tbl
 let stats t = t.stats
 
 let expired t ~now e = t.ttl > Time.zero && Time.diff now e.cached_at > t.ttl
+
+(* A miss the caller had to resolve with a blocking round trip; [d] is
+   the stall's virtual duration. *)
+let note_stall t d =
+  t.stats.stalls <- t.stats.stalls + 1;
+  t.stats.stall_ns <- Time.add t.stats.stall_ns d;
+  count t "stall"
+
+(* Pure lookup: no stats, no audit, no expiry side effect — for
+   observers (contention holder resolution) that must not perturb the
+   lease lifecycle the invariant monitors check. *)
+let peek t ~now key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e when not (expired t ~now e) -> Some e.value
+  | _ -> None
 
 (* Lookup with lease semantics: an expired entry answers as a miss and
    is dropped on the spot. *)

@@ -14,6 +14,10 @@ type stats = {
   mutable expirations : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable stalls : int;
+      (** misses that turned into a blocking round trip; see
+          {!note_stall} *)
+  mutable stall_ns : Time.t;  (** total virtual time lost to those stalls *)
 }
 
 type t
@@ -33,6 +37,16 @@ val set_audit_hook : t -> (action:string -> key:int option -> unit) -> unit
 
 val find : t -> now:Time.t -> int -> string option
 (** An expired entry answers as a miss and is dropped on the spot. *)
+
+val peek : t -> now:Time.t -> int -> string option
+(** Pure lookup: no stats, no audit, no expiry side effect — for
+    observers (contention holder resolution) that must not perturb
+    the lease lifecycle the invariant monitors check. *)
+
+val note_stall : t -> Time.t -> unit
+(** Report that a miss turned into a blocking round trip of the given
+    virtual duration; counted in {!stats} and emitted as a
+    ["<name>.stall"] counter. *)
 
 val put : t -> now:Time.t -> int -> string -> unit
 (** Insert or refresh; refreshing restarts the lease clock. *)

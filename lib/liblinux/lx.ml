@@ -36,6 +36,7 @@
 
 open Graphene_sim
 module Obs = Graphene_obs.Obs
+module Contend = Graphene_obs.Contend
 module K = Graphene_host.Kernel
 module Memory = Graphene_host.Memory
 module Stream = Graphene_host.Stream
@@ -259,12 +260,22 @@ and close_syscall_span lx th ~cost =
   | Some (name, t0) ->
     Hashtbl.remove lx.trace_open th.K.tid;
     let tracer = (kernel lx).K.tracer in
+    let dur = Time.add (Time.diff (K.now (kernel lx)) t0) cost in
     if Obs.enabled tracer then begin
-      let dur = Time.add (Time.diff (K.now (kernel lx)) t0) cost in
       Obs.span tracer Obs.Liblinux ~name:("sys_" ^ name) ~pid:(pico lx).K.pid
         ~tid:th.K.tid ~start:t0 ~dur ();
       Obs.observe tracer ("liblinux.sys." ^ name) (float_of_int dur)
-    end
+    end;
+    (* cross-check for the contention plane: the end-to-end duration of
+       coordination-class guest syscalls, measured at the libOS ruler.
+       The per-resource attribution (the sysv.wait / ipc.wait keys) is
+       the gated number; this total lets `bench contend` sanity-check
+       it against an independent measurement. *)
+    (match name with
+    | "msgget" | "msgsnd" | "msgrcv" | "msgctl_rmid" | "semget" | "semop" | "kill"
+    | "waitpid" ->
+      Contend.note_sys_blocked (kernel lx).K.contend dur
+    | _ -> ())
 
 let fail lx th ?cost tag = finish lx th ?cost (err tag)
 
@@ -326,8 +337,15 @@ let with_ipc lx th op k =
     op (fun r ->
         match r with
         | Error e when E.is_transient e && not lx.exited ->
-          if tries > 0 then
-            K.after (kernel lx) ipc_sys_retry_delay (fun () -> attempt (tries - 1))
+          if tries > 0 then begin
+            let t0 = K.now (kernel lx) in
+            K.after (kernel lx) ipc_sys_retry_delay (fun () ->
+                (* transient-errno backoff is blocked time too *)
+                Contend.record_wait (kernel lx).K.contend ~pid:(pico lx).K.pid
+                  ~resource:"ipc.wait.retry" ~start:t0
+                  (K.now (kernel lx));
+                attempt (tries - 1))
+          end
           else fail lx th (if E.equal e E.ETIMEDOUT then E.EINTR else E.EAGAIN)
         | r -> k r)
   in

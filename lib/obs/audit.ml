@@ -1,4 +1,4 @@
-type category = Refmon | Sandbox | Lease | Election | Fault | Migration
+type category = Refmon | Sandbox | Lease | Election | Fault | Migration | Contention
 
 let category_name = function
   | Refmon -> "refmon"
@@ -7,6 +7,7 @@ let category_name = function
   | Election -> "election"
   | Fault -> "fault"
   | Migration -> "migration"
+  | Contention -> "contention"
 
 let category_of_string = function
   | "refmon" -> Some Refmon
@@ -15,6 +16,7 @@ let category_of_string = function
   | "election" -> Some Election
   | "fault" -> Some Fault
   | "migration" -> Some Migration
+  | "contention" -> Some Contention
   | _ -> None
 
 type event = {
@@ -125,8 +127,10 @@ let to_jsonl ?pid ?cat ?since ?until t =
   let keep e =
     (match pid with Some p -> e.e_pid = p | None -> true)
     && (match cat with Some c -> e.e_cat = c | None -> true)
+    (* half-open window: [since] is inclusive, [until] exclusive, so
+       adjacent windows tile the timeline without double counting *)
     && (match since with Some s -> e.e_at >= s | None -> true)
-    && match until with Some u -> e.e_at <= u | None -> true
+    && match until with Some u -> e.e_at < u | None -> true
   in
   let b = Buffer.create 4096 in
   List.iter (fun e -> if keep e then add_event_json b e) (recorded t);

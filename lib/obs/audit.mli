@@ -31,6 +31,7 @@ type category =
   | Election  (** leader elections and adoptions *)
   | Fault  (** injected faults and recovery *)
   | Migration  (** SysV resource ownership transitions *)
+  | Contention  (** convoy / wait-chain / wait-cycle advisories *)
 
 val category_name : category -> string
 val category_of_string : string -> category option
@@ -102,6 +103,8 @@ val to_jsonl :
   string
 (** One JSON object per line, merged across picoprocesses by (virtual
     time, sequence): [{"t":..,"seq":..,"pid":..,"cat":"..",
-    "action":"..","args":{..}}]. Filters are conjunctive; [since] and
-    [until] are inclusive virtual-ns bounds. Byte-deterministic for a
-    deterministic run. *)
+    "action":"..","args":{..}}]. Filters are conjunctive; the time
+    window is half-open: [since] is an {e inclusive} virtual-ns lower
+    bound, [until] an {e exclusive} upper bound — an event exactly at
+    [until] is excluded, so adjacent windows tile the timeline without
+    double counting. Byte-deterministic for a deterministic run. *)

@@ -1,0 +1,516 @@
+(** Contention accounting: who waits, on what, for how long.
+
+    The fourth pillar of graphene.obs, next to tracing, the profiler
+    and the audit log. Where the critical-path analyzer attributes
+    {e time} to (layer, segment), this plane attributes {e blocked
+    time} to the {e resource} that caused it: a leader RPC in flight, a
+    System V semaphore held elsewhere, a message queue with nothing to
+    receive, a lease miss turning into a round trip.
+
+    Instrumented layers record {e blocking edges}
+    (waiter pid → resource → holder pid) on the virtual clock:
+
+    - {!wait_start}/{!wait_end} bracket one picoprocess blocking on one
+      named resource. Nested edges (an RPC issued while the waiter is
+      already accounted as blocked on a semaphore) fold into their
+      resource's breakdown but are excluded from the global blocked
+      total, so every blocked nanosecond is counted exactly once.
+    - {!queue_sample} records queue depth at enqueue/dequeue points
+      (RPC mailboxes, SysV waiter lists) — the saturation signal.
+    - {!service} accumulates handler occupancy: virtual time a message
+      spent queued before its handler ran vs. time the handler ran —
+      the utilization signal.
+
+    The open edges form a live wait-for graph. An online detector
+    walks it at every {!wait_start} and raises {e advisories} —
+    convoy (too many concurrent waiters on one resource), wait-chain
+    (a holder that is itself blocked, transitively, past a depth
+    bound), wait-cycle (a closed loop, i.e. deadlock) — routed to the
+    invariant-monitor registry by the kernel. Advisories are
+    diagnoses, not violations: a convoy is legal behaviour the paper's
+    Figure 5 predicts, so they never fail the chaos gate.
+
+    Like the tracer and the audit log, this plane is owned by the host
+    kernel, disabled by default (every emit guards on {!enabled}),
+    purely observational, and byte-deterministic for a fixed seed. *)
+
+module Time = Graphene_sim.Time
+
+let hist_buckets = 40
+
+type resource = {
+  r_name : string;
+  mutable r_waits : int;  (** completed blocking edges (nested included) *)
+  mutable r_blocked : Time.t;  (** total blocked virtual time *)
+  mutable r_max : Time.t;
+  r_hist : int array;  (** log2-bucketed wait durations *)
+  mutable r_active : int;  (** waiters blocked right now (outermost only) *)
+  mutable r_peak_active : int;
+  mutable r_holder : int option;  (** last known holder pid *)
+  mutable r_depth_samples : int;
+  mutable r_depth_sum : int;
+  mutable r_depth_peak : int;
+  mutable r_queue_ns : Time.t;  (** handler occupancy: queued before service *)
+  mutable r_service_ns : Time.t;  (** handler occupancy: in service *)
+  mutable r_served : int;
+  mutable r_convoys : int;
+  mutable r_timeline : (int * Time.t * Time.t) list;
+      (** recent completed waits (pid, start, dur), newest first, bounded *)
+}
+
+type token = {
+  tk_pid : int;
+  tk_res : resource option;  (** None: recorded while disabled, inert *)
+  tk_start : Time.t;
+  tk_holder : int option;
+  tk_outer : bool;
+  mutable tk_done : bool;
+}
+
+type advisory = {
+  a_at : Time.t;
+  a_kind : string;  (** "convoy" | "wait-chain" | "wait-cycle" *)
+  a_pid : int;  (** the waiter whose edge triggered the detector *)
+  a_resource : string;
+  a_what : string;
+}
+
+type t = {
+  mutable enabled : bool;
+  resources : (string, resource) Hashtbl.t;
+  active : (int, token list) Hashtbl.t;  (** pid -> open edges, innermost first *)
+  addr_pids : (string, int) Hashtbl.t;  (** instance addr -> host pid *)
+  edges : (int * string, int ref * int ref) Hashtbl.t;
+      (** cumulative (waiter pid, resource) -> (waits, blocked ns) *)
+  mutable blocked_total : Time.t;  (** outermost edges only *)
+  mutable attributed : Time.t;  (** ... on a named (non-"(...)") resource *)
+  mutable leader_blocked : Time.t;  (** ... whose holder was the leader *)
+  mutable sys_blocked : Time.t;  (** libLinux cross-check, see {!note_sys_blocked} *)
+  mutable n_waits : int;
+  mutable leader_pid : int;  (** 0 = unknown *)
+  mutable convoy_threshold : int;
+  mutable chain_threshold : int;
+  mutable advisories : advisory list;  (** newest first *)
+  mutable n_advisories : int;
+  mutable on_advisory : advisory -> unit;
+  timeline_cap : int;
+}
+
+let create () =
+  { enabled = false;
+    resources = Hashtbl.create 32;
+    active = Hashtbl.create 16;
+    addr_pids = Hashtbl.create 8;
+    edges = Hashtbl.create 64;
+    blocked_total = Time.zero;
+    attributed = Time.zero;
+    leader_blocked = Time.zero;
+    sys_blocked = Time.zero;
+    n_waits = 0;
+    leader_pid = 0;
+    convoy_threshold = 4;
+    chain_threshold = 3;
+    advisories = [];
+    n_advisories = 0;
+    on_advisory = ignore;
+    timeline_cap = 32 }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let reset t =
+  Hashtbl.reset t.resources;
+  Hashtbl.reset t.active;
+  Hashtbl.reset t.edges;
+  t.blocked_total <- Time.zero;
+  t.attributed <- Time.zero;
+  t.leader_blocked <- Time.zero;
+  t.sys_blocked <- Time.zero;
+  t.n_waits <- 0;
+  t.advisories <- [];
+  t.n_advisories <- 0
+
+let set_thresholds t ?convoy ?chain () =
+  (match convoy with Some n -> t.convoy_threshold <- max 2 n | None -> ());
+  match chain with Some n -> t.chain_threshold <- max 2 n | None -> ()
+
+let on_advisory t f = t.on_advisory <- f
+
+let register_addr t ~addr ~pid = Hashtbl.replace t.addr_pids addr pid
+let pid_of_addr t addr = Hashtbl.find_opt t.addr_pids addr
+
+let note_leader t pid = t.leader_pid <- pid
+let leader_pid t = t.leader_pid
+
+(* A resource whose name starts with '(' is a bucket for blocked time
+   the instrumentation could not pin on anything — it counts against
+   the attribution coverage the bench gates on. *)
+let is_attributed name = String.length name > 0 && name.[0] <> '('
+
+let resource_of t name =
+  match Hashtbl.find_opt t.resources name with
+  | Some r -> r
+  | None ->
+    let r =
+      { r_name = name;
+        r_waits = 0;
+        r_blocked = Time.zero;
+        r_max = Time.zero;
+        r_hist = Array.make hist_buckets 0;
+        r_active = 0;
+        r_peak_active = 0;
+        r_holder = None;
+        r_depth_samples = 0;
+        r_depth_sum = 0;
+        r_depth_peak = 0;
+        r_queue_ns = Time.zero;
+        r_service_ns = Time.zero;
+        r_served = 0;
+        r_convoys = 0;
+        r_timeline = [] }
+    in
+    Hashtbl.replace t.resources name r;
+    r
+
+let bucket_of ns =
+  if ns <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let v = ref ns in
+    while !v > 1 && !b < hist_buckets - 1 do
+      v := !v asr 1;
+      incr b
+    done;
+    !b
+  end
+
+(* {1 The online detector}
+
+   Runs at wait_start, on the live wait-for graph only: O(active
+   waiters on this resource + chain depth), and the chain walk is
+   bounded by the pid set (cycle detection). *)
+
+let advise t ~at ~kind ~pid ~resource ~what =
+  let a = { a_at = at; a_kind = kind; a_pid = pid; a_resource = resource; a_what = what } in
+  t.advisories <- a :: t.advisories;
+  t.n_advisories <- t.n_advisories + 1;
+  t.on_advisory a
+
+let outer_wait t pid =
+  match Hashtbl.find_opt t.active pid with
+  | Some (tok :: _) -> Some tok
+  | _ -> None
+
+let detect t ~at ~pid (r : resource) ~holder =
+  (* convoy: the waiter population on one resource crossed the bound
+     (edge-triggered, so one advisory per crossing, not per waiter) *)
+  if r.r_active = t.convoy_threshold then begin
+    r.r_convoys <- r.r_convoys + 1;
+    advise t ~at ~kind:"convoy" ~pid ~resource:r.r_name
+      ~what:(Printf.sprintf "%d concurrent waiters on %s" r.r_active r.r_name)
+  end;
+  (* chain/cycle: follow waiter -> resource -> holder -> its resource ... *)
+  let rec walk hops seen who path =
+    if List.mem who seen then begin
+      advise t ~at ~kind:"wait-cycle" ~pid ~resource:r.r_name
+        ~what:
+          (Printf.sprintf "cycle: %s -> pid %d"
+             (String.concat " -> " (List.rev path)) who);
+      hops
+    end
+    else
+      match outer_wait t who with
+      | None -> hops
+      | Some tok -> (
+        let rname = match tok.tk_res with Some r -> r.r_name | None -> "?" in
+        let path = Printf.sprintf "pid %d -> %s" who rname :: path in
+        match tok.tk_holder with
+        | Some h -> walk (hops + 1) (who :: seen) h path
+        | None -> hops + 1)
+  in
+  match holder with
+  | None -> ()
+  | Some h ->
+    let hops = walk 1 [ pid ] h [ Printf.sprintf "pid %d -> %s" pid r.r_name ] in
+    if hops >= t.chain_threshold then
+      advise t ~at ~kind:"wait-chain" ~pid ~resource:r.r_name
+        ~what:(Printf.sprintf "wait-for chain of depth %d behind %s" hops r.r_name)
+
+(* {1 Recording} *)
+
+let inert_token =
+  { tk_pid = 0; tk_res = None; tk_start = Time.zero; tk_holder = None; tk_outer = false;
+    tk_done = true }
+
+let wait_start t ~pid ~resource ?holder at =
+  if not t.enabled then inert_token
+  else begin
+    let resource = if resource = "" then "(unattributed)" else resource in
+    let r = resource_of t resource in
+    (match holder with Some _ -> r.r_holder <- holder | None -> ());
+    let stack = Option.value ~default:[] (Hashtbl.find_opt t.active pid) in
+    let outer = stack = [] in
+    let tok =
+      { tk_pid = pid; tk_res = Some r; tk_start = at; tk_holder = holder; tk_outer = outer;
+        tk_done = false }
+    in
+    Hashtbl.replace t.active pid (tok :: stack);
+    if outer then begin
+      r.r_active <- r.r_active + 1;
+      if r.r_active > r.r_peak_active then r.r_peak_active <- r.r_active;
+      detect t ~at ~pid r ~holder
+    end;
+    tok
+  end
+
+let wait_end t tok at =
+  if t.enabled && not tok.tk_done then begin
+    tok.tk_done <- true;
+    match tok.tk_res with
+    | None -> ()
+    | Some r ->
+      let dur = max 0 (Time.diff at tok.tk_start) in
+      r.r_waits <- r.r_waits + 1;
+      r.r_blocked <- Time.add r.r_blocked dur;
+      if dur > r.r_max then r.r_max <- dur;
+      r.r_hist.(bucket_of dur) <- r.r_hist.(bucket_of dur) + 1;
+      r.r_timeline <-
+        (tok.tk_pid, tok.tk_start, dur)
+        :: (if List.length r.r_timeline >= t.timeline_cap then
+              List.filteri (fun i _ -> i < t.timeline_cap - 1) r.r_timeline
+            else r.r_timeline);
+      (match Hashtbl.find_opt t.active tok.tk_pid with
+      | Some stack -> (
+        match List.filter (fun x -> x != tok) stack with
+        | [] -> Hashtbl.remove t.active tok.tk_pid
+        | rest -> Hashtbl.replace t.active tok.tk_pid rest)
+      | None -> ());
+      if tok.tk_outer then begin
+        r.r_active <- max 0 (r.r_active - 1);
+        t.n_waits <- t.n_waits + 1;
+        t.blocked_total <- Time.add t.blocked_total dur;
+        if is_attributed r.r_name then t.attributed <- Time.add t.attributed dur;
+        (match tok.tk_holder with
+        | Some h when h = t.leader_pid && h <> 0 ->
+          t.leader_blocked <- Time.add t.leader_blocked dur
+        | _ -> ());
+        let waits, ns =
+          match Hashtbl.find_opt t.edges (tok.tk_pid, r.r_name) with
+          | Some e -> e
+          | None ->
+            let e = (ref 0, ref 0) in
+            Hashtbl.replace t.edges (tok.tk_pid, r.r_name) e;
+            e
+        in
+        incr waits;
+        ns := Time.add !ns dur
+      end
+  end
+
+let record_wait t ~pid ~resource ?holder ~start at =
+  if t.enabled then begin
+    let tok = wait_start t ~pid ~resource ?holder start in
+    wait_end t tok at
+  end
+
+let queue_sample t ~resource ~depth =
+  if t.enabled then begin
+    let r = resource_of t resource in
+    r.r_depth_samples <- r.r_depth_samples + 1;
+    r.r_depth_sum <- r.r_depth_sum + depth;
+    if depth > r.r_depth_peak then r.r_depth_peak <- depth
+  end
+
+let service t ~resource ~queue_ns ~service_ns =
+  if t.enabled then begin
+    let r = resource_of t resource in
+    r.r_queue_ns <- Time.add r.r_queue_ns queue_ns;
+    r.r_service_ns <- Time.add r.r_service_ns service_ns;
+    (* queue-side and service-side records arrive as separate calls for
+       the same message; only the service side counts it as served *)
+    if service_ns > 0 then r.r_served <- r.r_served + 1
+  end
+
+(* The libLinux layer reports, independently, how long blocking-class
+   guest syscalls (the SysV five, cross-picoprocess kills) actually
+   took end-to-end — a coarser ruler the IPC-layer attribution is
+   sanity-checked against in `bench contend`. *)
+let note_sys_blocked t d = if t.enabled then t.sys_blocked <- Time.add t.sys_blocked d
+
+(* {1 Introspection} *)
+
+let waits t = t.n_waits
+let blocked_total t = t.blocked_total
+let attributed_total t = t.attributed
+let sys_blocked t = t.sys_blocked
+let advisories t = List.rev t.advisories
+let advisories_total t = t.n_advisories
+let convoys t =
+  Hashtbl.fold (fun _ r acc -> acc + r.r_convoys) t.resources 0
+
+let coverage t =
+  if t.blocked_total <= 0 then 1.0
+  else float_of_int t.attributed /. float_of_int t.blocked_total
+
+let leader_share t =
+  if t.blocked_total <= 0 then 0.0
+  else float_of_int t.leader_blocked /. float_of_int t.blocked_total
+
+let resource_stats t name =
+  match Hashtbl.find_opt t.resources name with
+  | None -> None
+  | Some r -> Some (r.r_waits, r.r_blocked, r.r_max)
+
+(* Busiest first: by blocked time, then waits, then name — a total
+   order, so every report is byte-deterministic. *)
+let sorted_resources t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.resources []
+  |> List.sort (fun a b ->
+         if a.r_blocked <> b.r_blocked then compare b.r_blocked a.r_blocked
+         else if a.r_waits <> b.r_waits then compare b.r_waits a.r_waits
+         else compare a.r_name b.r_name)
+
+let resource_names t = List.map (fun r -> r.r_name) (sorted_resources t)
+
+let tfmt ns = Format.asprintf "%a" Time.pp ns
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+(* {1 Reports} *)
+
+(* The `== contention ==` section of `graphene stats`: totals plus the
+   top of the per-resource breakdown. *)
+let summary ?(n = 8) t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "== contention ==\n";
+  if t.n_waits = 0 && Hashtbl.length t.resources = 0 then
+    Buffer.add_string b "  no blocking edges recorded\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "  blocked %s across %d waits on %d resources (%s attributed)\n"
+         (tfmt t.blocked_total) t.n_waits (Hashtbl.length t.resources) (pct (coverage t)));
+    Buffer.add_string b
+      (Printf.sprintf "  leader share of blocked time: %s\n" (pct (leader_share t)));
+    (* n = 0 means "totals only" — the per-resource table is skipped
+       entirely (the report prints its own breakdown instead) *)
+    if n > 0 then begin
+      Buffer.add_string b
+        (Printf.sprintf "  %-30s %7s %12s %12s %5s %7s\n" "resource" "waits" "blocked" "max"
+           "peakq" "convoys");
+      let rows = sorted_resources t in
+      let shown = List.filteri (fun i _ -> i < n) rows in
+      List.iter
+        (fun r ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-30s %7d %12s %12s %5d %7d\n" r.r_name r.r_waits
+               (tfmt r.r_blocked) (tfmt r.r_max)
+               (max r.r_peak_active r.r_depth_peak)
+               r.r_convoys))
+        shown;
+      if List.length rows > n then
+        Buffer.add_string b (Printf.sprintf "  ... %d more resources\n" (List.length rows - n))
+    end;
+    if t.n_advisories > 0 then begin
+      let count kind =
+        List.length (List.filter (fun a -> a.a_kind = kind) t.advisories)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  advisories: %d convoy, %d wait-chain, %d wait-cycle\n"
+           (count "convoy") (count "wait-chain") (count "wait-cycle"))
+    end
+  end;
+  Buffer.contents b
+
+let hist_line r =
+  let b = Buffer.create 64 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then
+        Buffer.add_string b (Printf.sprintf " %s:%d" (tfmt (1 lsl i)) n))
+    r.r_hist;
+  Buffer.contents b
+
+(* The `graphene contend` report: top-N resources in depth, each with
+   its saturation/occupancy counters, wait histogram and recent waiter
+   timeline, then the advisory log. *)
+let report ?(n = 10) ?(timeline = 8) t =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (summary ~n:0 t);
+  let rows = sorted_resources t in
+  let shown = List.filteri (fun i _ -> i < n) rows in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (Printf.sprintf "\n-- %s\n" r.r_name);
+      Buffer.add_string b
+        (Printf.sprintf "   waits %d  blocked %s  max %s%s\n" r.r_waits (tfmt r.r_blocked)
+           (tfmt r.r_max)
+           (match r.r_holder with
+           | Some h -> Printf.sprintf "  holder pid %d" h
+           | None -> ""));
+      if r.r_depth_samples > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "   queue depth: avg %.2f peak %d over %d samples\n"
+             (float_of_int r.r_depth_sum /. float_of_int r.r_depth_samples)
+             r.r_depth_peak r.r_depth_samples);
+      if r.r_served > 0 then begin
+        let total = Time.add r.r_queue_ns r.r_service_ns in
+        Buffer.add_string b
+          (Printf.sprintf "   occupancy: %d served, queue %s vs service %s%s\n" r.r_served
+             (tfmt r.r_queue_ns) (tfmt r.r_service_ns)
+             (if total > 0 then
+                Printf.sprintf " (%s queued)"
+                  (pct (float_of_int r.r_queue_ns /. float_of_int total))
+              else ""))
+      end;
+      if r.r_waits > 0 then
+        Buffer.add_string b (Printf.sprintf "   wait histogram:%s\n" (hist_line r));
+      let tl = List.filteri (fun i _ -> i < timeline) r.r_timeline in
+      List.iter
+        (fun (pid, start, dur) ->
+          Buffer.add_string b
+            (Printf.sprintf "   pid %-4d blocked %12s at %s\n" pid (tfmt dur) (tfmt start)))
+        (List.rev tl))
+    shown;
+  if t.advisories <> [] then begin
+    Buffer.add_string b "\n-- advisories\n";
+    List.iter
+      (fun a ->
+        Buffer.add_string b
+          (Printf.sprintf "   [%s] pid %d at %s: %s\n" a.a_kind a.a_pid (tfmt a.a_at) a.a_what))
+      (advisories t)
+  end;
+  Buffer.contents b
+
+(* Graphviz export of the cumulative wait-for graph: waiter pids point
+   at the resources they blocked on (edge weight = waits / blocked
+   time), resources point at their last known holder. *)
+let to_dot t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph waitfor {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  let resources = List.rev (sorted_resources t) in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\" [shape=box,label=\"%s\\n%d waits / %s\"];\n"
+           (Obs.escape r.r_name) (Obs.escape r.r_name) r.r_waits (tfmt r.r_blocked)))
+    resources;
+  let edge_list =
+    Hashtbl.fold (fun (pid, res) (w, ns) acc -> (pid, res, !w, !ns) :: acc) t.edges []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (pid, res, w, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"pid %d\" -> \"%s\" [label=\"%d / %s\"];\n" pid (Obs.escape res) w
+           (tfmt ns)))
+    edge_list;
+  List.iter
+    (fun r ->
+      match r.r_holder with
+      | Some h ->
+        Buffer.add_string b
+          (Printf.sprintf "  \"%s\" -> \"pid %d\" [style=dashed];\n" (Obs.escape r.r_name) h)
+      | None -> ())
+    resources;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,143 @@
+(** Contention accounting on the virtual clock: per-resource wait
+    breakdowns, queue-depth telemetry, and a wait-for graph
+    (waiter pid → resource → holder pid) with an online convoy /
+    wait-chain / wait-cycle detector.
+
+    Owned by the host kernel next to the tracer and the audit log;
+    disabled by default, purely observational, byte-deterministic for
+    a fixed seed. Instrumented layers name resources with stable keys:
+    ["ipc.wait.<label>"] (leader/owner RPC round trips, by request
+    type), ["sysv.wait.sem:<id>"] / ["sysv.wait.msgq:<id>"] (semantic
+    SysV blocking), ["ipc.helper:<pid>"] (helper mailbox occupancy),
+    ["ipc.mailbox:<pid>"] (in-flight RPC window), ["ipc.wait.retry"]
+    (transient-errno backoff), ["ipc.wait.election:settle"]. Names
+    starting with ['('] are unattributed buckets and count against
+    {!coverage}. See docs/CONTENTION.md. *)
+
+type t
+
+type token
+(** One open blocking edge, returned by {!wait_start}. *)
+
+type advisory = {
+  a_at : Graphene_sim.Time.t;
+  a_kind : string;  (** ["convoy"] | ["wait-chain"] | ["wait-cycle"] *)
+  a_pid : int;  (** the waiter whose edge triggered the detector *)
+  a_resource : string;
+  a_what : string;
+}
+
+val create : unit -> t
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+val reset : t -> unit
+
+val set_thresholds : t -> ?convoy:int -> ?chain:int -> unit -> unit
+(** [convoy] (default 4): concurrent waiters on one resource that
+    raise a convoy advisory; [chain] (default 3): wait-for chain depth
+    that raises a wait-chain advisory. Both clamp to ≥ 2. *)
+
+val on_advisory : t -> (advisory -> unit) -> unit
+(** Replace the advisory sink (the kernel routes advisories into the
+    invariant-monitor registry and the audit log). *)
+
+(** {1 Identity} *)
+
+val register_addr : t -> addr:string -> pid:int -> unit
+(** Instances register their wire address so holder pids can be
+    resolved from leader/owner addresses. *)
+
+val pid_of_addr : t -> string -> int option
+
+val note_leader : t -> int -> unit
+(** Record the current coordination leader; waits whose holder is the
+    leader accumulate into {!leader_share}. *)
+
+val leader_pid : t -> int
+
+(** {1 Recording blocking edges}
+
+    All recorders are no-ops while disabled. Nested edges for one pid
+    (an RPC issued while already blocked on a semaphore) fold into
+    their own resource's breakdown but only the outermost edge counts
+    toward the global blocked total — each blocked nanosecond is
+    counted once. *)
+
+val wait_start :
+  t -> pid:int -> resource:string -> ?holder:int -> Graphene_sim.Time.t -> token
+
+val wait_end : t -> token -> Graphene_sim.Time.t -> unit
+(** Idempotent: ending a token twice records once. *)
+
+val record_wait :
+  t ->
+  pid:int ->
+  resource:string ->
+  ?holder:int ->
+  start:Graphene_sim.Time.t ->
+  Graphene_sim.Time.t ->
+  unit
+(** [record_wait t ~pid ~resource ~start now] — a completed edge in
+    one call (equivalent to {!wait_start} at [start] then {!wait_end}
+    at [now], including detection). *)
+
+val queue_sample : t -> resource:string -> depth:int -> unit
+(** Sample a queue depth (RPC mailbox, SysV waiter list) at an
+    enqueue/dequeue point — the saturation signal. *)
+
+val service :
+  t ->
+  resource:string ->
+  queue_ns:Graphene_sim.Time.t ->
+  service_ns:Graphene_sim.Time.t ->
+  unit
+(** Handler occupancy: virtual time one message spent queued before
+    its handler ran, and the handler's service time. *)
+
+val note_sys_blocked : t -> Graphene_sim.Time.t -> unit
+(** libLinux cross-check: end-to-end duration of a blocking-class
+    guest syscall, independent of the per-resource attribution. *)
+
+(** {1 Introspection} *)
+
+val waits : t -> int
+(** Completed outermost blocking edges. *)
+
+val blocked_total : t -> Graphene_sim.Time.t
+val attributed_total : t -> Graphene_sim.Time.t
+val sys_blocked : t -> Graphene_sim.Time.t
+
+val coverage : t -> float
+(** attributed / blocked, in [0,1]; 1.0 when nothing blocked. *)
+
+val leader_share : t -> float
+(** Fraction of blocked time spent waiting on the leader. *)
+
+val advisories : t -> advisory list
+(** Oldest first. *)
+
+val advisories_total : t -> int
+
+val convoys : t -> int
+
+val resource_stats : t -> string -> (int * Graphene_sim.Time.t * Graphene_sim.Time.t) option
+(** [(waits, blocked, max)] for one resource key, if recorded. *)
+
+val resource_names : t -> string list
+(** Busiest first (blocked desc, waits desc, name asc). *)
+
+(** {1 Reports} — all byte-deterministic for a fixed seed. *)
+
+val summary : ?n:int -> t -> string
+(** The [== contention ==] section of [graphene stats]: totals,
+    coverage, leader share, top-[n] (default 8) resources. *)
+
+val report : ?n:int -> ?timeline:int -> t -> string
+(** [graphene contend]: top-[n] (default 10) resources in depth —
+    queue-depth stats, occupancy, wait histogram, last [timeline]
+    (default 8) waiter timeline entries — plus the advisory log. *)
+
+val to_dot : t -> string
+(** Graphviz export of the cumulative wait-for graph. *)

@@ -5,9 +5,22 @@ type violation = {
   v_what : string;
 }
 
+(* Advisories are diagnoses, not failures: a contention advisory
+   (convoy, wait-chain) flags legal-but-suspect behaviour the paper
+   predicts under load, so it must never trip the zero-violations
+   chaos gate. Same registry, separate channel. *)
+type advisory = {
+  ad_at : Graphene_sim.Time.t;
+  ad_pid : int;
+  ad_kind : string;
+  ad_what : string;
+}
+
 type t = {
   mutable violations : violation list;  (** newest first *)
   mutable n_violations : int;
+  mutable advisories : advisory list;  (** newest first *)
+  mutable n_advisories : int;
   mutable checked : int;
   owners : (string, string) Hashtbl.t;  (** resource key -> owner addr *)
   valid_leases : (int * string * int, unit) Hashtbl.t;  (** (pid, cache, key) live *)
@@ -18,6 +31,8 @@ type t = {
 let create () =
   { violations = [];
     n_violations = 0;
+    advisories = [];
+    n_advisories = 0;
     checked = 0;
     owners = Hashtbl.create 16;
     valid_leases = Hashtbl.create 64;
@@ -27,6 +42,12 @@ let create () =
 let checked t = t.checked
 let violations t = List.rev t.violations
 let total t = t.n_violations
+let advisories t = List.rev t.advisories
+let advisories_total t = t.n_advisories
+
+let advise t ~at ~pid ~kind ~what =
+  t.advisories <- { ad_at = at; ad_pid = pid; ad_kind = kind; ad_what = what } :: t.advisories;
+  t.n_advisories <- t.n_advisories + 1
 
 let record t (e : Audit.event) ~invariant ~what =
   t.violations <-
@@ -128,7 +149,9 @@ let check t (e : Audit.event) =
   | Audit.Sandbox -> check_delivery t e
   | Audit.Lease -> check_lease t e
   | Audit.Election -> check_epoch t e
-  | Audit.Refmon | Audit.Fault -> ()
+  (* Contention events are advisories by construction (see {!advise});
+     the audit stream carries them for export, never as violations. *)
+  | Audit.Refmon | Audit.Fault | Audit.Contention -> ()
 
 let attach t audit = Audit.add_observer audit (check t)
 
@@ -139,4 +162,14 @@ let summary t =
       Buffer.add_string b
         (Printf.sprintf "  [%s] pid %d at %d: %s\n" v.v_invariant v.v_pid v.v_at v.v_what))
     (violations t);
+  Buffer.contents b
+
+let advisory_summary t =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf "  [advisory:%s] pid %d at %d: %s\n" a.ad_kind a.ad_pid a.ad_at
+           a.ad_what))
+    (advisories t);
   Buffer.contents b

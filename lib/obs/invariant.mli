@@ -28,6 +28,17 @@ type violation = {
   v_what : string;  (** human-readable description *)
 }
 
+(** A diagnosis, not a failure: advisories flag legal-but-suspect
+    behaviour (contention convoys, deep wait-for chains) that never
+    counts toward {!total} — the chaos gate's zero-violations
+    assertion is unaffected by any number of advisories. *)
+type advisory = {
+  ad_at : Graphene_sim.Time.t;
+  ad_pid : int;
+  ad_kind : string;  (** e.g. ["convoy"], ["wait-chain"], ["wait-cycle"] *)
+  ad_what : string;
+}
+
 type t
 
 val create : unit -> t
@@ -46,3 +57,18 @@ val total : t -> int
 
 val summary : t -> string
 (** One line per violation, or [""] when clean. *)
+
+(** {1 Advisories} *)
+
+val advise :
+  t -> at:Graphene_sim.Time.t -> pid:int -> kind:string -> what:string -> unit
+(** Record an advisory (the kernel routes {!Contend} detector output
+    here). *)
+
+val advisories : t -> advisory list
+(** Oldest first. *)
+
+val advisories_total : t -> int
+
+val advisory_summary : t -> string
+(** One line per advisory, or [""] when clean. *)

@@ -27,9 +27,30 @@ let test_order_and_filters () =
   check_int "all" 3 (jsonl_lines (Audit.to_jsonl a));
   check_int "pid filter" 2 (jsonl_lines (Audit.to_jsonl ~pid:1 a));
   check_int "cat filter" 1 (jsonl_lines (Audit.to_jsonl ~cat:Audit.Election a));
-  check_int "time window" 2
+  (* the window is half-open [since, until): us 1 is in, us 3 is out *)
+  check_int "time window" 1
     (jsonl_lines (Audit.to_jsonl ~since:(T.us 1.) ~until:(T.us 3.) a));
   check_int "conjunctive" 0 (jsonl_lines (Audit.to_jsonl ~pid:2 ~cat:Audit.Sandbox a))
+
+(* The boundary semantics are part of the CLI contract (--since
+   inclusive, --until exclusive): an event exactly at a bound must land
+   in exactly one of two adjacent windows. *)
+let test_window_boundaries () =
+  let a = Audit.create () in
+  Audit.enable a;
+  Audit.emit a Audit.Fault ~action:"drop" ~pid:1 (T.us 2.);
+  (* exactly at since: included *)
+  check_int "at since" 1 (jsonl_lines (Audit.to_jsonl ~since:(T.us 2.) a));
+  (* exactly at until: excluded *)
+  check_int "at until" 0 (jsonl_lines (Audit.to_jsonl ~until:(T.us 2.) a));
+  check_int "until just past" 1 (jsonl_lines (Audit.to_jsonl ~until:(T.us 2. + 1) a));
+  (* adjacent windows tile: the event appears once across [0,2) + [2,4) *)
+  let first = jsonl_lines (Audit.to_jsonl ~since:0 ~until:(T.us 2.) a) in
+  let second = jsonl_lines (Audit.to_jsonl ~since:(T.us 2.) ~until:(T.us 4.) a) in
+  check_int "tiled exactly once" 1 (first + second);
+  (* degenerate window [t, t) is empty *)
+  check_int "empty window" 0
+    (jsonl_lines (Audit.to_jsonl ~since:(T.us 2.) ~until:(T.us 2.) a))
 
 let test_ring_bound () =
   let a = Audit.create ~capacity:4 () in
@@ -251,6 +272,7 @@ let test_introspection_snapshot () =
 
 let suite =
   [ case "order, filters, export" test_order_and_filters;
+    case "window boundaries: since in, until out" test_window_boundaries;
     case "ring bound drops oldest first" test_ring_bound;
     case "disabled log is free and silent" test_disabled_is_silent;
     case "double owner caught" test_double_owner_caught;

@@ -1,0 +1,238 @@
+(** The contention observability plane (docs/CONTENTION.md): outer-only
+    wait accounting, attribution coverage, convoy / wait-chain / cycle
+    detection, determinism of the reports, and the end-to-end wiring
+    through the coordination layer. *)
+
+open Util
+module Cd = Graphene_obs.Contend
+module Invariant = Graphene_obs.Invariant
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let mk () =
+  let cd = Cd.create () in
+  Cd.enable cd;
+  cd
+
+(* {1 The accounting core} *)
+
+let test_outer_only_accounting () =
+  let cd = mk () in
+  (* pid 1 blocks on a semaphore from 100, issues a nested RPC
+     200..300 while still blocked, and wakes at 500 *)
+  let outer = Cd.wait_start cd ~pid:1 ~resource:"sysv.wait.sem:7" (T.ns 100) in
+  let inner = Cd.wait_start cd ~pid:1 ~resource:"ipc.wait.sem_op" (T.ns 200) in
+  Cd.wait_end cd inner (T.ns 300);
+  Cd.wait_end cd outer (T.ns 500);
+  (* each blocked nanosecond counted once, against the outermost edge *)
+  check_int "blocked total" 400 (Cd.blocked_total cd);
+  check_int "outer waits" 1 (Cd.waits cd);
+  (* ... but both resources keep their own breakdown *)
+  (match Cd.resource_stats cd "sysv.wait.sem:7" with
+  | Some (w, b, _) ->
+    check_int "sem waits" 1 w;
+    check_int "sem blocked" 400 b
+  | None -> Alcotest.fail "sem resource missing");
+  match Cd.resource_stats cd "ipc.wait.sem_op" with
+  | Some (w, b, _) ->
+    check_int "rpc waits" 1 w;
+    check_int "rpc blocked" 100 b
+  | None -> Alcotest.fail "rpc resource missing"
+
+let test_wait_end_idempotent () =
+  let cd = mk () in
+  let tok = Cd.wait_start cd ~pid:1 ~resource:"r" (T.ns 0) in
+  Cd.wait_end cd tok (T.ns 10);
+  Cd.wait_end cd tok (T.ns 999);
+  check_int "recorded once" 10 (Cd.blocked_total cd);
+  check_int "one wait" 1 (Cd.waits cd)
+
+let test_coverage_and_unattributed () =
+  let cd = mk () in
+  Cd.record_wait cd ~pid:1 ~resource:"ipc.wait.ping" ~start:(T.ns 0) (T.ns 75);
+  (* an empty resource name lands in the unattributed bucket *)
+  Cd.record_wait cd ~pid:1 ~resource:"" ~start:(T.ns 100) (T.ns 125);
+  check_int "blocked" 100 (Cd.blocked_total cd);
+  check_int "attributed" 75 (Cd.attributed_total cd);
+  check_float "coverage" 0.75 (Cd.coverage cd);
+  check_bool "unattributed bucket exists" true
+    (Cd.resource_stats cd "(unattributed)" <> None)
+
+let test_clean_plane_full_coverage () =
+  let cd = mk () in
+  check_float "vacuous coverage" 1.0 (Cd.coverage cd);
+  check_float "vacuous leader share" 0.0 (Cd.leader_share cd);
+  check_bool "empty summary says so" true
+    (contains (Cd.summary cd) "no blocking edges recorded")
+
+let test_disabled_records_nothing () =
+  let cd = Cd.create () in
+  let tok = Cd.wait_start cd ~pid:1 ~resource:"r" (T.ns 0) in
+  Cd.wait_end cd tok (T.ns 100);
+  Cd.record_wait cd ~pid:2 ~resource:"r" ~start:(T.ns 0) (T.ns 50);
+  Cd.queue_sample cd ~resource:"r" ~depth:3;
+  check_int "no waits" 0 (Cd.waits cd);
+  check_int "no blocked time" 0 (Cd.blocked_total cd);
+  check_bool "no resources" true (Cd.resource_names cd = [])
+
+let test_leader_share () =
+  let cd = mk () in
+  Cd.note_leader cd 1;
+  Cd.record_wait cd ~pid:2 ~resource:"ipc.wait.ping" ~holder:1 ~start:(T.ns 0) (T.ns 60);
+  Cd.record_wait cd ~pid:2 ~resource:"ipc.wait.ping" ~holder:3 ~start:(T.ns 100) (T.ns 140);
+  check_float "leader share" 0.6 (Cd.leader_share cd)
+
+(* {1 The detectors} *)
+
+let test_convoy_fires_at_threshold () =
+  let cd = mk () in
+  Cd.set_thresholds cd ~convoy:3 ();
+  let t1 = Cd.wait_start cd ~pid:1 ~resource:"sysv.wait.sem:9" (T.ns 0) in
+  let t2 = Cd.wait_start cd ~pid:2 ~resource:"sysv.wait.sem:9" (T.ns 10) in
+  check_int "below threshold: quiet" 0 (Cd.advisories_total cd);
+  let t3 = Cd.wait_start cd ~pid:3 ~resource:"sysv.wait.sem:9" (T.ns 20) in
+  check_int "convoy fired" 1 (Cd.advisories_total cd);
+  check_int "counted on the resource" 1 (Cd.convoys cd);
+  (match Cd.advisories cd with
+  | [ a ] ->
+    check_str "kind" "convoy" a.Cd.a_kind;
+    check_str "resource" "sysv.wait.sem:9" a.Cd.a_resource
+  | _ -> Alcotest.fail "expected exactly one advisory");
+  (* edge-triggered: a fourth waiter does not re-fire *)
+  let t4 = Cd.wait_start cd ~pid:4 ~resource:"sysv.wait.sem:9" (T.ns 30) in
+  check_int "no re-fire above threshold" 1 (Cd.advisories_total cd);
+  List.iter (fun tk -> Cd.wait_end cd tk (T.ns 100)) [ t1; t2; t3; t4 ]
+
+let test_wait_cycle_detected () =
+  let cd = mk () in
+  Cd.set_thresholds cd ~chain:2 ();
+  (* pid 1 waits on a resource held by 2 while 2 waits on one held by
+     1 — the chain walk must report a cycle, once, and terminate *)
+  let t1 = Cd.wait_start cd ~pid:1 ~resource:"sysv.wait.sem:1" ~holder:2 (T.ns 0) in
+  let t2 = Cd.wait_start cd ~pid:2 ~resource:"sysv.wait.sem:2" ~holder:1 (T.ns 10) in
+  check_bool "cycle advisory raised" true
+    (List.exists (fun a -> a.Cd.a_kind = "wait-cycle") (Cd.advisories cd));
+  Cd.wait_end cd t1 (T.ns 50);
+  Cd.wait_end cd t2 (T.ns 50)
+
+let test_advisory_sink_routing () =
+  let cd = mk () in
+  let seen = ref [] in
+  Cd.on_advisory cd (fun a -> seen := a.Cd.a_kind :: !seen);
+  Cd.set_thresholds cd ~convoy:2 ();
+  let t1 = Cd.wait_start cd ~pid:1 ~resource:"r" (T.ns 0) in
+  let t2 = Cd.wait_start cd ~pid:2 ~resource:"r" (T.ns 5) in
+  check_bool "sink saw the convoy" true (List.mem "convoy" !seen);
+  Cd.wait_end cd t1 (T.ns 9);
+  Cd.wait_end cd t2 (T.ns 9)
+
+(* {1 The exports} *)
+
+let test_dot_export () =
+  let cd = mk () in
+  Cd.register_addr cd ~addr:"inst-b" ~pid:7;
+  Cd.record_wait cd ~pid:3 ~resource:"ipc.wait.ping" ~holder:7 ~start:(T.ns 0) (T.ns 40);
+  let dot = Cd.to_dot cd in
+  check_bool "digraph" true (contains dot "digraph waitfor");
+  check_bool "waiter edge" true (contains dot "\"pid 3\" -> \"ipc.wait.ping\"");
+  check_bool "holder edge" true (contains dot "\"ipc.wait.ping\" -> \"pid 7\"")
+
+(* {1 End to end through the coordination layer} *)
+
+let storm ~seed () =
+  run_on ~seed
+    ~setup:(fun w -> Cd.enable (W.contend w))
+    ~exe:"/bin/sigstorm" ~argv:[] ()
+
+let test_sigstorm_attribution () =
+  let r = storm ~seed:5 () in
+  expect_exit r;
+  let cd = W.contend r.w in
+  check_bool "recorded blocking edges" true (Cd.waits cd > 0);
+  check_bool "blocked time accumulated" true (Cd.blocked_total cd > 0);
+  (* the acceptance gate: >= 95% of blocked time lands on a named
+     resource *)
+  check_bool "coverage >= 0.95" true (Cd.coverage cd >= 0.95);
+  check_bool "signal waits attributed" true
+    (Cd.resource_stats cd "ipc.wait.signal" <> None)
+
+let test_same_seed_same_report () =
+  let report seed =
+    let r = storm ~seed () in
+    Cd.report (W.contend r.w)
+  in
+  check_str "byte-identical report" (report 9) (report 9);
+  check_str "byte-identical dot"
+    (Cd.to_dot (W.contend (storm ~seed:9 ()).w))
+    (Cd.to_dot (W.contend (storm ~seed:9 ()).w))
+
+let test_clean_run_reports_zero () =
+  let r =
+    run_on ~setup:(fun w -> Cd.enable (W.contend w)) ~exe:"/bin/hello" ~argv:[] ()
+  in
+  expect_exit r;
+  let cd = W.contend r.w in
+  check_int "no waits" 0 (Cd.waits cd);
+  check_int "no advisories" 0 (Cd.advisories_total cd);
+  check_float "full coverage" 1.0 (Cd.coverage cd)
+
+(* Three children all down a zero semaphore owned by the parent: three
+   concurrent outer waits on one [sysv.wait.sem:<id>], a textbook
+   convoy. The advisory must reach the invariant registry as an
+   advisory — never a violation (it is telemetry, not a broken
+   property). *)
+let convoy_prog =
+  let open B in
+  let child = seq [ sys "semop" [ v "id"; int (-1) ]; sys "exit" [ int 0 ] ] in
+  prog ~name:"/bin/convoy"
+    (let_ "id"
+       (sys "semget" [ int 900; int 0 ])
+       (let_ "p1" (sys "fork" [])
+          (if_ (v "p1" =% int 0) child
+             (let_ "p2" (sys "fork" [])
+                (if_ (v "p2" =% int 0) child
+                   (let_ "p3" (sys "fork" [])
+                      (if_ (v "p3" =% int 0) child
+                         (seq
+                            [ sys "nanosleep" [ int 2_000_000 ];
+                              sys "semop" [ v "id"; int 1 ];
+                              sys "semop" [ v "id"; int 1 ];
+                              sys "semop" [ v "id"; int 1 ];
+                              sys "wait" [];
+                              sys "wait" [];
+                              sys "wait" [];
+                              sys "exit" [ int 0 ] ]))))))))
+
+let test_seeded_convoy_detected () =
+  let r =
+    run_prog ~path:"/bin/convoy"
+      ~setup:(fun w ->
+        Cd.enable (W.contend w);
+        Cd.set_thresholds (W.contend w) ~convoy:3 ())
+      convoy_prog
+  in
+  expect_exit r;
+  let cd = W.contend r.w in
+  check_bool "convoy detected" true (Cd.convoys cd > 0);
+  check_bool "advisory raised" true
+    (List.exists (fun a -> a.Cd.a_kind = "convoy") (Cd.advisories cd));
+  let inv = W.invariants r.w in
+  check_bool "advisory reached the registry" true (Invariant.advisories_total inv > 0);
+  (* advisories are telemetry: the violation gate must stay clean *)
+  check_int "no violations" 0 (Invariant.total inv)
+
+let suite =
+  [ case "outer-only accounting: nested waits count once" test_outer_only_accounting;
+    case "wait_end is idempotent" test_wait_end_idempotent;
+    case "coverage and the unattributed bucket" test_coverage_and_unattributed;
+    case "clean plane: vacuous full coverage" test_clean_plane_full_coverage;
+    case "disabled plane records nothing" test_disabled_records_nothing;
+    case "leader share of blocked time" test_leader_share;
+    case "convoy fires at threshold, edge-triggered" test_convoy_fires_at_threshold;
+    case "wait-for cycle detected" test_wait_cycle_detected;
+    case "advisory sink routing" test_advisory_sink_routing;
+    case "wait-for graph dot export" test_dot_export;
+    case "sigstorm: >=95% of blocked time attributed" test_sigstorm_attribution;
+    case "same seed, byte-identical reports" test_same_seed_same_report;
+    case "clean run reports zero" test_clean_run_reports_zero;
+    case "seeded convoy raises an advisory, not a violation" test_seeded_convoy_detected ]

@@ -17,5 +17,6 @@ let () =
       ("cache", Suite_cache.suite);
       ("obs", Suite_obs.suite);
       ("audit", Suite_audit.suite);
+      ("contend", Suite_contend.suite);
       ("vuln", Suite_vuln.suite);
       ("differential", Suite_differential.suite) ]
