@@ -43,6 +43,28 @@ let spec_for rate =
     delay_max = T.us 150.;
     kill_leader_at = Some kill_at }
 
+(* Count lease entries at live instances whose target address is no
+   longer live — a stale entry a Coord sweep should have dropped. The
+   introspection report is section-per-instance; only live sections
+   count (a dead pico's table can say anything, nobody routes on it). *)
+let stale_leases report ~live =
+  let stale = ref 0 in
+  let in_live = ref false in
+  List.iter
+    (fun line ->
+      if String.length line > 9 && String.sub line 0 9 = "instance " then
+        in_live := List.mem (List.nth (String.split_on_char ' ' line) 1) live
+      else if !in_live then
+        match String.index_opt line '>' with
+        | Some i when i >= 1 && line.[i - 1] = '-' -> (
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          match String.split_on_char ' ' (String.trim rest) with
+          | target :: _ when target <> "" && not (List.mem target live) -> incr stale
+          | _ -> ())
+        | _ -> ())
+    (String.split_on_char '\n' report);
+  !stale
+
 let count_substring hay needle =
   let n = String.length needle and h = String.length hay in
   let rec go i acc =
@@ -60,6 +82,7 @@ type outcome = {
   delays : int;
   checked : int;  (** audit events the invariant monitors examined *)
   violations : int;  (** invariant violations — must stay zero *)
+  stale : int;  (** stale coordination entries left at live instances — must stay zero *)
 }
 
 let storm_run ~seed spec =
@@ -81,8 +104,11 @@ let storm_run ~seed spec =
   (if Invariant.total inv > 0 then
      (* keep the evidence: which property broke, at which event *)
      prerr_string (Invariant.summary inv));
+  let k = W.kernel w in
+  let live = List.map (fun p -> "g" ^ string_of_int p.K.pid) (K.live_picos k) in
+  let stale = stale_leases (K.introspection_report k) ~live in
   { completed; recovery_ns; drops; dups; delays;
-    checked = Invariant.checked inv; violations = Invariant.total inv }
+    checked = Invariant.checked inv; violations = Invariant.total inv; stale }
 
 let rates = [ 0.0; 0.05; 0.15 ]
 let seeds ~full = List.init (if full then 10 else 4) (fun i -> 7 + (13 * i))
@@ -93,11 +119,12 @@ let run ?(full = true) () =
     Table.create ~title:"Chaos sweep: /bin/sigstorm, leader killed at 2 ms"
       ~headers:
         [ "fault rate"; "runs"; "completed"; "recovered"; "recovery (ms)"; "drops"; "dups";
-          "delays"; "audited"; "violations" ]
+          "delays"; "audited"; "violations"; "stale" ]
   in
   let unrecovered_total = ref 0 in
   let violations_total = ref 0 in
   let checked_total = ref 0 in
+  let stale_total = ref 0 in
   List.iter
     (fun rate ->
       let spec = spec_for rate in
@@ -123,9 +150,11 @@ let run ?(full = true) () =
           string_of_int (sum (fun o -> o.dups));
           string_of_int (sum (fun o -> o.delays));
           string_of_int (sum (fun o -> o.checked));
-          string_of_int (sum (fun o -> o.violations)) ];
+          string_of_int (sum (fun o -> o.violations));
+          string_of_int (sum (fun o -> o.stale)) ];
       violations_total := !violations_total + sum (fun o -> o.violations);
       checked_total := !checked_total + sum (fun o -> o.checked);
+      stale_total := !stale_total + sum (fun o -> o.stale);
       let tag = Printf.sprintf "%.2f" rate in
       if recovered <> [] then
         Harness.record ~unit:"ns" ("chaos.recovery_ns.rate" ^ tag) rec_stats;
@@ -134,10 +163,13 @@ let run ?(full = true) () =
       Harness.record ("chaos.unrecovered.rate" ^ tag)
         (Stats.of_list [ float_of_int unrecovered ]);
       Harness.record ("chaos.invariant_violations.rate" ^ tag)
-        (Stats.of_list (List.map (fun o -> float_of_int o.violations) outs)))
+        (Stats.of_list (List.map (fun o -> float_of_int o.violations) outs));
+      Harness.record ("chaos.stale_leases.rate" ^ tag)
+        (Stats.of_list (List.map (fun o -> float_of_int o.stale) outs)))
     rates;
   Table.print tbl;
   Printf.printf "\nunrecovered runs: %d\n" !unrecovered_total;
   Printf.printf "invariant violations: %d (over %d audited events)\n%!" !violations_total
     !checked_total;
+  Printf.printf "stale leases: %d\n%!" !stale_total;
   !unrecovered_total

@@ -76,6 +76,12 @@ type t = {
   mutable coalesce_window : Time.t;
       (** how long after an async notification follow-ups to the same
           peer are batched instead of sent individually *)
+  (* --- unified coordination table (Coord) --- *)
+  mutable conflict_hints : bool;
+      (** when an operation reaches an instance that no longer holds
+          the resource but has a live forwarding lease, answer the
+          typed [R_conflict {holder; epoch}] instead of a bare EMOVED,
+          so the requester retries directly against the holder *)
 }
 
 let default () =
@@ -107,7 +113,8 @@ let default () =
     coalesce = true;
     (* wide enough that a guest-paced release burst (~1.5-2 us apart)
        lands several notes per window; well under any RPC timeout *)
-    coalesce_window = Time.us 5.0 }
+    coalesce_window = Time.us 5.0;
+    conflict_hints = true }
 
 (* The starting point of §4.3's iteration: every coordination request
    is a synchronous RPC, no caching, no batching. *)
@@ -122,7 +129,8 @@ let naive () =
     dcache = false;
     refmon_cache = false;
     handle_cache = false;
-    coalesce = false }
+    coalesce = false;
+    conflict_hints = false }
 
 (* Only the PR-4 fast-path caches off: the pre-caching behavior every
    cache-on run must beat (the A side of the bench-cache ablation). *)

@@ -83,6 +83,13 @@ type t = {
   mutable coalesce_window : Time.t;
       (** how long after an async notification later ones to the same
           peer keep batching instead of going out individually *)
+  mutable conflict_hints : bool;
+      (** answer operations on a moved resource with the typed
+          [Wire.R_conflict {holder; epoch}] (from the {!Coord}
+          forwarding lease kept by the previous owner) instead of a
+          bare EMOVED, so the requester re-aims its lease and retries
+          directly against the holder — no leader round trip, no blind
+          backoff (docs/COORDINATION.md) *)
 }
 
 val default : unit -> t

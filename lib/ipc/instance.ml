@@ -78,8 +78,14 @@ type t = {
   mutable leader : leader_state option;
   mutable pid_pool : (int * int) list;  (** owned ranges, allocated from front *)
   streams : (string, K.handle) Hashtbl.t;
-  owner_cache : Lease.t;  (** SysV id -> owner addr, TTL-leased *)
-  pid_cache : Lease.t;  (** PID -> owner addr, TTL-leased *)
+  coord : Coord.t;
+      (** the unified coordination table: SysV ownership (held), owner
+          and PID leases (leased), and the election epoch — every
+          namespace decision routes through it (docs/COORDINATION.md) *)
+  mutable moved_hint : (int * string) option;
+      (** the (id, holder) from the last [R_conflict] answer: the
+          retry machinery re-aims at the holder immediately instead of
+          invalidating and backing off *)
   coalesce_buf : (string, Wire.notification list ref) Hashtbl.t;
       (** peer addr -> notifications buffered while that peer's
           coalescing window is open (newest first) *)
@@ -99,10 +105,6 @@ type t = {
   mutable elected_leader : bool;
       (** won an election and has not yet served a request — the next
           one served closes the recovery interval *)
-  mutable epoch : int;
-      (** election epoch: a winner announces its epoch + 1, adopters
-          take the max of theirs and the announcement's — monotone per
-          instance by construction, and the audit plane asserts it *)
 }
 
 let persist_dir = "/var/graphene/msgq"
@@ -129,22 +131,112 @@ let obs_count t name =
 let audit t cat ~action args =
   K.audit_emit (kernel t) cat ~action ~pid:(Pal.pico t.pal).K.pid ~args ()
 
-(* An ownership transition of a SysV resource: the single-owner
-   invariant is checked over exactly these events. *)
-let audit_ownership t verb res id =
-  audit t Audit.Migration ~action:verb
-    [ ("res", Obs.Astr (Printf.sprintf "%s:%d" res id)); ("addr", Obs.Astr t.my_addr) ]
+(* {1 The coordination observer}
 
-let audit_epoch t =
-  audit t Audit.Election ~action:"epoch" [ ("epoch", Obs.Aint t.epoch) ]
+   The one instrumentation choke point: every Coord transition arrives
+   here, and this single function decides what becomes an obs counter
+   (the ipc.lease.* / ipc.coord.* families) and what becomes an audit
+   event (the lease / migration / election categories the invariant
+   monitors check). It replaces the per-resource hook registrations
+   (lease counter hooks, lease audit hooks, ad-hoc ownership audit
+   shims) this file used to carry. *)
 
-(* Lease lookups gate on the owner-caching knob, so with caching off
-   the lease layer neither answers nor counts. *)
-let lease_find t lease key =
-  if t.cfg.Config.cache_owners then Lease.find lease ~now:(vnow t) key else None
+let cache_of_ns = function Coord.Sysv -> "owner" | Coord.Pid -> "pid"
 
-let lease_put t lease key v =
-  if t.cfg.Config.cache_owners then Lease.put lease ~now:(vnow t) key v
+let lease_count t ns what =
+  obs_count t ("ipc.lease." ^ cache_of_ns ns ^ "." ^ what)
+
+let audit_lease t ns action key =
+  audit t Audit.Lease ~action
+    (("cache", Obs.Astr (cache_of_ns ns))
+    :: (match key with Some k -> [ ("key", Obs.Aint k) ] | None -> []))
+
+let res_arg tag key = ("res", Obs.Astr (Printf.sprintf "%s:%d" tag key))
+
+let coord_event t = function
+  | Coord.Acquire { ns; kind = Coord.Leased; key; _ } -> audit_lease t ns "acquire" (Some key)
+  | Coord.Acquire { kind = Coord.Held; key; owner; tag; _ } ->
+    (* an ownership transition of a SysV resource: the single-owner
+       invariant is checked over exactly these events *)
+    audit t Audit.Migration ~action:"own" [ res_arg tag key; ("addr", Obs.Astr owner) ]
+  | Coord.Use { ns; kind = Coord.Leased; key; _ } ->
+    lease_count t ns "hit";
+    audit_lease t ns "use" (Some key)
+  | Coord.Use { kind = Coord.Held; _ } -> ()  (* authoritative hits are free *)
+  | Coord.Miss { ns; _ } -> lease_count t ns "miss"
+  | Coord.Expire { ns; key } ->
+    lease_count t ns "expire";
+    audit_lease t ns "expire" (Some key)
+  | Coord.Evict { ns; key } ->
+    lease_count t ns "evict";
+    audit_lease t ns "evict" (Some key)
+  | Coord.Invalidate { ns; key } ->
+    lease_count t ns "invalidate";
+    audit_lease t ns "invalidate" (Some key)
+  | Coord.Release { key; owner; tag; _ } ->
+    audit t Audit.Migration ~action:"disown" [ res_arg tag key; ("addr", Obs.Astr owner) ]
+  | Coord.Conflict_detected { ns; key; requester; conflict } ->
+    obs_count t "ipc.coord.conflict";
+    audit t Audit.Migration ~action:"conflict"
+      [ res_arg (cache_of_ns ns) key;
+        ("requester", Obs.Astr requester);
+        ("holder", Obs.Astr conflict.Coord.holder);
+        ("epoch", Obs.Aint conflict.Coord.epoch) ]
+  | Coord.Sweep { reason; ns; dropped } -> (
+    obs_count t "ipc.coord.sweep";
+    match reason with
+    | Coord.Peer_death _ -> ()  (* per-key invalidations already reported *)
+    | Coord.Epoch_change | Coord.Isolation | Coord.Owner_exit ->
+      for _ = 1 to dropped do
+        lease_count t ns "invalidate"
+      done;
+      (* one flush event for the whole sweep; the invariant monitor
+         kills every live lease of this cache wholesale *)
+      if dropped > 0 then audit_lease t ns "flush" None)
+  | Coord.Epoch_bump { epoch } ->
+    audit t Audit.Election ~action:"epoch" [ ("epoch", Obs.Aint epoch) ]
+  | Coord.Stall { ns; _ } -> lease_count t ns "stall"
+
+(* Leased lookups gate on the owner-caching knob, so with caching off
+   the lease layer neither answers nor counts. Held state (local SysV
+   ownership) is maintained regardless — it is authority, not cache —
+   but the callers below consult their own msgq/sem tables first, so
+   the gate only ever silences the cache. *)
+let coord_check t ns key =
+  if t.cfg.Config.cache_owners then Coord.check t.coord ~now:(vnow t) ~ns ~key else None
+
+let coord_lease t ns key owner =
+  if t.cfg.Config.cache_owners then
+    ignore (Coord.acquire t.coord ~now:(vnow t) ~ns ~key ~owner ())
+
+let coord_own t tag key =
+  ignore
+    (Coord.acquire t.coord ~now:(vnow t) ~ns:Coord.Sysv ~key ~owner:t.my_addr ~kind:Coord.Held
+       ~tag ())
+
+let coord_disown t key = ignore (Coord.release t.coord ~ns:Coord.Sysv ~key)
+
+(* An operation reached us for a resource we no longer hold. With a
+   live forwarding lease (left behind when ownership migrated away)
+   the answer is the one typed conflict shape — holder + epoch — so
+   the requester re-aims and retries directly; otherwise the legacy
+   errno the four call sites used. *)
+let moved_response t ~origin id fallback =
+  if t.cfg.Config.conflict_hints && t.cfg.Config.cache_owners then
+    match
+      Coord.conflict_answer t.coord ~now:(vnow t) ~ns:Coord.Sysv ~key:id ~requester:origin
+    with
+    | Some c when c.Coord.holder <> t.my_addr ->
+      Wire.R_conflict { holder = c.Coord.holder; epoch = c.Coord.epoch }
+    | _ -> Wire.R_err fallback
+  else Wire.R_err fallback
+
+(* Client side of the conflict answer: re-aim the lease at the named
+   holder and remember the hint so [with_retry] skips the blind
+   invalidate-and-backoff for this one retry. *)
+let note_conflict t id holder =
+  coord_lease t Coord.Sysv id holder;
+  t.moved_hint <- Some (id, holder)
 
 (* {1 Contention accounting}
 
@@ -167,21 +259,15 @@ let holder_of_addr t addr =
 (* The holder of a SysV resource, best effort and purely
    observational: a locally-owned resource has no foreign holder, an
    unexpired owner lease names one, and otherwise the holder is
-   unknown (the leader will arbitrate). Uses [Lease.peek] so the
+   unknown (the leader will arbitrate). Uses [Coord.peek] so the
    lookup never perturbs the lease lifecycle the audit plane checks. *)
 let holder_of_resource t id =
   if Hashtbl.mem t.sems id || Hashtbl.mem t.msgqs id then None
   else if not t.cfg.Config.cache_owners then None
   else
-    match Lease.peek t.owner_cache ~now:(vnow t) id with
+    match Coord.peek t.coord ~now:(vnow t) ~ns:Coord.Sysv ~key:id with
     | Some a -> holder_of_addr t a
     | None -> None
-
-(* Re-election moved authority: every lease may now point at a demoted
-   or dead peer, so both name caches flush wholesale. *)
-let flush_leases t =
-  Lease.flush t.owner_cache;
-  Lease.flush t.pid_cache
 
 let my_addr t = t.my_addr
 let is_leader t = t.leader <> None
@@ -250,7 +336,12 @@ let rec pump ?addr t ep =
           (fun (id, k) ->
             Hashtbl.remove t.pending id;
             k (Wire.R_err Errno.ECONNREFUSED))
-          stale
+          stale;
+        (* crash sweep: every lease naming the dead peer is now a
+           misroute waiting to happen — drop them all at once rather
+           than letting each one fail (and heal) individually *)
+        if not t.shutdown then
+          Coord.sweep t.coord ~now:(vnow t) ~reason:(Coord.Peer_death a)
       | None -> ())
     | Some msg ->
       (* helper occupancy, queue side: how long the message sat
@@ -628,13 +719,19 @@ and handle_request t ep ~origin reqid req =
              Wire.R_resource { id; owner = requester; persisted = false; created = true }))
   | Wire.Msgq_send { id; data } -> (
     match Hashtbl.find_opt t.msgqs id with
-    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then Errno.EIDRM else Errno.EMOVED))
+    | None ->
+      reply
+        (if Hashtbl.mem t.deleted id then Wire.R_err Errno.EIDRM
+         else moved_response t ~origin id Errno.EMOVED)
     | Some q ->
       enqueue t q data;
       reply Wire.R_unit)
   | Wire.Msgq_recv { id; requester } -> (
     match Hashtbl.find_opt t.msgqs id with
-    | None -> reply (Wire.R_err (if Hashtbl.mem t.deleted id then Errno.EIDRM else Errno.EMOVED))
+    | None ->
+      reply
+        (if Hashtbl.mem t.deleted id then Wire.R_err Errno.EIDRM
+         else moved_response t ~origin id Errno.EMOVED)
     | Some q ->
       note_accessor q requester;
       let n = 1 + Option.value ~default:0 (Hashtbl.find_opt q.recv_stats requester) in
@@ -643,12 +740,15 @@ and handle_request t ep ~origin reqid req =
         t.cfg.Config.migrate_ownership && n >= t.cfg.Config.migrate_threshold
       in
       if migrate then begin
-        (* grant ownership: answer the receive and ship the rest *)
+        (* grant ownership: answer the receive and ship the rest; a
+           forwarding lease stays behind so later operations that
+           still reach us get the typed conflict answer *)
         let data, rest =
           match q.contents with [] -> (None, []) | m :: rest -> (Some m, rest)
         in
         Hashtbl.remove t.msgqs id;
-        audit_ownership t "disown" "msgq" id;
+        coord_disown t id;
+        coord_lease t Coord.Sysv id requester;
         notify_leader_owner t `Msgq id requester;
         reply (Wire.R_msg_migrate { data; contents = rest })
       end
@@ -664,13 +764,13 @@ and handle_request t ep ~origin reqid req =
       end)
   | Wire.Msgq_rmid { id } -> (
     match Hashtbl.find_opt t.msgqs id with
-    | None -> reply (Wire.R_err Errno.EMOVED)
+    | None -> reply (moved_response t ~origin id Errno.EMOVED)
     | Some q ->
       delete_queue t q;
       reply Wire.R_unit)
   | Wire.Sem_op { id; delta; requester } -> (
     match Hashtbl.find_opt t.sems id with
-    | None -> reply (Wire.R_err Errno.EMOVED)
+    | None -> reply (moved_response t ~origin id Errno.EMOVED)
     | Some s ->
       if delta >= 0 then begin
         sem_release t s delta;
@@ -684,9 +784,10 @@ and handle_request t ep ~origin reqid req =
         in
         if migrate && s.count > 0 && s.swaiters = [] then begin
           (* the acquire succeeds and the semaphore moves to the
-             frequent acquirer *)
+             frequent acquirer; a forwarding lease stays behind *)
           Hashtbl.remove t.sems id;
-          audit_ownership t "disown" "sem" id;
+          coord_disown t id;
+          coord_lease t Coord.Sysv id requester;
           notify_leader_owner t `Sem id requester;
           reply (Wire.R_sem_migrate { count = s.count - 1 })
         end
@@ -719,7 +820,7 @@ and handle_notification t n =
     List.iter (fun n -> handle_notification t n) notes
   | Wire.Msgq_deleted { id } ->
     Hashtbl.replace t.deleted id ();
-    Lease.remove t.owner_cache id
+    ignore (Coord.invalidate t.coord ~ns:Coord.Sysv ~key:id)
   | Wire.Owner_update { resource = _; id; addr } -> (
     match t.leader with
     | Some ls ->
@@ -750,7 +851,8 @@ and handle_notification t n =
       (* diverged candidate sets (message loss) produced a second,
          higher-PID winner: reassert — lowest PID wins *)
       broadcast_oneway t
-        (Wire.Leader_elected { pid = t.my_pid; addr = t.my_addr; epoch = t.epoch })
+        (Wire.Leader_elected
+           { pid = t.my_pid; addr = t.my_addr; epoch = Coord.epoch t.coord })
     else begin
       (* if we also claimed leadership from a diverged candidate set,
          the lower PID wins and we demote ourselves *)
@@ -762,14 +864,13 @@ and handle_notification t n =
       t.candidates <- [];
       t.leader_addr <- addr;
       (* adopt the announcement's epoch; max with ours so a delayed
-         duplicate of an old announcement can never move us backwards *)
-      t.epoch <- max t.epoch epoch;
-      audit_epoch t;
+         duplicate of an old announcement can never move us backwards.
+         The epoch bump sweeps the whole coordination table: any cached
+         resolution may point at the dead leader's world, and a stale
+         lease must never misroute a signal *)
+      Coord.adopt_epoch t.coord ~now:(vnow t) epoch;
       audit t Audit.Election ~action:"adopt"
         [ ("leader", Obs.Astr addr); ("leader_pid", Obs.Aint pid) ];
-      (* leadership moved: any cached resolution may point at the dead
-         leader's world, and a stale lease must never misroute a signal *)
-      flush_leases t;
       (* help the new leader rebuild its tables *)
       oneway t ~addr (Wire.State_report { addr = t.my_addr; pid = t.my_pid;
                                           ranges = t.pid_pool;
@@ -843,16 +944,14 @@ and conclude_election t =
       t.leader <- Some (fresh_leader ~first_pid:(t.my_pid + 1000));
       t.leader_addr <- t.my_addr;
       t.elected_leader <- true;
-      t.epoch <- t.epoch + 1;
-      audit_epoch t;
+      let epoch = Coord.advance_epoch t.coord ~now:(vnow t) in
       audit t Audit.Election ~action:"elected" [ ("pid", Obs.Aint pid) ];
-      flush_leases t;
       K.note_leader (kernel t) (Pal.pico t.pal);
       (* adopt our own state directly *)
       handle_notification t
         (Wire.State_report { addr = t.my_addr; pid = t.my_pid; ranges = t.pid_pool;
                              resources = owned_resources t });
-      broadcast_oneway t (Wire.Leader_elected { pid; addr; epoch = t.epoch })
+      broadcast_oneway t (Wire.Leader_elected { pid; addr; epoch })
     | _ ->
       (* wait for the winner's announcement a little longer; if it
          never comes (it also died, or its candidacy was dropped on the
@@ -890,7 +989,7 @@ and enqueue t q data =
 
 and delete_queue t q =
   Hashtbl.remove t.msgqs q.mq_id;
-  audit_ownership t "disown" "msgq" q.mq_id;
+  coord_disown t q.mq_id;
   Hashtbl.replace t.deleted q.mq_id ();
   List.iter
     (fun w ->
@@ -945,25 +1044,26 @@ let snapshot t =
        (if is_leader t then " [leader]" else ""));
   Buffer.add_string b
     (Printf.sprintf "  leader %s  epoch %d  rpc %d sent / %d handled  dedup %d keys / %d suppressed\n"
-       t.leader_addr t.epoch t.rpc_sent t.rpc_handled (Wire.Dedup.length t.dedup)
-       (Wire.Dedup.suppressed t.dedup));
+       t.leader_addr (Coord.epoch t.coord) t.rpc_sent t.rpc_handled
+       (Wire.Dedup.length t.dedup) (Wire.Dedup.suppressed t.dedup));
   Buffer.add_string b
     (Printf.sprintf "  pid pool: %s\n"
        (if t.pid_pool = [] then "-"
         else
           String.concat ", "
             (List.map (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi) t.pid_pool)));
-  let lease_table name lease =
-    Buffer.add_string b (Printf.sprintf "  %s leases (%d):\n" name (Lease.length lease));
+  let lease_table name ns =
+    Buffer.add_string b
+      (Printf.sprintf "  %s leases (%d):\n" name (Coord.leased_count t.coord ~ns));
     List.iter
       (fun (k, v, remaining) ->
         Buffer.add_string b
           (Printf.sprintf "    %d -> %s  ttl %s\n" k v
              (if remaining < 0 then "inf" else Printf.sprintf "%dns" remaining)))
-      (Lease.entries lease ~now)
+      (Coord.entries t.coord ~now ~ns)
   in
-  lease_table "owner" t.owner_cache;
-  lease_table "pid" t.pid_cache;
+  lease_table "owner" Coord.Sysv;
+  lease_table "pid" Coord.Pid;
   let ids tbl = Hashtbl.fold (fun id _ acc -> id :: acc) tbl [] |> List.sort compare in
   Buffer.add_string b
     (Printf.sprintf "  owned: msgq [%s]  sem [%s]\n"
@@ -997,12 +1097,9 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       leader = (if make_leader then Some (fresh_leader ~first_pid) else None);
       pid_pool = [];
       streams = Hashtbl.create 8;
-      owner_cache =
-        Lease.create ~name:"ipc.lease.owner" ~capacity:cfg.Config.lease_capacity
-          ~ttl:cfg.Config.lease_ttl;
-      pid_cache =
-        Lease.create ~name:"ipc.lease.pid" ~capacity:cfg.Config.lease_capacity
-          ~ttl:cfg.Config.lease_ttl;
+      coord =
+        Coord.create ~capacity:cfg.Config.lease_capacity ~ttl:cfg.Config.lease_ttl;
+      moved_hint = None;
       coalesce_buf = Hashtbl.create 4;
       pending = Hashtbl.create 8;
       next_req = 0;
@@ -1017,19 +1114,13 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       my_pid = first_pid - 1;
       electing = false;
       candidates = [];
-      elected_leader = false;
-      epoch = 0 }
+      elected_leader = false }
   in
-  Lease.set_hook t.owner_cache (obs_count t);
-  Lease.set_hook t.pid_cache (obs_count t);
-  (* lease lifecycle into the audit plane, attributed to this instance *)
-  let lease_audit cache ~action ~key =
-    audit t Audit.Lease ~action
-      (("cache", Obs.Astr cache)
-      :: (match key with Some k -> [ ("key", Obs.Aint k) ] | None -> []))
-  in
-  Lease.set_audit_hook t.owner_cache (lease_audit "owner");
-  Lease.set_audit_hook t.pid_cache (lease_audit "pid");
+  (* single instrumentation choke point: every coordination event —
+     lease lifecycle, ownership moves, conflicts, sweeps, epoch bumps —
+     flows through one observer into the counters and the audit plane,
+     attributed to this instance *)
+  Coord.observe t.coord (coord_event t);
   K.register_introspector (kernel t) ~pid:(Pal.pico pal).K.pid (fun () -> snapshot t);
   (* identity for the wait-for graph: waits name their holder by wire
      address; this registry turns it back into a host pid *)
@@ -1079,7 +1170,10 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
 let shutdown t =
   let addrs = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.coalesce_buf [] in
   List.iter (fun addr -> flush_coalesced t ~addr) addrs;
-  t.shutdown <- true
+  t.shutdown <- true;
+  (* the same crash-sweep lifecycle as a peer death, driven from the
+     exiting side: no entry of ours survives the instance *)
+  Coord.sweep t.coord ~now:(vnow t) ~reason:Coord.Owner_exit
 
 (* {1 PID namespace} *)
 
@@ -1141,7 +1235,7 @@ let register_pid_owner t ~pid ~addr =
 (* {1 Signals} *)
 
 let resolve_pid t pid k =
-  match lease_find t t.pid_cache pid with
+  match coord_check t Coord.Pid pid with
   | Some addr ->
     (* a valid lease answers locally for one hash-probe's worth of time *)
     K.after (kernel t) Cost.lease_probe (fun () -> k (Some addr))
@@ -1156,10 +1250,10 @@ let resolve_pid t pid k =
       let t0 = vnow t in
       rpc t ~addr:t.leader_addr (Wire.Pid_query { pid }) (fun resp ->
           if t.cfg.Config.cache_owners then
-            Lease.note_stall t.pid_cache (max 0 (Time.diff (vnow t) t0));
+            Coord.note_stall t.coord ~ns:Coord.Pid (max 0 (Time.diff (vnow t) t0));
           match resp with
           | Wire.R_owner { addr = Some addr } ->
-            lease_put t t.pid_cache pid addr;
+            coord_lease t Coord.Pid pid addr;
             k (Some addr)
           | _ -> k None))
 
@@ -1174,7 +1268,7 @@ let send_signal t ~to_pid ~signum ~from_pid k =
         rpc t ~addr (Wire.Signal { to_pid; signum; from_pid }) (function
           | Wire.R_unit -> k (Ok ())
           | Wire.R_err e ->
-            Lease.remove t.pid_cache to_pid;
+            ignore (Coord.invalidate t.coord ~ns:Coord.Pid ~key:to_pid);
             k (Error e)
           | _ -> k (Error Errno.EPROTO)))
 
@@ -1207,7 +1301,7 @@ let new_local_queue t ~id ~key =
       accessors = [] }
   in
   Hashtbl.replace t.msgqs id q;
-  audit_ownership t "own" "msgq" id;
+  coord_own t "msgq" id;
   q
 
 (* Load a queue another (exited) owner serialized to disk, becoming
@@ -1225,7 +1319,6 @@ let load_persistent_queue t ~id ~key k =
           let q = new_local_queue t ~id ~key in
           q.contents <- contents;
           notify_leader_owner t `Msgq id t.my_addr;
-          Lease.remove t.owner_cache id;
           k (Ok ())))
 
 let msgq_get_meta t ~key ~create k =
@@ -1268,7 +1361,7 @@ let msgget t ~key ~create k =
       else begin
         if owner = t.my_addr && not (Hashtbl.mem t.msgqs id) then
           ignore (new_local_queue t ~id ~key);
-        if owner <> "" then lease_put t t.owner_cache id owner;
+        if owner <> "" then coord_lease t Coord.Sysv id owner;
         k (Ok (id, created))
       end)
 
@@ -1276,7 +1369,7 @@ let msgget t ~key ~create k =
    the owner; persistence is always re-checked at the leader when the
    owner is unknown or unreachable. *)
 let resolve_resource t id k =
-  match lease_find t t.owner_cache id with
+  match coord_check t Coord.Sysv id with
   | Some addr -> K.after (kernel t) Cost.lease_probe (fun () -> k (Some addr, false))
   | None -> (
     match t.leader with
@@ -1287,7 +1380,7 @@ let resolve_resource t id k =
       let t0 = vnow t in
       let stalled () =
         if t.cfg.Config.cache_owners then
-          Lease.note_stall t.owner_cache (max 0 (Time.diff (vnow t) t0))
+          Coord.note_stall t.coord ~ns:Coord.Sysv (max 0 (Time.diff (vnow t) t0))
       in
       rpc t ~addr:t.leader_addr (Wire.Res_query { id }) (fun resp ->
           stalled ();
@@ -1295,7 +1388,7 @@ let resolve_resource t id k =
           | Wire.R_resource { owner; persisted; _ } ->
             let owner = if owner = "" then None else Some owner in
             (match owner with
-            | Some addr -> lease_put t t.owner_cache id addr
+            | Some addr -> coord_lease t Coord.Sysv id addr
             | None -> ());
             k (owner, persisted)
           | _ -> k (None, false)))
@@ -1307,15 +1400,23 @@ let with_retry t ~id op k =
   let rec attempt tries =
     op (function
       | Error e
-        when Errno.(equal e EMOVED || equal e ECONNREFUSED) && tries > 0 && not t.shutdown ->
-        Lease.remove t.owner_cache id;
-        let t0 = vnow t in
-        K.after (kernel t) t.cfg.Config.moved_retry_delay (fun () ->
-            (* the backoff is blocked time charged to the retry path,
-               not to the resource that moved *)
-            Contend.record_wait (contend t) ~pid:(host_pid t) ~resource:"ipc.wait.retry"
-              ~start:t0 (vnow t);
-            attempt (tries - 1))
+        when Errno.(equal e EMOVED || equal e ECONNREFUSED) && tries > 0 && not t.shutdown -> (
+        match t.moved_hint with
+        | Some (hid, _) when hid = id ->
+          (* a typed conflict answer already re-aimed our lease at the
+             new holder: retry immediately, no invalidation, no blind
+             backoff *)
+          t.moved_hint <- None;
+          attempt (tries - 1)
+        | _ ->
+          ignore (Coord.invalidate t.coord ~ns:Coord.Sysv ~key:id);
+          let t0 = vnow t in
+          K.after (kernel t) t.cfg.Config.moved_retry_delay (fun () ->
+              (* the backoff is blocked time charged to the retry path,
+                 not to the resource that moved *)
+              Contend.record_wait (contend t) ~pid:(host_pid t) ~resource:"ipc.wait.retry"
+                ~start:t0 (vnow t);
+              attempt (tries - 1)))
       | r -> k r)
   in
   attempt t.cfg.Config.moved_tries
@@ -1354,6 +1455,9 @@ and msgsnd_once t ~id ~data k =
                  point-to-point stream later sends fire along *)
               rpc t ~addr (Wire.Msgq_send { id; data }) (function
                 | Wire.R_unit -> k (Ok ())
+                | Wire.R_conflict { holder; _ } ->
+                  note_conflict t id holder;
+                  k (Error Errno.EMOVED)
                 | Wire.R_err e -> k (Error e)
                 | _ -> k (Error Errno.EPROTO)))
 
@@ -1401,14 +1505,17 @@ and msgrcv_once t ~id k =
             rpc t ~addr (Wire.Msgq_recv { id; requester = t.my_addr }) (function
               | Wire.R_msg { data } -> k (Ok data)
               | Wire.R_msg_migrate { data; contents } ->
-                (* we are the owner now *)
+                (* we are the owner now; the Held acquire inside
+                   new_local_queue drops any stale lease atomically *)
                 let q = new_local_queue t ~id ~key:0 in
                 q.contents <- contents;
-                Lease.remove t.owner_cache id;
                 notify_leader_owner t `Msgq id t.my_addr;
                 (match data with
                 | Some m -> k (Ok m)
                 | None -> msgrcv_once t ~id k)
+              | Wire.R_conflict { holder; _ } ->
+                note_conflict t id holder;
+                k (Error Errno.EMOVED)
               | Wire.R_err e -> k (Error e)
               | _ -> k (Error Errno.EPROTO)))
 
@@ -1424,6 +1531,9 @@ let msgrm t ~id k =
         | Some addr ->
           rpc t ~addr (Wire.Msgq_rmid { id }) (function
             | Wire.R_unit -> k (Ok ())
+            | Wire.R_conflict { holder; _ } ->
+              note_conflict t id holder;
+              k (Error Errno.EMOVED)
             | Wire.R_err e -> k (Error e)
             | _ -> k (Error Errno.EPROTO)))
 
@@ -1449,7 +1559,7 @@ let persist_owned_queues t =
           | Error _ -> ())
       end;
       Hashtbl.remove t.msgqs q.mq_id;
-      audit_ownership t "disown" "msgq" q.mq_id)
+      coord_disown t q.mq_id)
     owned
 
 (* {1 System V semaphores} *)
@@ -1457,7 +1567,7 @@ let persist_owned_queues t =
 let new_local_sem t ~id ~key ~count =
   let s = { sm_id = id; sm_key = key; count; swaiters = []; acq_stats = Hashtbl.create 4 } in
   Hashtbl.replace t.sems id s;
-  audit_ownership t "own" "sem" id;
+  coord_own t "sem" id;
   s
 
 let semget t ~key ~init k =
@@ -1477,7 +1587,7 @@ let semget t ~key ~init k =
       | Wire.R_resource { id; owner; created; _ } ->
         if owner = t.my_addr && not (Hashtbl.mem t.sems id) then
           ignore (new_local_sem t ~id ~key ~count:init);
-        if owner <> "" then lease_put t t.owner_cache id owner;
+        if owner <> "" then coord_lease t Coord.Sysv id owner;
         k (Ok (id, created))
       | Wire.R_err e -> k (Error e)
       | _ -> k (Error Errno.EPROTO))
@@ -1528,10 +1638,14 @@ and semop_once t ~id ~delta k =
           rpc t ~addr (Wire.Sem_op { id; delta; requester = t.my_addr }) (function
             | Wire.R_unit -> k (Ok ())
             | Wire.R_sem_migrate { count } ->
+              (* the Held acquire inside new_local_sem drops any stale
+                 lease atomically *)
               ignore (new_local_sem t ~id ~key:0 ~count);
-              Lease.remove t.owner_cache id;
               notify_leader_owner t `Sem id t.my_addr;
               k (Ok ())
+            | Wire.R_conflict { holder; _ } ->
+              note_conflict t id holder;
+              k (Error Errno.EMOVED)
             | Wire.R_err e -> k (Error e)
             | _ -> k (Error Errno.EPROTO)))
 
@@ -1548,8 +1662,8 @@ type inherited = {
 let snapshot_for_child t =
   { i_leader_addr = t.leader_addr;
     i_pid_range = donate_pid_range t;
-    i_owner_cache = Lease.to_alist t.owner_cache;
-    i_pid_cache = Lease.to_alist t.pid_cache }
+    i_owner_cache = Coord.export t.coord ~ns:Coord.Sysv;
+    i_pid_cache = Coord.export t.coord ~ns:Coord.Pid }
 
 let restore_inherited t (i : inherited) =
   t.leader_addr <- i.i_leader_addr;
@@ -1557,8 +1671,8 @@ let restore_inherited t (i : inherited) =
   | Some r -> adopt_pid_range t r ~announce:true
   | None -> ());
   (* inherited resolutions lease afresh from the child's clock *)
-  Lease.of_alist t.owner_cache ~now:(vnow t) i.i_owner_cache;
-  Lease.of_alist t.pid_cache ~now:(vnow t) i.i_pid_cache
+  Coord.import t.coord ~now:(vnow t) ~ns:Coord.Sysv i.i_owner_cache;
+  Coord.import t.coord ~now:(vnow t) ~ns:Coord.Pid i.i_pid_cache
 
 (* {1 Sandbox split} *)
 
@@ -1570,7 +1684,7 @@ let become_isolated t ~first_pid =
   t.leader_addr <- t.my_addr;
   audit t Audit.Sandbox ~action:"isolate"
     [ ("sandbox", Obs.Aint (Pal.pico t.pal).K.sandbox) ];
-  flush_leases t;
+  Coord.sweep t.coord ~now:(vnow t) ~reason:Coord.Isolation;
   Hashtbl.reset t.coalesce_buf;
   Hashtbl.reset t.streams;
   Hashtbl.reset t.pending
@@ -1581,4 +1695,4 @@ let become_isolated t ~first_pid =
 let ping t ~addr k = rpc t ~addr Wire.Wait_any_probe (fun _ -> k ())
 
 let set_my_pid t pid = t.my_pid <- pid
-let election_epoch t = t.epoch
+let election_epoch t = Coord.epoch t.coord

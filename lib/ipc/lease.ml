@@ -1,18 +1,14 @@
-(** Bounded name-resolution lease cache.
+(** Bounded TTL cache — the internal read path of {!Coord}.
 
-    The coordination layer caches name-to-owner resolutions (pid → home
-    address, resource id → owner address). Historically these were
-    plain unbounded hash tables invalidated only by EMOVED answers and
-    explicit deletions; a lease adds two guards on top:
-
-    - a {e bound}: at [capacity] entries the oldest insertion evicts,
-      so a long-lived instance cannot grow its maps without limit;
-    - a {e TTL}: each entry expires [ttl] after it was cached (virtual
-      time), so even a missed invalidation heals itself. [ttl] = 0
-      disables expiry — the historical invalidation-only behavior.
-
-    Re-election flushes everything: leadership moved, so any lease may
-    now point at a dead or demoted peer (docs/FAULTS.md). *)
+    This module is pure mechanism: a hash map with insertion-order
+    eviction at [capacity] and per-entry expiry [ttl] after caching
+    (virtual time; 0 disables expiry — the historical
+    invalidation-only behavior). It keeps local statistics and reports
+    every outcome in its return values; it emits no counters and no
+    audit events of its own. {!Coord} owns the policy: which namespace
+    a table serves, when it is swept, and how its lifecycle is
+    surfaced to observers (docs/COORDINATION.md). Nothing outside
+    [lib/ipc/coord.ml] should touch this API. *)
 
 module Time = Graphene_sim.Time
 
@@ -30,35 +26,25 @@ type stats = {
   mutable stall_ns : Time.t;  (** total virtual time lost to those stalls *)
 }
 
+type lookup = Hit of string | Expired | Absent
+
 type t = {
-  name : string;  (** counter prefix, e.g. "ipc.lease.owner" *)
   mutable capacity : int;
   mutable ttl : Time.t;
   tbl : (int, entry) Hashtbl.t;
   order : int Queue.t;  (** insertion order; oldest evicts first *)
   stats : stats;
-  mutable on_event : string -> unit;
-  mutable on_audit : action:string -> key:int option -> unit;
-      (** lease-lifecycle hook (the instance routes these to the audit
-          log with its own pid); [key = None] only for "flush" *)
 }
 
-let create ~name ~capacity ~ttl =
-  { name;
-    capacity = max 1 capacity;
+let create ~capacity ~ttl =
+  { capacity = max 1 capacity;
     ttl;
     tbl = Hashtbl.create 32;
     order = Queue.create ();
     stats =
       { hits = 0; misses = 0; expirations = 0; evictions = 0; invalidations = 0; stalls = 0;
-        stall_ns = Time.zero };
-    on_event = ignore;
-    on_audit = (fun ~action:_ ~key:_ -> ()) }
+        stall_ns = Time.zero } }
 
-let set_hook t f = t.on_event <- f
-let set_audit_hook t f = t.on_audit <- f
-let count t what = t.on_event (t.name ^ "." ^ what)
-let audit t action key = t.on_audit ~action ~key:(Some key)
 let length t = Hashtbl.length t.tbl
 let stats t = t.stats
 
@@ -68,82 +54,110 @@ let expired t ~now e = t.ttl > Time.zero && Time.diff now e.cached_at > t.ttl
    the stall's virtual duration. *)
 let note_stall t d =
   t.stats.stalls <- t.stats.stalls + 1;
-  t.stats.stall_ns <- Time.add t.stats.stall_ns d;
-  count t "stall"
+  t.stats.stall_ns <- Time.add t.stats.stall_ns d
 
-(* Pure lookup: no stats, no audit, no expiry side effect — for
-   observers (contention holder resolution) that must not perturb the
-   lease lifecycle the invariant monitors check. *)
+(* Pure lookup: no stats, no expiry side effect — for observers
+   (contention holder resolution, introspection) that must not perturb
+   the lease lifecycle the invariant monitors check. *)
 let peek t ~now key =
   match Hashtbl.find_opt t.tbl key with
   | Some e when not (expired t ~now e) -> Some e.value
   | _ -> None
 
-(* Lookup with lease semantics: an expired entry answers as a miss and
-   is dropped on the spot. *)
+(* Lookup with lease semantics: an expired entry answers [Expired] and
+   is dropped on the spot (it counts as both an expiration and a
+   miss — the caller still has to resolve). *)
 let find t ~now key =
   match Hashtbl.find_opt t.tbl key with
   | Some e when not (expired t ~now e) ->
     t.stats.hits <- t.stats.hits + 1;
-    count t "hit";
-    audit t "use" key;
-    Some e.value
+    Hit e.value
   | Some _ ->
     Hashtbl.remove t.tbl key;
     t.stats.expirations <- t.stats.expirations + 1;
-    count t "expire";
-    audit t "expire" key;
     t.stats.misses <- t.stats.misses + 1;
-    count t "miss";
-    None
+    Expired
   | None ->
     t.stats.misses <- t.stats.misses + 1;
-    count t "miss";
-    None
+    Absent
 
 let rec evict_oldest t =
-  if not (Queue.is_empty t.order) then begin
+  if Queue.is_empty t.order then None
+  else begin
     let k = Queue.pop t.order in
     if Hashtbl.mem t.tbl k then begin
       Hashtbl.remove t.tbl k;
       t.stats.evictions <- t.stats.evictions + 1;
-      count t "evict";
-      audit t "evict" k
+      Some k
     end
     else evict_oldest t
   end
 
+(* Insert or refresh; refreshing restarts the lease clock, and an
+   insert over an expired entry simply replaces it — the table never
+   answers a stale holder to a writer (the expiry-vs-acquire race is
+   resolved here, atomically). Returns the key evicted to make room,
+   if any. *)
 let put t ~now key value =
-  if not (Hashtbl.mem t.tbl key) then begin
-    if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
-    Queue.push key t.order
-  end;
+  let evicted =
+    if Hashtbl.mem t.tbl key then None
+    else begin
+      let e = if Hashtbl.length t.tbl >= t.capacity then evict_oldest t else None in
+      Queue.push key t.order;
+      e
+    end
+  in
   Hashtbl.replace t.tbl key { value; cached_at = now };
-  audit t "acquire" key
+  evicted
 
 (* Targeted invalidation: EMOVED, deletion, a failed signal send. *)
 let remove t key =
   if Hashtbl.mem t.tbl key then begin
     Hashtbl.remove t.tbl key;
     t.stats.invalidations <- t.stats.invalidations + 1;
-    count t "invalidate";
-    audit t "invalidate" key
+    true
   end
+  else false
 
-(* Wholesale invalidation: re-election, sandbox isolation. *)
+(* Remove and report what was there — [`Dropped v] for a live entry
+   (counted as an invalidation), [`Expired] for a dead one (counted as
+   an expiration). Lets an acquire land atomically on an occupied
+   slot. *)
+let take t ~now key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> `Absent
+  | Some e ->
+    Hashtbl.remove t.tbl key;
+    if expired t ~now e then begin
+      t.stats.expirations <- t.stats.expirations + 1;
+      `Expired
+    end
+    else begin
+      t.stats.invalidations <- t.stats.invalidations + 1;
+      `Dropped e.value
+    end
+
+(* Wholesale invalidation: re-election, sandbox isolation. Returns how
+   many entries died. *)
 let flush t =
   let n = Hashtbl.length t.tbl in
-  if n > 0 then begin
-    t.stats.invalidations <- t.stats.invalidations + n;
-    for _ = 1 to n do
-      count t "invalidate"
-    done;
-    (* one event for the whole flush; the invariant monitor kills
-       every live lease of this cache wholesale *)
-    t.on_audit ~action:"flush" ~key:None
-  end;
+  t.stats.invalidations <- t.stats.invalidations + n;
   Hashtbl.reset t.tbl;
-  Queue.clear t.order
+  Queue.clear t.order;
+  n
+
+(* Targeted sweep: drop every entry whose (key, value) satisfies [f] —
+   the crash-sweep primitive (all leases naming a dead peer). Returns
+   the dropped keys, ascending, so the caller's per-key events order
+   deterministically. *)
+let drop_matching t f =
+  let keys =
+    Hashtbl.fold (fun k e acc -> if f k e.value then k :: acc else acc) t.tbl []
+    |> List.sort compare
+  in
+  List.iter (fun k -> Hashtbl.remove t.tbl k) keys;
+  t.stats.invalidations <- t.stats.invalidations + List.length keys;
+  keys
 
 let to_alist t = Hashtbl.fold (fun k e acc -> (k, e.value) :: acc) t.tbl []
 
@@ -158,5 +172,3 @@ let entries t ~now =
       (k, e.value, remaining) :: acc)
     t.tbl []
   |> List.sort compare
-
-let of_alist t ~now entries = List.iter (fun (k, v) -> put t ~now k v) entries

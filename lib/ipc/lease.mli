@@ -1,10 +1,13 @@
-(** Bounded name-resolution lease cache: a hash map with insertion-order
-    eviction at [capacity] and per-entry expiry [ttl] after caching
-    (virtual time; 0 = never — the historical invalidation-only
-    behavior). Targeted invalidation ({!remove}) serves the existing
-    EMOVED/deletion machinery; {!flush} serves re-election, after which
-    any lease may point at a demoted peer (docs/PERF.md,
-    docs/FAULTS.md). *)
+(** Bounded TTL cache — the internal read path of {!Coord}.
+
+    A hash map with insertion-order eviction at [capacity] and
+    per-entry expiry [ttl] after caching (virtual time; 0 = never —
+    the historical invalidation-only behavior). Pure mechanism: every
+    outcome is reported in the return value and tallied in {!stats};
+    no hooks, no counters, no audit emission. {!Coord} owns the
+    policy — which namespace a table serves, when it sweeps, and how
+    lifecycle events reach observers (docs/COORDINATION.md). Nothing
+    outside [lib/ipc/coord.ml] should depend on this module. *)
 
 module Time = Graphene_sim.Time
 
@@ -20,39 +23,50 @@ type stats = {
   mutable stall_ns : Time.t;  (** total virtual time lost to those stalls *)
 }
 
+type lookup =
+  | Hit of string  (** live entry *)
+  | Expired  (** an entry was present but past its TTL; dropped on the spot *)
+  | Absent
+
 type t
 
-val create : name:string -> capacity:int -> ttl:Time.t -> t
-(** [name] prefixes the emitted counters ("<name>.hit", ".miss",
-    ".expire", ".evict", ".invalidate"). *)
+val create : capacity:int -> ttl:Time.t -> t
 
-val set_hook : t -> (string -> unit) -> unit
-(** Counter hook (the instance routes these to graphene.obs). *)
-
-val set_audit_hook : t -> (action:string -> key:int option -> unit) -> unit
-(** Lease-lifecycle hook: ["acquire"], ["use"] (a hit), ["expire"],
-    ["evict"], ["invalidate"], each with its key, and ["flush"] (one
-    event, [key = None]). The instance routes these to the audit log
-    with its own pid. *)
-
-val find : t -> now:Time.t -> int -> string option
-(** An expired entry answers as a miss and is dropped on the spot. *)
+val find : t -> now:Time.t -> int -> lookup
+(** An expired entry answers {!Expired} and is dropped on the spot
+    (counted as an expiration and a miss). *)
 
 val peek : t -> now:Time.t -> int -> string option
-(** Pure lookup: no stats, no audit, no expiry side effect — for
-    observers (contention holder resolution) that must not perturb
-    the lease lifecycle the invariant monitors check. *)
+(** Pure lookup: no stats, no expiry side effect — for observers that
+    must not perturb the lease lifecycle the invariant monitors
+    check. *)
 
 val note_stall : t -> Time.t -> unit
 (** Report that a miss turned into a blocking round trip of the given
-    virtual duration; counted in {!stats} and emitted as a
-    ["<name>.stall"] counter. *)
+    virtual duration; counted in {!stats}. *)
 
-val put : t -> now:Time.t -> int -> string -> unit
-(** Insert or refresh; refreshing restarts the lease clock. *)
+val put : t -> now:Time.t -> int -> string -> int option
+(** Insert or refresh; refreshing restarts the lease clock, and
+    inserting over an expired entry replaces it atomically (the
+    expiry-vs-acquire race resolves to the writer). Returns the key
+    evicted to make room, if any. *)
 
-val remove : t -> int -> unit
-val flush : t -> unit
+val remove : t -> int -> bool
+(** Targeted invalidation; [true] if an entry (live or expired) was
+    dropped (counted as an invalidation). *)
+
+val take : t -> now:Time.t -> int -> [ `Dropped of string | `Expired | `Absent ]
+(** Remove and report what occupied the slot: [`Dropped v] for a live
+    entry (an invalidation), [`Expired] for a dead one (an
+    expiration). *)
+
+val flush : t -> int
+(** Wholesale invalidation; returns how many entries died. *)
+
+val drop_matching : t -> (int -> string -> bool) -> int list
+(** Drop every entry whose (key, value) satisfies the predicate — the
+    crash-sweep primitive. Returns the dropped keys, ascending. *)
+
 val length : t -> int
 val stats : t -> stats
 
@@ -63,6 +77,3 @@ val entries : t -> now:Time.t -> (int * string * int) list
 (** TTL-aware snapshot for [graphene top]: [(key, value, remaining
     virtual ns; -1 = no expiry)], ascending by key. Pure observation —
     expired-but-unreaped entries report 0 and stay put. *)
-
-val of_alist : t -> now:Time.t -> (int * string) list -> unit
-(** Replay a snapshot; entries lease from [now] in the child. *)

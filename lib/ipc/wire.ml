@@ -66,6 +66,11 @@ type response =
           the answer to the receive that triggered migration, [contents]
           the remaining queue *)
   | R_sem_migrate of { count : int }  (** semaphore ownership grant *)
+  | R_conflict of { holder : string; epoch : int }
+      (** the resource moved: here is who holds it now, and under
+          which election epoch that was observed — the requester can
+          re-aim its lease and retry directly instead of falling back
+          to a leader round trip *)
   | R_err of Graphene_core.Errno.t
 
 type envelope =

@@ -77,6 +77,13 @@ type response =
           the answer to the receive that triggered migration, [contents]
           the remaining queue *)
   | R_sem_migrate of { count : int }  (** semaphore ownership grant *)
+  | R_conflict of { holder : string; epoch : int }
+      (** typed conflict answer from an instance that no longer holds
+          a resource but retains a forwarding lease: who holds it now,
+          and under which election epoch that was observed. The
+          requester re-aims its lease at [holder] and retries directly
+          — no leader round trip, no blind EMOVED backoff
+          (docs/COORDINATION.md). *)
   | R_err of Graphene_core.Errno.t
 
 type envelope =
