@@ -42,7 +42,9 @@ let experiments ~full =
     ("cache", "Cache ablation: fast-path caches on/off, hit rates", fun () ->
         if not (Cache.run ~full ()) then cache_gate_failed := true);
     ("contend", "Contention sweep: wait attribution, leader share, convoys", fun () ->
-        if not (Contend.run ~full ()) then cache_gate_failed := true) ]
+        if not (Contend.run ~full ()) then cache_gate_failed := true);
+    ("web", "Web farm: event-driven servers at production concurrency", fun () ->
+        if not (Web.run ~full ()) then cache_gate_failed := true) ]
 
 (* {1 Bechamel probes}
 
@@ -166,5 +168,5 @@ let () =
       | None ->
         prerr_endline
           ("unknown experiment " ^ name
-         ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache contend bechamel)");
+         ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache contend web bechamel)");
         exit 2))

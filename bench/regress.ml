@@ -210,7 +210,10 @@ let exact_prefixes =
   [ "chaos.unrecovered"; "chaos.completed"; "chaos.invariant";
     (* contention self-gates: unattributed blocked time and report
        determinism are virtual-clock-exact — any drift is a bug *)
-    "contend.unattributed"; "contend.deterministic" ]
+    "contend.unattributed"; "contend.deterministic";
+    (* web sweep self-gates: the degradation shape and same-seed
+       determinism are pass/fail bits, not noisy means *)
+    "web.deterministic"; "web.degrading" ]
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix

@@ -76,6 +76,7 @@ let run ?(full = true) () =
   in
   let requests = if full then 20_000 else 2_000 in
   let concs = if full then [ 25; 50; 100 ] else [ 25 ] in
+  let apache25_linux = ref None in
   List.iter
     (fun (label, exe, argv, ready) ->
       List.iter
@@ -89,6 +90,7 @@ let run ?(full = true) () =
               (throughput ~exe ~argv ~ready ~concurrency:conc ~requests)
           in
           let linux = m W.Linux and kvm = m W.Kvm and g = m W.Graphene_rm in
+          if String.equal label "apache" && conc = 25 then apache25_linux := Some linux;
           let pct s =
             Table.cell_pct ((Stats.mean s -. Stats.mean linux) /. Stats.mean linux *. 100.)
           in
@@ -104,6 +106,44 @@ let run ?(full = true) () =
       ("lighttpd", "/bin/lighttpd", [ "8080"; "4" ], "lighttpd ready") ];
   Table.print t2;
   Harness.paper_note "apache 25c: 5.73/4.84(-16%%)/4.02(-30%%); lighttpd 25c: 6.66/6.46(-3%%)/5.65(-15%%)";
+  print_newline ();
+  (* Accept-semaphore fast-path ablation (docs/WEB.md): the apache row
+     again with {!Graphene_ipc.Config.t.sem_fastpath} off — every
+     accept-serializing semop pays the coordination RPC, the pre-
+     fast-path behavior. Two trials at fixed seeds: the rows are
+     calibration anchors, and the virtual clock makes each one
+     reproduce byte-for-byte at the same seed. *)
+  let t2a =
+    Table.create ~title:"Table 5b': apache 25 conc, accept-sem fast path ablation (MB/s)"
+      ~headers:[ "Config"; "Graphene+RM"; "vs Linux" ]
+  in
+  let linux_mean =
+    match !apache25_linux with
+    | Some s -> Stats.mean s
+    | None -> failwith "table5: apache 25 conc Linux row missing"
+  in
+  List.iter
+    (fun (label, cfg) ->
+      let g =
+        Harness.trials ~n:2
+          ~name:(Printf.sprintf "table5/apache_25conc_%s" label)
+          ~unit:"MB/s" ~cfg ~stack:W.Graphene_rm
+          (throughput ~exe:"/bin/apache" ~argv:[ "8080"; "4"; "plain" ]
+             ~ready:"apache ready" ~concurrency:25 ~requests)
+      in
+      Table.add_row t2a
+        [ "sem_fastpath " ^ label;
+          Printf.sprintf "%.2f" (Stats.mean g);
+          Table.cell_pct ((Stats.mean g -. linux_mean) /. linux_mean *. 100.) ])
+    [ ("on", Graphene_ipc.Config.default ());
+      ("off",
+       (* only the fast path off — the other caches stay, so the delta
+          is the fast path's alone *)
+       let c = Graphene_ipc.Config.default () in
+       c.Graphene_ipc.Config.sem_fastpath <- false;
+       c) ];
+  Table.print t2a;
+  Harness.paper_note "paper apache gap: -30%% — fast path on should land near it, off reverts to the RPC-bound number";
   print_newline ();
   (* bash *)
   let t3 = Table.create ~title:"Table 5c: bash workloads (s)" ~headers in

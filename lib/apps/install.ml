@@ -8,7 +8,8 @@ module Loader = Graphene_liblinux.Loader
 let binaries =
   Binaries.all
   @ [ ("/bin/sh", Shell.sh); ("/bin/cc", Compile.cc); ("/bin/make", Compile.make);
-      ("/bin/lighttpd", Web.lighttpd); ("/bin/apache", Web.apache) ]
+      ("/bin/lighttpd", Web.lighttpd); ("/bin/apache", Web.apache);
+      ("/bin/eweb", Web.eweb) ]
   @ Lmbench.all @ Sysv.all
 
 let fixtures fs =

@@ -160,6 +160,77 @@ let apache =
                         (* the master reaps forever *)
                         while_ (bool true) (sys "wait" []) ]))))))
 
+(* {1 eweb: event-driven prefork workers (epoll + SysV accept sem)} *)
+
+let eweb_sem_key = 4243
+
+(* Each preforked worker runs an epoll event loop over the listening
+   socket plus its in-flight connections. The accept semaphore is the
+   same Apache-style serialization, but taken nginx-style: a
+   non-blocking trylock (semop with IPC_NOWAIT). A worker that loses
+   the race simply returns to its loop and keeps serving the
+   connections it already holds — an event-driven worker must never
+   sleep on the semaphore while registered fds have unread requests,
+   or the farm deadlocks the moment every in-flight connection is
+   parked behind a blocked acquire. At low concurrency every trylock
+   wins on the shared-page fast path; pile-ups at production
+   concurrency turn into guest-side EAGAINs and slow-path RPCs, which
+   is the degradation the paper measures (docs/WEB.md). *)
+let eweb =
+  let event_loop =
+    let_ "efd" (sys "epoll_create" [])
+      (seq
+         [ sys "epoll_ctl" [ v "efd"; str "add"; v "lfd" ];
+           while_ (bool true)
+             (let_ "ready" (sys "epoll_wait" [ v "efd" ])
+                (foreach "fd" (v "ready")
+                   (if_ (v "fd" =% v "lfd")
+                      (when_
+                         (sys "semop_try" [ v "sem"; int (-1) ] =% int 0)
+                         (let_ "conn"
+                            (sys "accept_try" [ v "lfd" ])
+                            (seq
+                               [ sys "semop" [ v "sem"; int 1 ];
+                                 (* readiness can go stale between the
+                                    scan and the trylock win *)
+                                 when_
+                                   (v "conn" >=% int 0)
+                                   (sys "epoll_ctl" [ v "efd"; str "add"; v "conn" ]) ])))
+                      (seq
+                         [ sys "epoll_ctl" [ v "efd"; str "del"; v "fd" ];
+                           call "handle_request" [ v "fd" ] ])))) ])
+  in
+  prog ~name:"/bin/eweb" ~funcs:[ handle_request_func ]
+    (let_ "port"
+       (int_of_str (nth (v "argv") (int 0)))
+       (let_ "nworkers"
+          (int_of_str (nth (v "argv") (int 1)))
+          (let_ "lfd"
+             (sys "listen_tcp" [ v "port" ])
+             (* key the accept sem off the port so farm instances
+                sharing a kernel (the Linux reference) don't collide
+                in the SysV namespace — inside a Graphene sandbox the
+                id namespace is private anyway *)
+             (let_ "sem"
+                (sys "semget" [ int eweb_sem_key +% v "port"; int 1 ])
+                (seq
+                   [ (* lean master: no per-request buffers of its own *)
+                     Memmodel.dirty (800 * 1024);
+                     sys "print" [ str "eweb ready\n" ];
+                     let_ "i" (int 0)
+                       (while_
+                          (v "i" <% v "nworkers")
+                          (seq
+                             [ let_ "pid" (sys "fork" [])
+                                 (when_ (v "pid" =% int 0)
+                                    (seq
+                                       [ (* event workers carry small pools *)
+                                         Memmodel.dirty (1_200 * 1024);
+                                         event_loop;
+                                         sys "exit" [ int 0 ] ]));
+                               set "i" (v "i" +% int 1) ]));
+                     while_ (bool true) (sys "wait" []) ])))))
+
 (* Install the 100-byte document the benchmark fetches, plus per-user
    trees for the sandbox mode. *)
 let install_docroot fs =

@@ -49,6 +49,8 @@ let kvm_profile =
     device_overhead = Cost.qemu_device_overhead;
     ckpt_image = Cost.kvm_min_ram - (23 * 1024 * 1024) }
 
+type epoll_state = { mutable interest : int list }
+
 type fd_kind =
   | Kfile of string
   | Kconsole
@@ -57,6 +59,7 @@ type fd_kind =
   | Kstream of { sock : bool }
   | Klisten of int
   | Kproc of string
+  | Kepoll of epoll_state
 
 (* Open file description: shared across dup and fork, with a shared
    seek cursor — stock POSIX semantics. *)
@@ -554,6 +557,20 @@ and dispatch_inner p th name args =
             ~cost:(Time.add (Time.us 1.2) (net_cost ctx))
             (vint (alloc_fd p (new_ofile ~handle:(K.fresh_handle kern (K.Hstream ep)) (Kstream { sock = true })))))
     | _ -> fail p th E.ENOTSOCK)
+  | "accept_try" -> (
+    (* non-blocking accept: -1 when the backlog is empty, so an event
+       loop never sleeps outside its poll call *)
+    match file_of_fd (int_arg 0) with
+    | Some { handle = Some { K.obj = K.Hserver srv; _ }; _ } ->
+      if srv.K.backlog = [] then finish p th ~cost:(Time.ns 300) (vint (-1))
+      else
+        K.stream_accept kern srv (fun ep ->
+            finish p th
+              ~cost:(Time.add (Time.us 1.2) (net_cost ctx))
+              (vint
+                 (alloc_fd p
+                    (new_ofile ~handle:(K.fresh_handle kern (K.Hstream ep)) (Kstream { sock = true })))))
+    | _ -> fail p th E.ENOTSOCK)
   | "connect_tcp" ->
     K.net_connect kern p.pico ~port:(int_arg 0)
       ~ok:(fun ep ->
@@ -568,6 +585,31 @@ and dispatch_inner p th name args =
       finish p th (vint 0)
     | _ -> fail p th E.EBADF)
   | "select" -> do_select p th (Ast.as_list (a 0))
+  (* {2 epoll} *)
+  | "epoll_create" ->
+    finish p th ~cost:(Time.ns 150) (vint (alloc_fd p (new_ofile (Kepoll { interest = [] }))))
+  | "epoll_ctl" -> (
+    match file_of_fd (int_arg 0) with
+    | Some { okind = Kepoll e; _ } -> (
+      let fd = int_arg 2 in
+      match str_arg 1 with
+      | "add" ->
+        if file_of_fd fd = None then fail p th E.EBADF
+        else begin
+          if not (List.mem fd e.interest) then e.interest <- e.interest @ [ fd ];
+          finish p th ~cost:(Time.ns 150) (vint 0)
+        end
+      | "del" ->
+        e.interest <- List.filter (fun f -> f <> fd) e.interest;
+        finish p th ~cost:(Time.ns 150) (vint 0)
+      | _ -> fail p th E.EINVAL)
+    | Some _ -> fail p th E.EINVAL
+    | None -> fail p th E.EBADF)
+  | "epoll_wait" -> (
+    match file_of_fd (int_arg 0) with
+    | Some { okind = Kepoll e; _ } -> do_epoll_wait p th e
+    | Some _ -> fail p th E.EINVAL
+    | None -> fail p th E.EBADF)
   (* {2 Signals} *)
   | "sigaction" ->
     Hashtbl.replace p.sigactions (int_arg 0) (str_arg 1);
@@ -692,6 +734,34 @@ and dispatch_inner p th name args =
         finish p th ~cost:(Time.us 1.0) (vint 0)
       end
       else s.ks_waiters <- s.ks_waiters @ [ (fun () -> finish p th ~cost:(Time.us 1.0) (vint 0)) ])
+  | "semop_try" -> (
+    (* semop with IPC_NOWAIT: 0 on success, -1 when the acquire would
+       block (futex-backed on a native kernel, so it never sleeps) *)
+    match Hashtbl.find_opt ctx.sems (int_arg 0) with
+    | None -> fail p th E.EIDRM
+    | Some s ->
+      let delta = int_arg 1 in
+      if delta >= 0 then begin
+        s.ks_count <- s.ks_count + delta;
+        let rec wake () =
+          if s.ks_count > 0 then begin
+            match s.ks_waiters with
+            | [] -> ()
+            | w :: rest ->
+              s.ks_waiters <- rest;
+              s.ks_count <- s.ks_count - 1;
+              w ();
+              wake ()
+          end
+        in
+        wake ();
+        finish p th ~cost:(Time.us 1.0) (vint 0)
+      end
+      else if s.ks_count > 0 then begin
+        s.ks_count <- s.ks_count - 1;
+        finish p th ~cost:(Time.us 1.0) (vint 0)
+      end
+      else finish p th ~cost:(Time.us 1.0) (vint (-1)))
   (* {2 Memory} *)
   | "mmap" -> (
     let bytes = int_arg 0 in
@@ -841,7 +911,7 @@ and do_read p th fd n =
             let cost = Time.add Cost.host_read_base (if sock then net_cost p.ctx else Time.zero) in
             finish p th ~cost (vstr data))
       | _ -> fail p th E.EBADF)
-    | Klisten _ -> fail p th E.EINVAL)
+    | Klisten _ | Kepoll _ -> fail p th E.EINVAL)
 
 and do_write p th fd data =
   let kern = p.ctx.kernel in
@@ -880,7 +950,7 @@ and do_write p th fd data =
           ignore (post_signal p Signal.sigpipe);
           fail p th E.EPIPE)
       | _ -> fail p th E.EBADF)
-    | Klisten _ -> fail p th E.EINVAL)
+    | Klisten _ | Kepoll _ -> fail p th E.EINVAL)
 
 and do_select p th fd_values =
   let kern = p.ctx.kernel in
@@ -910,6 +980,64 @@ and do_select p th fd_values =
             in
             arm ())
           eps)
+
+and do_epoll_wait p th e =
+  let kern = p.ctx.kernel in
+  if e.interest = [] then fail p th E.EINVAL
+  else begin
+    let ready_fd fd =
+      match Hashtbl.find_opt p.fds fd with
+      | Some { handle = Some { K.obj = K.Hstream ep; _ }; _ } ->
+        Stream.available ep > 0 || Stream.at_eof ep
+      | Some { handle = Some { K.obj = K.Hserver srv; _ }; _ } ->
+        srv.K.backlog <> [] || srv.K.srv_closed
+      | _ -> false
+    in
+    let answer ready =
+      finish p th ~cost:(Time.us 0.6) (Ast.Vlist (List.map vint ready))
+    in
+    match List.filter ready_fd e.interest with
+    | _ :: _ as ready -> answer ready
+    | [] ->
+      let completed = ref false in
+      let wake () =
+        if not !completed then begin
+          completed := true;
+          answer (List.filter ready_fd e.interest)
+        end
+      in
+      K.after kern Cost.select_base (fun () ->
+          if !completed then ()
+          else
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt p.fds fd with
+                | Some { handle = Some { K.obj = K.Hstream ep; _ }; _ } ->
+                  let rec arm () =
+                    if not !completed then
+                      if Stream.available ep > 0 || Stream.at_eof ep then wake ()
+                      else Stream.on_activity ep (fun () -> arm ())
+                  in
+                  arm ()
+                | Some { handle = Some { K.obj = K.Hserver srv; _ }; _ } ->
+                  if srv.K.backlog <> [] then wake ()
+                  else
+                    (* a readiness probe, not a consumer: pass the
+                       connection to the next waiter in line or stash
+                       it for a later accept — never strand it in the
+                       backlog behind queued accepts *)
+                    srv.K.accept_waiters <-
+                      srv.K.accept_waiters
+                      @ [ (fun ep ->
+                            (match srv.K.accept_waiters with
+                            | w :: rest ->
+                              srv.K.accept_waiters <- rest;
+                              w ep
+                            | [] -> srv.K.backlog <- srv.K.backlog @ [ ep ]);
+                            wake ()) ]
+                | _ -> ())
+              e.interest)
+  end
 
 and do_wait p th pid_filter =
   let find_zombie () =

@@ -112,6 +112,26 @@ and lsm = {
 
 type gipc_payload = { g_src : pico; g_ranges : (int * int) list  (** base, npages *) }
 
+(* A shared semaphore page: the medium of the futex-style SysV fast
+   path. The owner publishes (value, waiter count) here; same-sandbox
+   picoprocesses with live authority mutate it directly instead of
+   RPC-ing the owner. The kernel only keeps the registry honest —
+   pages die with their publisher and follow it across sandbox
+   splits; the policy checks live in the readers (docs/WEB.md). *)
+type sem_page = {
+  sp_id : int;  (** the SysV semaphore id the page mirrors *)
+  mutable sp_value : int;
+  mutable sp_waiters : int;
+      (** waiters queued at the owner; nonzero forces the slow path so
+          queued acquirers are never barged past *)
+  mutable sp_owner : string;  (** wire address of the publishing instance *)
+  sp_pid : int;  (** host pid of the publisher, for exit revocation *)
+  mutable sp_sandbox : int;
+  mutable sp_valid : bool;
+  mutable sp_fast_acquires : int;
+  mutable sp_fast_releases : int;
+}
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -165,6 +185,10 @@ type t = {
   mutable pal_calls : int;
       (** lifetime PAL host calls, across all picoprocesses — the
           crash-call fault counts against this *)
+  sem_pages : (int * int, sem_page) Hashtbl.t;
+      (** shared sem pages by (sandbox, SysV id): id namespaces are
+          per-sandbox-leader, so ids alone collide across a farm of
+          sandboxes *)
 }
 
 exception Denied of string
@@ -246,7 +270,8 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
     fault_leader = None;
     leader_killed_at = None;
     recovered_at = None;
-    pal_calls = 0 }
+    pal_calls = 0;
+    sem_pages = Hashtbl.create 8 }
 
 let now t = Engine.now t.engine
 let set_lsm t lsm =
@@ -291,6 +316,39 @@ let fresh_handle t obj =
 let fresh_sandbox t =
   t.next_sandbox <- t.next_sandbox + 1;
   t.next_sandbox
+
+(* {1 Shared semaphore pages} *)
+
+let sem_page_publish t ~id ~owner ~pid ~sandbox ~value =
+  let p =
+    { sp_id = id;
+      sp_value = value;
+      sp_waiters = 0;
+      sp_owner = owner;
+      sp_pid = pid;
+      sp_sandbox = sandbox;
+      sp_valid = true;
+      sp_fast_acquires = 0;
+      sp_fast_releases = 0 }
+  in
+  Hashtbl.replace t.sem_pages (sandbox, id) p;
+  p
+
+let sem_page_lookup t ~sandbox ~id =
+  match Hashtbl.find_opt t.sem_pages (sandbox, id) with
+  | Some p when p.sp_valid -> Some p
+  | _ -> None
+
+(* Revocation flips the validity bit as well as dropping the registry
+   entry: instances hold direct page references, and a reference that
+   outlives the registry entry (migration in flight, dying owner) must
+   fail the readers' validity check instead of answering stale. *)
+let sem_page_invalidate t ~sandbox ~id =
+  match Hashtbl.find_opt t.sem_pages (sandbox, id) with
+  | Some p ->
+    p.sp_valid <- false;
+    Hashtbl.remove t.sem_pages (sandbox, id)
+  | None -> ()
 
 let count_syscall t name =
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.syscall_counts name) in
@@ -561,6 +619,13 @@ let pico_exit t pico code =
     Hashtbl.iter
       (fun _ srv -> if srv.srv_owner = pico.pid then srv.srv_closed <- true)
       t.servers;
+    (* revoke shared sem pages it published: a crashed owner's page
+       must never answer a fast-path op again (holders re-resolve
+       through the coordination layer, which sweeps on peer death) *)
+    let dead =
+      Hashtbl.fold (fun key p acc -> if p.sp_pid = pico.pid then key :: acc else acc) t.sem_pages []
+    in
+    List.iter (fun (sandbox, id) -> sem_page_invalidate t ~sandbox ~id) dead;
     Memory.destroy pico.aspace;
     let watchers = pico.exit_watchers in
     pico.exit_watchers <- [];
@@ -659,6 +724,18 @@ let stream_server t pico ~name =
   Hashtbl.replace t.servers name srv;
   srv
 
+(* listen(2) backlogs are finite: a TCP listener whose accept queue is
+   full silently drops the SYN and the client retransmits after the
+   initial RTO. 511 is the classic server default (nginx's listen()
+   backlog); 1 s is the Linux initial SYN retransmission timer. This is
+   the knee every high-concurrency benchmark eventually hits — past it,
+   throughput over the request span degrades not because requests got
+   slower but because part of the offered load waits out RTOs
+   (docs/WEB.md). Only tcp: listeners drop; the coordination and
+   sandbox pipe servers queue unboundedly, as local sockets do. *)
+let listen_backlog_limit = 511
+let syn_retransmit = Time.s 1.0
+
 let stream_connect t ?(latency = Cost.stream_connect) pico ~name ~ok ~err =
   match Hashtbl.find_opt t.servers name with
   | None -> err "ENOENT"
@@ -676,14 +753,27 @@ let stream_connect t ?(latency = Cost.stream_connect) pico ~name ~ok ~err =
       (match find_pico t srv.srv_owner with
       | Some owner -> register_endpoint t owner server_ep
       | None -> ());
+      let is_tcp = String.length name >= 4 && String.sub name 0 4 = "tcp:" in
       (* connection establishment takes a stream round trip *)
-      after t latency (fun () ->
-          (match srv.accept_waiters with
-          | w :: rest ->
-            srv.accept_waiters <- rest;
-            w server_ep
-          | [] -> srv.backlog <- srv.backlog @ [ server_ep ]);
-          ok client_ep)
+      let rec deliver () =
+        match srv.accept_waiters with
+        | w :: rest ->
+          srv.accept_waiters <- rest;
+          w server_ep;
+          ok client_ep
+        | [] ->
+          if is_tcp && List.length srv.backlog >= listen_backlog_limit then begin
+            (* accept queue full: the SYN is dropped, the client's
+               connect rides the retransmission timer *)
+            if Obs.enabled t.tracer then Obs.count t.tracer "kernel.net.syn_drop";
+            after t syn_retransmit deliver
+          end
+          else begin
+            srv.backlog <- srv.backlog @ [ server_ep ];
+            ok client_ep
+          end
+      in
+      after t latency deliver
     end
 
 let stream_accept _t srv k =
@@ -871,6 +961,21 @@ let sandbox_split t pico ~keep =
       p.endpoints <- List.filter (fun ep -> not (Stream.is_closed ep)) p.endpoints;
       p.sandbox <- new_sandbox)
     moving;
+  (* shared sem pages follow their publisher: re-tagging the sandbox
+     here — in the same atomic step that severs the bridging streams —
+     means a picoprocess left behind can never slip one more fast-path
+     op onto a page whose owner just isolated itself *)
+  let moving_pages =
+    Hashtbl.fold
+      (fun key p acc -> if List.mem p.sp_pid moving_pids then (key, p) :: acc else acc)
+      t.sem_pages []
+  in
+  List.iter
+    (fun ((_, id), p) ->
+      Hashtbl.remove t.sem_pages (p.sp_sandbox, id);
+      p.sp_sandbox <- new_sandbox;
+      Hashtbl.replace t.sem_pages (new_sandbox, id) p)
+    moving_pages;
   if Obs.enabled t.tracer then begin
     Obs.count t.tracer "kernel.sandbox_splits";
     Obs.instant t.tracer Obs.Kernel ~name:"sandbox.split" ~pid:pico.pid

@@ -109,6 +109,24 @@ and lsm = {
   on_sandbox_split : pico -> old_sandbox:int -> paths:string list -> unit;
 }
 
+type sem_page = {
+  sp_id : int;  (** the SysV semaphore id the page mirrors *)
+  mutable sp_value : int;
+  mutable sp_waiters : int;
+      (** waiters queued at the owner; nonzero forces the slow path so
+          queued acquirers are never barged past *)
+  mutable sp_owner : string;  (** wire address of the publishing instance *)
+  sp_pid : int;  (** host pid of the publisher, for exit revocation *)
+  mutable sp_sandbox : int;
+  mutable sp_valid : bool;
+  mutable sp_fast_acquires : int;
+  mutable sp_fast_releases : int;
+}
+(** A shared semaphore page — the medium of the futex-style SysV fast
+    path over the bulk-IPC shared pages. The owner publishes (value,
+    waiter count); same-sandbox picoprocesses with live authority
+    mutate it directly instead of RPC-ing the owner (docs/WEB.md). *)
+
 type t = {
   engine : Graphene_sim.Engine.t;
   rng : Graphene_sim.Rng.t;
@@ -149,6 +167,10 @@ type t = {
   mutable leader_killed_at : Graphene_sim.Time.t option;
   mutable recovered_at : Graphene_sim.Time.t option;
   mutable pal_calls : int;
+  sem_pages : (int * int, sem_page) Hashtbl.t;
+      (** shared sem pages by (sandbox, SysV id): id namespaces are
+          per-sandbox-leader, so ids alone collide across a farm of
+          sandboxes *)
 }
 
 and gipc_payload
@@ -221,6 +243,29 @@ val live_picos : t -> pico list
 val update_peak_rss : pico -> unit
 val fresh_sandbox : t -> int
 val fresh_handle : t -> handle_obj -> handle
+
+(** {1 Shared semaphore pages}
+
+    Registry bookkeeping for the semaphore fast path. Policy (owner
+    match against the coordination table, sandbox confinement, waiter
+    check) lives in the IPC layer; the kernel keeps the registry
+    honest: pages are revoked when their publisher exits and follow it
+    across sandbox splits. *)
+
+val sem_page_publish :
+  t -> id:int -> owner:string -> pid:int -> sandbox:int -> value:int -> sem_page
+(** Publish (or replace) the shared page for semaphore [id]. [owner]
+    is the publishing instance's wire address, [pid] its host pid. *)
+
+val sem_page_lookup : t -> sandbox:int -> id:int -> sem_page option
+(** The live page for [id] as seen from [sandbox]; revoked pages are
+    invisible, and a page that followed its publisher into another
+    sandbox is unreachable from the old one. *)
+
+val sem_page_invalidate : t -> sandbox:int -> id:int -> unit
+(** Revoke: flips the page invalid (direct references held by
+    instances fail their validity check) and drops the registry
+    entry. *)
 
 val syscall_check :
   t -> pico -> name:string -> pc:int -> args:int array -> Bpf.Prog.action * Graphene_sim.Time.t

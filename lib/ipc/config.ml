@@ -82,6 +82,13 @@ type t = {
           the resource but has a live forwarding lease, answer the
           typed [R_conflict {holder; epoch}] instead of a bare EMOVED,
           so the requester retries directly against the holder *)
+  (* --- shared-memory semaphore fast path --- *)
+  mutable sem_fastpath : bool;
+      (** uncontended [semop] as a guest-side atomic on the owner's
+          shared sem page (published through the host kernel, authority
+          still anchored in the Coord table); falls back to the Sem_op
+          RPC on contention, across sandbox boundaries, or when the
+          holder's lease is stale *)
 }
 
 let default () =
@@ -114,7 +121,8 @@ let default () =
     (* wide enough that a guest-paced release burst (~1.5-2 us apart)
        lands several notes per window; well under any RPC timeout *)
     coalesce_window = Time.us 5.0;
-    conflict_hints = true }
+    conflict_hints = true;
+    sem_fastpath = true }
 
 (* The starting point of §4.3's iteration: every coordination request
    is a synchronous RPC, no caching, no batching. *)
@@ -130,7 +138,8 @@ let naive () =
     refmon_cache = false;
     handle_cache = false;
     coalesce = false;
-    conflict_hints = false }
+    conflict_hints = false;
+    sem_fastpath = false }
 
 (* Only the PR-4 fast-path caches off: the pre-caching behavior every
    cache-on run must beat (the A side of the bench-cache ablation). *)
@@ -141,7 +150,8 @@ let uncached () =
     handle_cache = false;
     lease_ttl = Time.zero;
     lease_capacity = max_int;
-    coalesce = false }
+    coalesce = false;
+    sem_fastpath = false }
 
 (* a fresh record with every field copied; [with] on one field forces
    the allocation *)

@@ -90,6 +90,16 @@ type t = {
           bare EMOVED, so the requester re-aims its lease and retries
           directly against the holder — no leader round trip, no blind
           backoff (docs/COORDINATION.md) *)
+  mutable sem_fastpath : bool;
+      (** futex-style System V semaphore fast path: an uncontended
+          [semop] becomes a guest-side atomic on a shared sem page the
+          owner publishes through the host kernel, charged at
+          memory-op cost instead of a round-trip RPC. Authority stays
+          anchored in the {!Coord} table — the fast path is taken only
+          when the page's recorded owner matches local authority or a
+          live lease, the page's sandbox matches ours, and nobody
+          waits; otherwise the existing [Sem_op] RPC runs unchanged
+          (docs/WEB.md) *)
 }
 
 val default : unit -> t
@@ -99,12 +109,13 @@ val default : unit -> t
 val naive : unit -> t
 (** The starting point of §4.3's iteration: every coordination request
     is a synchronous RPC, no caching, no batching, no migration — and
-    none of the fast-path caches. The failure-handling knobs keep
-    their defaults. *)
+    none of the fast-path caches or the semaphore fast path. The
+    failure-handling knobs keep their defaults. *)
 
 val uncached : unit -> t
 (** Defaults with only the fast-path caches (dcache, refmon decision
-    cache, handle fast path, TTL leases, coalescing) disabled: the
-    pre-caching behavior the bench-cache ablation compares against. *)
+    cache, handle fast path, TTL leases, coalescing) and the semaphore
+    fast path disabled: the pre-caching behavior the bench ablations
+    compare against. *)
 
 val copy : t -> t

@@ -55,8 +55,30 @@ type sem = {
   sm_id : int;
   sm_key : int;
   mutable count : int;
+      (** the owner's mirror; with a published page the page is the
+          single source of truth and this trails it *)
   mutable swaiters : sem_waiter list;
   acq_stats : (string, int) Hashtbl.t;
+  mutable page : K.sem_page option;
+      (** the shared page this owner published (fast path on), revoked
+          on migration/exit *)
+}
+
+(* Per-instance fast-path telemetry: fast vs slow acquires, and why
+   each fallback fell back — the "sem fastpath" section of
+   [graphene top]. *)
+type fast_stats = {
+  mutable fast_acquires : int;
+  mutable fast_releases : int;
+  mutable slow_acquires : int;
+  mutable fall_no_page : int;
+  mutable fall_cross_sandbox : int;
+  mutable fall_stale_lease : int;
+  mutable fall_contended : int;
+  mutable fast_eagain : int;
+      (** IPC_NOWAIT acquires the page answered EAGAIN for — contention
+          resolved guest-side, no RPC and no queueing *)
+  mutable sampled_tick : int;  (** fast ops since boot; drives audit sampling *)
 }
 
 type leader_state = {
@@ -94,6 +116,7 @@ type t = {
   dedup : Wire.Dedup.t;  (** receiver-side duplicate suppression *)
   msgqs : (int, msgq) Hashtbl.t;  (** queues owned here *)
   sems : (int, sem) Hashtbl.t;
+  fp : fast_stats;  (** semaphore fast-path counters *)
   deleted : (int, unit) Hashtbl.t;  (** ids known deleted *)
   mutable rpc_sent : int;  (** telemetry *)
   mutable rpc_handled : int;
@@ -269,6 +292,25 @@ let holder_of_resource t id =
     | Some a -> holder_of_addr t a
     | None -> None
 
+(* {1 Shared-page coherence (owner side)}
+
+   With a published page, the page is the single source of truth for
+   the semaphore's value: same-sandbox fast-path ops mutate it behind
+   the owner's back, so every owner-side read goes through [sem_value]
+   and every owner-side write through [set_sem_value] (which keeps the
+   mirror and the page in lock step). The waiter count is advisory —
+   it only ever forces fallers onto the slow path — and is re-synced
+   at every owner-side queue mutation. *)
+
+let sem_value s = match s.page with Some p when p.K.sp_valid -> p.K.sp_value | _ -> s.count
+
+let set_sem_value s v =
+  s.count <- v;
+  match s.page with Some p -> p.K.sp_value <- v | None -> ()
+
+let sync_sem_waiters s =
+  match s.page with Some p -> p.K.sp_waiters <- List.length s.swaiters | None -> ()
+
 let my_addr t = t.my_addr
 let is_leader t = t.leader <> None
 let rpc_sent t = t.rpc_sent
@@ -315,6 +357,50 @@ let respond_executed t ep ~origin ~reqid resp =
 
 (* {1 The helper pump} *)
 
+(* The leader's half of a crash sweep. A peer's SysV resources live in
+   its address space, so they die with it: when its stream drops, the
+   namespace must stop naming it as owner — otherwise every
+   re-resolution hands survivors a fresh lease on a corpse, and the
+   bounded retry loop spins to EAGAIN instead of answering EIDRM. The
+   key mapping dies with the binding, so a later get under the same key
+   creates a fresh resource; persisted queues keep theirs — the next
+   open reloads them from disk under a new owner. The reap is audited
+   as a "disown" on the dead owner's behalf, closing the single-owner
+   invariant's books the way an orderly migration would have. *)
+(* Long enough for a dying peer's last notifications (a few helper
+   dispatches) to drain from its other streams, short against any
+   guest-visible timescale. *)
+let reap_grace = Time.us 200.
+
+let leader_reap_peer t addr =
+  match t.leader with
+  | None -> ()
+  | Some ls ->
+    let dead =
+      Hashtbl.fold
+        (fun id a acc -> if String.equal a addr then id :: acc else acc)
+        ls.res_owner []
+    in
+    let reap_keys tbl id =
+      let keys = Hashtbl.fold (fun key v acc -> if v = id then key :: acc else acc) tbl [] in
+      List.iter (Hashtbl.remove tbl) keys;
+      keys <> []
+    in
+    List.iter
+      (fun id ->
+        Hashtbl.remove ls.res_owner id;
+        if not (Hashtbl.mem ls.res_persisted id) then begin
+          let tag =
+            if reap_keys ls.key_to_sem id then "sem"
+            else if reap_keys ls.key_to_msgq id then "msgq"
+            else "res"
+          in
+          obs_count t "ipc.coord.reap";
+          audit t Audit.Migration ~action:"disown"
+            [ res_arg tag id; ("addr", Obs.Astr addr) ]
+        end)
+      (List.sort compare dead)
+
 let rec pump ?addr t ep =
   K.stream_recv_msg (kernel t) ep (function
     | None ->
@@ -340,8 +426,18 @@ let rec pump ?addr t ep =
         (* crash sweep: every lease naming the dead peer is now a
            misroute waiting to happen — drop them all at once rather
            than letting each one fail (and heal) individually *)
-        if not t.shutdown then
-          Coord.sweep t.coord ~now:(vnow t) ~reason:(Coord.Peer_death a)
+        if not t.shutdown then begin
+          Coord.sweep t.coord ~now:(vnow t) ~reason:(Coord.Peer_death a);
+          (* the namespace reap waits out a short grace: a peer keeps
+             several streams, and this EOF can beat the exit-time
+             notifications (queue persists, owner updates) still
+             draining on another one. Leases above are only caches —
+             dropping them early just costs a re-resolve — but the
+             reap is authoritative, so it re-reads the table after the
+             stragglers had time to land *)
+          K.after (kernel t) reap_grace (fun () ->
+              if not t.shutdown then leader_reap_peer t a)
+        end
       | None -> ())
     | Some msg ->
       (* helper occupancy, queue side: how long the message sat
@@ -356,10 +452,21 @@ let rec pump ?addr t ep =
       end;
       (* helper wakeup + decode *)
       K.after (kernel t) Cost.helper_dispatch (fun () ->
-          (if not t.shutdown then
-             match Wire.decode msg with
-             | Some (env, ctx) -> handle t ep env ~ctx
-             | None -> ());
+          let decoded = if t.shutdown then None else Wire.decode msg in
+          (match decoded with
+          | Some (env, ctx) -> handle t ep env ~ctx
+          | None -> ());
+          (* an accepted stream starts anonymous; the first request
+             names its origin, and from then on an EOF here is that
+             peer's death — the server side of the crash sweep *)
+          let addr =
+            match (addr, decoded) with
+            | Some _, _ -> addr
+            | None, Some (Wire.Req { origin; _ }, _)
+            | None, Some (Wire.Oneway { origin; _ }, _) ->
+              Some origin
+            | None, _ -> None
+          in
           pump ?addr t ep))
 
 and handle t ep env ~ctx =
@@ -768,7 +875,7 @@ and handle_request t ep ~origin reqid req =
     | Some q ->
       delete_queue t q;
       reply Wire.R_unit)
-  | Wire.Sem_op { id; delta; requester } -> (
+  | Wire.Sem_op { id; delta; requester; nowait } -> (
     match Hashtbl.find_opt t.sems id with
     | None -> reply (moved_response t ~origin id Errno.EMOVED)
     | Some s ->
@@ -782,21 +889,30 @@ and handle_request t ep ~origin reqid req =
         let migrate =
           t.cfg.Config.migrate_ownership && n >= t.cfg.Config.migrate_threshold
         in
-        if migrate && s.count > 0 && s.swaiters = [] then begin
+        if migrate && sem_value s > 0 && s.swaiters = [] then begin
           (* the acquire succeeds and the semaphore moves to the
-             frequent acquirer; a forwarding lease stays behind *)
+             frequent acquirer; a forwarding lease stays behind. The
+             shared page is revoked first: a fast-path op must never
+             land between the grant and the new owner's republish *)
+          let v = sem_value s in
+          (match s.page with
+          | Some p -> K.sem_page_invalidate (kernel t) ~sandbox:p.K.sp_sandbox ~id
+          | None -> ());
+          s.page <- None;
           Hashtbl.remove t.sems id;
           coord_disown t id;
           coord_lease t Coord.Sysv id requester;
           notify_leader_owner t `Sem id requester;
-          reply (Wire.R_sem_migrate { count = s.count - 1 })
+          reply (Wire.R_sem_migrate { count = v - 1 })
         end
-        else if s.count > 0 then begin
-          s.count <- s.count - 1;
+        else if sem_value s > 0 then begin
+          set_sem_value s (sem_value s - 1);
           reply Wire.R_unit
         end
+        else if nowait then reply (Wire.R_err Errno.EAGAIN)
         else begin
           s.swaiters <- s.swaiters @ [ Sem_remote { ep; reqid; requester } ];
+          sync_sem_waiters s;
           Contend.queue_sample (contend t) ~resource:(sysv_res "sem" id)
             ~depth:(List.length s.swaiters)
         end
@@ -1009,15 +1125,16 @@ and delete_queue t q =
   | None -> ())
 
 and sem_release t s delta =
-  s.count <- s.count + delta;
+  set_sem_value s (sem_value s + delta);
   let woke = ref false in
   let rec wake () =
-    if s.count > 0 then
+    if sem_value s > 0 then
       match s.swaiters with
       | [] -> ()
       | w :: rest ->
         s.swaiters <- rest;
-        s.count <- s.count - 1;
+        sync_sem_waiters s;
+        set_sem_value s (sem_value s - 1);
         woke := true;
         (match w with
         | Sem_local k -> k (Ok ())
@@ -1069,6 +1186,26 @@ let snapshot t =
     (Printf.sprintf "  owned: msgq [%s]  sem [%s]\n"
        (String.concat ", " (List.map string_of_int (ids t.msgqs)))
        (String.concat ", " (List.map string_of_int (ids t.sems))));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  sem fastpath: %s  fast %d/%d (acq/rel)  eagain %d  slow %d  fallback [no_page %d, cross_sandbox %d, stale_lease %d, contended %d]\n"
+       (if t.cfg.Config.sem_fastpath then "on" else "off")
+       t.fp.fast_acquires t.fp.fast_releases t.fp.fast_eagain t.fp.slow_acquires
+       t.fp.fall_no_page t.fp.fall_cross_sandbox t.fp.fall_stale_lease t.fp.fall_contended);
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.sems []
+  |> List.sort (fun a b -> compare a.sm_id b.sm_id)
+  |> List.iter (fun s ->
+         match s.page with
+         | Some p ->
+           Buffer.add_string b
+             (Printf.sprintf "    sem %d: value %d  waiters %d  page[fast %d/%d, sandbox %d%s]\n"
+                s.sm_id (sem_value s) (List.length s.swaiters) p.K.sp_fast_acquires
+                p.K.sp_fast_releases p.K.sp_sandbox
+                (if p.K.sp_valid then "" else ", revoked"))
+         | None ->
+           Buffer.add_string b
+             (Printf.sprintf "    sem %d: value %d  waiters %d  (no page)\n" s.sm_id
+                (sem_value s) (List.length s.swaiters)));
   (match t.leader with
   | None -> ()
   | Some ls ->
@@ -1106,6 +1243,16 @@ let create ~pal ~cfg ~callbacks ~my_addr ~leader_addr ~make_leader ~first_pid =
       dedup = Wire.Dedup.create ();
       msgqs = Hashtbl.create 8;
       sems = Hashtbl.create 8;
+      fp =
+        { fast_acquires = 0;
+          fast_releases = 0;
+          slow_acquires = 0;
+          fall_no_page = 0;
+          fall_cross_sandbox = 0;
+          fall_stale_lease = 0;
+          fall_contended = 0;
+          fast_eagain = 0;
+          sampled_tick = 0 };
       deleted = Hashtbl.create 8;
       rpc_sent = 0;
       rpc_handled = 0;
@@ -1171,6 +1318,17 @@ let shutdown t =
   let addrs = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.coalesce_buf [] in
   List.iter (fun addr -> flush_coalesced t ~addr) addrs;
   t.shutdown <- true;
+  (* revoke every shared sem page we published — the fast path dies
+     with its owner's authority (the kernel also revokes by publisher
+     pid on exit; an orderly shutdown just beats it to the punch) *)
+  Hashtbl.iter
+    (fun id s ->
+      match s.page with
+      | Some p ->
+        K.sem_page_invalidate (kernel t) ~sandbox:p.K.sp_sandbox ~id;
+        s.page <- None
+      | None -> ())
+    t.sems;
   (* the same crash-sweep lifecycle as a peer death, driven from the
      exiting side: no entry of ours survives the instance *)
   Coord.sweep t.coord ~now:(vnow t) ~reason:Coord.Owner_exit
@@ -1565,7 +1723,16 @@ let persist_owned_queues t =
 (* {1 System V semaphores} *)
 
 let new_local_sem t ~id ~key ~count =
-  let s = { sm_id = id; sm_key = key; count; swaiters = []; acq_stats = Hashtbl.create 4 } in
+  let page =
+    if t.cfg.Config.sem_fastpath then
+      Some
+        (K.sem_page_publish (kernel t) ~id ~owner:t.my_addr ~pid:(host_pid t)
+           ~sandbox:(Pal.pico t.pal).K.sandbox ~value:count)
+    else None
+  in
+  let s =
+    { sm_id = id; sm_key = key; count; swaiters = []; acq_stats = Hashtbl.create 4; page }
+  in
   Hashtbl.replace t.sems id s;
   coord_own t "sem" id;
   s
@@ -1594,33 +1761,38 @@ let semget t ~key ~init k =
 
 (* Same shape as [msgrcv]: an acquire ([delta < 0]) is the blocking
    edge, charged to the semaphore whether it blocks locally or at the
-   remote owner. Releases never block and are not recorded. *)
-let rec semop t ~id ~delta k =
+   remote owner. Releases never block and are not recorded.
+   [nowait] is IPC_NOWAIT: a would-block acquire answers EAGAIN
+   instead of queueing, locally and over the wire alike. *)
+let rec semop t ?(nowait = false) ~id ~delta k =
+  if delta < 0 then t.fp.slow_acquires <- t.fp.slow_acquires + 1;
   let cd = contend t in
-  if delta < 0 && Contend.enabled cd then begin
+  if delta < 0 && (not nowait) && Contend.enabled cd then begin
     let tok =
       Contend.wait_start cd ~pid:(host_pid t) ~resource:(sysv_res "sem" id)
         ?holder:(holder_of_resource t id) (vnow t)
     in
-    with_retry t ~id (semop_once t ~id ~delta) (fun r ->
+    with_retry t ~id (semop_once t ~nowait ~id ~delta) (fun r ->
         Contend.wait_end cd tok (vnow t);
         k r)
   end
-  else with_retry t ~id (semop_once t ~id ~delta) k
+  else with_retry t ~id (semop_once t ~nowait ~id ~delta) k
 
-and semop_once t ~id ~delta k =
+and semop_once t ~nowait ~id ~delta k =
   match Hashtbl.find_opt t.sems id with
   | Some s ->
     if delta >= 0 then begin
       sem_release t s delta;
       k (Ok ())
     end
-    else if s.count > 0 then begin
-      s.count <- s.count - 1;
+    else if sem_value s > 0 then begin
+      set_sem_value s (sem_value s - 1);
       k (Ok ())
     end
+    else if nowait then k (Error Errno.EAGAIN)
     else begin
       s.swaiters <- s.swaiters @ [ Sem_local k ];
+      sync_sem_waiters s;
       Contend.queue_sample (contend t) ~resource:(sysv_res "sem" id)
         ~depth:(List.length s.swaiters)
     end
@@ -1635,7 +1807,7 @@ and semop_once t ~id ~delta k =
           oneway t ~addr (Wire.Sem_release_async { id; delta });
           k (Ok ())
         | Some addr ->
-          rpc t ~addr (Wire.Sem_op { id; delta; requester = t.my_addr }) (function
+          rpc t ~addr (Wire.Sem_op { id; delta; requester = t.my_addr; nowait }) (function
             | Wire.R_unit -> k (Ok ())
             | Wire.R_sem_migrate { count } ->
               (* the Held acquire inside new_local_sem drops any stale
@@ -1648,6 +1820,119 @@ and semop_once t ~id ~delta k =
               k (Error Errno.EMOVED)
             | Wire.R_err e -> k (Error e)
             | _ -> k (Error Errno.EPROTO)))
+
+(* {1 The shared-page fast path}
+
+   An uncontended [semop] as one atomic on the owner's published page —
+   no RPC, no blocking, no continuation. The caller (libLinux) charges
+   {!Cost.sem_fast_op} on [true]; on [false] nothing happened and the
+   slow path above runs unchanged. Four gates, each with its own
+   fallback counter:
+
+   - a live page exists for the id ([no_page]);
+   - the page's sandbox is ours — the fast path never crosses an
+     isolation boundary ([cross_sandbox]);
+   - authority: we own the semaphore, or a live Coord lease names the
+     page's recorded owner ([stale_lease]). The lease check emits the
+     same Use events the lease-validity monitor audits;
+   - nobody is queued at the owner and an acquire would not go
+     negative ([contended]) — queued waiters are never barged past,
+     which keeps wakeup ordering exactly the slow path's FIFO. *)
+
+let sem_fast_sample = 32
+
+let fast_authority t p ~id =
+  if p.K.sp_owner = t.my_addr then Hashtbl.mem t.sems id
+  else
+    match coord_check t Coord.Sysv id with
+    | Some addr -> addr = p.K.sp_owner
+    | None -> false
+
+(* The shared attempt: [`Fast] completed the op on the page;
+   [`Contended] means the page is live and authoritative but the op
+   would block or barge (the caller decides between slow fallback and
+   an honest EAGAIN); [`Slow] means the page cannot answer at all. *)
+let sem_fast_attempt t ~id ~delta =
+  if (not t.cfg.Config.sem_fastpath) || t.shutdown then `Slow
+  else
+    match K.sem_page_lookup (kernel t) ~sandbox:(Pal.pico t.pal).K.sandbox ~id with
+    | None ->
+      t.fp.fall_no_page <- t.fp.fall_no_page + 1;
+      obs_count t "ipc.sem.fallback.no_page";
+      `Slow
+    | Some p ->
+    if p.K.sp_sandbox <> (Pal.pico t.pal).K.sandbox then begin
+      t.fp.fall_cross_sandbox <- t.fp.fall_cross_sandbox + 1;
+      obs_count t "ipc.sem.fallback.cross_sandbox";
+      `Slow
+    end
+    else if not (fast_authority t p ~id) then begin
+      t.fp.fall_stale_lease <- t.fp.fall_stale_lease + 1;
+      obs_count t "ipc.sem.fallback.stale_lease";
+      `Slow
+    end
+    else if p.K.sp_waiters > 0 || (delta < 0 && p.K.sp_value + delta < 0) then
+      `Contended
+    else begin
+      p.K.sp_value <- p.K.sp_value + delta;
+      (* keep the owner's mirror honest when the owner is us *)
+      (match Hashtbl.find_opt t.sems id with
+      | Some s -> s.count <- p.K.sp_value
+      | None -> ());
+      if delta < 0 then begin
+        p.K.sp_fast_acquires <- p.K.sp_fast_acquires + 1;
+        t.fp.fast_acquires <- t.fp.fast_acquires + 1;
+        obs_count t "ipc.sem.fast_acquire"
+      end
+      else begin
+        p.K.sp_fast_releases <- p.K.sp_fast_releases + 1;
+        t.fp.fast_releases <- t.fp.fast_releases + 1;
+        obs_count t "ipc.sem.fast_release"
+      end;
+      (* sampled audit (first op, then every [sem_fast_sample]th): the
+         single-owner monitor cross-checks the page's recorded owner
+         against the own/disown history without paying per-op audit
+         cost at memory-op frequencies *)
+      t.fp.sampled_tick <- t.fp.sampled_tick + 1;
+      if t.fp.sampled_tick = 1 || t.fp.sampled_tick mod sem_fast_sample = 0 then
+        audit t Audit.Migration ~action:"fast_op"
+          [ res_arg "sem" id;
+            ("addr", Obs.Astr p.K.sp_owner);
+            ("value", Obs.Aint p.K.sp_value);
+            ("ops", Obs.Aint t.fp.sampled_tick) ];
+      `Fast
+    end
+
+let semop_fast t ~id ~delta =
+  match sem_fast_attempt t ~id ~delta with
+  | `Fast -> true
+  | `Contended ->
+    t.fp.fall_contended <- t.fp.fall_contended + 1;
+    obs_count t "ipc.sem.fallback.contended";
+    false
+  | `Slow -> false
+
+(* IPC_NOWAIT through the page: with a live, authoritative page a
+   would-block acquire is an EAGAIN decided guest-side — no RPC ever
+   leaves the sandbox. This is what makes an nginx-style accept-mutex
+   trylock cheap enough to sit inside an event loop (docs/WEB.md). A
+   nowait release never fails: queued waiters force it onto the slow
+   path so the owner wakes them in FIFO order. *)
+let semop_try t ~id ~delta =
+  match sem_fast_attempt t ~id ~delta with
+  | `Fast -> `Fast
+  | `Slow -> `Slow
+  | `Contended ->
+    if delta >= 0 then begin
+      t.fp.fall_contended <- t.fp.fall_contended + 1;
+      obs_count t "ipc.sem.fallback.contended";
+      `Slow
+    end
+    else begin
+      t.fp.fast_eagain <- t.fp.fast_eagain + 1;
+      obs_count t "ipc.sem.fast_eagain";
+      `Again
+    end
 
 (* {1 Fork support} *)
 

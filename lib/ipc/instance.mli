@@ -124,9 +124,32 @@ val persist_owned_queues : t -> unit
 (** {1 System V semaphores} *)
 
 val semget : t -> key:int -> init:int -> ((int * bool, Errno.t) result -> unit) -> unit
-val semop : t -> id:int -> delta:int -> ((unit, Errno.t) result -> unit) -> unit
+
+val semop :
+  t -> ?nowait:bool -> id:int -> delta:int -> ((unit, Errno.t) result -> unit) -> unit
 (** Negative [delta] acquires (blocking), positive releases (async to
-    a known remote owner). *)
+    a known remote owner). [nowait] is IPC_NOWAIT: a would-block
+    acquire answers [Error EAGAIN] instead of queueing — locally, and
+    at a remote owner via the wire flag. *)
+
+val semop_fast : t -> id:int -> delta:int -> bool
+(** The shared-page fast path: try to complete [semop] as one atomic
+    on the owner's published sem page. [true] means the op is done and
+    the caller charges {!Graphene_sim.Cost.sem_fast_op}; [false] means
+    nothing happened — contention, a cross-sandbox page, a stale or
+    missing lease, or the knob off — and the caller must run {!semop}
+    unchanged. Never blocks, so the contention plane's
+    [sysv.wait.sem:*] accounting only ever sees the slow path
+    (docs/WEB.md). *)
+
+val semop_try : t -> id:int -> delta:int -> [ `Fast | `Again | `Slow ]
+(** IPC_NOWAIT through the page: [`Fast] completed the op (charge
+    {!Graphene_sim.Cost.sem_fast_op}); [`Again] is an authoritative
+    guest-side EAGAIN — the page is live but the acquire would block
+    or barge past queued waiters, and no RPC was sent; [`Slow] means
+    the page cannot answer and the caller must run
+    [semop ~nowait:true]. The trylock an event loop can afford:
+    nginx's accept-mutex pattern (docs/WEB.md). *)
 
 (** {1 Fork and sandbox support} *)
 

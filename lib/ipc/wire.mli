@@ -29,7 +29,9 @@ type request =
   | Msgq_recv of { id : int; requester : string }
   | Msgq_rmid of { id : int }
   | Sem_get of { key : int; init : int; requester : string }  (** leader only *)
-  | Sem_op of { id : int; delta : int; requester : string }
+  | Sem_op of { id : int; delta : int; requester : string; nowait : bool }
+      (** [nowait]: IPC_NOWAIT — a would-block acquire gets EAGAIN back
+          instead of queueing at the owner *)
   | Wait_any_probe  (** liveness check *)
 
 type notification =

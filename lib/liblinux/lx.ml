@@ -83,6 +83,10 @@ let sock_overhead_roundtrip = Time.us 1.0  (** AF_UNIX PAL translation *)
 
 (* {1 Types} *)
 
+type epoll_state = { mutable interest : int list }
+(** an interest set of fds; readiness is O(ready), not O(interest)
+    like [select] (docs/WEB.md) *)
+
 type fd_kind =
   | Kfile of { path : string; mutable pos : int }
   | Kconsole
@@ -91,6 +95,7 @@ type fd_kind =
   | Kstream of { sock : bool }
   | Klisten of { port : int }
   | Kproc of { content : string; mutable pos : int }
+  | Kepoll of epoll_state
 
 type fd_entry = {
   mutable fh : K.handle option;
@@ -272,8 +277,8 @@ and close_syscall_span lx th ~cost =
        the gated number; this total lets `bench contend` sanity-check
        it against an independent measurement. *)
     (match name with
-    | "msgget" | "msgsnd" | "msgrcv" | "msgctl_rmid" | "semget" | "semop" | "kill"
-    | "waitpid" ->
+    | "msgget" | "msgsnd" | "msgrcv" | "msgctl_rmid" | "semget" | "semop" | "semop_try"
+    | "kill" | "waitpid" ->
       Contend.note_sys_blocked (kernel lx).K.contend dur
     | _ -> ())
 
@@ -831,6 +836,26 @@ and dispatch_inner lx th name args =
             (vint (alloc_fd lx { fh = Some conn; kind = Kstream { sock = true }; cloexec = false }))
         | Error e -> fail lx th e)
     | _ -> fail lx th E.ENOTSOCK)
+  | "accept_try" -> (
+    (* accept on a non-blocking listener: -1 when no connection is
+       pending. An event-loop worker must never sleep anywhere but its
+       poll call — a blocking accept on stale epoll readiness would
+       park it (and the accept semaphore it holds) while its own
+       registered fds turn readable (docs/WEB.md). The backlog check
+       cannot go stale before the accept lands: only the semaphore
+       holder consumes the backlog, and the caller is holding it *)
+    match get_fd lx (int_arg 0) with
+    | Some { fh = Some h; kind = Klisten _; _ } -> (
+      match h.K.obj with
+      | K.Hserver srv when srv.K.backlog <> [] ->
+        Pal.stream_wait_for_client lx.pal h (function
+          | Ok conn ->
+            finish lx th ~cost:(Time.us 1.0)
+              (vint
+                 (alloc_fd lx { fh = Some conn; kind = Kstream { sock = true }; cloexec = false }))
+          | Error e -> fail lx th e)
+      | _ -> finish lx th ~cost:(Time.ns 300) (vint (-1)))
+    | _ -> fail lx th E.ENOTSOCK)
   | "connect_tcp" ->
     Pal.stream_open lx.pal (Printf.sprintf "tcp:%d" (int_arg 0)) ~write:true ~create:false
       (function
@@ -843,6 +868,38 @@ and dispatch_inner lx th name args =
     | Some { fh = Some h; _ } -> Pal.stream_close lx.pal h (fun _ -> finish lx th (vint 0))
     | _ -> fail lx th E.EBADF)
   | "select" -> do_select lx th (Ast.as_list (a 0))
+  (* {2 epoll}
+
+     The event-driven alternative to [select]: the interest set lives
+     in the libOS (an fd of its own), so a wait translates to one
+     DkObjectsWaitAny over the registered handles and costs O(ready)
+     rather than O(interest) — the scalable server loop of
+     docs/WEB.md. *)
+  | "epoll_create" ->
+    finish lx th ~cost:Cost.epoll_op
+      (vint (alloc_fd lx { fh = None; kind = Kepoll { interest = [] }; cloexec = false }))
+  | "epoll_ctl" -> (
+    match get_fd lx (int_arg 0) with
+    | Some { kind = Kepoll e; _ } -> (
+      let fd = int_arg 2 in
+      match str_arg 1 with
+      | "add" ->
+        if get_fd lx fd = None then fail lx th E.EBADF
+        else begin
+          if not (List.mem fd e.interest) then e.interest <- e.interest @ [ fd ];
+          finish lx th ~cost:Cost.epoll_op (vint 0)
+        end
+      | "del" ->
+        e.interest <- List.filter (fun f -> f <> fd) e.interest;
+        finish lx th ~cost:Cost.epoll_op (vint 0)
+      | _ -> fail lx th E.EINVAL)
+    | Some _ -> fail lx th E.EINVAL
+    | None -> fail lx th E.EBADF)
+  | "epoll_wait" -> (
+    match get_fd lx (int_arg 0) with
+    | Some { kind = Kepoll e; _ } -> do_epoll_wait lx th e
+    | Some _ -> fail lx th E.EINVAL
+    | None -> fail lx th E.EBADF)
   (* {2 Signals} *)
   | "sigaction" ->
     Hashtbl.replace lx.sigactions (int_arg 0) (str_arg 1);
@@ -892,9 +949,35 @@ and dispatch_inner lx th name args =
         finish lx th ~cost:(if created then queue_create_cost else queue_lookup_cost) (vint id)
       | Error e -> fail lx th e)
   | "semop" ->
-    with_ipc lx th (Ipc.semop (ipc lx) ~id:(int_arg 0) ~delta:(int_arg 1)) (function
-      | Ok () -> finish lx th ~cost:(Time.us 1.5) (vint 0)
-      | Error e -> fail lx th e)
+    let id = int_arg 0 and delta = int_arg 1 in
+    if Ipc.semop_fast (ipc lx) ~id ~delta then
+      (* completed as one atomic on the owner's shared sem page: no
+         RPC, no IPC-helper hop, memory-op cost (docs/WEB.md) *)
+      finish lx th ~cost:Cost.sem_fast_op (vint 0)
+    else
+      with_ipc lx th (Ipc.semop (ipc lx) ~id ~delta) (function
+        | Ok () -> finish lx th ~cost:(Time.us 1.5) (vint 0)
+        | Error e -> fail lx th e)
+  | "semop_try" -> (
+    (* semop with IPC_NOWAIT: returns 0 on success, -1 when the op
+       would block. The shared page usually answers both ways without
+       an RPC, which is what lets an event loop treat the accept
+       semaphore as an nginx-style trylock (docs/WEB.md) *)
+    let id = int_arg 0 and delta = int_arg 1 in
+    match Ipc.semop_try (ipc lx) ~id ~delta with
+    | `Fast -> finish lx th ~cost:Cost.sem_fast_op (vint 0)
+    | `Again -> finish lx th ~cost:Cost.sem_fast_op (vint (-1))
+    | `Slow ->
+      let op k =
+        Ipc.semop (ipc lx) ~nowait:true ~id ~delta (function
+          (* would-block is the answer, not a transient to retry *)
+          | Error e when E.equal e E.EAGAIN -> k (Ok (-1))
+          | Error e -> k (Error e)
+          | Ok () -> k (Ok 0))
+      in
+      with_ipc lx th op (function
+        | Ok r -> finish lx th ~cost:(Time.us 1.5) (vint r)
+        | Error e -> fail lx th e))
   (* {2 Memory} *)
   | "mmap" ->
     Pal.virtual_memory_alloc lx.pal ~bytes:(int_arg 0) ~perm:Memory.rw ~kind:Memory.Mmap
@@ -1052,7 +1135,7 @@ and do_read lx th fd n =
             let cost = Time.add rm (if sock then Time.ns 530 else Time.ns 30) in
             finish lx th ~cost (vstr data)
           | Error err -> fail lx th err))
-    | Klisten _ -> fail lx th E.EINVAL)
+    | Klisten _ | Kepoll _ -> fail lx th E.EINVAL)
 
 and do_write lx th fd data =
   match get_fd lx fd with
@@ -1091,7 +1174,7 @@ and do_write lx th fd data =
             let cost = Time.add rm (if sock then sock_overhead_roundtrip else Time.ns 30) in
             finish lx th ~cost (vint n)
           | Error err -> fail lx th err))
-    | Klisten _ -> fail lx th E.EINVAL)
+    | Klisten _ | Kepoll _ -> fail lx th E.EINVAL)
 
 (* {2 select} *)
 
@@ -1115,6 +1198,54 @@ and do_select lx th fd_values =
         Pal.objects_wait_any lx.pal (List.map snd handles) (function
           | Ok idx -> finish lx th (vint (fst (List.nth handles idx)))
           | Error e -> fail lx th e))
+  end
+
+(* {2 epoll_wait} *)
+
+(* Synchronous readiness check, the heart of the O(ready) claim: a
+   ready fd is answered without arming any waiter at all. *)
+and fd_ready lx fd =
+  match get_fd lx fd with
+  | Some { fh = Some h; _ } -> (
+    match h.K.obj with
+    | K.Hstream ep -> Stream.available ep > 0 || Stream.has_oob ep || Stream.at_eof ep
+    | K.Hserver srv -> srv.K.backlog <> [] || srv.K.srv_closed
+    | _ -> false)
+  | _ -> false
+
+and do_epoll_wait lx th e =
+  if e.interest = [] then fail lx th E.EINVAL
+  else begin
+    let scan () = List.filter (fd_ready lx) e.interest in
+    let answer ready =
+      let cost =
+        Time.add Cost.epoll_wait_base
+          (Time.scale Cost.epoll_ready_event (float_of_int (List.length ready)))
+      in
+      finish lx th ~cost (Ast.Vlist (List.map vint ready))
+    in
+    match scan () with
+    | _ :: _ as ready -> answer ready
+    | [] ->
+      (* block on the whole interest set; the PAL re-queues a server
+         endpoint it consumed while waiting, so no connection is lost
+         to the wakeup (pal.ml objects_wait_any) *)
+      let handles =
+        List.filter_map (fun fd -> match get_fd lx fd with Some { fh = Some h; _ } -> Some h | _ -> None)
+          e.interest
+      in
+      if handles = [] then fail lx th E.EBADF
+      else
+        Pal.objects_wait_any lx.pal handles (function
+          | Error err -> fail lx th err
+          | Ok _ -> (
+            match scan () with
+            | [] ->
+              (* the wakeup's readiness was consumed by a peer thread
+                 between the PAL callback and this rescan; report the
+                 woken set as empty rather than spinning *)
+              answer []
+            | ready -> answer ready))
   end
 
 (* {2 kill} *)
@@ -1210,6 +1341,7 @@ and snapshot_fds lx =
         | Kconsole -> Ckpt.Sconsole fd :: acc
         | Knull | Kzero -> Ckpt.Snull fd :: acc
         | Kproc _ -> acc (* /proc fds are not inherited *)
+        | Kepoll _ -> acc (* interest sets are per-process; children re-register *)
         | Kstream _ -> (
           match e.fh with
           | Some h ->

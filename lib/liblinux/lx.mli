@@ -36,6 +36,10 @@ val libc_image_bytes : int
 
 (** {1 State} *)
 
+type epoll_state = { mutable interest : int list }
+(** an epoll interest set of fds; readiness answers in O(ready), not
+    O(interest) like [select] (docs/WEB.md) *)
+
 type fd_kind =
   | Kfile of { path : string; mutable pos : int }
       (** the seek cursor lives here, in the libOS (paper §4.2) *)
@@ -45,6 +49,7 @@ type fd_kind =
   | Kstream of { sock : bool }
   | Klisten of { port : int }
   | Kproc of { content : string; mutable pos : int }
+  | Kepoll of epoll_state
 
 type fd_entry = {
   mutable fh : K.handle option;

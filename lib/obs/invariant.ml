@@ -81,6 +81,18 @@ let check_ownership t e =
           ~what:(Printf.sprintf "%s owned by %s, re-owned by %s" res prev addr)
       | _ -> Hashtbl.replace t.owners res addr)
     | "disown" -> if Hashtbl.find_opt t.owners res = Some addr then Hashtbl.remove t.owners res
+    | "fast_op" -> (
+      (* a sampled shared-page semaphore op: the page's recorded owner
+         must agree with the own/disown history — a fast-path op
+         against a page whose ownership already moved is exactly the
+         barging the revocation protocol exists to prevent *)
+      match Hashtbl.find_opt t.owners res with
+      | Some prev when prev <> addr ->
+        record t e ~invariant:"single-owner"
+          ~what:
+            (Printf.sprintf "fast-path op on %s names owner %s, ownership table says %s" res
+               addr prev)
+      | _ -> ())
     | _ -> ())
   | _ -> ()
 

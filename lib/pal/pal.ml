@@ -270,9 +270,20 @@ let objects_wait_any t handles k =
                   srv.K.accept_waiters <-
                     srv.K.accept_waiters
                     @ [ (fun ep ->
-                          (* put the connection back for the accept call *)
-                          srv.K.backlog <- srv.K.backlog @ [ ep ];
-                          finish idx) ]
+                          (* a readiness probe never consumes the
+                             connection: pass it to the next waiter in
+                             line (a blocked accept, or another probe),
+                             or stash it for a later accept call.
+                             Stranding it in the backlog while accepts
+                             sit queued behind this probe would wedge
+                             an acceptor that already checked the
+                             backlog — and any semaphore it holds *)
+                          (match srv.K.accept_waiters with
+                          | w :: rest ->
+                            srv.K.accept_waiters <- rest;
+                            w ep
+                          | [] -> srv.K.backlog <- srv.K.backlog @ [ ep ]);
+                          if not !completed then finish idx) ]
               | K.Hfile _ | K.Hdir _ | K.Hnull -> finish idx)
           handles)
   end

@@ -20,11 +20,16 @@ let libos_path_fast = Time.ns 350
 let lsm_path_check = Time.ns 1_560
 let refmon_cache_hit = Time.ns 60
 let lease_probe = Time.ns 25
+let sem_fast_op = Time.ns 90
+let sem_page_probe = Time.ns 30
 let lsm_socket_check = Time.ns 660
 let lsm_sock_op_check = Time.ns 165
 let lsm_fd_check = Time.ns 420
 let select_base = Time.us 10.87
 let select_pal_translation = Time.us 6.15
+let epoll_op = Time.ns 450
+let epoll_wait_base = Time.us 2.1
+let epoll_ready_event = Time.ns 180
 let stream_oneway = Time.us 2.3
 let stream_connect = Time.us 1_500.
 let tcp_connect = Time.us 120.

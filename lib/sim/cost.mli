@@ -93,6 +93,19 @@ val lease_probe : Time.t
 (** Probing a bounded owner/pid lease cache in the coordination layer
     (hash lookup + TTL comparison). [structural] *)
 
+val sem_fast_op : Time.t
+(** Uncontended [semop] over the shared sem page: a locked
+    read-modify-write on shared memory plus the authority check
+    against the coordination table — tens of ns, like a futex fast
+    path, vs the ~25 us Sem_op RPC it replaces. [structural; the
+    authors hint at exactly this shared-memory fast path "in ongoing
+    work", Table 5 discussion] *)
+
+val sem_page_probe : Time.t
+(** Looking up a shared sem page and deciding fast-vs-slow (validity,
+    sandbox, waiter check); charged even when the answer is "fall back
+    to the RPC". [structural] *)
+
 val lsm_socket_check : Time.t
 (** Reference-monitor check on socket/bind/connect (AF_UNIX +RM 6.37 us
     vs 5.71 us). [structural] *)
@@ -112,6 +125,21 @@ val select_base : Time.t
 val select_pal_translation : Time.t
 (** PAL poll-set translation on top of host select (Graphene select
     17.02 us). [structural] *)
+
+val epoll_op : Time.t
+(** epoll_create / epoll_ctl bookkeeping in libLinux: allocate or
+    mutate the interest list, no host call. [structural; cf. Linux
+    epoll_ctl at a few hundred ns] *)
+
+val epoll_wait_base : Time.t
+(** Fixed cost of an epoll_wait that finds ready descriptors: unlike
+    select's O(interest-set) scan + PAL poll-set translation per call,
+    the kernel maintained the ready list while the libOS slept.
+    [structural; the select/epoll gap on Linux is roughly this shape] *)
+
+val epoll_ready_event : Time.t
+(** Per-ready-descriptor reporting cost of epoll_wait — the O(ready)
+    leg, vs select's O(interest). [structural] *)
 
 val stream_oneway : Time.t
 (** One-way latency of a host byte-stream message between picoprocesses

@@ -311,6 +311,132 @@ let test_leader_kill_sweeps_clean () =
        (fun e -> e.Audit.e_action = "flush" && e.Audit.e_cat = Audit.Lease)
        (Audit.recorded (W.audit r.w)))
 
+(* {1 End-to-end: sem-page holder crash}
+
+   The picoprocess that created — and therefore owns and published the
+   shared page of — a semaphore is killed outright (no orderly
+   shutdown) while a sibling holds a live lease on it. The kernel's
+   exit path must revoke the dead pid's pages, the death notification
+   must sweep the sibling's leases, and the survivor must neither hang
+   nor find a stale entry anywhere: the Coord sweep is the single
+   mechanism the fast path's authority hangs off, so a leak here would
+   let the next fast-path attempt answer from a dead owner's page. *)
+
+let holder_crash_prog =
+  let open B in
+  (* the leader (pid 1) only forks and reaps: leases live at the
+     non-leader survivor, where a peer death actually has cached state
+     to sweep (the leader answers owner lookups from its own table) *)
+  let owner =
+    (* pid 2: creates the sem, publishes the page, lingers to be
+       crashed *)
+    let_ "sem"
+      (sys "semget" [ int 77; int 1 ])
+      (seq
+         [ sys "semop" [ v "sem"; int (-1) ];
+           sys "semop" [ v "sem"; int 1 ];
+           sys "print" [ str "owner up\n" ];
+           sys "nanosleep" [ int 50_000_000 ];
+           sys "exit" [ int 0 ] ])
+  in
+  let survivor =
+    (* pid 3: resolves the owner through the leader, caches the lease,
+       and is mid-sleep when the owner dies *)
+    seq
+      [ sys "nanosleep" [ int 4_000_000 ];
+        let_ "sem"
+          (sys "semget" [ int 77; int 0 ])
+          (seq
+             [ sys "semop" [ v "sem"; int (-1) ];
+               sys "semop" [ v "sem"; int 1 ];
+               sys "print" [ str "leased\n" ];
+               (* the crash lands here, during this sleep *)
+               sys "nanosleep" [ int 10_000_000 ];
+               (* the sem died with its owner: the retry must answer
+                  EIDRM promptly — not hang on a corpse, not spin the
+                  re-resolve loop to EAGAIN off the leader's stale
+                  namespace entry *)
+               sys "print"
+                 [ str "retry="
+                   ^% str_of_int (sys "semop" [ v "sem"; int (-1) ])
+                   ^% str "\n" ];
+               sys "print" [ str "survivor done\n" ];
+               sys "exit" [ int 0 ] ]) ]
+  in
+  prog ~name:"/bin/sem_crash"
+    (let_ "a" (sys "fork" [])
+       (if_ (v "a" =% int 0) owner
+          (let_ "b" (sys "fork" [])
+             (if_ (v "b" =% int 0) survivor
+                (seq
+                   [ sys "wait" []; sys "wait" [];
+                     sys "print" [ str "parent done\n" ];
+                     sys "exit" [ int 0 ] ])))))
+
+let test_holder_crash_sweeps_clean () =
+  let crashed = ref false in
+  let snapshot = ref None in
+  let kernel = ref None in
+  let hook s =
+    let k = Option.get !kernel in
+    if (not !crashed) && Util.contains s "leased" then begin
+      crashed := true;
+      (* crash the owner mid-sleep: no shutdown runs on its side *)
+      match List.find_opt (fun p -> p.K.pid = 2) (K.live_picos k) with
+      | Some owner -> K.kill_pico k owner
+      | None -> Alcotest.fail "owner already gone before the crash"
+    end
+    else if Util.contains s "survivor done" then
+      (* capture the table state while the survivor is still live *)
+      snapshot :=
+        Some
+          ( K.introspection_report k,
+            List.map (fun p -> "g" ^ string_of_int p.K.pid) (K.live_picos k) )
+  in
+  let r =
+    run_prog ~seed:13 ~console_hook:hook
+      ~setup:(fun w ->
+        kernel := Some (W.kernel w);
+        Obs.enable (W.tracer w);
+        Audit.enable (W.audit w))
+      holder_crash_prog
+  in
+  check_bool "the crash happened" true !crashed;
+  expect_console_contains "survivor done" r;
+  (* the post-crash retry answered EIDRM, the reaped-resource error *)
+  expect_console_contains "retry=-43" r;
+  expect_exit r;
+  let k = W.kernel r.w in
+  (* the dead owner's page is gone from every sandbox slot *)
+  List.iter
+    (fun p ->
+      for id = 0 to 128 do
+        match K.sem_page_lookup k ~sandbox:p.K.sandbox ~id with
+        | Some pg when pg.K.sp_pid = 2 ->
+          Alcotest.failf "sem page %d still published by the dead owner" id
+        | _ -> ()
+      done)
+    (K.live_picos k);
+  (match !snapshot with
+  | Some (report, live) ->
+    check_int "zero stale entries at live instances" 0 (stale_leases report ~live)
+  | None -> Alcotest.fail "survivor snapshot never taken");
+  check_int "zero invariant violations" 0 (Invariant.total (W.invariants r.w));
+  (* a peer-death sweep reports per-key invalidations, not a wholesale
+     flush — the survivor's lease on the dead owner must be among them *)
+  check_bool "the death invalidated the survivor's lease" true
+    (List.exists
+       (fun e -> e.Audit.e_action = "invalidate" && e.Audit.e_cat = Audit.Lease)
+       (Audit.recorded (W.audit r.w)));
+  (* and the leader reaped the orphaned sem, audited as a disown on
+     the dead owner's behalf — the single-owner books balance *)
+  check_bool "the leader disowned the dead owner's sem" true
+    (List.exists
+       (fun e ->
+         e.Audit.e_action = "disown" && e.Audit.e_cat = Audit.Migration
+         && List.exists (fun (k2, v2) -> k2 = "addr" && v2 = Obs.Astr "g2") e.Audit.e_args)
+       (Audit.recorded (W.audit r.w)))
+
 (* Byte-identical audit JSONL across identical (seed, faults) runs:
    the Coord observer sits on the hot path of every one of these
    events, so any nondeterminism it introduced would show here. *)
@@ -334,4 +460,5 @@ let suite =
     case "typed conflict after migration (end-to-end)" test_conflict_hint_end_to_end;
     case "hints off: legacy retry still recovers" test_conflict_hints_off_still_recovers;
     case "leader-kill chaos leaves zero stale entries" test_leader_kill_sweeps_clean;
+    case "sem holder crash sweeps page and leases" test_holder_crash_sweeps_clean;
     case "same seed: byte-identical audit JSONL" test_same_seed_identical_audit ]

@@ -7,6 +7,7 @@ let () =
       ("pal", Suite_pal.suite);
       ("liblinux", Suite_liblinux.suite);
       ("ipc", Suite_ipc.suite);
+      ("sem", Suite_sem.suite);
       ("coord", Suite_coord.suite);
       ("faults", Suite_faults.suite);
       ("refmon", Suite_refmon.suite);

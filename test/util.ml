@@ -38,13 +38,13 @@ let run_on ?(stack = W.Graphene) ?console_hook ?seed ?faults ?cfg ?(setup = fun 
   { w; p; out = (fun () -> Buffer.contents agg) }
 
 (* Install an ad-hoc program and run it. *)
-let run_prog ?(stack = W.Graphene) ?seed ?faults ?cfg ?(path = "/bin/testprog") ?(argv = [])
-    ?(setup = fun _ -> ()) prog =
+let run_prog ?(stack = W.Graphene) ?console_hook ?seed ?faults ?cfg ?(path = "/bin/testprog")
+    ?(argv = []) ?(setup = fun _ -> ()) prog =
   let setup w =
     Loader.install (W.kernel w).K.fs ~path prog;
     setup w
   in
-  run_on ~stack ?seed ?faults ?cfg ~setup ~exe:path ~argv ()
+  run_on ~stack ?console_hook ?seed ?faults ?cfg ~setup ~exe:path ~argv ()
 
 (* Assert the initial process exited with [code]. *)
 let expect_exit ?(code = 0) r =
