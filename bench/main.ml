@@ -44,7 +44,9 @@ let experiments ~full =
     ("contend", "Contention sweep: wait attribution, leader share, convoys", fun () ->
         if not (Contend.run ~full ()) then cache_gate_failed := true);
     ("web", "Web farm: event-driven servers at production concurrency", fun () ->
-        if not (Web.run ~full ()) then cache_gate_failed := true) ]
+        if not (Web.run ~full ()) then cache_gate_failed := true);
+    ("ring", "vDSO page + submission ring: fast-path gates", fun () ->
+        if not (Ring.run ~full ()) then cache_gate_failed := true) ]
 
 (* {1 Bechamel probes}
 
@@ -168,5 +170,5 @@ let () =
       | None ->
         prerr_endline
           ("unknown experiment " ^ name
-         ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache contend web bechamel)");
+         ^ " (try: all quick table1 table4 table5 table6 table7 table8 figure4 figure5 ablation critpath chaos cache contend web ring bechamel)");
         exit 2))

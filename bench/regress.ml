@@ -213,7 +213,10 @@ let exact_prefixes =
     "contend.unattributed"; "contend.deterministic";
     (* web sweep self-gates: the degradation shape and same-seed
        determinism are pass/fail bits, not noisy means *)
-    "web.deterministic"; "web.degrading" ]
+    "web.deterministic"; "web.degrading";
+    (* vDSO/ring self-gates: neutrality, the 2x batching floor, the
+       vDSO latency bound and determinism are pass/fail bits *)
+    "ring.t6_no_regress"; "ring.batched_2x"; "ring.vdso_bound"; "ring.deterministic" ]
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix

@@ -825,11 +825,16 @@ and dispatch_inner p th name args =
     if List.mem gtid p.done_tids then finish p th (vint 0)
     else if Hashtbl.mem p.threads gtid then p.join_waiters <- (gtid, th) :: p.join_waiters
     else fail p th E.ESRCH
-  | "sched_yield" -> finish p th ~cost:(Time.ns 100) (vint 0)
+  | "sched_yield" -> finish p th ~cost:Cost.native_sched_yield (vint 0)
   (* {2 Time and misc} *)
-  | "nanosleep" -> K.after kern (Time.ns (int_arg 0)) (fun () -> finish p th (vint 0))
-  | "gettimeofday" | "time" -> finish p th ~cost:(Time.ns 25) (vint (K.now kern))
+  | "nanosleep" ->
+    let ns = int_arg 0 in
+    if ns < 0 then fail p th E.EINVAL
+    else K.after kern (Time.ns ns) (fun () -> finish p th (vint 0))
+  | "gettimeofday" | "time" | "clock_gettime" ->
+    finish p th ~cost:Cost.host_time_query (vint (K.now kern))
   | "rand" -> finish p th (vint (Rng.int kern.K.rng (max 1 (int_arg 0))))
+  | "ring" -> do_ring p th (Ast.as_list (a 0))
   | "sandbox_create" ->
     (* stock Linux has no equivalent; the nearest is ENOSYS *)
     fail p th E.ENOSYS
@@ -951,6 +956,79 @@ and do_write p th fd data =
           fail p th E.EPIPE)
       | _ -> fail p th E.EBADF)
     | Klisten _ | Kepoll _ -> fail p th E.EINVAL)
+
+(* Guest-ABI parity with libLinux's submission ring: the same batch
+   syscall with identical per-op results. A stock kernel services it
+   as a plain sequence of reads and writes (the readv/writev path):
+   one syscall entry for the batch, per-op work costs. A stream read
+   that would block completes -EAGAIN — same no-park semantics as the
+   ring drain — and an individual failure never aborts the batch. *)
+and do_ring p th entries =
+  let kern = p.ctx.kernel in
+  let rec step todo acc cost =
+    match todo with
+    | [] -> finish p th ~cost (Ast.Vlist (List.rev acc))
+    | v :: rest -> (
+      let imm r c = step rest (r :: acc) (Time.add cost c) in
+      match v with
+      | Ast.Vpair (Ast.Vstr "read", Ast.Vpair (Ast.Vint fd, Ast.Vint n)) -> (
+        match Hashtbl.find_opt p.fds fd with
+        | None -> imm (err E.EBADF) Time.zero
+        | Some o -> (
+          match o.okind with
+          | Kfile path -> (
+            match Vfs.find_file kern.K.fs path with
+            | f ->
+              let data = Vfs.read_file f ~off:o.pos ~len:n in
+              o.pos <- o.pos + String.length data;
+              imm (vstr data) (Time.add Cost.host_read_base (Cost.copy_cost n))
+            | exception Vfs.Error e -> imm (err (E.of_string e)) Time.zero)
+          | Kstream { sock } -> (
+            match o.handle with
+            | Some { K.obj = K.Hstream ep; _ } ->
+              if Stream.available ep > 0 || Stream.at_eof ep then
+                K.stream_recv kern ep ~max:n (fun data ->
+                    step rest (vstr data :: acc)
+                      (Time.add cost
+                         (Time.add Cost.host_read_base
+                            (if sock then net_cost p.ctx else Time.zero))))
+              else imm (err E.EAGAIN) Cost.host_read_base
+            | _ -> imm (err E.EBADF) Time.zero)
+          | _ -> imm (err E.EINVAL) Time.zero))
+      | Ast.Vpair (Ast.Vstr "write", Ast.Vpair (Ast.Vint fd, Ast.Vstr data)) -> (
+        match Hashtbl.find_opt p.fds fd with
+        | None -> imm (err E.EBADF) Time.zero
+        | Some o -> (
+          match o.okind with
+          | Kconsole ->
+            Buffer.add_string p.console data;
+            (match p.on_console with Some f -> f data | None -> ());
+            imm (vint (String.length data)) (Time.ns 150)
+          | Kfile path -> (
+            match Vfs.find_file kern.K.fs path with
+            | f ->
+              Vfs.write_file f ~off:o.pos data;
+              o.pos <- o.pos + String.length data;
+              imm
+                (vint (String.length data))
+                (Time.add Cost.host_write_base (Cost.copy_cost (String.length data)))
+            | exception Vfs.Error e -> imm (err (E.of_string e)) Time.zero)
+          | Kstream { sock } -> (
+            match o.handle with
+            | Some { K.obj = K.Hstream ep; _ } -> (
+              match K.stream_send kern ep data with
+              | () ->
+                imm
+                  (vint (String.length data))
+                  (Time.add
+                     (Time.add Cost.host_write_base (Cost.copy_cost (String.length data)))
+                     (if sock then net_cost p.ctx else Time.zero))
+              | exception K.Denied _ -> imm (err E.EPIPE) Time.zero)
+            | _ -> imm (err E.EBADF) Time.zero)
+          | _ -> imm (err E.EINVAL) Time.zero))
+      | _ -> imm (err E.EINVAL) Time.zero)
+  in
+  step entries [] Time.zero
 
 and do_select p th fd_values =
   let kern = p.ctx.kernel in

@@ -132,6 +132,32 @@ type sem_page = {
   mutable sp_fast_releases : int;
 }
 
+(* The per-picoprocess vDSO page: a read-only state page the kernel
+   publishes at picoprocess setup, holding the identity and time state
+   libLinux needs for its hottest calls (getpid / gettimeofday class).
+   Like a Linux vDSO, readers service those calls with a couple of
+   loads instead of a host crossing; like the sem page, the kernel
+   only keeps the registry honest — the page dies with its publisher,
+   is invalidated on sandbox splits, and is never inherited across
+   fork or checkpoint restore (the child publishes a fresh one, so a
+   stale time base can never be served silently). *)
+type vdso_page = {
+  vd_host_pid : int;  (** publishing picoprocess, for exit revocation *)
+  mutable vd_pid : int;  (** guest-visible pid recorded in the page *)
+  mutable vd_ppid : int;
+  mutable vd_uid : int;
+  mutable vd_boot_epoch : Time.t;  (** when this instance booted *)
+  mutable vd_time_base : Time.t;
+      (** kernel virtual time captured when the page was (re)published;
+          readers answer [time_base + (now - published_at)] *)
+  mutable vd_published_at : Time.t;
+  mutable vd_sandbox : int;
+  mutable vd_valid : bool;
+  mutable vd_generation : int;
+      (** bumped on every republish; readers that cached a direct
+          reference detect staleness via [vd_valid] + generation *)
+}
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -189,6 +215,8 @@ type t = {
       (** shared sem pages by (sandbox, SysV id): id namespaces are
           per-sandbox-leader, so ids alone collide across a farm of
           sandboxes *)
+  vdso_pages : (int, vdso_page) Hashtbl.t;
+      (** per-picoprocess vDSO pages by host pid *)
 }
 
 exception Denied of string
@@ -271,7 +299,8 @@ let create ?(cores = 4) ?(seed = 42) ?(noise = 0.0) () =
     leader_killed_at = None;
     recovered_at = None;
     pal_calls = 0;
-    sem_pages = Hashtbl.create 8 }
+    sem_pages = Hashtbl.create 8;
+    vdso_pages = Hashtbl.create 16 }
 
 let now t = Engine.now t.engine
 let set_lsm t lsm =
@@ -349,6 +378,57 @@ let sem_page_invalidate t ~sandbox ~id =
     p.sp_valid <- false;
     Hashtbl.remove t.sem_pages (sandbox, id)
   | None -> ()
+
+(* {1 vDSO pages} *)
+
+(* Publishing replaces any previous page for the picoprocess and bumps
+   the generation: a fork child, a restored checkpoint or a
+   just-isolated picoprocess gets a page with a fresh time base, never
+   the one its parent state was copied from. *)
+let vdso_page_publish t ~host_pid ~pid ~ppid ~uid ~sandbox =
+  let at = now t in
+  let generation =
+    match Hashtbl.find_opt t.vdso_pages host_pid with
+    | Some prev ->
+      prev.vd_valid <- false;
+      prev.vd_generation + 1
+    | None -> 1
+  in
+  let p =
+    { vd_host_pid = host_pid;
+      vd_pid = pid;
+      vd_ppid = ppid;
+      vd_uid = uid;
+      vd_boot_epoch = at;
+      vd_time_base = at;
+      vd_published_at = at;
+      vd_sandbox = sandbox;
+      vd_valid = true;
+      vd_generation = generation }
+  in
+  Hashtbl.replace t.vdso_pages host_pid p;
+  p
+
+let vdso_page_lookup t ~host_pid =
+  match Hashtbl.find_opt t.vdso_pages host_pid with
+  | Some p when p.vd_valid -> Some p
+  | _ -> None
+
+(* Like sem pages: flip the validity bit as well as dropping the entry,
+   so direct references that outlive the registry fail their check. *)
+let vdso_page_invalidate t ~host_pid =
+  match Hashtbl.find_opt t.vdso_pages host_pid with
+  | Some p ->
+    p.vd_valid <- false;
+    Hashtbl.remove t.vdso_pages host_pid
+  | None -> ()
+
+(* The time a reader derives from the page: base + elapsed-since-
+   publish. Equals [now] exactly while the page is live in the kernel
+   that published it — which is the only state a valid page can be in,
+   because every event that could skew the base (restore, split, exit)
+   invalidates first. *)
+let vdso_time p ~now:at = Time.add p.vd_time_base (Time.diff at p.vd_published_at)
 
 let count_syscall t name =
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.syscall_counts name) in
@@ -626,6 +706,8 @@ let pico_exit t pico code =
       Hashtbl.fold (fun key p acc -> if p.sp_pid = pico.pid then key :: acc else acc) t.sem_pages []
     in
     List.iter (fun (sandbox, id) -> sem_page_invalidate t ~sandbox ~id) dead;
+    (* the vDSO page dies with its picoprocess *)
+    vdso_page_invalidate t ~host_pid:pico.pid;
     Memory.destroy pico.aspace;
     let watchers = pico.exit_watchers in
     pico.exit_watchers <- [];
@@ -976,6 +1058,12 @@ let sandbox_split t pico ~keep =
       p.sp_sandbox <- new_sandbox;
       Hashtbl.replace t.sem_pages (new_sandbox, id) p)
     moving_pages;
+  (* vDSO pages do NOT follow their publisher: the split changes the
+     picoprocess's coordination world (ppid routing, sandbox tag), so
+     the page is revoked in the same atomic step and the instance
+     republishes a fresh one — a reader can never be served identity
+     or time state from before its own isolation event *)
+  List.iter (fun p -> vdso_page_invalidate t ~host_pid:p.pid) moving;
   if Obs.enabled t.tracer then begin
     Obs.count t.tracer "kernel.sandbox_splits";
     Obs.instant t.tracer Obs.Kernel ~name:"sandbox.split" ~pid:pico.pid

@@ -127,6 +127,26 @@ type sem_page = {
     waiter count); same-sandbox picoprocesses with live authority
     mutate it directly instead of RPC-ing the owner (docs/WEB.md). *)
 
+type vdso_page = {
+  vd_host_pid : int;  (** publishing picoprocess, for exit revocation *)
+  mutable vd_pid : int;  (** guest-visible pid recorded in the page *)
+  mutable vd_ppid : int;
+  mutable vd_uid : int;
+  mutable vd_boot_epoch : Graphene_sim.Time.t;
+  mutable vd_time_base : Graphene_sim.Time.t;
+      (** kernel virtual time captured at (re)publish; readers answer
+          [time_base + (now - published_at)] *)
+  mutable vd_published_at : Graphene_sim.Time.t;
+  mutable vd_sandbox : int;
+  mutable vd_valid : bool;
+  mutable vd_generation : int;  (** bumped on every republish *)
+}
+(** The per-picoprocess vDSO page: a read-only state page the kernel
+    publishes at picoprocess setup so libLinux can service getpid /
+    gettimeofday-class calls with a couple of loads instead of a PAL
+    crossing (docs/PERF.md). Revoked on publisher exit and sandbox
+    split; never inherited across fork or checkpoint restore. *)
+
 type t = {
   engine : Graphene_sim.Engine.t;
   rng : Graphene_sim.Rng.t;
@@ -171,6 +191,8 @@ type t = {
       (** shared sem pages by (sandbox, SysV id): id namespaces are
           per-sandbox-leader, so ids alone collide across a farm of
           sandboxes *)
+  vdso_pages : (int, vdso_page) Hashtbl.t;
+      (** per-picoprocess vDSO pages by host pid *)
 }
 
 and gipc_payload
@@ -266,6 +288,33 @@ val sem_page_invalidate : t -> sandbox:int -> id:int -> unit
 (** Revoke: flips the page invalid (direct references held by
     instances fail their validity check) and drops the registry
     entry. *)
+
+(** {1 vDSO pages}
+
+    Registry bookkeeping for the in-guest fast path over getpid /
+    gettimeofday-class calls. The kernel keeps the registry honest: a
+    page is revoked when its publisher exits or splits into a new
+    sandbox, and every publish replaces (and invalidates) the previous
+    page, so a fork child or a restored checkpoint can never serve the
+    identity or time base its parent state was copied from. *)
+
+val vdso_page_publish :
+  t -> host_pid:int -> pid:int -> ppid:int -> uid:int -> sandbox:int -> vdso_page
+(** Publish (or replace, invalidating the old page and bumping the
+    generation) the state page for picoprocess [host_pid]. The time
+    base and boot epoch are stamped with the current virtual time. *)
+
+val vdso_page_lookup : t -> host_pid:int -> vdso_page option
+(** The live page for a picoprocess; revoked pages are invisible. *)
+
+val vdso_page_invalidate : t -> host_pid:int -> unit
+(** Revoke: flips the page invalid (direct references fail their
+    validity check) and drops the registry entry. *)
+
+val vdso_time : vdso_page -> now:Graphene_sim.Time.t -> Graphene_sim.Time.t
+(** The time a reader derives from the page: base + elapsed since
+    publish. Exact while the page is valid — every event that could
+    skew the base (restore, split, exit) invalidates it first. *)
 
 val syscall_check :
   t -> pico -> name:string -> pc:int -> args:int array -> Bpf.Prog.action * Graphene_sim.Time.t

@@ -89,6 +89,17 @@ type t = {
           still anchored in the Coord table); falls back to the Sem_op
           RPC on contention, across sandbox boundaries, or when the
           holder's lease is stale *)
+  (* --- vDSO page + PAL submission ring --- *)
+  mutable vdso : bool;
+      (** serve getpid / getppid / getuid / gettimeofday / time /
+          clock_gettime from the read-only per-picoprocess state page
+          the host kernel publishes, at {!Cost.vdso_call}, instead of
+          crossing into the PAL; invalidated on fork, checkpoint
+          restore and sandbox split *)
+  mutable ring : bool;
+      (** batch independent read/write/send operations through the
+          io_uring-style PAL submission ring: one boundary crossing per
+          drained batch instead of one per call *)
 }
 
 let default () =
@@ -122,7 +133,9 @@ let default () =
        lands several notes per window; well under any RPC timeout *)
     coalesce_window = Time.us 5.0;
     conflict_hints = true;
-    sem_fastpath = true }
+    sem_fastpath = true;
+    vdso = true;
+    ring = true }
 
 (* The starting point of §4.3's iteration: every coordination request
    is a synchronous RPC, no caching, no batching. *)
@@ -139,7 +152,9 @@ let naive () =
     handle_cache = false;
     coalesce = false;
     conflict_hints = false;
-    sem_fastpath = false }
+    sem_fastpath = false;
+    vdso = false;
+    ring = false }
 
 (* Only the PR-4 fast-path caches off: the pre-caching behavior every
    cache-on run must beat (the A side of the bench-cache ablation). *)
@@ -151,7 +166,9 @@ let uncached () =
     lease_ttl = Time.zero;
     lease_capacity = max_int;
     coalesce = false;
-    sem_fastpath = false }
+    sem_fastpath = false;
+    vdso = false;
+    ring = false }
 
 (* a fresh record with every field copied; [with] on one field forces
    the allocation *)

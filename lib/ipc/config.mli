@@ -100,6 +100,22 @@ type t = {
           live lease, the page's sandbox matches ours, and nobody
           waits; otherwise the existing [Sem_op] RPC runs unchanged
           (docs/WEB.md) *)
+  mutable vdso : bool;
+      (** vDSO-style in-guest fast path: the host kernel publishes a
+          read-only per-picoprocess state page (pid, ppid, uid, boot
+          epoch, virtual-time base) and libLinux answers getpid /
+          getppid / getuid / gettimeofday / time / clock_gettime from
+          it at {!Cost.vdso_call} — no PAL crossing. The page is
+          invalidated on fork, checkpoint restore and sandbox split;
+          an invalid page falls back to the PAL time query, never
+          serves a stale base (docs/PERF.md) *)
+  mutable ring : bool;
+      (** io_uring-style PAL submission ring: loops of independent
+          read / write / send enqueue SQEs and charge one boundary
+          crossing ({!Cost.ring_submit}) per drained batch, with
+          completions delivered in submission order and per-op errno
+          preserved. Off, the batch executes as individual PAL calls
+          with identical results (docs/PERF.md) *)
 }
 
 val default : unit -> t
@@ -109,13 +125,14 @@ val default : unit -> t
 val naive : unit -> t
 (** The starting point of §4.3's iteration: every coordination request
     is a synchronous RPC, no caching, no batching, no migration — and
-    none of the fast-path caches or the semaphore fast path. The
-    failure-handling knobs keep their defaults. *)
+    none of the fast-path caches, the semaphore fast path, the vDSO
+    page or the submission ring. The failure-handling knobs keep their
+    defaults. *)
 
 val uncached : unit -> t
 (** Defaults with only the fast-path caches (dcache, refmon decision
-    cache, handle fast path, TTL leases, coalescing) and the semaphore
-    fast path disabled: the pre-caching behavior the bench ablations
-    compare against. *)
+    cache, handle fast path, TTL leases, coalescing), the semaphore
+    fast path, the vDSO page and the submission ring disabled: the
+    pre-caching behavior the bench ablations compare against. *)
 
 val copy : t -> t

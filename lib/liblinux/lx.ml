@@ -29,8 +29,12 @@
     - memory: [mmap bytes] -> addr, [munmap addr], [brk bytes],
       [poke addr s], [peek addr n], [getrss]
     - threads: [clone fname arg] -> tid, [join tid], [sched_yield]
-    - misc: [nanosleep ns], [gettimeofday], [time], [uname], [getuid],
-      [sysinfo] -> cores, [rand n], [print s] (console write),
+    - misc: [nanosleep ns] (negative -> -EINVAL), [gettimeofday],
+      [time], [clock_gettime], [uname], [getuid], [sysinfo] -> cores,
+      [rand n], [print s] (console write),
+      [ring entries] — submit independent reads/writes as one batch:
+      each entry [("read", (fd, n))] or [("write", (fd, s))], result
+      is the list of per-op completions (data, length, or [-errno]),
       [sandbox_create paths] (the Graphene extension of §6.6)
     - /proc: [open "/proc/<pid>/<field>"] works locally and over RPC *)
 
@@ -328,6 +332,41 @@ let path_cache_invalidate lx path =
     lx_count lx "liblinux.handle_cache.invalidate"
   end
 
+(* {1 vDSO page}
+
+   The host kernel publishes a read-only per-picoprocess state page
+   (pid, ppid, uid, boot epoch, virtual-time base); identity and time
+   syscalls are serviced from it without crossing into the PAL. The
+   page is invalidated on fork, checkpoint restore and sandbox split —
+   a reader that finds it invalid takes the slow path and republishes,
+   so a stale base is never served. *)
+
+let vdso_uid = 1000
+
+(* (Re)publish this picoprocess's state page: at boot, after restore,
+   after a sandbox split, and lazily after any fast-path miss. *)
+let vdso_publish lx =
+  if lx.cfg.Ipc_config.vdso then begin
+    lx_count lx "liblinux.vdso.publish";
+    ignore
+      (K.vdso_page_publish (kernel lx) ~host_pid:(pico lx).K.pid ~pid:lx.pid
+         ~ppid:lx.ppid ~uid:vdso_uid ~sandbox:(pico lx).K.sandbox)
+  end
+
+(* Fast-path lookup: the page must be valid, ours (same guest pid) and
+   of this sandbox; anything else is a miss and the caller falls back
+   to libOS state or the PAL. *)
+let vdso_page lx =
+  if not lx.cfg.Ipc_config.vdso then None
+  else
+    match K.vdso_page_lookup (kernel lx) ~host_pid:(pico lx).K.pid with
+    | Some p when p.K.vd_pid = lx.pid && p.K.vd_sandbox = (pico lx).K.sandbox ->
+      lx_count lx "liblinux.vdso.hit";
+      Some p
+    | _ ->
+      lx_count lx "liblinux.vdso.miss";
+      None
+
 (* Transient coordination failures — a timed-out RPC, a dead leader
    caught mid-election, an ownership move that never settled — get a
    few bounded libOS-side retries and then surface to the guest as
@@ -578,9 +617,17 @@ and dispatch_inner lx th name args =
   let int_arg n = Ast.as_int (a n) in
   let str_arg n = Ast.as_str (a n) in
   match name with
-  (* {2 Identity — serviced purely from libOS state (Table 6 row 1)} *)
-  | "getpid" -> finish lx th (vint lx.pid)
-  | "getppid" -> finish lx th (vint lx.ppid)
+  (* {2 Identity — serviced from the vDSO state page when valid,
+     otherwise purely from libOS state (Table 6 row 1). Both are local
+     loads, so either path charges the plain libOS-call cost. *)
+  | "getpid" -> (
+    match vdso_page lx with
+    | Some p -> finish lx th (vint p.K.vd_pid)
+    | None -> finish lx th (vint lx.pid))
+  | "getppid" -> (
+    match vdso_page lx with
+    | Some p -> finish lx th (vint p.K.vd_ppid)
+    | None -> finish lx th (vint lx.ppid))
   | "getpgid" -> finish lx th (vint lx.pgid)
   | "setpgid" ->
     lx.pgid <- int_arg 0;
@@ -590,7 +637,10 @@ and dispatch_inner lx th name args =
       Option.value ~default:lx.pid (Hashtbl.find_opt lx.thread_guest_tid th.K.tid)
     in
     finish lx th (vint gtid)
-  | "getuid" | "geteuid" -> finish lx th (vint 1000)
+  | "getuid" | "geteuid" -> (
+    match vdso_page lx with
+    | Some p -> finish lx th (vint p.K.vd_uid)
+    | None -> finish lx th (vint vdso_uid))
   | "uname" -> finish lx th (vstr "Linux graphene 3.5.0-libos x86_64")
   | "sysinfo" -> finish lx th (vint (kernel lx).K.cores)
   | "getrss" -> finish lx th (vint (Memory.rss (pico lx).K.aspace))
@@ -1028,13 +1078,25 @@ and dispatch_inner lx th name args =
   | "sched_yield" -> Pal.thread_yield lx.pal (fun _ -> finish lx th (vint 0))
   (* {2 Time and misc} *)
   | "nanosleep" ->
-    K.after (kernel lx) (Time.ns (int_arg 0)) (fun () -> finish lx th (vint 0))
-  | "gettimeofday" | "time" ->
-    Pal.system_time_query lx.pal (function
-      | Ok t -> finish lx th (vint t)
-      | Error e -> fail lx th e)
+    let ns = int_arg 0 in
+    if ns < 0 then fail lx th E.EINVAL
+    else K.after (kernel lx) (Time.ns ns) (fun () -> finish lx th (vint 0))
+  | "gettimeofday" | "time" | "clock_gettime" -> (
+    match vdso_page lx with
+    | Some p ->
+      (* base + elapsed-since-publish: exact while the page is valid *)
+      finish lx th ~cost:Cost.vdso_call
+        (vint (K.vdso_time p ~now:(K.now (kernel lx))))
+    | None ->
+      Pal.system_time_query lx.pal (function
+        | Ok t ->
+          (* refresh the page so the next call takes the fast path *)
+          vdso_publish lx;
+          finish lx th (vint t)
+        | Error e -> fail lx th e))
   | "rand" ->
     finish lx th (vint (Rng.int (kernel lx).K.rng (max 1 (int_arg 0))))
+  | "ring" -> do_ring lx th (Ast.as_list (a 0))
   (* {2 Graphene extension: dynamic sandboxing (§6.6)} *)
   | "sandbox_create" ->
     let paths = List.map Ast.as_str (Ast.as_list (a 0)) in
@@ -1043,6 +1105,9 @@ and dispatch_inner lx th name args =
       | Ok new_sandbox ->
         (kernel lx).K.lsm.K.on_sandbox_split (pico lx) ~old_sandbox ~paths;
         Ipc.become_isolated (ipc lx) ~first_pid:(lx.pid + 1);
+        (* the split invalidated our vDSO page; publish a fresh one
+           bound to the new sandbox *)
+        vdso_publish lx;
         finish lx th ~cost:(Time.us 10.) (vint new_sandbox)
       | Error e -> fail lx th e)
   | _ -> fail lx th E.ENOSYS
@@ -1175,6 +1240,137 @@ and do_write lx th fd data =
             finish lx th ~cost (vint n)
           | Error err -> fail lx th err))
     | Klisten _ | Kepoll _ -> fail lx th E.EINVAL)
+
+(* {2 ring} *)
+
+(* Guest ABI: [ring entries] where each entry is ("read", (fd, n)) or
+   ("write", (fd, data)). Completes with the per-op results in
+   submission order — data string, bytes written, or [-errno] — and an
+   individual failure never aborts the batch. With [cfg.ring] on, the
+   PAL-backed entries go through the submission ring: one boundary
+   crossing for the whole batch, and a stream read that would block
+   completes EAGAIN instead of parking the drain. Off, every entry
+   runs as its own PAL call with identical results (a would-block
+   stream read still completes EAGAIN, for parity). Batched file
+   entries are offset-projected like preadv/pwritev — entry k's offset
+   assumes the earlier entries transfer fully — and file positions
+   advance by what actually transferred. *)
+and do_ring lx th entries =
+  let proj : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let projected fd pos len =
+    let off = match Hashtbl.find_opt proj fd with Some o -> o | None -> pos in
+    Hashtbl.replace proj fd (off + len);
+    off
+  in
+  let parse v =
+    match v with
+    | Ast.Vpair (Ast.Vstr "read", Ast.Vpair (Ast.Vint fd, Ast.Vint n)) -> (
+      match get_fd lx fd with
+      | Some { kind = Kfile f; fh = Some h; _ } ->
+        `Op (Pal.Sq_read { handle = h; off = projected fd f.pos n; max = n }, fd, `File)
+      | Some { kind = Kstream { sock }; fh = Some h; _ } ->
+        `Op (Pal.Sq_read { handle = h; off = 0; max = n }, fd, `Stream sock)
+      | Some _ -> `Imm (err E.EINVAL)
+      | None -> `Imm (err E.EBADF))
+    | Ast.Vpair (Ast.Vstr "write", Ast.Vpair (Ast.Vint fd, Ast.Vstr s)) -> (
+      match get_fd lx fd with
+      | Some { kind = Kfile f; fh = Some h; _ } ->
+        `Op
+          ( Pal.Sq_write { handle = h; off = projected fd f.pos (String.length s); data = s },
+            fd,
+            `File )
+      | Some { kind = Kstream { sock }; fh = Some h; _ } ->
+        `Op (Pal.Sq_write { handle = h; off = 0; data = s }, fd, `Stream sock)
+      | Some { kind = Kconsole; _ } ->
+        (* console writes never cross into the PAL; they complete at
+           submission, like a kernel-buffered tty *)
+        Buffer.add_string lx.console s;
+        (match lx.on_console with Some f -> f s | None -> ());
+        `Imm (vint (String.length s))
+      | Some _ -> `Imm (err E.EINVAL)
+      | None -> `Imm (err E.EBADF))
+    | _ -> `Imm (err E.EINVAL)
+  in
+  let plan = List.map parse entries in
+  let ops = List.filter_map (function `Op (sqe, _, _) -> Some sqe | `Imm _ -> None) plan in
+  (* translate one completion to its guest value, advance the file
+     position by what actually transferred, and account the same
+     libOS-side per-op cost the single-call paths charge *)
+  let apply fd ki cqe =
+    let advance n =
+      match get_fd lx fd with
+      | Some { kind = Kfile f; _ } -> f.pos <- f.pos + n
+      | _ -> ()
+    in
+    let op_cost read =
+      match ki with
+      | `Stream true ->
+        let rm = if K.lsm_active (kernel lx) then Cost.lsm_sock_op_check else Time.zero in
+        Time.add rm (if read then Time.ns 530 else sock_overhead_roundtrip)
+      | _ ->
+        (* file completions: the batch was marshalled once at submit;
+           per entry only the result zip remains *)
+        Time.ns 10
+    in
+    match cqe with
+    | Pal.Cq_data data ->
+      advance (String.length data);
+      (vstr data, op_cost true)
+    | Pal.Cq_len n ->
+      advance n;
+      (vint n, op_cost false)
+    | Pal.Cq_errno e -> (err e, Time.zero)
+  in
+  lx_count lx "liblinux.ring.batches";
+  if Obs.enabled (kernel lx).K.tracer then
+    Obs.count (kernel lx).K.tracer ~n:(List.length ops) "liblinux.ring.ops";
+  if lx.cfg.Ipc_config.ring && ops <> [] then
+    Pal.ring_submit lx.pal ops (function
+      | Error e -> fail lx th e
+      | Ok cqes ->
+        let rec zip plan cqes acc cost =
+          match (plan, cqes) with
+          | [], _ -> finish lx th ~cost (Ast.Vlist (List.rev acc))
+          | `Imm v :: rest, cq -> zip rest cq (v :: acc) cost
+          | `Op (_, fd, ki) :: rest, cqe :: cq ->
+            let v, c = apply fd ki cqe in
+            zip rest cq (v :: acc) (Time.add cost c)
+          | `Op _ :: _, [] ->
+            (* a complete drain answers every submitted entry *)
+            fail lx th E.EINVAL
+        in
+        zip plan cqes [] Time.zero)
+  else begin
+    if ops <> [] then lx_count lx "liblinux.ring.fallback";
+    (* knob off: the same batch as individual PAL calls, same results *)
+    let rec step plan acc cost =
+      match plan with
+      | [] -> finish lx th ~cost (Ast.Vlist (List.rev acc))
+      | `Imm v :: rest -> step rest (v :: acc) cost
+      | `Op (sqe, fd, ki) :: rest -> (
+        match sqe with
+        | Pal.Sq_read { handle; off; max } ->
+          let continue_with = function
+            | Ok data ->
+              let v, c = apply fd ki (Pal.Cq_data data) in
+              step rest (v :: acc) (Time.add cost c)
+            | Error e -> step rest (err e :: acc) cost
+          in
+          (match handle.K.obj with
+          | K.Hstream ep when Stream.available ep = 0 && not (Stream.at_eof ep) ->
+            (* the ring answers EAGAIN for a would-block stream read;
+               keep the off-path batch from parking mid-drain too *)
+            step rest (err E.EAGAIN :: acc) cost
+          | _ -> Pal.stream_read lx.pal handle ~off ~max continue_with)
+        | Pal.Sq_write { handle; off; data } ->
+          Pal.stream_write lx.pal handle ~off data (function
+            | Ok n ->
+              let v, c = apply fd ki (Pal.Cq_len n) in
+              step rest (v :: acc) (Time.add cost c)
+            | Error e -> step rest (err e :: acc) cost))
+    in
+    step plan [] Time.zero
+  end
 
 (* {2 select} *)
 
@@ -1552,6 +1748,10 @@ and finish_restore ?restore_cost ~kern ~pal ~cfg ~console_hook record handles =
           let service = make_service lx in
           pal.Pal.thread_service <- Some service;
           Pal.exception_handler_set pal (on_pal_exception lx);
+          (* a restored picoprocess never inherits the parent's time
+             base: publish a fresh page stamped from this kernel's
+             clock, now that restore is charged *)
+          vdso_publish lx;
           lx.started_at <- Some (K.now kern);
           let th = K.spawn_thread kern (pico lx) machine ~service in
           lx.main_thread <- Some th;
@@ -1657,6 +1857,7 @@ let boot ?(cfg = Ipc_config.default ()) ?console_hook kernel ~exe ~argv () =
           let service = make_service lx in
           pal.Pal.thread_service <- Some service;
           Pal.exception_handler_set pal (on_pal_exception lx);
+          vdso_publish lx;
           lx.started_at <- Some (K.now kernel);
           let th = K.spawn_thread kernel pico machine ~service in
           lx.main_thread <- Some th;

@@ -177,7 +177,8 @@ let thread_exit t thread =
   t.call_count <- t.call_count + 1;
   K.finish_thread t.kernel thread
 
-let thread_yield t k = host t ~name:"sched_yield" ~cost:(Time.ns 100) (fun () -> k (Ok ()))
+let thread_yield t k =
+  host t ~name:"sched_yield" ~cost:Cost.native_sched_yield (fun () -> k (Ok ()))
 
 (* Interrupt a thread: the exception handler (registered by the
    personality) runs with [Interrupted] — used to deliver signals to
@@ -477,6 +478,100 @@ let pipe_pair t k =
       K.register_endpoint t.kernel t.pico b;
       k (Ok (K.fresh_handle t.kernel (K.Hstream a), K.fresh_handle t.kernel (K.Hstream b))))
 
+(* {1 Submission ring} *)
+
+type ring_sqe =
+  | Sq_read of { handle : K.handle; off : int; max : int }
+  | Sq_write of { handle : K.handle; off : int; data : string }
+
+type ring_cqe =
+  | Cq_data of string  (** completed read *)
+  | Cq_len of int  (** completed write: bytes accepted *)
+  | Cq_errno of errno  (** this entry failed; the batch keeps draining *)
+
+(* Submit a batch of independent stream operations through the
+   io_uring-style ring: one boundary crossing (the doorbell, an ioctl
+   on the ring device — among the PAL's 50 allowed host calls) for the
+   whole batch, then the host drains entries in submission order.
+   Per-entry failures become [Cq_errno] completions; a stream read
+   that would block completes [EAGAIN] rather than parking the batch.
+   Crash-call faults land on individual entries: completions before
+   the fault stand, the rest are never executed (partial drain). *)
+let ring_submit t sqes k =
+  if sqes = [] then k (Ok [])
+  else begin
+    let tracer = t.kernel.K.tracer in
+    if Obs.enabled tracer then begin
+      Obs.count tracer "pal.ring.submits";
+      Obs.count tracer ~n:(List.length sqes) "pal.ring.sqes";
+      Obs.observe tracer "pal.ring.batch" (float_of_int (List.length sqes))
+    end;
+    host t ~name:"ioctl" ~cost:Cost.ring_submit (fun () ->
+        (* one entry's completion: charge its per-entry bookkeeping plus
+           the work the host cannot avoid, then run [mk], converting
+           exceptions into a per-op errno. File entries follow the
+           registered-file model: the ring holds a reference for the
+           batch's lifetime, so the per-syscall fd lookup and VFS entry
+           path ([Cost.host_read_base]/[host_write_base]) are not paid
+           per entry — only the data copy is. Stream entries still go
+           through the host protocol stack and keep the base cost. *)
+        let entry cost mk k_e =
+          K.after t.kernel (Time.add Cost.ring_sqe cost) (fun () ->
+              k_e
+                (match mk () with
+                | cqe -> cqe
+                | exception Vfs.Error e -> Cq_errno (Errno.of_string e)
+                | exception K.Denied e -> Cq_errno (errno_of_denied e)
+                | exception Memory.Fault _ -> Cq_errno Errno.EFAULT
+                | exception Invalid_argument _ -> Cq_errno Errno.EINVAL))
+        in
+        let exec sqe k_e =
+          match sqe with
+          | Sq_read { handle; off; max } -> (
+            match handle.K.obj with
+            | K.Hfile { file; _ } ->
+              let n = Stdlib.min max (Stdlib.max 0 (Vfs.file_size file - off)) in
+              entry (Cost.copy_cost n)
+                (fun () -> Cq_data (Vfs.read_file file ~off ~len:max))
+                k_e
+            | K.Hstream ep ->
+              K.after t.kernel (Time.add Cost.ring_sqe Cost.host_read_base) (fun () ->
+                  if Stream.available ep > 0 || Stream.at_eof ep then
+                    K.stream_recv t.kernel ep ~max (fun data -> k_e (Cq_data data))
+                  else k_e (Cq_errno Errno.EAGAIN))
+            | _ -> entry Time.zero (fun () -> Cq_errno Errno.EBADF) k_e)
+          | Sq_write { handle; off; data } -> (
+            match handle.K.obj with
+            | K.Hfile { file; _ } ->
+              entry
+                (Cost.copy_cost (String.length data))
+                (fun () ->
+                  Vfs.write_file file ~off data;
+                  Cq_len (String.length data))
+                k_e
+            | K.Hstream ep ->
+              entry
+                (Time.add Cost.host_write_base (Cost.copy_cost (String.length data)))
+                (fun () ->
+                  K.stream_send t.kernel ep data;
+                  Cq_len (String.length data))
+                k_e
+            | _ -> entry Time.zero (fun () -> Cq_errno Errno.EBADF) k_e)
+        in
+        let rec drain todo acc =
+          match todo with
+          | [] -> k (Ok (List.rev acc))
+          | sqe :: rest ->
+            if K.fault_pal_call t.kernel t.pico then
+              (* crash-call fault mid-drain: the picoprocess is dead;
+                 nothing after this entry executes and the continuation
+                 never runs *)
+              ()
+            else exec sqe (fun cqe -> drain rest (cqe :: acc))
+        in
+        drain sqes [])
+  end
+
 (* {1 Process} *)
 
 (* Create a clean child picoprocess (internally a vfork+exec of a
@@ -518,16 +613,16 @@ let process_exit t code =
 (* {1 Misc} *)
 
 let system_time_query t k =
-  host t ~name:"clock_gettime" ~cost:(Time.ns 25) (fun () -> k (Ok (K.now t.kernel)))
+  host t ~name:"clock_gettime" ~cost:Cost.host_time_query (fun () -> k (Ok (K.now t.kernel)))
 
 let random_bits_read t n k =
-  host t ~name:"read" ~cost:(Time.ns 200) (fun () ->
+  host t ~name:"read" ~cost:Cost.pal_random_read (fun () ->
       let b = Bytes.init n (fun _ -> Char.chr (Rng.int t.kernel.K.rng 256)) in
       k (Ok (Bytes.to_string b)))
 
 let instruction_cache_flush t k =
   t.call_count <- t.call_count + 1;
-  K.after t.kernel (Time.ns 50) (fun () -> k (Ok ()))
+  K.after t.kernel Cost.pal_icache_flush (fun () -> k (Ok ()))
 
 type system_info = { cores : int; pal_range : int * int }
 

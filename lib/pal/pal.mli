@@ -125,6 +125,36 @@ val pipe_pair : t -> ((K.handle * K.handle, errno) result -> unit) -> unit
 (** The DkStreamOpen("pipe:") fast path: an anonymous connected pair
     inside this picoprocess (socketpair on the Linux PAL). *)
 
+(** {1 Submission ring} *)
+
+type ring_sqe =
+  | Sq_read of { handle : K.handle; off : int; max : int }
+  | Sq_write of { handle : K.handle; off : int; data : string }
+      (** one submission-queue entry: an independent pread-style read
+          or pwrite-style write on an open handle *)
+
+type ring_cqe =
+  | Cq_data of string  (** completed read *)
+  | Cq_len of int  (** completed write: bytes accepted *)
+  | Cq_errno of errno  (** this entry failed; the batch keeps draining *)
+
+val ring_submit : t -> ring_sqe list -> ((ring_cqe list, errno) result -> unit) -> unit
+(** io_uring-style batch submission: one boundary crossing — the ring
+    doorbell, an ioctl on the ring device, charged
+    {!Graphene_sim.Cost.ring_submit} — covers the whole batch; the
+    host then drains entries in submission order, each charged
+    {!Graphene_sim.Cost.ring_sqe} plus the work the host cannot
+    avoid: file entries follow the registered-file model — the ring
+    holds the reference, so the per-syscall fd lookup and VFS entry
+    path are skipped and only the data copy is charged; stream
+    entries still pay the protocol-stack base. Completions arrive in
+    submission order; a per-entry failure becomes [Cq_errno] without
+    aborting the batch, and a stream read that would block completes
+    [EAGAIN] instead of parking the drain. Crash-call faults apply
+    per entry: completions before the fault stand, later entries
+    never execute. An empty batch completes [Ok []] without
+    crossing. *)
+
 (** {1 Process (2)} *)
 
 val process_create :

@@ -22,6 +22,13 @@ let refmon_cache_hit = Time.ns 60
 let lease_probe = Time.ns 25
 let sem_fast_op = Time.ns 90
 let sem_page_probe = Time.ns 30
+let vdso_call = Time.ns 30
+let ring_submit = Time.ns 150
+let ring_sqe = Time.ns 20
+let host_time_query = Time.ns 25
+let pal_random_read = Time.ns 200
+let pal_icache_flush = Time.ns 50
+let native_sched_yield = Time.ns 100
 let lsm_socket_check = Time.ns 660
 let lsm_sock_op_check = Time.ns 165
 let lsm_fd_check = Time.ns 420

@@ -106,6 +106,44 @@ val sem_page_probe : Time.t
     sandbox, waiter check); charged even when the answer is "fall back
     to the RPC". [structural] *)
 
+val vdso_call : Time.t
+(** A syscall serviced from the read-only per-picoprocess vDSO page the
+    host kernel publishes (pid / ppid / uid / virtual-time base): one
+    validity check plus a couple of loads, no PAL crossing — like a
+    Linux vDSO [gettimeofday]. Slightly above {!libos_call} because the
+    generation check touches shared state. [structural; cf.
+    linux-insides vsyscall/vDSO chapter] *)
+
+val ring_submit : Time.t
+(** Draining one submission-ring batch into the PAL: a single boundary
+    crossing (doorbell + SQE array walk setup + completion reap)
+    amortized over every entry in the batch, replacing one
+    {!host_syscall_entry} per call. [structural; cf. io_uring's
+    single-syscall batch submission] *)
+
+val ring_sqe : Time.t
+(** Per-entry bookkeeping while draining a ring batch (decode the SQE,
+    post the CQE in order); the operation's own work cost (e.g.
+    {!host_read_base} + copy) is charged separately per entry.
+    [structural] *)
+
+val host_time_query : Time.t
+(** Reading the host clock once trapped into the kernel (the work of
+    clock_gettime itself, excluding entry): 25 ns. [structural;
+    composes with {!host_syscall_entry} toward the paper's syscall
+    row] *)
+
+val pal_random_read : Time.t
+(** PAL RandomBitsRead: host entropy-pool draw. [structural] *)
+
+val pal_icache_flush : Time.t
+(** PAL InstructionCacheFlush: purely local cache maintenance, no host
+    trap. [structural] *)
+
+val native_sched_yield : Time.t
+(** Native sched_yield with an empty run queue: kernel entry aside,
+    ~100 ns of scheduler work. [structural] *)
+
 val lsm_socket_check : Time.t
 (** Reference-monitor check on socket/bind/connect (AF_UNIX +RM 6.37 us
     vs 5.71 us). [structural] *)

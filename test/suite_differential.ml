@@ -156,4 +156,56 @@ let fs_prop =
         QCheck.Test.fail_reportf "fs ops diverged (seed %d):\nlinux: %S\ngraphene: %S" seed o1 o2
       else true)
 
-let suite = List.map QCheck_alcotest.to_alcotest [ shell_prop; fs_prop ]
+(* {1 Time-syscall parity}
+
+   Clocks tick at different rates across stacks, so absolute readings
+   cannot be compared — but the *shape* must agree: non-negative
+   readings, monotone across a sleep, [time]/[gettimeofday]/
+   [clock_gettime] mutually consistent, and a negative [nanosleep]
+   answering -EINVAL everywhere. On Graphene the same shape must hold
+   both through the vDSO page and with it switched off — a stale time
+   base left behind by fork or checkpoint-restore would break
+   monotonicity and fail this test. *)
+
+let time_prog =
+  let open B in
+  let mark name cond = sys "print" [ if_ cond (str (name ^ "=ok;")) (str (name ^ "=BAD;")) ] in
+  prog ~name:"/bin/timeshape"
+    (let_ "t0"
+       (sys "gettimeofday" [])
+       (let_ "w0"
+          (sys "time" [])
+          (let_ "c0"
+             (sys "clock_gettime" [ int 0 ])
+             (seq
+                [ mark "nonneg" (v "t0" >=% int 0);
+                  mark "agree" ((v "w0" >=% v "t0") &&% (v "c0" >=% v "w0"));
+                  mark "einval" (sys "nanosleep" [ int (-5) ] =% int (-22));
+                  sys "nanosleep" [ int 1_000_000 ];
+                  mark "mono" (sys "gettimeofday" [] >=% v "t0");
+                  let_ "c" (sys "fork" [])
+                    (if_ (v "c" =% int 0)
+                       (seq [ mark "child-mono" (sys "clock_gettime" [ int 0 ] >=% v "c0");
+                              sys "exit" [ int 0 ] ])
+                       (seq [ sys "wait" []; sys "exit" [ int 0 ] ])) ]))))
+
+let time_expected = "nonneg=ok;agree=ok;einval=ok;mono=ok;child-mono=ok;"
+
+let time_shape_case =
+  case "time syscalls: same shape on every stack, vDSO on and off" (fun () ->
+      let run ?cfg stack =
+        let r = run_prog ?cfg ~stack ~seed:7 time_prog in
+        check_bool "exited" true (W.exited r.p);
+        r.out ()
+      in
+      check_str "native linux" time_expected (run W.Linux);
+      check_str "kvm" time_expected (run W.Kvm);
+      check_str "graphene (vDSO+ring on)" time_expected (run W.Graphene);
+      let off = Graphene_ipc.Config.default () in
+      off.Graphene_ipc.Config.vdso <- false;
+      off.Graphene_ipc.Config.ring <- false;
+      check_str "graphene (vDSO+ring off)" time_expected (run ~cfg:off W.Graphene);
+      check_str "graphene-rm" time_expected (run W.Graphene_rm))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ shell_prop; fs_prop ] @ [ time_shape_case ]

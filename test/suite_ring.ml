@@ -1,0 +1,266 @@
+(** The PAL submission ring and the vDSO state page (docs/PERF.md).
+
+    The ring: completions arrive in submission order, a per-op failure
+    never aborts the batch, a crash-call fault lands on an individual
+    entry (completions before it stand, later entries never run), and
+    turning the knob off executes the same batch as individual PAL
+    calls with identical results. The vDSO page: identity and time
+    syscalls are served from the published page, a fork child gets a
+    fresh page (never the parent's identity), and turning the knob off
+    changes no guest-visible result. Everything is deterministic at a
+    fixed seed. *)
+
+open Util
+module Config = Graphene_ipc.Config
+module Obs = Graphene_obs.Obs
+module Invariant = Graphene_obs.Invariant
+module Fault = Graphene_sim.Fault
+module Vfs = Graphene_host.Vfs
+open B
+
+let say e = sys "print" [ e ]
+let sayn e = sys "print" [ e ^% str "\n" ]
+let die = sys "exit" [ int 0 ]
+
+(* Run a program with tracing on; return (run, tracer). *)
+let traced ?cfg ?faults ?(seed = 11) prog_ =
+  let tracer = ref None in
+  let r =
+    run_prog ?cfg ?faults ~seed
+      ~setup:(fun w ->
+        Obs.enable (W.tracer w);
+        tracer := Some (W.tracer w))
+      prog_
+  in
+  (r, Option.get !tracer)
+
+let sq_read fd n = pair (str "read") (pair fd n)
+let sq_write fd s = pair (str "write") (pair fd s)
+
+(* {1 Ordering and results}
+
+   Interleaved reads and writes on two files: the completion list
+   preserves submission order, reads advance through the source file
+   (offset projection), writes land back to back in the sink. *)
+
+let mixed_prog =
+  prog ~name:"/bin/ring_mixed"
+    (let_ "sf"
+       (sys "open" [ str "/tmp/ring_src"; str "w" ])
+       (seq
+          [ sys "write" [ v "sf"; str "0123456789" ];
+            sys "close" [ v "sf" ];
+            let_ "rf"
+              (sys "open" [ str "/tmp/ring_src"; str "r" ])
+              (let_ "wf"
+                 (sys "open" [ str "/tmp/ring_dst"; str "w" ])
+                 (let_ "res"
+                    (sys "ring"
+                       [ list_
+                           [ sq_read (v "rf") (int 5);
+                             sq_write (v "wf") (str "alpha");
+                             sq_read (v "rf") (int 5);
+                             sq_write (v "wf") (str "beta") ] ])
+                    (seq
+                       [ say (nth (v "res") (int 0));
+                         say (str "|");
+                         say (str_of_int (nth (v "res") (int 1)));
+                         say (str "|");
+                         say (nth (v "res") (int 2));
+                         say (str "|");
+                         say (str_of_int (nth (v "res") (int 3)));
+                         say (str "|");
+                         sys "close" [ v "wf" ];
+                         let_ "chk"
+                           (sys "open" [ str "/tmp/ring_dst"; str "r" ])
+                           (seq [ say (sys "read" [ v "chk"; int 100 ]); die ]) ]))) ]))
+
+let mixed_expected = "01234|5|56789|4|alphabeta"
+
+let test_ordering () =
+  let r = run_prog ~seed:11 mixed_prog in
+  expect_exit r;
+  expect_console mixed_expected r
+
+(* {1 Per-op errno}
+
+   A bad descriptor in the middle of the batch answers -EBADF in its
+   slot; the surrounding entries complete normally. *)
+
+let errno_prog =
+  prog ~name:"/bin/ring_errno"
+    (let_ "wf"
+       (sys "open" [ str "/tmp/ring_e"; str "w" ])
+       (let_ "res"
+          (sys "ring"
+             [ list_
+                 [ sq_write (v "wf") (str "x");
+                   sq_read (int 99) (int 4);
+                   sq_write (v "wf") (str "y") ] ])
+          (seq
+             [ say (str_of_int (nth (v "res") (int 0)));
+               say (str "|");
+               say (str_of_int (nth (v "res") (int 1)));
+               say (str "|");
+               say (str_of_int (nth (v "res") (int 2)));
+               die ])))
+
+let test_per_op_errno () =
+  let r = run_prog ~seed:11 errno_prog in
+  expect_exit r;
+  (* EBADF = 9 *)
+  expect_console "1|-9|1" r;
+  let f = Vfs.find_file (W.kernel r.w).Graphene_host.Kernel.fs "/tmp/ring_e" in
+  check_str "both good entries landed" "xy" (Vfs.read_file f ~off:0 ~len:10)
+
+(* {1 Partial-batch drain under a crash-call fault}
+
+   The fault plan kills the picoprocess at the Nth PAL call, aimed
+   inside the ring drain: entries completed before the fault have
+   committed their writes, entries after it never execute, the batch
+   continuation never runs — and the run still drains. *)
+
+let crash_prog =
+  prog ~name:"/bin/ring_crash"
+    (let_ "wf"
+       (sys "open" [ str "/tmp/ring_c"; str "w" ])
+       (seq
+          [ sys "ring"
+              [ list_
+                  [ sq_write (v "wf") (str "a");
+                    sq_write (v "wf") (str "b");
+                    sq_write (v "wf") (str "c");
+                    sq_write (v "wf") (str "d");
+                    sq_write (v "wf") (str "e");
+                    sq_write (v "wf") (str "f") ] ];
+            sayn (str "done");
+            die ]))
+
+let test_partial_drain () =
+  (* without faults the batch commits everything *)
+  let clean = run_prog ~seed:11 crash_prog in
+  expect_exit clean;
+  expect_console_contains "done" clean;
+  let full =
+    let f = Vfs.find_file (W.kernel clean.w).Graphene_host.Kernel.fs "/tmp/ring_c" in
+    Vfs.read_file f ~off:0 ~len:16
+  in
+  check_str "clean batch commits all entries" "abcdef" full;
+  (* crash mid-drain: the per-entry fault check consumes one slot per
+     entry, so some strict prefix of the writes commits *)
+  let prefix_lens = ref [] in
+  List.iter
+    (fun n ->
+      let spec = { Fault.none with Fault.crash_call = Some n } in
+      let r = run_prog ~seed:11 ~faults:spec crash_prog in
+      if not (contains (r.out ()) "done") then begin
+        let content =
+          match Vfs.find_file (W.kernel r.w).Graphene_host.Kernel.fs "/tmp/ring_c" with
+          | f -> Vfs.read_file f ~off:0 ~len:16
+          | exception Vfs.Error _ -> ""
+        in
+        check_bool
+          (Printf.sprintf "crash-call %d leaves a strict prefix (got %S)" n content)
+          true
+          (String.length content < 6 && content = String.sub "abcdef" 0 (String.length content));
+        prefix_lens := String.length content :: !prefix_lens
+      end)
+    [ 9; 10; 11; 12; 13; 14 ];
+  (* at least one crash point must land on an individual entry strictly
+     inside the drain: a non-empty strict prefix *)
+  check_bool "some crash point hits mid-batch" true
+    (List.exists (fun l -> l > 0 && l < 6) !prefix_lens)
+
+(* {1 Knob off: inert}
+
+   cfg.ring = false runs the same batch as individual PAL calls:
+   byte-identical console, zero ring submissions, fallback counted. *)
+
+let test_ring_off_inert () =
+  let on, t_on = traced mixed_prog in
+  expect_exit on;
+  let off_cfg = Config.default () in
+  off_cfg.Config.ring <- false;
+  let off, t_off = traced ~cfg:off_cfg mixed_prog in
+  expect_exit off;
+  check_str "same console with the ring off" (on.out ()) (off.out ());
+  check_bool "ring-on crossed once" true (Obs.counter_value t_on "pal.ring.submits" >= 1);
+  check_int "ring-off never crossed" 0 (Obs.counter_value t_off "pal.ring.submits");
+  check_bool "ring-off took the fallback" true
+    (Obs.counter_value t_off "liblinux.ring.fallback" >= 1)
+
+(* {1 Same seed, byte-identical}
+
+   Two runs at one seed agree on console bytes and the final virtual
+   clock — the ring introduces no nondeterminism. *)
+
+let test_determinism () =
+  let go () =
+    let r = run_prog ~seed:23 mixed_prog in
+    expect_exit r;
+    (r.out (), W.now r.w)
+  in
+  let o1, t1 = go () and o2, t2 = go () in
+  check_str "console" o1 o2;
+  check_bool "final clock" true (t1 = t2)
+
+(* {1 vDSO page: identity across fork}
+
+   The child must answer getpid/getppid from its own freshly published
+   page — never the parent's (invalidation on fork means publication
+   is per-picoprocess, keyed by host pid). *)
+
+let vdso_fork_prog =
+  prog ~name:"/bin/vdso_fork"
+    (seq
+       [ sayn (str_of_int (sys "getpid" []));
+         let_ "t0"
+           (sys "gettimeofday" [])
+           (let_ "c" (sys "fork" [])
+              (if_ (v "c" =% int 0)
+                 (seq
+                    [ sayn (str_of_int (sys "getpid" []));
+                      sayn (str_of_int (sys "getppid" []));
+                      sayn
+                        (if_
+                           (sys "gettimeofday" [] >=% v "t0")
+                           (str "mono") (str "STALE"));
+                      die ])
+                 (seq [ sys "wait" []; sayn (str "parent done"); die ]))) ])
+
+let test_vdso_fork_identity () =
+  let r, tracer = traced vdso_fork_prog in
+  expect_exit r;
+  expect_console_contains "parent done" r;
+  (* parent pid 1; child pid 2 with ppid 1 — from the child's page *)
+  expect_console_contains "1\n" r;
+  expect_console_contains "2\n" r;
+  (* a stale time base after checkpoint-restore must be caught *)
+  expect_console_contains "mono" r;
+  check_bool "no STALE marker" false (contains (r.out ()) "STALE");
+  check_bool "both picoprocesses published a page" true
+    (Obs.counter_value tracer "liblinux.vdso.publish" >= 2);
+  check_bool "fast path taken" true (Obs.counter_value tracer "liblinux.vdso.hit" >= 1);
+  check_int "no invariant violations" 0 (Invariant.total (W.invariants r.w))
+
+(* {1 vDSO knob off: inert} *)
+
+let test_vdso_off_inert () =
+  let on, _ = traced vdso_fork_prog in
+  expect_exit on;
+  let off_cfg = Config.default () in
+  off_cfg.Config.vdso <- false;
+  let off, t_off = traced ~cfg:off_cfg vdso_fork_prog in
+  expect_exit off;
+  check_str "same console with the page off" (on.out ()) (off.out ());
+  check_int "no page reads" 0 (Obs.counter_value t_off "liblinux.vdso.hit");
+  check_int "no page published" 0 (Obs.counter_value t_off "liblinux.vdso.publish")
+
+let suite =
+  [ case "completions in submission order" test_ordering;
+    case "per-op errno, batch keeps draining" test_per_op_errno;
+    case "crash-call fault: partial drain, run drains" test_partial_drain;
+    case "ring off: identical results, no crossings" test_ring_off_inert;
+    case "same seed, byte-identical" test_determinism;
+    case "vDSO: fork child gets its own page" test_vdso_fork_identity;
+    case "vDSO off: identical results" test_vdso_off_inert ]

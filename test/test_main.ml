@@ -21,4 +21,5 @@ let () =
       ("audit", Suite_audit.suite);
       ("contend", Suite_contend.suite);
       ("vuln", Suite_vuln.suite);
+      ("ring", Suite_ring.suite);
       ("differential", Suite_differential.suite) ]
